@@ -1,0 +1,238 @@
+package rolag_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§V), plus ablation and optimizer-throughput benchmarks.
+// Each experiment benchmark runs a scaled-down configuration per
+// iteration and reports the headline numbers the paper quotes as custom
+// metrics (so `go test -bench` regenerates the comparable series);
+// cmd/experiments runs the full-scale versions and writes the CSVs.
+
+import (
+	"testing"
+
+	"rolag"
+	"rolag/internal/experiments"
+	rl "rolag/internal/rolag"
+)
+
+// BenchmarkFig15Angha regenerates the AnghaBench reduction curve
+// (Fig. 15): mean and best per-function reduction over affected
+// functions, plus the affected/regression counts.
+func BenchmarkFig15Angha(b *testing.B) {
+	var s *experiments.AnghaSummary
+	var err error
+	for i := 0; i < b.N; i++ {
+		s, err = experiments.RunAngha(experiments.AnghaConfig{N: 300})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(s.MeanReduction, "meanRed%")
+	b.ReportMetric(s.BestReduction, "bestRed%")
+	b.ReportMetric(float64(len(s.Affected)), "affected")
+	b.ReportMetric(float64(s.Regressions), "regressions")
+	b.ReportMetric(float64(s.AffectedLLVM), "llvmAffected")
+}
+
+// BenchmarkFig16NodeBreakdownAngha regenerates the AnghaBench node-kind
+// breakdown (Fig. 16).
+func BenchmarkFig16NodeBreakdownAngha(b *testing.B) {
+	var s *experiments.AnghaSummary
+	var err error
+	for i := 0; i < b.N; i++ {
+		s, err = experiments.RunAngha(experiments.AnghaConfig{N: 300})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.NodeCounts[rl.KindMatch]), "match")
+	b.ReportMetric(float64(s.NodeCounts[rl.KindIdentical]), "identical")
+	b.ReportMetric(float64(s.NodeCounts[rl.KindIntSeq]), "sequence")
+	b.ReportMetric(float64(s.NodeCounts[rl.KindMismatch]), "mismatch")
+	b.ReportMetric(float64(s.NodeCounts[rl.KindRecurrence]), "recurrence")
+	b.ReportMetric(float64(s.NodeCounts[rl.KindReduction]), "reduction")
+	b.ReportMetric(float64(s.NodeCounts[rl.KindJoint]), "joint")
+}
+
+// BenchmarkTable1Programs regenerates the MiBench/SPEC program table
+// (Table I) at reduced scale and reports the suite-level aggregates.
+func BenchmarkTable1Programs(b *testing.B) {
+	var rows []experiments.Table1Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.RunTable1Scaled(0.12)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	totalRedKB, rolled, neg := 0.0, 0, 0
+	for _, r := range rows {
+		totalRedKB += r.ReductionKB
+		rolled += r.RolledLoops
+		if r.ReductionPct < 0 {
+			neg++
+		}
+	}
+	b.ReportMetric(totalRedKB, "totalRedKB")
+	b.ReportMetric(float64(rolled), "rolledLoops")
+	b.ReportMetric(float64(neg), "regressingPrograms")
+}
+
+// tsvcBenchKernels is a representative slice of the suite for per-
+// iteration benchmarking (the full suite runs in cmd/experiments).
+var tsvcBenchKernels = []string{
+	"s000", "s111", "s1111", "s112", "s121", "s1221", "s127", "s173",
+	"s251", "s311", "s312", "s313", "s319", "s351", "s352", "s421",
+	"s452", "s453", "s491", "s4112", "va", "vpv", "vtv", "vpvtv",
+	"vsumr", "vdotr", "vbor", "s271", "s3113", "s322",
+}
+
+// BenchmarkFig17TSVC regenerates the TSVC comparison (Fig. 17): mean
+// reductions and affected-kernel counts for the baseline and RoLAG.
+func BenchmarkFig17TSVC(b *testing.B) {
+	cfg := experiments.DefaultTSVCConfig()
+	cfg.Kernels = tsvcBenchKernels
+	var s *experiments.TSVCSummary
+	var err error
+	for i := 0; i < b.N; i++ {
+		s, err = experiments.RunTSVC(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(s.MeanLLVM, "meanLLVM%")
+	b.ReportMetric(s.MeanRoLAG, "meanRoLAG%")
+	b.ReportMetric(float64(s.AffectedLLVM), "llvmKernels")
+	b.ReportMetric(float64(s.AffectedRoLAG), "rolagKernels")
+}
+
+// BenchmarkFig18Oracle regenerates the oracle-vs-RoLAG comparison
+// (Fig. 18).
+func BenchmarkFig18Oracle(b *testing.B) {
+	cfg := experiments.DefaultTSVCConfig()
+	cfg.Kernels = tsvcBenchKernels
+	var s *experiments.TSVCSummary
+	var err error
+	for i := 0; i < b.N; i++ {
+		s, err = experiments.RunTSVC(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(s.MeanOracle, "meanOracle%")
+	b.ReportMetric(s.MeanRoLAG, "meanRoLAG%")
+}
+
+// BenchmarkFig19NodeBreakdownTSVC regenerates the TSVC node breakdown and
+// the special-nodes ablation (Fig. 19).
+func BenchmarkFig19NodeBreakdownTSVC(b *testing.B) {
+	cfg := experiments.DefaultTSVCConfig()
+	cfg.Kernels = tsvcBenchKernels
+	var s *experiments.TSVCSummary
+	var err error
+	for i := 0; i < b.N; i++ {
+		s, err = experiments.RunTSVC(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.NodeCounts[rl.KindMatch]), "match")
+	b.ReportMetric(float64(s.NodeCounts[rl.KindIntSeq]), "sequence")
+	b.ReportMetric(float64(s.NodeCounts[rl.KindReduction]), "reduction")
+	b.ReportMetric(float64(s.AffectedRoLAG), "fullKernels")
+	b.ReportMetric(float64(s.AffectedNoSpecial), "noSpecialKernels")
+}
+
+// BenchmarkPerfOverheadTSVC regenerates the §V.D runtime overhead: the
+// mean relative performance of rolled code under the interpreter.
+func BenchmarkPerfOverheadTSVC(b *testing.B) {
+	cfg := experiments.DefaultTSVCConfig()
+	cfg.Kernels = tsvcBenchKernels
+	cfg.MeasurePerf = true
+	var s *experiments.TSVCSummary
+	var err error
+	for i := 0; i < b.N; i++ {
+		s, err = experiments.RunTSVC(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(s.RelPerf, "relPerf")
+}
+
+// BenchmarkAblationSpecialNodes compares the full technique against the
+// no-special-nodes configuration on a straight-line corpus — the design
+// choice Fig. 19 isolates.
+func BenchmarkAblationSpecialNodes(b *testing.B) {
+	srcs := []string{
+		`extern void cb(char *p, char *q);
+		 struct S { char v[64]; };
+		 void f(struct S *s, void *p) {
+			cb(p, s->v); cb(p + 16, s->v + 16); cb(p + 32, s->v + 32); cb(p + 48, s->v + 48);
+		 }`,
+		`int g(const int *a, const int *b) {
+			return a[0]*b[0] + a[1]*b[1] + a[2]*b[2] + a[3]*b[3] + a[4]*b[4];
+		 }`,
+		`void h(int *a, int v) {
+			a[0] = v*3; a[1] = v*5; a[2] = v*7; a[3] = v*9; a[4] = v*11;
+		 }`,
+	}
+	run := func(opts *rolag.Options) int {
+		rolled := 0
+		for _, src := range srcs {
+			res, err := rolag.Build(src, rolag.Config{Opt: rolag.OptRoLAG, Options: opts})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rolled += res.Stats.LoopsRolled
+		}
+		return rolled
+	}
+	var full, noSpecial int
+	for i := 0; i < b.N; i++ {
+		full = run(rolag.DefaultOptions())
+		noSpecial = run(rolag.NoSpecialNodes())
+	}
+	b.ReportMetric(float64(full), "rolledFull")
+	b.ReportMetric(float64(noSpecial), "rolledNoSpecial")
+}
+
+// BenchmarkAblationFlatten measures the §V.C improvement the paper
+// proposes (flattening RoLAG's nested rerolled loops): suite-mean
+// reductions for RoLAG alone vs RoLAG + flatten on the bench kernel set.
+func BenchmarkAblationFlatten(b *testing.B) {
+	cfg := experiments.DefaultTSVCConfig()
+	cfg.Kernels = tsvcBenchKernels
+	var s *experiments.TSVCSummary
+	var err error
+	for i := 0; i < b.N; i++ {
+		s, err = experiments.RunTSVC(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(s.MeanRoLAG, "meanRoLAG%")
+	b.ReportMetric(s.MeanFlat, "meanFlat%")
+	b.ReportMetric(s.MeanLLVM, "meanLLVM%")
+}
+
+// BenchmarkOptimizerThroughput measures RoLAG's own compile-time cost on
+// a mid-sized function (not a paper figure; engineering health metric).
+func BenchmarkOptimizerThroughput(b *testing.B) {
+	src := `
+void f(int *a, int *s, int v) {
+	a[0] = s[8] + v; a[1] = s[9] + v; a[2] = s[10] + v; a[3] = s[11] + v;
+	a[4] = s[12] + v; a[5] = s[13] + v; a[6] = s[14] + v; a[7] = s[15] + v;
+}`
+	m, err := rolag.Compile(src, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = m
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rolag.Build(src, rolag.Config{Opt: rolag.OptRoLAG}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section and writes text reports plus CSV data files.
+//
+// Usage:
+//
+//	experiments [-out results] [-run all|angha|tsvc|table1|perf] [-n 2000]
+//
+// The experiment ids map to the paper as follows: "angha" produces
+// Fig. 15 and Fig. 16, "table1" produces Table I, "tsvc" produces
+// Fig. 17, Fig. 18 and Fig. 19, and "perf" produces the §V.D overhead
+// summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rolag/internal/experiments"
+)
+
+func main() {
+	out := flag.String("out", "results", "directory for CSV output (empty = none)")
+	run := flag.String("run", "all", "comma-separated experiments: angha,tsvc,table1,perf or all")
+	n := flag.Int("n", 2000, "AnghaBench corpus size")
+	seed := flag.Int64("seed", 0, "AnghaBench corpus seed (0 = default)")
+	flag.Parse()
+
+	want := make(map[string]bool)
+	for _, s := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(s)] = true
+	}
+	all := want["all"]
+	rep := &experiments.Report{Dir: *out}
+
+	fail := func(what string, err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", what, err)
+		os.Exit(1)
+	}
+
+	if all || want["angha"] {
+		fmt.Println("running AnghaBench experiment (Fig. 15, Fig. 16)...")
+		s, err := experiments.RunAngha(experiments.AnghaConfig{N: *n, Seed: *seed})
+		if err != nil {
+			fail("angha", err)
+		}
+		if err := rep.Fig15(s); err != nil {
+			fail("fig15", err)
+		}
+		if err := rep.Fig16(s); err != nil {
+			fail("fig16", err)
+		}
+	}
+	if all || want["table1"] {
+		fmt.Println("running MiBench/SPEC experiment (Table I)...")
+		rows, err := experiments.RunTable1()
+		if err != nil {
+			fail("table1", err)
+		}
+		if err := rep.Table1(rows); err != nil {
+			fail("table1 report", err)
+		}
+	}
+	if all || want["tsvc"] || want["perf"] {
+		fmt.Println("running TSVC experiment (Fig. 17, Fig. 18, Fig. 19, §V.D)...")
+		cfg := experiments.DefaultTSVCConfig()
+		cfg.MeasurePerf = all || want["perf"]
+		cfg.WithExtensions = true
+		s, err := experiments.RunTSVC(cfg)
+		if err != nil {
+			fail("tsvc", err)
+		}
+		if all || want["tsvc"] {
+			if err := rep.Fig17(s); err != nil {
+				fail("fig17", err)
+			}
+			if err := rep.Fig18(s); err != nil {
+				fail("fig18", err)
+			}
+			if err := rep.Fig19(s); err != nil {
+				fail("fig19", err)
+			}
+		}
+		if cfg.MeasurePerf {
+			if err := rep.Perf(s); err != nil {
+				fail("perf", err)
+			}
+		}
+	}
+	if *out != "" {
+		fmt.Printf("\nCSV data written to %s/\n", *out)
+	}
+}

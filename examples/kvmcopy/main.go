@@ -1,0 +1,61 @@
+// The kvmcopy example reproduces the best case of the paper's Fig. 15:
+// a function in the style of the Linux KVM's copy_vmcs12_to_enlightened,
+// which copies dozens of same-width fields between two differently-named
+// structs. RoLAG treats both structs as arrays (the paper's §V.A: "make
+// sure that all fields have data types with the same bit size and that
+// they can be properly indexed") and converts all the copies into a
+// single loop, cutting the function's size by almost 90%.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"rolag"
+)
+
+// makeSource builds the field-copy function with n int fields.
+func makeSource(n int) string {
+	var b strings.Builder
+	b.WriteString("struct vmcs12 {")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, " int f%d;", i)
+	}
+	b.WriteString(" };\n")
+	b.WriteString("struct enlightened {")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, " int g%d;", i)
+	}
+	b.WriteString(" };\n")
+	b.WriteString("void copy_vmcs12_to_enlightened(struct enlightened *evmcs, struct vmcs12 *vmcs12) {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\tevmcs->g%d = vmcs12->f%d;\n", i, i)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func main() {
+	const fields = 72 // the paper's example copies 72 fields
+	src := makeSource(fields)
+
+	orig, err := rolag.Build(src, rolag.Config{Name: "kvm", Opt: rolag.OptNone})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rolled, err := rolag.Build(src, rolag.Config{Name: "kvm", Opt: rolag.OptRoLAG})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d field copies rolled into:\n\n", fields)
+	fmt.Print(rolled.Module.FindFunc("copy_vmcs12_to_enlightened"))
+	fmt.Printf("\nestimated object size: %d -> %d bytes (%.1f%% reduction; the paper reports almost 90%%)\n",
+		rolled.BinaryBefore, rolled.BinaryAfter, rolled.Reduction())
+
+	if err := rolag.CheckEquiv(orig.Module, rolled.Module, "copy_vmcs12_to_enlightened", 5); err != nil {
+		log.Fatalf("behaviour changed: %v", err)
+	}
+	fmt.Println("interpreter check: all fields copied identically")
+}

@@ -1,0 +1,3 @@
+module rolag
+
+go 1.22

@@ -1,0 +1,237 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rolag/internal/analysis"
+	"rolag/internal/cc"
+	"rolag/internal/ir"
+	"rolag/internal/passes"
+)
+
+func lower(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := cc.Compile(src, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes.Standard().Run(m)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+func TestMatchLoopCanonical(t *testing.T) {
+	m := lower(t, `
+void f(int *a) {
+	for (int i = 0; i < 64; i++) a[i] = i;
+}`)
+	f := m.FindFunc("f")
+	loops := analysis.FindLoops(f)
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1\n%s", len(loops), f)
+	}
+	l := loops[0]
+	if l.Step != 1 {
+		t.Errorf("step = %d", l.Step)
+	}
+	if init, _ := ir.IntValue(l.Init); init != 0 {
+		t.Errorf("init = %v", l.Init)
+	}
+	trip, ok := l.TripCount()
+	if !ok || trip != 64 {
+		t.Errorf("trip = %d/%v, want 64", trip, ok)
+	}
+	if l.Preheader == nil || l.Exit == nil || l.IV == nil || l.Next == nil {
+		t.Error("loop components missing")
+	}
+}
+
+func TestTripCounts(t *testing.T) {
+	cases := []struct {
+		src  string
+		trip int64
+		ok   bool
+	}{
+		{`void f(int *a) { for (int i = 0; i < 10; i++) a[i] = 1; }`, 10, true},
+		{`void f(int *a) { for (int i = 0; i <= 10; i++) a[i] = 1; }`, 11, true},
+		{`void f(int *a) { for (int i = 0; i < 10; i += 3) a[i] = 1; }`, 4, true},
+		{`void f(int *a) { for (int i = 9; i >= 0; i--) a[i] = 1; }`, 10, true},
+		{`void f(int *a) { for (int i = 20; i > 10; i -= 2) a[i] = 1; }`, 5, true},
+		{`void f(int *a, int n) { for (int i = 0; i < n; i++) a[i] = 1; }`, 0, false},
+	}
+	for i, c := range cases {
+		m := lower(t, c.src)
+		loops := analysis.FindLoops(m.FindFunc("f"))
+		if len(loops) != 1 {
+			t.Errorf("case %d: %d loops", i, len(loops))
+			continue
+		}
+		trip, ok := loops[0].TripCount()
+		if ok != c.ok || (ok && trip != c.trip) {
+			t.Errorf("case %d: trip = %d/%v, want %d/%v", i, trip, ok, c.trip, c.ok)
+		}
+	}
+}
+
+func TestMatchLoopRejectsMultiBlockBody(t *testing.T) {
+	m := lower(t, `
+void f(int *a, int n) {
+	for (int i = 0; i < n; i++) {
+		if (a[i] > 0) a[i] = 0;
+	}
+}`)
+	f := m.FindFunc("f")
+	for _, l := range analysis.FindLoops(f) {
+		// Any loop found must be single-block by construction; the outer
+		// loop with the if inside must not match.
+		if len(l.Header.Phis()) > 0 && l.Header.Name == "loop.body" {
+			for _, in := range l.Header.Instrs {
+				if in.Op == ir.OpCondBr && in.Blocks[0] != l.Header && in.Blocks[1] != l.Header {
+					t.Error("matched a loop whose body branches elsewhere")
+				}
+			}
+		}
+	}
+}
+
+func TestDominators(t *testing.T) {
+	m := lower(t, `
+int f(int a) {
+	int r = 0;
+	if (a > 0) { r = 1; } else { r = 2; }
+	return r;
+}`)
+	f := m.FindFunc("f")
+	di := analysis.ComputeDom(f)
+	entry := f.Entry()
+	for _, b := range f.Blocks {
+		if !di.Dominates(entry, b) {
+			t.Errorf("entry must dominate %s", b.Name)
+		}
+	}
+	// The join block is in the frontier of both arms.
+	var thenB *ir.Block
+	for _, b := range f.Blocks {
+		if b.Name == "if.then" {
+			thenB = b
+		}
+	}
+	if thenB != nil {
+		fr := di.Frontier[thenB]
+		if len(fr) != 1 {
+			t.Errorf("frontier of if.then has %d blocks", len(fr))
+		}
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	m := lower(t, `
+int f(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) s += i;
+	return s;
+}`)
+	f := m.FindFunc("f")
+	di := analysis.ComputeDom(f)
+	var loop, exit *ir.Block
+	for _, b := range f.Blocks {
+		switch b.Name {
+		case "loop.body":
+			loop = b
+		case "loop.exit":
+			exit = b
+		}
+	}
+	if loop == nil || exit == nil {
+		t.Fatalf("blocks not found:\n%s", f)
+	}
+	if di.Dominates(loop, exit) {
+		t.Error("rotated loop body must not dominate the exit (guard bypasses it)")
+	}
+	if !di.Dominates(f.Entry(), loop) {
+		t.Error("entry dominates the loop")
+	}
+	if di.IDom[loop] != f.Entry() {
+		t.Errorf("idom(loop) = %v", di.IDom[loop])
+	}
+}
+
+func buildMemFunc(t *testing.T) (*ir.Func, *ir.Builder) {
+	m := ir.NewModule("mem")
+	f := m.NewFunc("f", ir.Void,
+		&ir.Param{Name: "p", Typ: ir.Ptr(ir.I32)},
+		&ir.Param{Name: "q", Typ: ir.Ptr(ir.I32)})
+	b := f.NewBlock("entry")
+	return f, ir.NewBuilder(b)
+}
+
+func TestMayAliasRules(t *testing.T) {
+	f, bd := buildMemFunc(t)
+	p, q := f.Params[0], f.Params[1]
+	a1 := bd.Alloca(ir.I32, nil, "a1")
+	a2 := bd.Alloca(ir.I32, nil, "a2")
+	g := f.Parent.NewGlobal("g", ir.ArrayOf(8, ir.I32), nil)
+
+	gp0 := bd.GEP(p, ir.ConstInt(ir.I64, 0))
+	gp1 := bd.GEP(p, ir.ConstInt(ir.I64, 1))
+	gg0 := bd.GEP(g, ir.ConstInt(ir.I64, 0), ir.ConstInt(ir.I64, 0))
+	gg1 := bd.GEP(g, ir.ConstInt(ir.I64, 0), ir.ConstInt(ir.I64, 1))
+	bd.Ret(nil)
+
+	cases := []struct {
+		a, b ir.Value
+		want bool
+		desc string
+	}{
+		{a1, a2, false, "distinct allocas"},
+		{a1, a1, true, "same alloca"},
+		{a1, g, false, "alloca vs global"},
+		// Conservative: an alloca whose address escapes could be
+		// reachable through an unknown pointer, so this stays "may".
+		{a1, p, true, "alloca vs unknown pointer (conservative)"},
+		{p, q, true, "two unknown params may alias"},
+		{gp0, gp1, false, "same base, different constant offsets"},
+		{gp0, p, true, "offset 0 aliases the base"},
+		{gg0, gg1, false, "global elements 0 and 1"},
+		{gg0, q, true, "global element vs unknown pointer"},
+	}
+	for _, c := range cases {
+		if got := analysis.MayAlias(c.a, c.b); got != c.want {
+			t.Errorf("%s: MayAlias = %v, want %v", c.desc, got, c.want)
+		}
+	}
+}
+
+func TestConflict(t *testing.T) {
+	f, bd := buildMemFunc(t)
+	p, q := f.Params[0], f.Params[1]
+	ld := bd.Load(p)
+	st := bd.Store(ld, q)
+	ld2 := bd.Load(q)
+	add := bd.Add(ld, ld2)
+	ext := f.Parent.NewDecl("ext", ir.Void)
+	call := bd.Call(ext)
+	pure := f.Parent.NewDecl("pure_fn", ir.I32)
+	pure.ReadOnly = true
+	pcall := bd.Call(pure)
+	bd.Ret(nil)
+	_ = add
+
+	if analysis.Conflict(ld, ld2) {
+		t.Error("two loads never conflict")
+	}
+	if !analysis.Conflict(ld, st) {
+		t.Error("load p vs store q may conflict (unknown pointers)")
+	}
+	if !analysis.Conflict(st, call) {
+		t.Error("store vs opaque call conflicts")
+	}
+	if analysis.Conflict(ld, pcall) {
+		t.Error("load vs read-only call does not conflict")
+	}
+	if analysis.Conflict(add, st) {
+		t.Error("pure arithmetic never conflicts")
+	}
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import "rolag/internal/ir"
+
+// DomInfo holds dominator-tree information for one function.
+type DomInfo struct {
+	Func *ir.Func
+	// IDom maps each block (except the entry) to its immediate
+	// dominator.
+	IDom map[*ir.Block]*ir.Block
+	// Children is the dominator tree: the blocks immediately dominated
+	// by each block.
+	Children map[*ir.Block][]*ir.Block
+	// Frontier is the dominance frontier of each block.
+	Frontier map[*ir.Block][]*ir.Block
+
+	domSets map[*ir.Block]map[*ir.Block]bool
+}
+
+// ComputeDom computes dominators, the dominator tree and dominance
+// frontiers for f using the classic iterative data-flow formulation
+// (adequate at the CFG sizes this project handles).
+func ComputeDom(f *ir.Func) *DomInfo {
+	entry := f.Entry()
+	all := f.Blocks
+	dom := make(map[*ir.Block]map[*ir.Block]bool, len(all))
+	for _, b := range all {
+		if b == entry {
+			dom[b] = map[*ir.Block]bool{b: true}
+			continue
+		}
+		full := make(map[*ir.Block]bool, len(all))
+		for _, x := range all {
+			full[x] = true
+		}
+		dom[b] = full
+	}
+	preds := make(map[*ir.Block][]*ir.Block)
+	for _, b := range all {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range all {
+			if b == entry {
+				continue
+			}
+			var inter map[*ir.Block]bool
+			for _, p := range preds[b] {
+				if inter == nil {
+					inter = make(map[*ir.Block]bool, len(dom[p]))
+					for k := range dom[p] {
+						inter[k] = true
+					}
+					continue
+				}
+				for k := range inter {
+					if !dom[p][k] {
+						delete(inter, k)
+					}
+				}
+			}
+			if inter == nil {
+				inter = make(map[*ir.Block]bool)
+			}
+			inter[b] = true
+			if !sameSet(inter, dom[b]) {
+				dom[b] = inter
+				changed = true
+			}
+		}
+	}
+
+	di := &DomInfo{
+		Func:     f,
+		IDom:     make(map[*ir.Block]*ir.Block),
+		Children: make(map[*ir.Block][]*ir.Block),
+		Frontier: make(map[*ir.Block][]*ir.Block),
+		domSets:  dom,
+	}
+	// idom(b): the dominator d != b dominated by every other strict
+	// dominator of b.
+	for _, b := range all {
+		if b == entry {
+			continue
+		}
+		var idom *ir.Block
+		for d := range dom[b] {
+			if d == b {
+				continue
+			}
+			candidate := true
+			for e := range dom[b] {
+				if e == b || e == d {
+					continue
+				}
+				if !dom[d][e] {
+					candidate = false
+					break
+				}
+			}
+			if candidate {
+				idom = d
+				break
+			}
+		}
+		if idom != nil {
+			di.IDom[b] = idom
+			di.Children[idom] = append(di.Children[idom], b)
+		}
+	}
+	// Dominance frontiers.
+	for _, b := range all {
+		if len(preds[b]) < 2 {
+			continue
+		}
+		for _, p := range preds[b] {
+			runner := p
+			for runner != nil && runner != di.IDom[b] {
+				di.Frontier[runner] = appendUnique(di.Frontier[runner], b)
+				if runner == entry {
+					break
+				}
+				runner = di.IDom[runner]
+			}
+		}
+	}
+	return di
+}
+
+// Dominates reports whether a dominates b.
+func (di *DomInfo) Dominates(a, b *ir.Block) bool {
+	return di.domSets[b][a]
+}
+
+func sameSet(a, b map[*ir.Block]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func appendUnique(s []*ir.Block, b *ir.Block) []*ir.Block {
+	for _, x := range s {
+		if x == b {
+			return s
+		}
+	}
+	return append(s, b)
+}

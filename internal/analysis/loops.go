@@ -1,0 +1,186 @@
+// Package analysis provides the loop and dependence analyses shared by
+// the unroller, the loop-rerolling baseline and RoLAG: detection of
+// single-block natural loops with their induction variables, and a
+// conservative memory-dependence test used by scheduling.
+package analysis
+
+import (
+	"rolag/internal/ir"
+)
+
+// Loop describes a single-block natural loop of the canonical shape the
+// paper's §II works with:
+//
+//	pre:
+//	  ...
+//	  br %loop
+//	loop:
+//	  %iv = phi [init, %pre], [%ivn, %loop]
+//	  ...body...
+//	  %ivn = add %iv, step
+//	  %cmp = icmp <pred> %ivn, %bound
+//	  condbr %cmp, %loop, %exit      (or the converse)
+//	exit:
+type Loop struct {
+	Header    *ir.Block // the single loop block
+	Preheader *ir.Block
+	Exit      *ir.Block
+	IV        *ir.Instr // the basic induction variable phi
+	Init      ir.Value  // initial value of the IV
+	Next      *ir.Instr // the add producing the next IV value
+	Step      int64     // loop-invariant step (constant)
+	Cmp       *ir.Instr // the latch comparison
+	Bound     ir.Value  // the comparison bound
+	CondBr    *ir.Instr // the latch branch
+	// BackedgeOnTrue reports whether the condbr loops when the
+	// comparison is true.
+	BackedgeOnTrue bool
+}
+
+// TripCount returns the number of iterations if it is a compile-time
+// constant, and whether it is known. Only the canonical
+// "iv from init to bound by step with slt/sgt/ne" shapes are handled.
+func (l *Loop) TripCount() (int64, bool) {
+	init, ok1 := ir.IntValue(l.Init)
+	bound, ok2 := ir.IntValue(l.Bound)
+	if !ok1 || !ok2 || l.Step == 0 {
+		return 0, false
+	}
+	var dist int64
+	switch l.Cmp.Pred {
+	case ir.PredSLT, ir.PredULT:
+		dist = bound - init
+	case ir.PredSLE, ir.PredULE:
+		dist = bound - init + 1
+	case ir.PredSGT, ir.PredUGT:
+		dist = init - bound
+	case ir.PredSGE, ir.PredUGE:
+		dist = init - bound + 1
+	case ir.PredNE:
+		dist = bound - init
+		if l.Step < 0 {
+			dist = -dist
+		}
+	default:
+		return 0, false
+	}
+	step := l.Step
+	if step < 0 {
+		step = -step
+	}
+	if dist <= 0 {
+		return 0, true
+	}
+	if dist%step != 0 && l.Cmp.Pred == ir.PredNE {
+		return 0, false // would not terminate cleanly
+	}
+	return (dist + step - 1) / step, true
+}
+
+// FindLoops returns all single-block loops in f in block order.
+func FindLoops(f *ir.Func) []*Loop {
+	var loops []*Loop
+	for _, b := range f.Blocks {
+		if l := MatchLoop(f, b); l != nil {
+			loops = append(loops, l)
+		}
+	}
+	return loops
+}
+
+// MatchLoop attempts to interpret block b as the header of a canonical
+// single-block loop, returning nil if the shape does not match.
+func MatchLoop(f *ir.Func, b *ir.Block) *Loop {
+	term := b.Terminator()
+	if term == nil || term.Op != ir.OpCondBr {
+		return nil
+	}
+	var exit *ir.Block
+	backOnTrue := false
+	switch {
+	case term.Blocks[0] == b && term.Blocks[1] != b:
+		exit, backOnTrue = term.Blocks[1], true
+	case term.Blocks[1] == b && term.Blocks[0] != b:
+		exit, backOnTrue = term.Blocks[0], false
+	default:
+		return nil
+	}
+	preds := f.Preds(b)
+	var preheader *ir.Block
+	for _, p := range preds {
+		if p == b {
+			continue
+		}
+		if preheader != nil {
+			return nil // multiple entries
+		}
+		preheader = p
+	}
+	if preheader == nil {
+		return nil
+	}
+	cmp, ok := term.Operand(0).(*ir.Instr)
+	if !ok || cmp.Op != ir.OpICmp || cmp.Parent != b {
+		return nil
+	}
+
+	// Find a basic induction variable: a phi whose backedge value is
+	// phi+const and which feeds the latch comparison (directly or via
+	// the increment).
+	for _, phi := range b.Phis() {
+		backVal, ok := phi.PhiIncoming(b)
+		if !ok {
+			continue
+		}
+		initVal, ok := phi.PhiIncoming(preheader)
+		if !ok {
+			continue
+		}
+		next, ok := backVal.(*ir.Instr)
+		if !ok || (next.Op != ir.OpAdd && next.Op != ir.OpSub) || next.Parent != b {
+			continue
+		}
+		var step int64
+		if next.Operand(0) == phi {
+			c, ok := ir.IntValue(next.Operand(1))
+			if !ok {
+				continue
+			}
+			step = c
+		} else if next.Operand(1) == phi && next.Op == ir.OpAdd {
+			c, ok := ir.IntValue(next.Operand(0))
+			if !ok {
+				continue
+			}
+			step = c
+		} else {
+			continue
+		}
+		if next.Op == ir.OpSub {
+			step = -step
+		}
+		// The comparison must involve the IV or its increment.
+		var bound ir.Value
+		if cmp.Operand(0) == next || cmp.Operand(0) == phi {
+			bound = cmp.Operand(1)
+		} else if cmp.Operand(1) == next || cmp.Operand(1) == phi {
+			bound = cmp.Operand(0)
+		} else {
+			continue
+		}
+		return &Loop{
+			Header:         b,
+			Preheader:      preheader,
+			Exit:           exit,
+			IV:             phi,
+			Init:           initVal,
+			Next:           next,
+			Step:           step,
+			Cmp:            cmp,
+			Bound:          bound,
+			CondBr:         term,
+			BackedgeOnTrue: backOnTrue,
+		}
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package cc
+
+// CType is the frontend's view of a C type.
+type CType struct {
+	Kind   CTypeKind
+	Bits   int      // for KInt/KFloat
+	Elem   *CType   // for KPtr/KArray
+	Len    int      // for KArray
+	Struct *CStruct // for KStruct
+}
+
+// CTypeKind classifies C types.
+type CTypeKind int
+
+// C type kinds.
+const (
+	KVoid CTypeKind = iota
+	KInt
+	KFloat
+	KPtr
+	KArray
+	KStruct
+)
+
+// CStruct is a declared struct type.
+type CStruct struct {
+	Name   string
+	Fields []CField
+}
+
+// CField is one struct field.
+type CField struct {
+	Name string
+	Type *CType
+}
+
+// FieldIndex returns the index of the field with the given name, or -1.
+func (s *CStruct) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (t *CType) String() string {
+	switch t.Kind {
+	case KVoid:
+		return "void"
+	case KInt:
+		switch t.Bits {
+		case 8:
+			return "char"
+		case 16:
+			return "short"
+		case 32:
+			return "int"
+		default:
+			return "long"
+		}
+	case KFloat:
+		if t.Bits == 32 {
+			return "float"
+		}
+		return "double"
+	case KPtr:
+		return t.Elem.String() + "*"
+	case KArray:
+		return t.Elem.String() + "[]"
+	case KStruct:
+		return "struct " + t.Struct.Name
+	}
+	return "?"
+}
+
+// Common C types.
+var (
+	CVoid   = &CType{Kind: KVoid}
+	CChar   = &CType{Kind: KInt, Bits: 8}
+	CShort  = &CType{Kind: KInt, Bits: 16}
+	CInt    = &CType{Kind: KInt, Bits: 32}
+	CLong   = &CType{Kind: KInt, Bits: 64}
+	CFloat  = &CType{Kind: KFloat, Bits: 32}
+	CDouble = &CType{Kind: KFloat, Bits: 64}
+)
+
+// CPtr returns the pointer type to elem.
+func CPtr(elem *CType) *CType { return &CType{Kind: KPtr, Elem: elem} }
+
+// Expr is a parsed expression.
+type Expr interface{ exprPos() Pos }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	Val int64
+}
+
+// FloatLit is a floating-point literal. F32 marks an 'f'-suffixed
+// literal of C type float.
+type FloatLit struct {
+	Pos Pos
+	Val float64
+	F32 bool
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// Unary is a prefix or postfix unary expression. Op is one of
+// "-", "!", "~", "*", "&", "++", "--".
+type Unary struct {
+	Pos     Pos
+	Op      string
+	X       Expr
+	Postfix bool // for ++/--
+}
+
+// Binary is a binary expression. Op is an arithmetic, comparison,
+// bitwise, shift or logical operator.
+type Binary struct {
+	Pos  Pos
+	Op   string
+	X, Y Expr
+}
+
+// Assign is an assignment; Op is "=", "+=", "-=", "*=", "/=", "%=",
+// "&=", "|=", "^=", "<<=" or ">>=".
+type Assign struct {
+	Pos Pos
+	Op  string
+	LHS Expr
+	RHS Expr
+}
+
+// Cond is the ternary conditional c ? t : f.
+type Cond struct {
+	Pos     Pos
+	C, T, F Expr
+}
+
+// Call is a function call by name.
+type Call struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// Index is array subscripting x[i].
+type Index struct {
+	Pos Pos
+	X   Expr
+	Idx Expr
+}
+
+// Member is field access x.f or x->f.
+type Member struct {
+	Pos   Pos
+	X     Expr
+	Name  string
+	Arrow bool
+}
+
+// CastExpr is an explicit conversion (T)x.
+type CastExpr struct {
+	Pos Pos
+	To  *CType
+	X   Expr
+}
+
+func (e *IntLit) exprPos() Pos   { return e.Pos }
+func (e *FloatLit) exprPos() Pos { return e.Pos }
+func (e *Ident) exprPos() Pos    { return e.Pos }
+func (e *Unary) exprPos() Pos    { return e.Pos }
+func (e *Binary) exprPos() Pos   { return e.Pos }
+func (e *Assign) exprPos() Pos   { return e.Pos }
+func (e *Cond) exprPos() Pos     { return e.Pos }
+func (e *Call) exprPos() Pos     { return e.Pos }
+func (e *Index) exprPos() Pos    { return e.Pos }
+func (e *Member) exprPos() Pos   { return e.Pos }
+func (e *CastExpr) exprPos() Pos { return e.Pos }
+
+// Stmt is a parsed statement.
+type Stmt interface{ stmtPos() Pos }
+
+// DeclStmt declares a local variable, optionally initialized.
+type DeclStmt struct {
+	Pos  Pos
+	Name string
+	Type *CType
+	Init Expr // may be nil
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// ForStmt is a for loop; any of Init, Cond, Post may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // DeclStmt or ExprStmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhileStmt is a do { ... } while (cond); loop — the body always runs
+// at least once.
+type DoWhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// ReturnStmt returns from the function; X may be nil.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// BlockStmt is a braced statement list.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// EmptyStmt is a lone semicolon.
+type EmptyStmt struct{ Pos Pos }
+
+func (s *DeclStmt) stmtPos() Pos     { return s.Pos }
+func (s *ExprStmt) stmtPos() Pos     { return s.Pos }
+func (s *IfStmt) stmtPos() Pos       { return s.Pos }
+func (s *ForStmt) stmtPos() Pos      { return s.Pos }
+func (s *WhileStmt) stmtPos() Pos    { return s.Pos }
+func (s *DoWhileStmt) stmtPos() Pos  { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos   { return s.Pos }
+func (s *BlockStmt) stmtPos() Pos    { return s.Pos }
+func (s *BreakStmt) stmtPos() Pos    { return s.Pos }
+func (s *ContinueStmt) stmtPos() Pos { return s.Pos }
+func (s *EmptyStmt) stmtPos() Pos    { return s.Pos }
+
+// Param is a function parameter declaration.
+type ParamDecl struct {
+	Name string
+	Type *CType
+}
+
+// FuncDecl is a function definition or external declaration.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Ret    *CType
+	Params []ParamDecl
+	Body   *BlockStmt // nil for declarations
+	Pure   bool       // declaration marked "pure": does not write memory
+}
+
+// GlobalDecl is a module-level variable.
+type GlobalDecl struct {
+	Pos      Pos
+	Name     string
+	Type     *CType
+	Init     []Expr // scalar init has len 1; array init may have many
+	Extern   bool
+	ReadOnly bool // declared const
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Structs []*CStruct
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}

@@ -1,0 +1,262 @@
+// Package cc implements a frontend for a subset of C sufficient for the
+// paper's benchmark kernels: functions, scalar and pointer types, arrays,
+// structs, for/while/if control flow and the usual expression operators.
+// Source is lowered to the project's SSA IR (allocas first, promoted to
+// registers by passes.Mem2Reg).
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// TokKind classifies a token.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokPunct
+	TokKeyword
+)
+
+// Token is a lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+	Int  int64
+	Flt  float64
+	// F32 marks a float literal with an 'f' suffix (C type float).
+	F32 bool
+}
+
+var keywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"float": true, "double": true, "unsigned": true, "signed": true,
+	"const": true, "struct": true, "extern": true, "static": true,
+	"if": true, "else": true, "for": true, "while": true, "do": true,
+	"return": true, "break": true, "continue": true, "pure": true,
+}
+
+// Error is a frontend error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer tokenizes mini-C source.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peekAt(i int) byte {
+	if lx.off+i >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+i]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peekAt(1) == '/':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekAt(1) == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peekByte() == '*' && lx.peekAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return &Error{Pos: start, Msg: "unterminated block comment"}
+			}
+		case c == '#':
+			// Preprocessor lines are ignored (benchmark sources carry
+			// occasional #define noise); skip to end of line.
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+var multiPuncts = []string{
+	"<<=", ">>=", "...",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := lx.peekByte()
+	switch {
+	case isIdentStart(c):
+		var sb strings.Builder
+		for lx.off < len(lx.src) && isIdentPart(lx.peekByte()) {
+			sb.WriteByte(lx.advance())
+		}
+		text := sb.String()
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Pos: start}, nil
+	case isDigit(c) || (c == '.' && isDigit(lx.peekAt(1))):
+		return lx.lexNumber(start)
+	default:
+		for _, mp := range multiPuncts {
+			if strings.HasPrefix(lx.src[lx.off:], mp) {
+				for range mp {
+					lx.advance()
+				}
+				return Token{Kind: TokPunct, Text: mp, Pos: start}, nil
+			}
+		}
+		lx.advance()
+		return Token{Kind: TokPunct, Text: string(c), Pos: start}, nil
+	}
+}
+
+func (lx *Lexer) lexNumber(start Pos) (Token, error) {
+	var sb strings.Builder
+	isFloat := false
+	if lx.peekByte() == '0' && (lx.peekAt(1) == 'x' || lx.peekAt(1) == 'X') {
+		sb.WriteByte(lx.advance())
+		sb.WriteByte(lx.advance())
+		for isHexDigit(lx.peekByte()) {
+			sb.WriteByte(lx.advance())
+		}
+		lx.skipIntSuffix()
+		var v int64
+		if _, err := fmt.Sscanf(sb.String(), "%v", &v); err != nil {
+			return Token{}, &Error{Pos: start, Msg: "bad hex literal " + sb.String()}
+		}
+		return Token{Kind: TokIntLit, Text: sb.String(), Pos: start, Int: v}, nil
+	}
+	for isDigit(lx.peekByte()) {
+		sb.WriteByte(lx.advance())
+	}
+	if lx.peekByte() == '.' {
+		isFloat = true
+		sb.WriteByte(lx.advance())
+		for isDigit(lx.peekByte()) {
+			sb.WriteByte(lx.advance())
+		}
+	}
+	if lx.peekByte() == 'e' || lx.peekByte() == 'E' {
+		isFloat = true
+		sb.WriteByte(lx.advance())
+		if lx.peekByte() == '+' || lx.peekByte() == '-' {
+			sb.WriteByte(lx.advance())
+		}
+		for isDigit(lx.peekByte()) {
+			sb.WriteByte(lx.advance())
+		}
+	}
+	isF32 := false
+	if lx.peekByte() == 'f' || lx.peekByte() == 'F' {
+		isFloat = true
+		isF32 = true
+		lx.advance()
+	} else {
+		lx.skipIntSuffix()
+	}
+	if isFloat {
+		var v float64
+		if _, err := fmt.Sscanf(sb.String(), "%g", &v); err != nil {
+			return Token{}, &Error{Pos: start, Msg: "bad float literal " + sb.String()}
+		}
+		return Token{Kind: TokFloatLit, Text: sb.String(), Pos: start, Flt: v, F32: isF32}, nil
+	}
+	var v int64
+	if _, err := fmt.Sscanf(sb.String(), "%d", &v); err != nil {
+		return Token{}, &Error{Pos: start, Msg: "bad int literal " + sb.String()}
+	}
+	return Token{Kind: TokIntLit, Text: sb.String(), Pos: start, Int: v}, nil
+}
+
+func (lx *Lexer) skipIntSuffix() {
+	for {
+		c := lx.peekByte()
+		if c == 'u' || c == 'U' || c == 'l' || c == 'L' {
+			lx.advance()
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+func isDigit(c byte) bool     { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

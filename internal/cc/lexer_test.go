@@ -1,0 +1,130 @@
+package cc
+
+import "testing"
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			t.Fatalf("lex error: %v", err)
+		}
+		if tok.Kind == TokEOF {
+			return toks
+		}
+		toks = append(toks, tok)
+	}
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexAll(t, "int x = 42;")
+	want := []struct {
+		kind TokKind
+		text string
+	}{
+		{TokKeyword, "int"}, {TokIdent, "x"}, {TokPunct, "="},
+		{TokIntLit, "42"}, {TokPunct, ";"},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || (w.text != "" && toks[i].Text != w.text && toks[i].Kind != TokIntLit) {
+			t.Errorf("token %d: %+v, want %+v", i, toks[i], w)
+		}
+	}
+	if toks[3].Int != 42 {
+		t.Errorf("literal value = %d", toks[3].Int)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src   string
+		kind  TokKind
+		i     int64
+		f     float64
+		isF32 bool
+	}{
+		{"0", TokIntLit, 0, 0, false},
+		{"123", TokIntLit, 123, 0, false},
+		{"0x1F", TokIntLit, 31, 0, false},
+		{"42u", TokIntLit, 42, 0, false},
+		{"42L", TokIntLit, 42, 0, false},
+		{"42ull", TokIntLit, 42, 0, false},
+		{"1.5", TokFloatLit, 0, 1.5, false},
+		{"1.5f", TokFloatLit, 0, 1.5, true},
+		{"2e3", TokFloatLit, 0, 2000, false},
+		{"1.25e-2", TokFloatLit, 0, 0.0125, false},
+		{".5", TokFloatLit, 0, 0.5, false},
+		{"3F", TokFloatLit, 0, 3, true},
+	}
+	for _, c := range cases {
+		toks := lexAll(t, c.src)
+		if len(toks) != 1 {
+			t.Errorf("%q: %d tokens", c.src, len(toks))
+			continue
+		}
+		tok := toks[0]
+		if tok.Kind != c.kind {
+			t.Errorf("%q: kind %d, want %d", c.src, tok.Kind, c.kind)
+		}
+		if c.kind == TokIntLit && tok.Int != c.i {
+			t.Errorf("%q: int %d, want %d", c.src, tok.Int, c.i)
+		}
+		if c.kind == TokFloatLit && (tok.Flt != c.f || tok.F32 != c.isF32) {
+			t.Errorf("%q: float %v/%v, want %v/%v", c.src, tok.Flt, tok.F32, c.f, c.isF32)
+		}
+	}
+}
+
+func TestLexPunctuation(t *testing.T) {
+	toks := lexAll(t, "a<<=b>>c<=d==e&&f->g++h--i")
+	var got []string
+	for _, tok := range toks {
+		if tok.Kind == TokPunct {
+			got = append(got, tok.Text)
+		}
+	}
+	want := []string{"<<=", ">>", "<=", "==", "&&", "->", "++", "--"}
+	if len(got) != len(want) {
+		t.Fatalf("puncts %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("punct %d: %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexCommentsAndPreprocessor(t *testing.T) {
+	src := `
+// line comment
+#define FOO 1
+int /* block
+comment */ x;
+`
+	toks := lexAll(t, src)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens, want 3 (int x ;): %+v", len(toks), toks)
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	lx := NewLexer("/* never closed")
+	if _, err := lx.Next(); err == nil {
+		t.Error("expected error for unterminated comment")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexAll(t, "a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}

@@ -1,0 +1,642 @@
+package cc
+
+import (
+	"fmt"
+
+	"rolag/internal/ir"
+)
+
+// lowerExpr lowers e to an rvalue, returning the IR value and its C type.
+// Array-typed lvalues decay to pointers to their first element.
+func (lw *lowerer) lowerExpr(e Expr) (ir.Value, *CType, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return ir.ConstInt(ir.I32, e.Val), CInt, nil
+	case *FloatLit:
+		if e.F32 {
+			return ir.ConstFloat(ir.F32, e.Val), CFloat, nil
+		}
+		return ir.ConstFloat(ir.F64, e.Val), CDouble, nil
+	case *Ident:
+		addr, ct, err := lw.lowerAddr(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lw.loadOrDecay(addr, ct)
+	case *Index, *Member:
+		addr, ct, err := lw.lowerAddr(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lw.loadOrDecay(addr, ct)
+	case *Unary:
+		return lw.lowerUnary(e)
+	case *Binary:
+		if e.Op == "&&" || e.Op == "||" {
+			c, err := lw.lowerCond(e)
+			if err != nil {
+				return nil, nil, err
+			}
+			return lw.bd.Cast(ir.OpZExt, c, ir.I32), CInt, nil
+		}
+		return lw.lowerBinary(e)
+	case *Assign:
+		return lw.lowerAssign(e)
+	case *Cond:
+		return lw.lowerTernary(e)
+	case *Call:
+		return lw.lowerCall(e)
+	case *CastExpr:
+		v, vt, err := lw.lowerExpr(e.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		cv, err := lw.convert(v, vt, e.To, e.Pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cv, e.To, nil
+	}
+	return nil, nil, fmt.Errorf("cc: unhandled expression %T", e)
+}
+
+// loadOrDecay turns an lvalue address into an rvalue: arrays decay to a
+// pointer to the first element, everything else is loaded.
+func (lw *lowerer) loadOrDecay(addr ir.Value, ct *CType) (ir.Value, *CType, error) {
+	if ct.Kind == KArray {
+		z := ir.ConstInt(ir.I64, 0)
+		g := lw.bd.GEP(addr, z, z)
+		return g, CPtr(ct.Elem), nil
+	}
+	if ct.Kind == KStruct {
+		// Struct rvalues only appear as sources of member access, which
+		// goes through lowerAddr; loading whole structs is unsupported.
+		return nil, nil, fmt.Errorf("cc: struct values are not first class; take a pointer")
+	}
+	return lw.bd.Load(addr), ct, nil
+}
+
+// lowerAddr lowers e to an address (lvalue), returning the pointer value
+// and the pointee's C type.
+func (lw *lowerer) lowerAddr(e Expr) (ir.Value, *CType, error) {
+	switch e := e.(type) {
+	case *Ident:
+		if li, ok := lw.lookup(e.Name); ok {
+			return li.addr, li.ct, nil
+		}
+		if gi, ok := lw.globals[e.Name]; ok {
+			return gi.g, gi.ct, nil
+		}
+		return nil, nil, lw.errf(e.Pos, "undefined variable %s", e.Name)
+	case *Index:
+		xv, xt, err := lw.lowerExpr(e.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if xt.Kind != KPtr {
+			return nil, nil, lw.errf(e.Pos, "indexing a non-pointer (%s)", xt)
+		}
+		iv, it, err := lw.lowerExpr(e.Idx)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx, err := lw.toI64(iv, it, e.Pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lw.bd.GEP(xv, idx), xt.Elem, nil
+	case *Member:
+		var base ir.Value
+		var st *CType
+		if e.Arrow {
+			v, vt, err := lw.lowerExpr(e.X)
+			if err != nil {
+				return nil, nil, err
+			}
+			if vt.Kind != KPtr || vt.Elem.Kind != KStruct {
+				return nil, nil, lw.errf(e.Pos, "-> on non-struct-pointer (%s)", vt)
+			}
+			base, st = v, vt.Elem
+		} else {
+			v, vt, err := lw.lowerAddr(e.X)
+			if err != nil {
+				return nil, nil, err
+			}
+			if vt.Kind != KStruct {
+				return nil, nil, lw.errf(e.Pos, ". on non-struct (%s)", vt)
+			}
+			base, st = v, vt
+		}
+		fi := st.Struct.FieldIndex(e.Name)
+		if fi < 0 {
+			return nil, nil, lw.errf(e.Pos, "struct %s has no field %s", st.Struct.Name, e.Name)
+		}
+		g := lw.bd.GEP(base, ir.ConstInt(ir.I64, 0), ir.ConstInt(ir.I32, int64(fi)))
+		return g, st.Struct.Fields[fi].Type, nil
+	case *Unary:
+		if e.Op == "*" {
+			v, vt, err := lw.lowerExpr(e.X)
+			if err != nil {
+				return nil, nil, err
+			}
+			if vt.Kind != KPtr {
+				return nil, nil, lw.errf(e.Pos, "dereferencing a non-pointer (%s)", vt)
+			}
+			return v, vt.Elem, nil
+		}
+	}
+	return nil, nil, lw.errf(e.exprPos(), "expression is not an lvalue")
+}
+
+func (lw *lowerer) lowerUnary(e *Unary) (ir.Value, *CType, error) {
+	switch e.Op {
+	case "-":
+		v, vt, err := lw.lowerExpr(e.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		v, vt = lw.promote(v, vt)
+		if vt.Kind == KFloat {
+			zero := ir.ConstFloat(ir.FloatType{Bits: vt.Bits}, 0)
+			return lw.bd.Bin(ir.OpFSub, zero, v), vt, nil
+		}
+		zero := ir.ConstInt(ir.IntType{Bits: vt.Bits}, 0)
+		return lw.bd.Bin(ir.OpSub, zero, v), vt, nil
+	case "~":
+		v, vt, err := lw.lowerExpr(e.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		v, vt = lw.promote(v, vt)
+		if vt.Kind != KInt {
+			return nil, nil, lw.errf(e.Pos, "~ on non-integer")
+		}
+		return lw.bd.Bin(ir.OpXor, v, ir.ConstInt(ir.IntType{Bits: vt.Bits}, -1)), vt, nil
+	case "!":
+		c, err := lw.lowerCond(e.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		ne := lw.bd.Bin(ir.OpXor, c, ir.ConstBool(true))
+		return lw.bd.Cast(ir.OpZExt, ne, ir.I32), CInt, nil
+	case "*":
+		addr, ct, err := lw.lowerAddr(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lw.loadOrDecay(addr, ct)
+	case "&":
+		addr, ct, err := lw.lowerAddr(e.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		return addr, CPtr(ct), nil
+	case "++", "--":
+		addr, ct, err := lw.lowerAddr(e.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		old := lw.bd.Load(addr)
+		var next ir.Value
+		switch ct.Kind {
+		case KInt:
+			one := ir.ConstInt(ir.IntType{Bits: ct.Bits}, 1)
+			op := ir.OpAdd
+			if e.Op == "--" {
+				op = ir.OpSub
+			}
+			next = lw.bd.Bin(op, old, one)
+		case KFloat:
+			one := ir.ConstFloat(ir.FloatType{Bits: ct.Bits}, 1)
+			op := ir.OpFAdd
+			if e.Op == "--" {
+				op = ir.OpFSub
+			}
+			next = lw.bd.Bin(op, old, one)
+		case KPtr:
+			step := int64(1)
+			if e.Op == "--" {
+				step = -1
+			}
+			next = lw.bd.GEP(old, ir.ConstInt(ir.I64, step))
+		default:
+			return nil, nil, lw.errf(e.Pos, "%s on unsupported type %s", e.Op, ct)
+		}
+		lw.bd.Store(next, addr)
+		if e.Postfix {
+			return old, ct, nil
+		}
+		return next, ct, nil
+	}
+	return nil, nil, lw.errf(e.Pos, "unhandled unary operator %s", e.Op)
+}
+
+var intBinOps = map[string]ir.Op{
+	"+": ir.OpAdd, "-": ir.OpSub, "*": ir.OpMul, "/": ir.OpSDiv, "%": ir.OpSRem,
+	"&": ir.OpAnd, "|": ir.OpOr, "^": ir.OpXor, "<<": ir.OpShl, ">>": ir.OpAShr,
+}
+
+var floatBinOps = map[string]ir.Op{
+	"+": ir.OpFAdd, "-": ir.OpFSub, "*": ir.OpFMul, "/": ir.OpFDiv,
+}
+
+var cmpPreds = map[string]ir.Pred{
+	"==": ir.PredEQ, "!=": ir.PredNE,
+	"<": ir.PredSLT, "<=": ir.PredSLE, ">": ir.PredSGT, ">=": ir.PredSGE,
+}
+
+var floatCmpPreds = map[string]ir.Pred{
+	"==": ir.PredOEQ, "!=": ir.PredONE,
+	"<": ir.PredOLT, "<=": ir.PredOLE, ">": ir.PredOGT, ">=": ir.PredOGE,
+}
+
+func (lw *lowerer) lowerBinary(e *Binary) (ir.Value, *CType, error) {
+	x, xt, err := lw.lowerExpr(e.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	y, yt, err := lw.lowerExpr(e.Y)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lw.applyBinary(e.Op, x, xt, y, yt, e.Pos)
+}
+
+func (lw *lowerer) applyBinary(op string, x ir.Value, xt *CType, y ir.Value, yt *CType, pos Pos) (ir.Value, *CType, error) {
+	// Pointer arithmetic.
+	if xt.Kind == KPtr && yt.Kind == KInt && (op == "+" || op == "-") {
+		idx, err := lw.toI64(y, yt, pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		if op == "-" {
+			idx = lw.bd.Bin(ir.OpSub, ir.ConstInt(ir.I64, 0), idx)
+		}
+		return lw.bd.GEP(x, idx), xt, nil
+	}
+	if yt.Kind == KPtr && xt.Kind == KInt && op == "+" {
+		return lw.applyBinary(op, y, yt, x, xt, pos)
+	}
+	// Pointer comparison.
+	if xt.Kind == KPtr && yt.Kind == KPtr {
+		if p, ok := cmpPreds[op]; ok {
+			c := lw.bd.ICmp(p, x, y)
+			return lw.bd.Cast(ir.OpZExt, c, ir.I32), CInt, nil
+		}
+		return nil, nil, lw.errf(pos, "unsupported pointer operation %s", op)
+	}
+
+	x, y, ct, err := lw.usualArith(x, xt, y, yt, pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, isCmp := cmpPreds[op]; isCmp {
+		var c *ir.Instr
+		if ct.Kind == KFloat {
+			c = lw.bd.FCmp(floatCmpPreds[op], x, y)
+		} else {
+			c = lw.bd.ICmp(cmpPreds[op], x, y)
+		}
+		return lw.bd.Cast(ir.OpZExt, c, ir.I32), CInt, nil
+	}
+	if ct.Kind == KFloat {
+		fop, ok := floatBinOps[op]
+		if !ok {
+			return nil, nil, lw.errf(pos, "operator %s not defined for floating point", op)
+		}
+		return lw.bd.Bin(fop, x, y), ct, nil
+	}
+	iop, ok := intBinOps[op]
+	if !ok {
+		return nil, nil, lw.errf(pos, "unhandled binary operator %s", op)
+	}
+	return lw.bd.Bin(iop, x, y), ct, nil
+}
+
+func (lw *lowerer) lowerAssign(e *Assign) (ir.Value, *CType, error) {
+	addr, ct, err := lw.lowerAddr(e.LHS)
+	if err != nil {
+		return nil, nil, err
+	}
+	rv, rt, err := lw.lowerExpr(e.RHS)
+	if err != nil {
+		return nil, nil, err
+	}
+	if e.Op != "=" {
+		op := e.Op[:len(e.Op)-1]
+		old := lw.bd.Load(addr)
+		nv, nt, err := lw.applyBinary(op, old, ct, rv, rt, e.Pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		rv, rt = nv, nt
+	}
+	cv, err := lw.convert(rv, rt, ct, e.Pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	lw.bd.Store(cv, addr)
+	return cv, ct, nil
+}
+
+// lowerTernary lowers c ? t : f using a temporary slot so the result
+// stays in pre-Mem2Reg (alloca) form like every other local.
+func (lw *lowerer) lowerTernary(e *Cond) (ir.Value, *CType, error) {
+	cond, err := lw.lowerCond(e.C)
+	if err != nil {
+		return nil, nil, err
+	}
+	thenB := lw.fn.NewBlock("sel.then")
+	elseB := lw.fn.NewBlock("sel.else")
+	endB := lw.fn.NewBlock("sel.end")
+	lw.bd.CondBr(cond, thenB, elseB)
+
+	lw.bd.SetBlock(thenB)
+	tv, tt, err := lw.lowerExpr(e.T)
+	if err != nil {
+		return nil, nil, err
+	}
+	thenOut := lw.bd.Block
+
+	lw.bd.SetBlock(elseB)
+	fv, ft, err := lw.lowerExpr(e.F)
+	if err != nil {
+		return nil, nil, err
+	}
+	elseOut := lw.bd.Block
+
+	// Unify types: prefer the "larger" of the two arms.
+	rt := tt
+	if tt.Kind == KPtr {
+		rt = tt
+	} else if ft.Kind == KFloat && (tt.Kind != KFloat || ft.Bits > tt.Bits) {
+		rt = ft
+	} else if ft.Kind == KInt && tt.Kind == KInt && ft.Bits > tt.Bits {
+		rt = ft
+	}
+	slot := lw.allocaInEntry(lw.irType(rt), "sel")
+
+	lw.bd.SetBlock(thenOut)
+	ctv, err := lw.convert(tv, tt, rt, e.Pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	lw.bd.Store(ctv, slot)
+	lw.bd.Br(endB)
+
+	lw.bd.SetBlock(elseOut)
+	cfv, err := lw.convert(fv, ft, rt, e.Pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	lw.bd.Store(cfv, slot)
+	lw.bd.Br(endB)
+
+	lw.bd.SetBlock(endB)
+	return lw.bd.Load(slot), rt, nil
+}
+
+func (lw *lowerer) lowerCall(e *Call) (ir.Value, *CType, error) {
+	fi, ok := lw.funcs[e.Name]
+	if !ok {
+		// Implicit declaration: infer the signature from this call.
+		var ptypes []*CType
+		var irptypes []ir.Type
+		args := make([]ir.Value, 0, len(e.Args))
+		for _, a := range e.Args {
+			v, vt, err := lw.lowerExpr(a)
+			if err != nil {
+				return nil, nil, err
+			}
+			args = append(args, v)
+			ptypes = append(ptypes, vt)
+			irptypes = append(irptypes, v.Type())
+		}
+		f := lw.mod.NewDecl(e.Name, ir.I32, irptypes...)
+		fi = &funcInfo{f: f, ret: CInt, params: ptypes}
+		lw.funcs[e.Name] = fi
+		call := lw.bd.Call(f, args...)
+		return call, CInt, nil
+	}
+	if len(e.Args) != len(fi.params) {
+		return nil, nil, lw.errf(e.Pos, "call to %s with %d args, want %d", e.Name, len(e.Args), len(fi.params))
+	}
+	args := make([]ir.Value, len(e.Args))
+	for i, a := range e.Args {
+		v, vt, err := lw.lowerExpr(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		cv, err := lw.convert(v, vt, fi.params[i], a.exprPos())
+		if err != nil {
+			return nil, nil, err
+		}
+		args[i] = cv
+	}
+	call := lw.bd.Call(fi.f, args...)
+	if fi.ret.Kind == KVoid {
+		return call, CVoid, nil
+	}
+	return call, fi.ret, nil
+}
+
+// lowerCond lowers an expression used as a branch condition to an i1,
+// short-circuiting && and ||.
+func (lw *lowerer) lowerCond(e Expr) (ir.Value, error) {
+	switch e := e.(type) {
+	case *Binary:
+		switch e.Op {
+		case "&&", "||":
+			slot := lw.allocaInEntry(ir.I1, "cc")
+			x, err := lw.lowerCond(e.X)
+			if err != nil {
+				return nil, err
+			}
+			lw.bd.Store(x, slot)
+			rhsB := lw.fn.NewBlock("cond.rhs")
+			endB := lw.fn.NewBlock("cond.end")
+			if e.Op == "&&" {
+				lw.bd.CondBr(x, rhsB, endB)
+			} else {
+				lw.bd.CondBr(x, endB, rhsB)
+			}
+			lw.bd.SetBlock(rhsB)
+			y, err := lw.lowerCond(e.Y)
+			if err != nil {
+				return nil, err
+			}
+			lw.bd.Store(y, slot)
+			lw.bd.Br(endB)
+			lw.bd.SetBlock(endB)
+			return lw.bd.Load(slot), nil
+		}
+		if _, isCmp := cmpPreds[e.Op]; isCmp {
+			x, xt, err := lw.lowerExpr(e.X)
+			if err != nil {
+				return nil, err
+			}
+			y, yt, err := lw.lowerExpr(e.Y)
+			if err != nil {
+				return nil, err
+			}
+			if xt.Kind == KPtr && yt.Kind == KPtr {
+				return lw.bd.ICmp(cmpPreds[e.Op], x, y), nil
+			}
+			x, y, ct, err := lw.usualArith(x, xt, y, yt, e.Pos)
+			if err != nil {
+				return nil, err
+			}
+			if ct.Kind == KFloat {
+				return lw.bd.FCmp(floatCmpPreds[e.Op], x, y), nil
+			}
+			return lw.bd.ICmp(cmpPreds[e.Op], x, y), nil
+		}
+	case *Unary:
+		if e.Op == "!" {
+			c, err := lw.lowerCond(e.X)
+			if err != nil {
+				return nil, err
+			}
+			return lw.bd.Bin(ir.OpXor, c, ir.ConstBool(true)), nil
+		}
+	}
+	// Fallback: value != 0.
+	v, vt, err := lw.lowerExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	switch vt.Kind {
+	case KInt:
+		return lw.bd.ICmp(ir.PredNE, v, ir.ConstInt(ir.IntType{Bits: vt.Bits}, 0)), nil
+	case KFloat:
+		return lw.bd.FCmp(ir.PredONE, v, ir.ConstFloat(ir.FloatType{Bits: vt.Bits}, 0)), nil
+	case KPtr:
+		return lw.bd.ICmp(ir.PredNE, v, ir.ConstNull(v.Type().(ir.PointerType))), nil
+	}
+	return nil, lw.errf(e.exprPos(), "cannot use %s as a condition", vt)
+}
+
+// promote applies the C integer promotions: sub-int integers widen to
+// int.
+func (lw *lowerer) promote(v ir.Value, t *CType) (ir.Value, *CType) {
+	if t.Kind == KInt && t.Bits < 32 {
+		return lw.bd.Cast(ir.OpSExt, v, ir.I32), CInt
+	}
+	return v, t
+}
+
+// usualArith applies the usual arithmetic conversions to a pair of scalar
+// operands and returns them converted to the common type.
+func (lw *lowerer) usualArith(x ir.Value, xt *CType, y ir.Value, yt *CType, pos Pos) (ir.Value, ir.Value, *CType, error) {
+	if (xt.Kind != KInt && xt.Kind != KFloat) || (yt.Kind != KInt && yt.Kind != KFloat) {
+		return nil, nil, nil, lw.errf(pos, "invalid operands (%s, %s)", xt, yt)
+	}
+	x, xt = lw.promote(x, xt)
+	y, yt = lw.promote(y, yt)
+	var ct *CType
+	switch {
+	case xt.Kind == KFloat && yt.Kind == KFloat:
+		ct = xt
+		if yt.Bits > xt.Bits {
+			ct = yt
+		}
+	case xt.Kind == KFloat:
+		ct = xt
+	case yt.Kind == KFloat:
+		ct = yt
+	default:
+		ct = xt
+		if yt.Bits > xt.Bits {
+			ct = yt
+		}
+	}
+	cx, err := lw.convert(x, xt, ct, pos)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cy, err := lw.convert(y, yt, ct, pos)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return cx, cy, ct, nil
+}
+
+// toI64 converts an integer value to i64 for use as a gep index.
+func (lw *lowerer) toI64(v ir.Value, t *CType, pos Pos) (ir.Value, error) {
+	if t.Kind != KInt {
+		return nil, lw.errf(pos, "index is not an integer (%s)", t)
+	}
+	cv, err := lw.convert(v, t, CLong, pos)
+	if err != nil {
+		return nil, err
+	}
+	return cv, nil
+}
+
+// convert emits the conversion of v from C type `from` to `to`.
+// Conversions between equal types are free; constants are folded.
+func (lw *lowerer) convert(v ir.Value, from, to *CType, pos Pos) (ir.Value, error) {
+	if from.Kind == to.Kind {
+		switch from.Kind {
+		case KInt:
+			if from.Bits == to.Bits {
+				return v, nil
+			}
+			if c, ok := v.(*ir.IntConst); ok {
+				return ir.ConstInt(ir.IntType{Bits: to.Bits}, c.Val), nil
+			}
+			if to.Bits > from.Bits {
+				return lw.bd.Cast(ir.OpSExt, v, ir.IntType{Bits: to.Bits}), nil
+			}
+			return lw.bd.Cast(ir.OpTrunc, v, ir.IntType{Bits: to.Bits}), nil
+		case KFloat:
+			if from.Bits == to.Bits {
+				return v, nil
+			}
+			if c, ok := v.(*ir.FloatConst); ok {
+				return ir.ConstFloat(ir.FloatType{Bits: to.Bits}, c.Val), nil
+			}
+			if to.Bits > from.Bits {
+				return lw.bd.Cast(ir.OpFPExt, v, ir.FloatType{Bits: to.Bits}), nil
+			}
+			return lw.bd.Cast(ir.OpFPTrunc, v, ir.FloatType{Bits: to.Bits}), nil
+		case KPtr:
+			toIR := lw.irType(to)
+			if v.Type().Equal(toIR) {
+				return v, nil
+			}
+			return lw.bd.Cast(ir.OpBitcast, v, toIR), nil
+		case KVoid:
+			return v, nil
+		case KStruct:
+			if from.Struct == to.Struct {
+				return v, nil
+			}
+		}
+		return nil, lw.errf(pos, "cannot convert %s to %s", from, to)
+	}
+	switch {
+	case from.Kind == KInt && to.Kind == KFloat:
+		if c, ok := v.(*ir.IntConst); ok {
+			return ir.ConstFloat(ir.FloatType{Bits: to.Bits}, float64(c.Val)), nil
+		}
+		return lw.bd.Cast(ir.OpSIToFP, v, ir.FloatType{Bits: to.Bits}), nil
+	case from.Kind == KFloat && to.Kind == KInt:
+		if c, ok := v.(*ir.FloatConst); ok {
+			return ir.ConstInt(ir.IntType{Bits: to.Bits}, int64(c.Val)), nil
+		}
+		return lw.bd.Cast(ir.OpFPToSI, v, ir.IntType{Bits: to.Bits}), nil
+	case from.Kind == KInt && to.Kind == KPtr:
+		if c, ok := v.(*ir.IntConst); ok && c.Val == 0 {
+			return ir.ConstNull(lw.irType(to).(ir.PointerType)), nil
+		}
+		return lw.bd.Cast(ir.OpIntToPtr, v, lw.irType(to)), nil
+	case from.Kind == KPtr && to.Kind == KInt:
+		return lw.bd.Cast(ir.OpPtrToInt, v, ir.IntType{Bits: to.Bits}), nil
+	case from.Kind == KPtr && to.Kind == KVoid:
+		return v, nil
+	case from.Kind == KInt && to.Kind == KVoid:
+		return v, nil
+	}
+	return nil, lw.errf(pos, "cannot convert %s to %s", from, to)
+}

@@ -1,0 +1,331 @@
+package cc_test
+
+// C semantics tests: each case compiles a tiny program, runs it through
+// the interpreter and checks the result — covering arithmetic,
+// conversions, control flow, pointers, arrays, structs and globals.
+
+import (
+	"testing"
+
+	"rolag/internal/cc"
+	"rolag/internal/interp"
+	"rolag/internal/ir"
+	"rolag/internal/passes"
+)
+
+func compileAndRun(t *testing.T, src, fn string, args ...interp.Val) interp.Val {
+	t.Helper()
+	m, err := cc.Compile(src, "sem")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	passes.Standard().Run(m)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, m)
+	}
+	in, err := interp.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := in.Call(fn, args...)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, m)
+	}
+	return v
+}
+
+func TestIntSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		args []interp.Val
+		want int64
+	}{
+		{"arith", `int f(int a, int b) { return a*3 + b/2 - 7; }`,
+			[]interp.Val{interp.IntVal(10), interp.IntVal(9)}, 27},
+		{"precedence", `int f() { return 2 + 3 * 4 - 10 / 5; }`, nil, 12},
+		{"parens", `int f() { return (2 + 3) * (4 - 1); }`, nil, 15},
+		{"mod", `int f(int a) { return a % 7; }`, []interp.Val{interp.IntVal(23)}, 2},
+		{"negmod", `int f() { return -9 % 4; }`, nil, -1},
+		{"bitwise", `int f() { return (0xF0 | 0x0F) & 0x3C ^ 0x01; }`, nil, 0x3D},
+		{"shifts", `int f(int a) { return (a << 3) >> 1; }`, []interp.Val{interp.IntVal(5)}, 20},
+		{"negshift", `int f() { return -16 >> 2; }`, nil, -4}, // arithmetic shift
+		{"cmp_chain", `int f(int a) { return (a > 3) + (a >= 4) + (a == 4) + (a != 0); }`,
+			[]interp.Val{interp.IntVal(4)}, 4},
+		{"logical_and", `int f(int a, int b) { return a && b; }`,
+			[]interp.Val{interp.IntVal(3), interp.IntVal(0)}, 0},
+		{"logical_or", `int f(int a, int b) { return a || b; }`,
+			[]interp.Val{interp.IntVal(0), interp.IntVal(5)}, 1},
+		{"not", `int f(int a) { return !a + !!a; }`, []interp.Val{interp.IntVal(7)}, 1},
+		{"neg", `int f(int a) { return -a; }`, []interp.Val{interp.IntVal(12)}, -12},
+		{"bitnot", `int f() { return ~0; }`, nil, -1},
+		{"ternary", `int f(int a) { return a > 10 ? 100 : 200; }`, []interp.Val{interp.IntVal(11)}, 100},
+		{"ternary_nested", `int f(int a) { return a < 0 ? -1 : a == 0 ? 0 : 1; }`,
+			[]interp.Val{interp.IntVal(0)}, 0},
+		{"compound_assign", `int f(int a) { int x = a; x += 3; x *= 2; x -= 1; x /= 3; x %= 4; return x; }`,
+			[]interp.Val{interp.IntVal(5)}, 1},
+		{"compound_bits", `int f() { int x = 12; x &= 10; x |= 1; x ^= 2; x <<= 2; x >>= 1; return x; }`,
+			nil, 22},
+		{"preincr", `int f(int a) { int x = a; return ++x + x; }`, []interp.Val{interp.IntVal(4)}, 10},
+		{"postincr", `int f(int a) { int x = a; return x++ + x; }`, []interp.Val{interp.IntVal(4)}, 9},
+		{"predecr", `int f() { int x = 3; return --x; }`, nil, 2},
+		{"postdecr", `int f() { int x = 3; return x--; }`, nil, 3},
+		{"overflow_wrap", `int f() { int x = 2147483647; return x + 1; }`, nil, -2147483648},
+		{"char_trunc", `int f() { char c = 300; return c; }`, nil, 44},
+		{"short_trunc", `int f() { short s = 70000; return s; }`, nil, 4464},
+		{"long_arith", `long f(long a) { return a * 1000000007; }`,
+			[]interp.Val{interp.IntVal(1 << 33)}, (1 << 33) * 1000000007},
+		{"hex", `int f() { return 0xff + 0x10; }`, nil, 271},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := compileAndRun(t, c.src, "f", c.args...)
+			if got.I != c.want {
+				t.Errorf("got %d, want %d", got.I, c.want)
+			}
+		})
+	}
+}
+
+func TestFloatSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		args []interp.Val
+		want float64
+	}{
+		{"double_arith", `double f(double a) { return a * 2.5 + 1.0; }`,
+			[]interp.Val{interp.FloatVal(4)}, 11},
+		{"float_literal", `float f() { return 1.5f + 2.5f; }`, nil, 4},
+		{"mixed_promote", `double f(int a) { return a / 2.0; }`,
+			[]interp.Val{interp.IntVal(5)}, 2.5},
+		{"int_div_stays_int", `double f(int a) { return a / 2; }`,
+			[]interp.Val{interp.IntVal(5)}, 2},
+		{"float_to_int", `int f(double x) { return (int)x; }`,
+			[]interp.Val{interp.FloatVal(3.99)}, 0}, // want is in wantI below
+		{"cmp", `int f(double a, double b) { return a < b; }`,
+			[]interp.Val{interp.FloatVal(1.5), interp.FloatVal(2.5)}, 0},
+	}
+	// float_to_int and cmp return ints.
+	got := compileAndRun(t, cases[4].src, "f", cases[4].args...)
+	if got.I != 3 {
+		t.Errorf("float_to_int: got %d, want 3", got.I)
+	}
+	got = compileAndRun(t, cases[5].src, "f", cases[5].args...)
+	if got.I != 1 {
+		t.Errorf("float cmp: got %d, want 1", got.I)
+	}
+	for _, c := range cases[:4] {
+		t.Run(c.name, func(t *testing.T) {
+			got := compileAndRun(t, c.src, "f", c.args...)
+			if got.F != c.want {
+				t.Errorf("got %v, want %v", got.F, c.want)
+			}
+		})
+	}
+}
+
+func TestControlFlowSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		args []interp.Val
+		want int64
+	}{
+		{"if_else", `int f(int a) { if (a > 0) return 1; else return -1; }`,
+			[]interp.Val{interp.IntVal(-5)}, -1},
+		{"if_no_else", `int f(int a) { int r = 0; if (a) r = 5; return r; }`,
+			[]interp.Val{interp.IntVal(0)}, 0},
+		{"for_sum", `int f(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }`,
+			[]interp.Val{interp.IntVal(10)}, 55},
+		{"for_zero_trips", `int f() { int s = 9; for (int i = 0; i < 0; i++) s = 0; return s; }`,
+			nil, 9},
+		{"for_step", `int f() { int s = 0; for (int i = 0; i < 10; i += 3) s += i; return s; }`,
+			nil, 18},
+		{"for_down", `int f() { int s = 0; for (int i = 5; i > 0; i--) s = s * 10 + i; return s; }`,
+			nil, 54321},
+		{"while", `int f(int n) { int c = 0; while (n > 1) { if (n % 2) n = 3 * n + 1; else n = n / 2; c++; } return c; }`,
+			[]interp.Val{interp.IntVal(6)}, 8}, // Collatz(6)
+		{"break", `int f() { int i; for (i = 0; i < 100; i++) { if (i == 7) break; } return i; }`,
+			nil, 7},
+		{"continue", `int f() { int s = 0; for (int i = 0; i < 10; i++) { if (i % 2) continue; s += i; } return s; }`,
+			nil, 20},
+		{"nested_loops", `int f() { int s = 0; for (int i = 0; i < 4; i++) for (int j = 0; j < i; j++) s++; return s; }`,
+			nil, 6},
+		{"nested_break", `int f() { int s = 0; for (int i = 0; i < 3; i++) { for (int j = 0; j < 10; j++) { if (j == 2) break; s++; } } return s; }`,
+			nil, 6},
+		{"shortcircuit_effect", `
+int g;
+int bump() { g += 1; return 0; }
+int f() { g = 0; int r = bump() && bump(); return g + r; }`,
+			nil, 1},
+		{"recursion", `int f(int n) { if (n < 2) return n; return f(n-1) + f(n-2); }`,
+			[]interp.Val{interp.IntVal(12)}, 144},
+		{"mutual_recursion", `
+int isOdd(int n);
+int isEven(int n) { if (n == 0) return 1; return isOdd(n - 1); }
+int isOdd(int n) { if (n == 0) return 0; return isEven(n - 1); }
+int f(int n) { return isEven(n); }`,
+			[]interp.Val{interp.IntVal(10)}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := compileAndRun(t, c.src, "f", c.args...)
+			if got.I != c.want {
+				t.Errorf("got %d, want %d", got.I, c.want)
+			}
+		})
+	}
+}
+
+func TestMemorySemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int64
+	}{
+		{"local_array", `int f() { int a[5]; for (int i = 0; i < 5; i++) a[i] = i * i; return a[3]; }`, 9},
+		{"array_2d", `int f() { int a[3][4]; a[2][3] = 77; a[0][0] = 1; return a[2][3] + a[0][0]; }`, 78},
+		{"pointer_deref", `int f() { int x = 5; int *p = &x; *p = 9; return x; }`, 9},
+		{"pointer_arith", `int f() { int a[4]; a[0]=1; a[1]=2; a[2]=3; a[3]=4; int *p = a; p = p + 2; return *p + p[-1]; }`, 5},
+		{"pointer_incr", `int f() { int a[3]; a[0]=10; a[1]=20; a[2]=30; int *p = a; p++; return *p; }`, 20},
+		{"struct_fields", `
+struct P { int x; int y; };
+int f() { struct P p; p.x = 3; p.y = 4; return p.x * p.x + p.y * p.y; }`, 25},
+		{"struct_ptr", `
+struct P { int x; int y; };
+int set(struct P *p) { p->x = 11; p->y = 22; return 0; }
+int f() { struct P p; set(&p); return p.y - p.x; }`, 11},
+		{"struct_mixed_layout", `
+struct M { char c; int i; char d; long l; };
+int f() { struct M m; m.c = 1; m.i = 2; m.d = 3; m.l = 4; return m.c + m.i + m.d + (int)m.l; }`, 10},
+		{"struct_array_field", `
+struct B { int v[4]; };
+int f() { struct B b; for (int i = 0; i < 4; i++) b.v[i] = i + 1; return b.v[0] + b.v[3]; }`, 5},
+		{"global_scalar", `int g = 41; int f() { g += 1; return g; }`, 42},
+		{"global_array_init", `int tab[5] = {10, 20, 30}; int f() { return tab[0] + tab[1] + tab[2] + tab[3] + tab[4]; }`, 60},
+		{"global_negative_init", `int g = -7; int f() { return g; }`, -7},
+		{"swap_through_pointers", `
+void swap(int *a, int *b) { int t = *a; *a = *b; *b = t; }
+int f() { int x = 3; int y = 5; swap(&x, &y); return x * 10 + y; }`, 53},
+		{"char_array", `int f() { char a[4]; a[0] = 250; a[1] = 6; return a[0] + a[1]; }`, 0},
+		{"address_of_element", `int f() { int a[3]; a[1] = 42; int *p = &a[1]; return *p; }`, 42},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := compileAndRun(t, c.src, "f")
+			if got.I != c.want {
+				t.Errorf("got %d, want %d", got.I, c.want)
+			}
+		})
+	}
+}
+
+func TestExternCalls(t *testing.T) {
+	src := `
+extern int magic(int x);
+int f(int a) { return magic(a) + magic(a); }`
+	m, err := cc.Compile(src, "ext")
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes.Standard().Run(m)
+	in, err := interp.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Externs["magic"] = func(_ *interp.Interp, args []interp.Val) (interp.Val, error) {
+		return interp.IntVal(args[0].I * 10), nil
+	}
+	v, err := in.Call("f", interp.IntVal(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 60 {
+		t.Errorf("got %d, want 60", v.I)
+	}
+	if len(in.Trace) != 2 {
+		t.Errorf("trace has %d events, want 2", len(in.Trace))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`int f( { return 0; }`,
+		`int f() { return ; `,
+		`int f() { x = ; }`,
+		`struct S { int x }; int f() { return 0; }`,
+		`int f() { int a[]; return 0; }`,
+		`int f() { break; }`,
+		`void f() { continue; }`,
+		`int f() { undeclared_var += 1; return 0; }`,
+		`struct S { int x; }; int f(struct S s) { return s.x; }`, // by-value param
+		`int f() { return 1 ? 2; }`,
+	}
+	for i, src := range cases {
+		if _, err := cc.Compile(src, "bad"); err == nil {
+			t.Errorf("case %d: expected a frontend error for %q", i, src)
+		}
+	}
+}
+
+func TestImplicitDeclaration(t *testing.T) {
+	// Calls to unknown functions get implicit int declarations.
+	src := `int f(int a) { return helper(a, 2); }`
+	m, err := cc.Compile(src, "impl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.FindFunc("helper")
+	if h == nil || !h.IsDecl() {
+		t.Fatal("implicit declaration missing")
+	}
+	if !h.Sig.Ret.Equal(ir.I32) || len(h.Sig.Params) != 2 {
+		t.Errorf("implicit signature = %s", h.Sig)
+	}
+}
+
+func TestGlobalConstArray(t *testing.T) {
+	src := `const int weights[4] = {1, 2, 3, 4}; int f(int i) { return weights[i]; }`
+	m, err := cc.Compile(src, "cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.FindGlobal("weights")
+	if g == nil || !g.ReadOnly {
+		t.Fatal("const global should be read-only")
+	}
+	passes.Standard().Run(m)
+	in, _ := interp.New(m)
+	v, err := in.Call("f", interp.IntVal(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 3 {
+		t.Errorf("weights[2] = %d", v.I)
+	}
+}
+
+func TestDoWhileSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		args []interp.Val
+		want int64
+	}{
+		{"runs_once", `int f() { int n = 0; do { n++; } while (n < 0); return n; }`, nil, 1},
+		{"counts", `int f(int n) { int c = 0; do { c++; n /= 2; } while (n > 0); return c; }`,
+			[]interp.Val{interp.IntVal(100)}, 7},
+		{"break_inside", `int f() { int i = 0; do { if (i == 3) break; i++; } while (1); return i; }`, nil, 3},
+		{"continue_inside", `int f() { int i = 0; int s = 0; do { i++; if (i % 2) continue; s += i; } while (i < 10); return s; }`, nil, 30},
+		{"nested", `int f() { int s = 0; int i = 0; do { int j = 0; do { s++; j++; } while (j < 3); i++; } while (i < 2); return s; }`, nil, 6},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := compileAndRun(t, c.src, "f", c.args...)
+			if got.I != c.want {
+				t.Errorf("got %d, want %d", got.I, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package cc_test
+
+import (
+	"testing"
+
+	"rolag/internal/cc"
+	"rolag/internal/passes"
+)
+
+const smokeSrc = `
+extern void vst1q_u8(char *p, char *v);
+struct state { char v[80]; };
+void save_state(struct state *st, void *state) {
+	vst1q_u8(state, st->v);
+	vst1q_u8(state + 16, st->v + 16);
+	vst1q_u8(state + 32, st->v + 32);
+}
+int dot(const int *a, const int *b) {
+	return a[0]*b[0] + a[1]*b[1] + a[2]*b[2];
+}
+int sumn(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) s += i;
+	return s;
+}
+`
+
+func TestSmoke(t *testing.T) {
+	m, err := cc.Compile(smokeSrc, "smoke")
+	if err != nil {
+		t.Fatalf("compile error: %v", err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify pre: %v\n%s", err, m)
+	}
+	passes.Standard().Run(m)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify post: %v\n%s", err, m)
+	}
+	if m.FindFunc("sumn") == nil || m.FindFunc("dot") == nil {
+		t.Error("functions missing after pipeline")
+	}
+}

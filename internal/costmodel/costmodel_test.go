@@ -1,0 +1,126 @@
+package costmodel_test
+
+import (
+	"testing"
+
+	"rolag/internal/cc"
+	"rolag/internal/costmodel"
+	"rolag/internal/ir"
+	"rolag/internal/passes"
+)
+
+func build(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := cc.Compile(src, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes.Standard().Run(m)
+	return m
+}
+
+func TestInstrCostsSane(t *testing.T) {
+	mod := ir.NewModule("t")
+	callee := mod.NewDecl("ext", ir.Void, ir.I32)
+	f := mod.NewFunc("f", ir.Void, &ir.Param{Name: "p", Typ: ir.Ptr(ir.I32)}, &ir.Param{Name: "x", Typ: ir.I32})
+	b := f.NewBlock("entry")
+	bd := ir.NewBuilder(b)
+	p, x := f.Params[0], f.Params[1]
+	ld := bd.Load(p)
+	add := bd.Add(ld, x)
+	mul := bd.Mul(add, x)
+	div := bd.Bin(ir.OpSDiv, mul, x)
+	cmp := bd.ICmp(ir.PredSLT, div, x)
+	sel := bd.Select(cmp, add, mul)
+	call := bd.Call(callee, sel)
+	st := bd.Store(sel, p)
+	phiLike := bd.Cast(ir.OpSExt, sel, ir.I64)
+	tr := bd.Cast(ir.OpTrunc, phiLike, ir.I32)
+	bd.Ret(nil)
+	_, _ = call, st
+
+	m := costmodel.Default()
+	if m.Instr(div) <= m.Instr(add) {
+		t.Error("division should cost more than addition")
+	}
+	if m.Instr(call) != 5 {
+		t.Errorf("direct call = %d bytes, want 5", m.Instr(call))
+	}
+	if m.Instr(tr) != 0 {
+		t.Error("trunc is free (subregister)")
+	}
+	if m.Instr(ld) < 3 {
+		t.Error("load under 3 bytes is implausible")
+	}
+	if err := mod.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGepFoldsIntoAccess(t *testing.T) {
+	m := build(t, `int f(int *a, int i) { return a[i]; }`)
+	f := m.FindFunc("f")
+	model := costmodel.Default()
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpGEP {
+				if c := model.Instr(in); c != 0 {
+					t.Errorf("single-use gep feeding a load should fold (cost %d)", c)
+				}
+			}
+		}
+	}
+}
+
+func TestBinaryModelDiffersSystematically(t *testing.T) {
+	// A function with phis, multiple blocks and a multi-use gep must be
+	// costed higher by the measurement model — that gap is what produces
+	// the paper's profitability false positives.
+	m := build(t, `
+int f(int *a, int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		a[i] = a[i] + 1;
+		s += a[i];
+	}
+	return s;
+}`)
+	f := m.FindFunc("f")
+	d := costmodel.Default().Func(f)
+	bm := costmodel.Binary().Func(f)
+	if bm <= d {
+		t.Errorf("binary model (%d) should exceed the TTI-style model (%d) on loop code", bm, d)
+	}
+}
+
+func TestModuleIncludesRodata(t *testing.T) {
+	m := build(t, `const long table[8] = {1,2,3,4,5,6,7,8}; int f() { return (int)table[3]; }`)
+	model := costmodel.Default()
+	withData := model.Module(m)
+	// Strip the read-only flag: the 64 bytes of rodata must disappear.
+	for _, g := range m.Globals {
+		g.ReadOnly = false
+	}
+	withoutData := model.Module(m)
+	if withData-withoutData != 64 {
+		t.Errorf("rodata accounting: delta = %d, want 64", withData-withoutData)
+	}
+}
+
+func TestCostMonotonicInCode(t *testing.T) {
+	small := build(t, `void f(int *a) { a[0] = 1; }`)
+	big := build(t, `void f(int *a) { a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4; }`)
+	model := costmodel.Binary()
+	if model.Module(big) <= model.Module(small) {
+		t.Error("more stores must cost more bytes")
+	}
+}
+
+func TestImmediateWidthMatters(t *testing.T) {
+	imm8 := build(t, `void f(long *a) { a[0] = 100; }`)
+	imm32 := build(t, `void f(long *a) { a[0] = 100000; }`)
+	model := costmodel.Default()
+	if model.Module(imm32) <= model.Module(imm8) {
+		t.Error("a 32-bit immediate store should cost more than an 8-bit one")
+	}
+}

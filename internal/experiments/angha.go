@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"rolag"
+	rl "rolag/internal/rolag"
+	"rolag/internal/workloads/angha"
+)
+
+// AnghaResult is one corpus function's outcome.
+type AnghaResult struct {
+	Name      string
+	Family    string
+	SizeBase  int
+	SizeRoLAG int
+	SizeLLVM  int
+	Rolled    int
+}
+
+// Red returns the RoLAG binary-size reduction in percent (negative =
+// growth, the paper's false positives).
+func (r *AnghaResult) Red() float64 { return pct(r.SizeBase, r.SizeRoLAG) }
+
+// AnghaSummary aggregates the §V.A experiment.
+type AnghaSummary struct {
+	Total int
+	// Affected holds the functions whose size changed under RoLAG,
+	// sorted by reduction descending — the Fig. 15 curve.
+	Affected []AnghaResult
+	// MeanReduction is the average over affected functions (the paper's
+	// 9.12%).
+	MeanReduction float64
+	// BestReduction is the top of the curve (the paper's ~90% KVM field
+	// copy).
+	BestReduction float64
+	// Regressions counts affected functions that grew (profitability
+	// false positives).
+	Regressions int
+	// AffectedLLVM counts functions changed by the reroll baseline (the
+	// paper: negligible, <50 of 1M).
+	AffectedLLVM int
+	// NodeCounts tallies node kinds over profitable graphs — Fig. 16.
+	NodeCounts map[rl.NodeKind]int
+	// FamilyAffected maps generator family to affected count
+	// (diagnostic).
+	FamilyAffected map[string]int
+}
+
+// AnghaConfig tunes the corpus run.
+type AnghaConfig struct {
+	// N is the corpus size (default 2000).
+	N int
+	// Seed drives the generator.
+	Seed int64
+}
+
+// RunAngha reproduces Fig. 15 and Fig. 16 on the synthesized corpus.
+func RunAngha(cfg AnghaConfig) (*AnghaSummary, error) {
+	if cfg.N == 0 {
+		cfg.N = 2000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 20220402 // CGO 2022 presentation date
+	}
+	funcs := angha.Generate(cfg.N, cfg.Seed)
+	summary := &AnghaSummary{
+		Total:          len(funcs),
+		NodeCounts:     make(map[rl.NodeKind]int),
+		FamilyAffected: make(map[string]int),
+	}
+	for _, fn := range funcs {
+		base, err := rolag.Build(fn.Src, rolag.Config{Name: fn.Name, Opt: rolag.OptNone})
+		if err != nil {
+			return nil, fmt.Errorf("angha %s: %w", fn.Name, err)
+		}
+		rg, err := rolag.Build(fn.Src, rolag.Config{Name: fn.Name, Opt: rolag.OptRoLAG})
+		if err != nil {
+			return nil, fmt.Errorf("angha %s (rolag): %w", fn.Name, err)
+		}
+		lv, err := rolag.Build(fn.Src, rolag.Config{Name: fn.Name, Opt: rolag.OptLLVMReroll})
+		if err != nil {
+			return nil, fmt.Errorf("angha %s (llvm): %w", fn.Name, err)
+		}
+		res := AnghaResult{
+			Name:      fn.Name,
+			Family:    fn.Family,
+			SizeBase:  base.BinaryAfter,
+			SizeRoLAG: rg.BinaryAfter,
+			SizeLLVM:  lv.BinaryAfter,
+			Rolled:    rg.Stats.LoopsRolled,
+		}
+		if lv.Rerolled > 0 && res.SizeLLVM != res.SizeBase {
+			summary.AffectedLLVM++
+		}
+		if res.Rolled > 0 && res.SizeRoLAG != res.SizeBase {
+			summary.Affected = append(summary.Affected, res)
+			summary.FamilyAffected[fn.Family]++
+			if res.SizeRoLAG < res.SizeBase {
+				for k, v := range rg.Stats.NodeCounts {
+					summary.NodeCounts[k] += v
+				}
+			} else {
+				summary.Regressions++
+			}
+		}
+	}
+	sort.SliceStable(summary.Affected, func(i, j int) bool {
+		return summary.Affected[i].Red() > summary.Affected[j].Red()
+	})
+	if len(summary.Affected) > 0 {
+		for _, r := range summary.Affected {
+			summary.MeanReduction += r.Red()
+		}
+		summary.MeanReduction /= float64(len(summary.Affected))
+		summary.BestReduction = summary.Affected[0].Red()
+	}
+	return summary, nil
+}

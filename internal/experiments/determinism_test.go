@@ -1,0 +1,82 @@
+package experiments_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"rolag/internal/experiments"
+)
+
+// TestExperimentsDeterministic: the same seeds must give identical
+// results across runs — the artifact property the paper's own scripts
+// promise ("similar but not necessarily identical" for hardware; exact
+// here, since nothing depends on the machine).
+func TestExperimentsDeterministic(t *testing.T) {
+	run := func() string {
+		s, err := experiments.RunAngha(experiments.AnghaConfig{N: 120, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		rep := &experiments.Report{W: &buf}
+		if err := rep.Fig15(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Fig16(s); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Error("AnghaBench experiment is not deterministic")
+	}
+
+	runTSVC := func() string {
+		cfg := experiments.DefaultTSVCConfig()
+		cfg.Kernels = []string{"s000", "s311", "va", "vpvtv", "s451"}
+		s, err := experiments.RunTSVC(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		rep := &experiments.Report{W: &buf}
+		if err := rep.Fig17(s); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	c, d := runTSVC(), runTSVC()
+	if c != d {
+		t.Error("TSVC experiment is not deterministic")
+	}
+}
+
+// TestReportCSVOutput: the report writer produces the promised CSV files.
+func TestReportCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	s, err := experiments.RunAngha(experiments.AnghaConfig{N: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rep := &experiments.Report{Dir: dir, W: &buf}
+	if err := rep.Fig15(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Fig16(s); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"fig15-angha-curve.csv", "fig16-angha-nodes.csv"} {
+		if !fileExists(t, dir, f) {
+			t.Errorf("missing %s", f)
+		}
+	}
+}
+
+func fileExists(t *testing.T, dir, name string) bool {
+	t.Helper()
+	_, err := os.Stat(dir + "/" + name)
+	return err == nil
+}

@@ -1,0 +1,241 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V): the AnghaBench reduction curve and node breakdown
+// (Fig. 15, Fig. 16), the MiBench/SPEC program table (Table I), the TSVC
+// comparison (Fig. 17, Fig. 18, Fig. 19) and the runtime overhead
+// (§V.D).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"rolag"
+	"rolag/internal/interp"
+	"rolag/internal/ir"
+	rl "rolag/internal/rolag"
+	"rolag/internal/workloads/tsvc"
+)
+
+// TSVCResult holds one kernel's outcome in the §V.C methodology.
+type TSVCResult struct {
+	Name string
+	// Sizes under the binary measurement model.
+	SizeBase   int // unrolled ×8, no rerolling (the experiment baseline)
+	SizeLLVM   int // after LLVM-style rerolling
+	SizeRoLAG  int // after RoLAG
+	SizeFlat   int // after RoLAG + loop flattening (§V.C's suggested cleanup)
+	SizeOracle int // the original rolled source (Fig. 18's oracle)
+	// Applied counts.
+	LLVMRerolled int
+	RoLAGRolled  int
+	// Interpreted step counts for §V.D (0 when the kernel needs
+	// arguments the perf harness does not synthesize).
+	StepsBase  int64
+	StepsRoLAG int64
+}
+
+// Reduction percentages relative to the unrolled baseline.
+func (r *TSVCResult) RedLLVM() float64  { return pct(r.SizeBase, r.SizeLLVM) }
+func (r *TSVCResult) RedRoLAG() float64 { return pct(r.SizeBase, r.SizeRoLAG) }
+
+// RedFlat is the reduction with loop flattening after RoLAG.
+func (r *TSVCResult) RedFlat() float64   { return pct(r.SizeBase, r.SizeFlat) }
+func (r *TSVCResult) RedOracle() float64 { return pct(r.SizeBase, r.SizeOracle) }
+
+func pct(base, after int) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(base-after) / float64(base)
+}
+
+// TSVCSummary aggregates the suite-wide numbers the paper quotes.
+type TSVCSummary struct {
+	Results []TSVCResult
+	// Means across ALL kernels (the paper's 13.69% vs 23.4%).
+	MeanLLVM, MeanRoLAG, MeanOracle float64
+	// MeanFlat is the suite mean for RoLAG followed by loop flattening.
+	MeanFlat float64
+	// Kernels affected by each technique (the paper's 38 vs 84).
+	AffectedLLVM, AffectedRoLAG int
+	// Loops rolled with special nodes disabled (the paper's 19 vs 84,
+	// Fig. 19).
+	AffectedNoSpecial int
+	// Kernels profitably rolled with the beyond-paper extensions
+	// (min/max reductions) enabled.
+	AffectedExtensions int
+	// MeanExtensions is the suite mean with extensions on.
+	MeanExtensions float64
+	// Node-kind tally over profitable graphs (Fig. 19).
+	NodeCounts map[rl.NodeKind]int
+	// §V.D: geometric-mean relative performance of rolled code
+	// (paper: ≈0.8, i.e. rolled code is slower).
+	RelPerf float64
+}
+
+// TSVCConfig tunes the experiment.
+type TSVCConfig struct {
+	// UnrollFactor applied to every inner loop (paper: 8).
+	UnrollFactor int
+	// FastMath permits floating-point reassociation, as the paper
+	// requires for FP reduction kernels.
+	FastMath bool
+	// MeasurePerf additionally interprets each kernel to estimate the
+	// §V.D slowdown (slower).
+	MeasurePerf bool
+	// Kernels restricts the run to the named kernels (nil = all).
+	Kernels []string
+	// WithExtensions additionally measures the beyond-paper extension
+	// configuration (min/max reductions).
+	WithExtensions bool
+}
+
+// DefaultTSVCConfig returns the paper's §V.C setup.
+func DefaultTSVCConfig() TSVCConfig {
+	return TSVCConfig{UnrollFactor: 8, FastMath: true, MeasurePerf: false}
+}
+
+// RunTSVC reproduces Fig. 17 (per-kernel bars + means), Fig. 18 (oracle
+// curve), Fig. 19 (node breakdown + no-special-nodes ablation) and §V.D.
+func RunTSVC(cfg TSVCConfig) (*TSVCSummary, error) {
+	if cfg.UnrollFactor == 0 {
+		cfg.UnrollFactor = 8
+	}
+	kernels := tsvc.Kernels()
+	if cfg.Kernels != nil {
+		want := make(map[string]bool)
+		for _, n := range cfg.Kernels {
+			want[n] = true
+		}
+		var filtered []tsvc.Kernel
+		for _, kr := range kernels {
+			if want[kr.Name] {
+				filtered = append(filtered, kr)
+			}
+		}
+		kernels = filtered
+	}
+	summary := &TSVCSummary{NodeCounts: make(map[rl.NodeKind]int)}
+	opts := rolag.DefaultOptions()
+	opts.FastMath = cfg.FastMath
+	noSpecial := rolag.NoSpecialNodes()
+	noSpecial.FastMath = cfg.FastMath
+	extOpts := rolag.Extensions()
+	extOpts.FastMath = cfg.FastMath
+
+	var extSum float64
+
+	var perfSum float64
+	var perfN int
+	for _, kr := range kernels {
+		res := TSVCResult{Name: kr.Name}
+
+		oracle, err := rolag.Build(kr.Src, rolag.Config{Name: kr.Name, Opt: rolag.OptNone})
+		if err != nil {
+			return nil, fmt.Errorf("tsvc %s (oracle): %w", kr.Name, err)
+		}
+		res.SizeOracle = oracle.BinaryAfter
+
+		base, err := rolag.Build(kr.Src, rolag.Config{Name: kr.Name, Unroll: cfg.UnrollFactor, Opt: rolag.OptNone})
+		if err != nil {
+			return nil, fmt.Errorf("tsvc %s (base): %w", kr.Name, err)
+		}
+		res.SizeBase = base.BinaryAfter
+
+		llvm, err := rolag.Build(kr.Src, rolag.Config{Name: kr.Name, Unroll: cfg.UnrollFactor, Opt: rolag.OptLLVMReroll})
+		if err != nil {
+			return nil, fmt.Errorf("tsvc %s (llvm): %w", kr.Name, err)
+		}
+		res.SizeLLVM = llvm.BinaryAfter
+		res.LLVMRerolled = llvm.Rerolled
+
+		rg, err := rolag.Build(kr.Src, rolag.Config{Name: kr.Name, Unroll: cfg.UnrollFactor, Opt: rolag.OptRoLAG, Options: opts})
+		if err != nil {
+			return nil, fmt.Errorf("tsvc %s (rolag): %w", kr.Name, err)
+		}
+		res.SizeRoLAG = rg.BinaryAfter
+		res.RoLAGRolled = rg.Stats.LoopsRolled
+
+		fl, err := rolag.Build(kr.Src, rolag.Config{Name: kr.Name, Unroll: cfg.UnrollFactor, Opt: rolag.OptRoLAG, Options: opts, Flatten: true})
+		if err != nil {
+			return nil, fmt.Errorf("tsvc %s (flatten): %w", kr.Name, err)
+		}
+		res.SizeFlat = fl.BinaryAfter
+		if rg.Stats.LoopsRolled > 0 && rg.BinaryAfter < rg.BinaryBefore {
+			for kk, v := range rg.Stats.NodeCounts {
+				summary.NodeCounts[kk] += v
+			}
+		}
+
+		ns, err := rolag.Build(kr.Src, rolag.Config{Name: kr.Name, Unroll: cfg.UnrollFactor, Opt: rolag.OptRoLAG, Options: noSpecial})
+		if err != nil {
+			return nil, fmt.Errorf("tsvc %s (no-special): %w", kr.Name, err)
+		}
+		if ns.Stats.LoopsRolled > 0 && ns.BinaryAfter < ns.BinaryBefore {
+			summary.AffectedNoSpecial++
+		}
+
+		if cfg.WithExtensions {
+			ex, err := rolag.Build(kr.Src, rolag.Config{Name: kr.Name, Unroll: cfg.UnrollFactor, Opt: rolag.OptRoLAG, Options: extOpts})
+			if err != nil {
+				return nil, fmt.Errorf("tsvc %s (extensions): %w", kr.Name, err)
+			}
+			if ex.Stats.LoopsRolled > 0 && ex.BinaryAfter < ex.BinaryBefore {
+				summary.AffectedExtensions++
+			}
+			extSum += pct(res.SizeBase, ex.BinaryAfter)
+		}
+
+		if cfg.MeasurePerf && res.RoLAGRolled > 0 {
+			sb, sr, ok := measureSteps(kr, base.Module, rg.Module)
+			if ok {
+				res.StepsBase, res.StepsRoLAG = sb, sr
+				if sr > 0 {
+					perfSum += float64(sb) / float64(sr)
+					perfN++
+				}
+			}
+		}
+
+		if res.LLVMRerolled > 0 && res.SizeLLVM < res.SizeBase {
+			summary.AffectedLLVM++
+		}
+		if res.RoLAGRolled > 0 && res.SizeRoLAG < res.SizeBase {
+			summary.AffectedRoLAG++
+		}
+		summary.Results = append(summary.Results, res)
+	}
+	n := float64(len(summary.Results))
+	for _, r := range summary.Results {
+		summary.MeanLLVM += r.RedLLVM() / n
+		summary.MeanRoLAG += r.RedRoLAG() / n
+		summary.MeanOracle += r.RedOracle() / n
+		summary.MeanFlat += r.RedFlat() / n
+	}
+	if perfN > 0 {
+		summary.RelPerf = perfSum / float64(perfN)
+	}
+	if cfg.WithExtensions && len(summary.Results) > 0 {
+		summary.MeanExtensions = extSum / float64(len(summary.Results))
+	}
+	// Fig. 17 sorts kernels by RoLAG's reduction.
+	sort.SliceStable(summary.Results, func(i, j int) bool {
+		return summary.Results[i].RedRoLAG() > summary.Results[j].RedRoLAG()
+	})
+	return summary, nil
+}
+
+// measureSteps interprets the kernel in both modules with the shared
+// harness and returns the executed instruction counts.
+func measureSteps(kr tsvc.Kernel, baseMod, rolagMod *ir.Module) (int64, int64, bool) {
+	h := &interp.Harness{MaxSteps: 5_000_000}
+	ob, err := h.Run(baseMod, kr.Func, 1)
+	if err != nil {
+		return 0, 0, false
+	}
+	or, err := h.Run(rolagMod, kr.Func, 1)
+	if err != nil {
+		return 0, 0, false
+	}
+	return ob.Steps, or.Steps, true
+}

@@ -1,0 +1,138 @@
+package interp_test
+
+// Property tests: the interpreter's arithmetic and conversions agree
+// with Go's own semantics for the corresponding C operations.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rolag/internal/cc"
+	"rolag/internal/interp"
+	"rolag/internal/ir"
+	"rolag/internal/passes"
+)
+
+func buildFn(t *testing.T, src string) *interp.Interp {
+	t.Helper()
+	m, err := cc.Compile(src, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes.Standard().Run(m)
+	in, err := interp.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestQuickIntTruncationChain(t *testing.T) {
+	in := buildFn(t, `
+int f(long x) { char c = (char)x; short s = (short)x; return c + s + (int)x; }`)
+	prop := func(x int64) bool {
+		v, err := in.Call("f", interp.IntVal(x))
+		if err != nil {
+			return false
+		}
+		want := int32(int8(x)) + int32(int16(x)) + int32(x)
+		return v.I == int64(want)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSignedDivision(t *testing.T) {
+	in := buildFn(t, `int f(int a, int b) { return a / b + a % b; }`)
+	prop := func(a int32, b int32) bool {
+		if b == 0 || (a == -2147483648 && b == -1) {
+			return true // UB in C; the interpreter guards div-by-zero separately
+		}
+		v, err := in.Call("f", interp.IntVal(int64(a)), interp.IntVal(int64(b)))
+		if err != nil {
+			return false
+		}
+		return v.I == int64(a/b+a%b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFloatToIntRoundTrip(t *testing.T) {
+	in := buildFn(t, `long f(double x) { return (long)x; }`)
+	prop := func(x int32) bool {
+		v, err := in.Call("f", interp.FloatVal(float64(x)))
+		if err != nil {
+			return false
+		}
+		return v.I == int64(x)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFloat32Narrowing(t *testing.T) {
+	in := buildFn(t, `float f(double x) { return (float)x; }`)
+	prop := func(x float64) bool {
+		v, err := in.Call("f", interp.FloatVal(x))
+		if err != nil {
+			return false
+		}
+		want := float64(float32(x))
+		return v.F == want || (want != want && v.F != v.F) // NaN-safe
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickShiftSemantics(t *testing.T) {
+	in := buildFn(t, `int f(int a, int s) { return (a << s) + (a >> s); }`)
+	prop := func(a int32, s uint8) bool {
+		sh := int32(s % 31)
+		v, err := in.Call("f", interp.IntVal(int64(a)), interp.IntVal(int64(sh)))
+		if err != nil {
+			return false
+		}
+		return v.I == int64(a<<sh+a>>sh)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMemoryRoundTrip(t *testing.T) {
+	// Store through one type, reload through the same type — bit-exact.
+	m := ir.NewModule("mem")
+	in, err := interp.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := in.Alloc(16, 8)
+	prop := func(x int64) bool {
+		if err := in.StoreTyped(addr, ir.I64, interp.IntVal(x)); err != nil {
+			return false
+		}
+		v, err := in.LoadTyped(addr, ir.I64)
+		return err == nil && v.I == x
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	propF := func(x float64) bool {
+		if err := in.StoreTyped(addr, ir.F64, interp.FloatVal(x)); err != nil {
+			return false
+		}
+		v, err := in.LoadTyped(addr, ir.F64)
+		if err != nil {
+			return false
+		}
+		return v.F == x || (x != x && v.F != v.F)
+	}
+	if err := quick.Check(propF, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rolag/internal/ir"
+)
+
+// Observation captures everything externally observable from one
+// execution of a function: the return value, the external-call trace,
+// the final contents of every pointer-argument buffer and of every named
+// global, and the executed instruction count.
+type Observation struct {
+	Ret     Val
+	Trace   []TraceEvent
+	Buffers [][]byte
+	Globals map[string][]byte
+	Steps   int64
+}
+
+// Harness drives comparable executions of a function: arguments are
+// generated deterministically from a seed, with each pointer parameter
+// backed by a fresh buffer of BufBytes pseudo-random nonzero bytes.
+type Harness struct {
+	// BufBytes is the size of each pointer-argument buffer (default 512).
+	BufBytes int
+	// MaxSteps bounds execution (default 10M).
+	MaxSteps int64
+	// Externs is installed into the interpreter before running.
+	Externs map[string]ExternFunc
+}
+
+// Run executes function fname of mod with seeded arguments and returns
+// the observation.
+func (h *Harness) Run(mod *ir.Module, fname string, seed int64) (*Observation, error) {
+	f := mod.FindFunc(fname)
+	if f == nil {
+		return nil, fmt.Errorf("interp: no function @%s", fname)
+	}
+	in, err := New(mod)
+	if err != nil {
+		return nil, err
+	}
+	if h.MaxSteps > 0 {
+		in.MaxSteps = h.MaxSteps
+	}
+	for name, fn := range h.Externs {
+		in.Externs[name] = fn
+	}
+	bufBytes := h.BufBytes
+	if bufBytes <= 0 {
+		bufBytes = 512
+	}
+	rng := rand.New(rand.NewSource(seed))
+	args := make([]Val, len(f.Params))
+	type bufInfo struct {
+		addr int64
+		size int64
+	}
+	var bufs []bufInfo
+	for i, p := range f.Params {
+		switch p.Typ.(type) {
+		case ir.IntType:
+			args[i] = IntVal(int64(rng.Intn(7) + 1))
+		case ir.FloatType:
+			args[i] = FloatVal(float64(rng.Intn(16)) / 4.0)
+		case ir.PointerType:
+			addr := in.Alloc(int64(bufBytes), 8)
+			for j := int64(0); j < int64(bufBytes); j++ {
+				in.mem[addr+j] = byte(rng.Intn(8) + 1)
+			}
+			args[i] = IntVal(addr)
+			bufs = append(bufs, bufInfo{addr: addr, size: int64(bufBytes)})
+		default:
+			return nil, fmt.Errorf("interp: unsupported parameter type %s", p.Typ)
+		}
+	}
+	ret, err := in.CallFunc(f, args)
+	if err != nil {
+		return nil, err
+	}
+	obs := &Observation{
+		Ret:     ret,
+		Trace:   in.Trace,
+		Globals: make(map[string][]byte),
+		Steps:   in.Steps,
+	}
+	for _, b := range bufs {
+		data, err := in.LoadBytes(b.addr, b.size)
+		if err != nil {
+			return nil, err
+		}
+		obs.Buffers = append(obs.Buffers, data)
+	}
+	for _, g := range mod.Globals {
+		data, err := in.LoadBytes(in.globalAddr[g], int64(g.Elem.Size()))
+		if err != nil {
+			return nil, err
+		}
+		obs.Globals[g.Name] = data
+	}
+	return obs, nil
+}
+
+// Equivalent compares two observations, ignoring globals present in only
+// one module (transformations may add constant pool globals) and the
+// step counts. It returns a descriptive error on the first mismatch.
+func Equivalent(a, b *Observation) error {
+	if a.Ret != b.Ret {
+		return fmt.Errorf("return values differ: %+v vs %+v", a.Ret, b.Ret)
+	}
+	if len(a.Trace) != len(b.Trace) {
+		return fmt.Errorf("trace lengths differ: %d vs %d", len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		ta, tb := a.Trace[i], b.Trace[i]
+		if ta.Callee != tb.Callee {
+			return fmt.Errorf("trace[%d]: callee %s vs %s", i, ta.Callee, tb.Callee)
+		}
+		if len(ta.Args) != len(tb.Args) {
+			return fmt.Errorf("trace[%d]: arg counts differ", i)
+		}
+		for j := range ta.Args {
+			if ta.Args[j] != tb.Args[j] {
+				return fmt.Errorf("trace[%d] @%s arg %d: %+v vs %+v", i, ta.Callee, j, ta.Args[j], tb.Args[j])
+			}
+		}
+		if ta.Ret != tb.Ret {
+			return fmt.Errorf("trace[%d] @%s: returns differ", i, ta.Callee)
+		}
+	}
+	if len(a.Buffers) != len(b.Buffers) {
+		return fmt.Errorf("buffer counts differ: %d vs %d", len(a.Buffers), len(b.Buffers))
+	}
+	for i := range a.Buffers {
+		if string(a.Buffers[i]) != string(b.Buffers[i]) {
+			return fmt.Errorf("argument buffer %d contents differ at offset %d", i, firstDiff(a.Buffers[i], b.Buffers[i]))
+		}
+	}
+	for name, ga := range a.Globals {
+		gb, ok := b.Globals[name]
+		if !ok {
+			continue
+		}
+		if string(ga) != string(gb) {
+			return fmt.Errorf("global @%s contents differ at offset %d", name, firstDiff(ga, gb))
+		}
+	}
+	return nil
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// CheckEquiv runs fname in both modules across nSeeds seeded executions
+// and returns the first behavioural difference found, or nil if all runs
+// match.
+func CheckEquiv(orig, xform *ir.Module, fname string, nSeeds int, h *Harness) error {
+	if h == nil {
+		h = &Harness{}
+	}
+	for seed := 0; seed < nSeeds; seed++ {
+		oa, err := h.Run(orig, fname, int64(seed)+1)
+		if err != nil {
+			return fmt.Errorf("original (seed %d): %w", seed, err)
+		}
+		ob, err := h.Run(xform, fname, int64(seed)+1)
+		if err != nil {
+			return fmt.Errorf("transformed (seed %d): %w", seed, err)
+		}
+		if err := Equivalent(oa, ob); err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"rolag/internal/ir"
+	"rolag/internal/passes"
+)
+
+// eval resolves an operand to its runtime value.
+func (in *Interp) eval(v ir.Value, frame map[ir.Value]Val) (Val, error) {
+	switch v := v.(type) {
+	case *ir.IntConst:
+		return IntVal(v.Val), nil
+	case *ir.FloatConst:
+		return FloatVal(v.Val), nil
+	case *ir.NullConst:
+		return IntVal(0), nil
+	case *ir.UndefConst:
+		return Val{}, nil
+	case *ir.Global:
+		return IntVal(in.globalAddr[v]), nil
+	case *ir.Func:
+		return Val{}, fmt.Errorf("interp: function values are not supported as data")
+	case *ir.Param, *ir.Instr:
+		val, ok := frame[v]
+		if !ok {
+			return Val{}, fmt.Errorf("interp: use of undefined value %s", v.Ident())
+		}
+		return val, nil
+	}
+	return Val{}, fmt.Errorf("interp: unknown value kind %T", v)
+}
+
+// execInstr executes a non-terminator instruction.
+func (in *Interp) execInstr(instr *ir.Instr, frame map[ir.Value]Val) (Val, error) {
+	ops := make([]Val, len(instr.Operands))
+	for i, o := range instr.Operands {
+		v, err := in.eval(o, frame)
+		if err != nil {
+			return Val{}, err
+		}
+		ops[i] = v
+	}
+	switch {
+	case instr.Op.IsIntBinary():
+		bits := instr.Typ.(ir.IntType).Bits
+		v, ok := passes.FoldIntBinary(instr.Op, ops[0].I, ops[1].I, bits)
+		if !ok {
+			return Val{}, fmt.Errorf("interp: division by zero")
+		}
+		return IntVal(v), nil
+	case instr.Op.IsFloatBinary():
+		f := passes.FoldFloatBinary(instr.Op, ops[0].F, ops[1].F)
+		if instr.Typ.(ir.FloatType).Bits == 32 {
+			f = float64(float32(f))
+		}
+		return FloatVal(f), nil
+	case instr.Op == ir.OpICmp:
+		return boolVal(passes.FoldICmp(instr.Pred, ops[0].I, ops[1].I)), nil
+	case instr.Op == ir.OpFCmp:
+		return boolVal(passes.FoldFCmp(instr.Pred, ops[0].F, ops[1].F)), nil
+	case instr.Op == ir.OpAlloca:
+		n := ops[0].I
+		size := int64(instr.Alloc.Size()) * n
+		addr := in.Alloc(size, int64(instr.Alloc.Align()))
+		// Zero the slot: allocas may be re-executed (loops) and the
+		// bump allocator does not recycle, so fresh memory is zero
+		// already, but be explicit for clarity.
+		for i := addr; i < addr+size; i++ {
+			in.mem[i] = 0
+		}
+		return IntVal(addr), nil
+	case instr.Op == ir.OpLoad:
+		return in.LoadTyped(ops[0].I, instr.Typ)
+	case instr.Op == ir.OpStore:
+		t := instr.Operand(1).Type().(ir.PointerType).Elem
+		return Val{}, in.StoreTyped(ops[1].I, t, ops[0])
+	case instr.Op == ir.OpGEP:
+		return in.evalGEP(instr, ops)
+	case instr.Op == ir.OpCall:
+		return in.CallFunc(instr.Callee, ops)
+	case instr.Op == ir.OpSelect:
+		if ops[0].I != 0 {
+			return ops[1], nil
+		}
+		return ops[2], nil
+	case instr.Op.IsCast():
+		return execCast(instr, ops[0])
+	}
+	return Val{}, fmt.Errorf("interp: unhandled opcode %s", instr.Op)
+}
+
+func (in *Interp) evalGEP(instr *ir.Instr, ops []Val) (Val, error) {
+	base := ops[0].I
+	pt := instr.Operand(0).Type().(ir.PointerType)
+	cur := ir.Type(pt.Elem)
+	addr := base + ops[1].I*int64(cur.Size())
+	for i, idxVal := range ops[2:] {
+		switch t := cur.(type) {
+		case ir.ArrayType:
+			addr += idxVal.I * int64(t.Elem.Size())
+			cur = t.Elem
+		case *ir.StructType:
+			fi := instr.Operand(i + 2).(*ir.IntConst).Val
+			addr += int64(t.FieldOffset(int(fi)))
+			cur = t.Fields[fi]
+		default:
+			return Val{}, fmt.Errorf("interp: gep into non-aggregate %s", cur)
+		}
+	}
+	return IntVal(addr), nil
+}
+
+func execCast(instr *ir.Instr, v Val) (Val, error) {
+	from := instr.Operand(0).Type()
+	switch instr.Op {
+	case ir.OpTrunc, ir.OpSExt:
+		bits := instr.Typ.(ir.IntType).Bits
+		return IntVal(signExtendI(v.I, bits)), nil
+	case ir.OpZExt:
+		fromBits := from.(ir.IntType).Bits
+		u := uint64(v.I)
+		if fromBits < 64 {
+			u &= (1 << uint(fromBits)) - 1
+		}
+		return IntVal(int64(u)), nil
+	case ir.OpFPTrunc:
+		return FloatVal(float64(float32(v.F))), nil
+	case ir.OpFPExt:
+		return v, nil
+	case ir.OpFPToSI:
+		if math.IsNaN(v.F) || math.IsInf(v.F, 0) {
+			return IntVal(0), nil
+		}
+		return IntVal(int64(v.F)), nil
+	case ir.OpSIToFP:
+		f := float64(v.I)
+		if instr.Typ.(ir.FloatType).Bits == 32 {
+			f = float64(float32(f))
+		}
+		return FloatVal(f), nil
+	case ir.OpPtrToInt:
+		bits := instr.Typ.(ir.IntType).Bits
+		return IntVal(signExtendI(v.I, bits)), nil
+	case ir.OpIntToPtr, ir.OpBitcast:
+		return v, nil
+	}
+	return Val{}, fmt.Errorf("interp: unhandled cast %s", instr.Op)
+}
+
+func signExtendI(v int64, bits int) int64 {
+	if bits >= 64 {
+		return v
+	}
+	shift := uint(64 - bits)
+	return v << shift >> shift
+}
+
+func boolVal(b bool) Val {
+	if b {
+		return IntVal(1)
+	}
+	return IntVal(0)
+}
+
+// callExtern dispatches a call to an external declaration. Registered
+// host functions run directly. Unregistered ones get the default
+// behaviour: the call is recorded in the trace and returns a value
+// derived deterministically from the callee name and arguments, so that
+// two executions are comparable.
+//
+// Pointer arguments are canonicalized by reading the first pointed-to
+// element at call time: transformed code may place objects at different
+// addresses than the original, so raw addresses must not influence the
+// trace or the returned value, but pointed-to *contents* must.
+func (in *Interp) callExtern(f *ir.Func, args []Val) (Val, error) {
+	if h, ok := in.Externs[f.Name]; ok {
+		ret, err := h(in, args)
+		if err != nil {
+			return Val{}, err
+		}
+		in.Trace = append(in.Trace, TraceEvent{Callee: f.Name, Args: in.canonArgs(f, args), Ret: ret})
+		return ret, nil
+	}
+	canon := in.canonArgs(f, args)
+	var ret Val
+	switch f.Sig.Ret.(type) {
+	case ir.IntType:
+		ret = IntVal(hashArgs(f.Name, canon))
+	case ir.FloatType:
+		h := hashArgs(f.Name, canon)
+		ret = FloatVal(float64(h%1000) / 7.0)
+	case ir.PointerType:
+		ret = IntVal(0)
+	}
+	in.Trace = append(in.Trace, TraceEvent{Callee: f.Name, Args: canon, Ret: ret})
+	return ret, nil
+}
+
+// canonArgs replaces pointer-typed arguments by the value of their first
+// pointed-to element (0 if unreadable), making traces comparable across
+// address-layout changes.
+func (in *Interp) canonArgs(f *ir.Func, args []Val) []Val {
+	canon := make([]Val, len(args))
+	for i, a := range args {
+		pt, isPtr := f.Sig.Params[i].(ir.PointerType)
+		if !isPtr {
+			canon[i] = a
+			continue
+		}
+		switch pt.Elem.(type) {
+		case ir.IntType, ir.FloatType:
+			if v, err := in.LoadTyped(a.I, pt.Elem); err == nil {
+				canon[i] = v
+				continue
+			}
+		}
+		canon[i] = Val{}
+	}
+	return canon
+}
+
+// hashArgs derives a deterministic value from a callee name and argument
+// list (FNV-style).
+func hashArgs(name string, args []Val) int64 {
+	h := uint64(1469598103934665603)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for i := 0; i < len(name); i++ {
+		mix(name[i])
+	}
+	for _, a := range args {
+		u := uint64(a.I) ^ math.Float64bits(a.F)
+		for s := 0; s < 64; s += 8 {
+			mix(byte(u >> uint(s)))
+		}
+	}
+	// Keep the value small so that int32 truncation in user code does
+	// not change behaviour between equivalent programs.
+	return int64(h % 100003)
+}

@@ -1,0 +1,66 @@
+package interp_test
+
+import (
+	"testing"
+
+	"rolag/internal/cc"
+	"rolag/internal/interp"
+	"rolag/internal/passes"
+)
+
+func TestInterpQuick(t *testing.T) {
+	src := `
+int sumn(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) s += i;
+	return s;
+}
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n-1) + fib(n-2);
+}
+void fill(int *a, int n) {
+	for (int i = 0; i < n; i++) a[i] = i * 3;
+}
+`
+	m, err := cc.Compile(src, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes.Standard().Run(m)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("%v\n%s", err, m)
+	}
+	in, err := interp.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := in.Call("sumn", interp.IntVal(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 45 {
+		t.Errorf("sumn(10) = %d, want 45", v.I)
+	}
+	v, err = in.Call("fib", interp.IntVal(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 55 {
+		t.Errorf("fib(10) = %d, want 55", v.I)
+	}
+	addr := in.Alloc(40, 8)
+	if _, err = in.Call("fill", interp.IntVal(addr), interp.IntVal(10)); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		got, err := in.LoadBytes(addr+i*4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := byte(i * 3)
+		if got[0] != want {
+			t.Errorf("a[%d] low byte = %d, want %d", i, got[0], want)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package ir
+
+import "fmt"
+
+// Op identifies the operation an instruction performs.
+type Op int
+
+// Instruction opcodes.
+const (
+	OpInvalid Op = iota
+
+	// Integer binary operations.
+	OpAdd
+	OpSub
+	OpMul
+	OpSDiv
+	OpUDiv
+	OpSRem
+	OpURem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpLShr
+	OpAShr
+
+	// Floating-point binary operations.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+
+	// Comparisons.
+	OpICmp
+	OpFCmp
+
+	// Memory.
+	OpAlloca
+	OpLoad
+	OpStore
+	OpGEP
+
+	// Calls.
+	OpCall
+
+	// Conversions.
+	OpTrunc
+	OpZExt
+	OpSExt
+	OpFPTrunc
+	OpFPExt
+	OpFPToSI
+	OpSIToFP
+	OpPtrToInt
+	OpIntToPtr
+	OpBitcast
+
+	// Other.
+	OpPhi
+	OpSelect
+
+	// Terminators.
+	OpBr
+	OpCondBr
+	OpRet
+)
+
+var opNames = map[Op]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpSDiv: "sdiv", OpUDiv: "udiv",
+	OpSRem: "srem", OpURem: "urem", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpLShr: "lshr", OpAShr: "ashr",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpICmp: "icmp", OpFCmp: "fcmp",
+	OpAlloca: "alloca", OpLoad: "load", OpStore: "store", OpGEP: "gep",
+	OpCall:  "call",
+	OpTrunc: "trunc", OpZExt: "zext", OpSExt: "sext", OpFPTrunc: "fptrunc",
+	OpFPExt: "fpext", OpFPToSI: "fptosi", OpSIToFP: "sitofp",
+	OpPtrToInt: "ptrtoint", OpIntToPtr: "inttoptr", OpBitcast: "bitcast",
+	OpPhi: "phi", OpSelect: "select",
+	OpBr: "br", OpCondBr: "condbr", OpRet: "ret",
+}
+
+func (op Op) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// IsBinary reports whether op is an integer or floating-point binary
+// arithmetic/logical operation.
+func (op Op) IsBinary() bool { return op >= OpAdd && op <= OpFDiv }
+
+// IsIntBinary reports whether op is an integer binary operation.
+func (op Op) IsIntBinary() bool { return op >= OpAdd && op <= OpAShr }
+
+// IsFloatBinary reports whether op is a floating-point binary operation.
+func (op Op) IsFloatBinary() bool { return op >= OpFAdd && op <= OpFDiv }
+
+// IsCast reports whether op is a conversion.
+func (op Op) IsCast() bool { return op >= OpTrunc && op <= OpBitcast }
+
+// IsTerminator reports whether op terminates a basic block.
+func (op Op) IsTerminator() bool { return op == OpBr || op == OpCondBr || op == OpRet }
+
+// IsCommutative reports whether the operands of op may be swapped.
+func (op Op) IsCommutative() bool {
+	switch op {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor, OpFAdd, OpFMul:
+		return true
+	}
+	return false
+}
+
+// IsAssociative reports whether op is associative. Floating-point
+// operations are only associative under fast-math, which callers must
+// gate explicitly (see rolag.Options.FastMath).
+func (op Op) IsAssociative() bool {
+	switch op {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor:
+		return true
+	}
+	return false
+}
+
+// NeutralElement returns the neutral (identity) element of op for type t,
+// or nil if op has none: x op neutral == x.
+func (op Op) NeutralElement(t Type) Const {
+	switch op {
+	case OpAdd, OpSub, OpOr, OpXor, OpShl, OpLShr, OpAShr:
+		if it, ok := t.(IntType); ok {
+			return ConstInt(it, 0)
+		}
+	case OpMul, OpSDiv, OpUDiv:
+		if it, ok := t.(IntType); ok {
+			return ConstInt(it, 1)
+		}
+	case OpAnd:
+		if it, ok := t.(IntType); ok {
+			return ConstInt(it, -1)
+		}
+	case OpFAdd, OpFSub:
+		if ft, ok := t.(FloatType); ok {
+			return ConstFloat(ft, 0)
+		}
+	case OpFMul, OpFDiv:
+		if ft, ok := t.(FloatType); ok {
+			return ConstFloat(ft, 1)
+		}
+	}
+	return nil
+}
+
+// Pred is a comparison predicate for icmp and fcmp.
+type Pred int
+
+// Comparison predicates. The O-prefixed predicates are ordered
+// floating-point comparisons.
+const (
+	PredInvalid Pred = iota
+	PredEQ
+	PredNE
+	PredSLT
+	PredSLE
+	PredSGT
+	PredSGE
+	PredULT
+	PredULE
+	PredUGT
+	PredUGE
+	PredOEQ
+	PredONE
+	PredOLT
+	PredOLE
+	PredOGT
+	PredOGE
+)
+
+var predNames = map[Pred]string{
+	PredEQ: "eq", PredNE: "ne",
+	PredSLT: "slt", PredSLE: "sle", PredSGT: "sgt", PredSGE: "sge",
+	PredULT: "ult", PredULE: "ule", PredUGT: "ugt", PredUGE: "uge",
+	PredOEQ: "oeq", PredONE: "one",
+	PredOLT: "olt", PredOLE: "ole", PredOGT: "ogt", PredOGE: "oge",
+}
+
+func (p Pred) String() string {
+	if s, ok := predNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("pred(%d)", int(p))
+}
+
+// Instr is a single IR instruction. All instruction kinds share this
+// struct; Op selects the operation, Operands holds the SSA operands, and
+// the remaining fields are used only by the kinds that need them.
+//
+// Operand layout by opcode:
+//
+//	binary ops       [lhs, rhs]
+//	icmp/fcmp        [lhs, rhs]           (Pred set)
+//	alloca           [count]              (Alloc set to the element type)
+//	load             [ptr]
+//	store            [val, ptr]
+//	gep              [base, idx...]
+//	call             [arg...]             (Callee set)
+//	casts            [val]
+//	phi              [incoming...]        (Blocks parallel to Operands)
+//	select           [cond, ifTrue, ifFalse]
+//	br               []                   (Blocks[0] = target)
+//	condbr           [cond]               (Blocks[0] = true, Blocks[1] = false)
+//	ret              [] or [val]
+type Instr struct {
+	Name     string // SSA name; empty for void-typed instructions
+	Op       Op
+	Typ      Type
+	Operands []Value
+	Blocks   []*Block // phi incoming blocks or branch targets
+	Pred     Pred     // icmp/fcmp predicate
+	Callee   *Func    // call target
+	Alloc    Type     // alloca element type
+	Parent   *Block
+}
+
+func (in *Instr) Type() Type { return in.Typ }
+
+func (in *Instr) Ident() string {
+	if in.Name == "" {
+		return "%<void>"
+	}
+	return "%" + in.Name
+}
+
+// NumOperands returns the number of SSA operands.
+func (in *Instr) NumOperands() int { return len(in.Operands) }
+
+// Operand returns the i-th operand.
+func (in *Instr) Operand(i int) Value { return in.Operands[i] }
+
+// SetOperand replaces the i-th operand.
+func (in *Instr) SetOperand(i int, v Value) { in.Operands[i] = v }
+
+// IsTerminator reports whether the instruction terminates its block.
+func (in *Instr) IsTerminator() bool { return in.Op.IsTerminator() }
+
+// MayWriteMemory reports whether executing the instruction may write
+// memory or have other side effects visible outside the function.
+func (in *Instr) MayWriteMemory() bool {
+	switch in.Op {
+	case OpStore:
+		return true
+	case OpCall:
+		// Conservative: any call may write memory unless it is known
+		// read-only.
+		return in.Callee == nil || !in.Callee.ReadOnly
+	}
+	return false
+}
+
+// MayReadMemory reports whether executing the instruction may read memory.
+func (in *Instr) MayReadMemory() bool {
+	switch in.Op {
+	case OpLoad, OpCall:
+		return true
+	}
+	return false
+}
+
+// HasMemoryEffect reports whether the instruction reads or writes memory
+// (and therefore may not be reordered with conflicting accesses).
+func (in *Instr) HasMemoryEffect() bool {
+	return in.MayReadMemory() || in.MayWriteMemory()
+}
+
+// PhiIncoming returns the incoming value for predecessor block b of a phi.
+func (in *Instr) PhiIncoming(b *Block) (Value, bool) {
+	for i, blk := range in.Blocks {
+		if blk == b {
+			return in.Operands[i], true
+		}
+	}
+	return nil, false
+}
+
+// ReplaceUsesOf replaces every operand equal to old with new. It returns
+// the number of replacements.
+func (in *Instr) ReplaceUsesOf(old, new Value) int {
+	n := 0
+	for i, op := range in.Operands {
+		if op == old {
+			in.Operands[i] = new
+			n++
+		}
+	}
+	return n
+}
+
+// Index returns the position of the instruction in its parent block, or
+// -1 if detached.
+func (in *Instr) Index() int {
+	if in.Parent == nil {
+		return -1
+	}
+	for i, x := range in.Parent.Instrs {
+		if x == in {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,141 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String returns the textual form of the module. The format round-trips
+// through irparse.ParseModule.
+func (m *Module) String() string {
+	var sb strings.Builder
+	for _, s := range m.Structs {
+		fmt.Fprintf(&sb, "type %%%s = {", s.TypeName)
+		for i, f := range s.Fields {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(f.String())
+		}
+		sb.WriteString("}\n")
+	}
+	if len(m.Structs) > 0 {
+		sb.WriteByte('\n')
+	}
+	for _, g := range m.Globals {
+		kw := "global"
+		if g.ReadOnly {
+			kw = "constant"
+		}
+		if g.Init != nil {
+			fmt.Fprintf(&sb, "@%s = %s %s %s\n", g.Name, kw, g.Elem, g.Init.Ident())
+		} else {
+			fmt.Fprintf(&sb, "@%s = %s %s\n", g.Name, kw, g.Elem)
+		}
+	}
+	if len(m.Globals) > 0 {
+		sb.WriteByte('\n')
+	}
+	for i, f := range m.Funcs {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// String returns the textual form of the function.
+func (f *Func) String() string {
+	var sb strings.Builder
+	kw := "func"
+	if f.IsDecl() {
+		kw = "declare"
+	}
+	fmt.Fprintf(&sb, "%s %s @%s(", kw, f.Sig.Ret, f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s %%%s", p.Typ, p.Name)
+	}
+	sb.WriteString(")")
+	if f.IsDecl() {
+		if f.ReadOnly {
+			sb.WriteString(" readonly")
+		}
+		sb.WriteString("\n")
+		return sb.String()
+	}
+	sb.WriteString(" {\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(in.String())
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String returns the textual form of the instruction.
+func (in *Instr) String() string {
+	var sb strings.Builder
+	if !IsVoid(in.Typ) && in.Name != "" {
+		fmt.Fprintf(&sb, "%%%s = ", in.Name)
+	}
+	switch {
+	case in.Op.IsBinary():
+		fmt.Fprintf(&sb, "%s %s, %s", in.Op, typedIdent(in.Operands[0]), in.Operands[1].Ident())
+	case in.Op == OpICmp || in.Op == OpFCmp:
+		fmt.Fprintf(&sb, "%s %s %s, %s", in.Op, in.Pred, typedIdent(in.Operands[0]), in.Operands[1].Ident())
+	case in.Op == OpAlloca:
+		fmt.Fprintf(&sb, "alloca %s, %s", in.Alloc, typedIdent(in.Operands[0]))
+	case in.Op == OpLoad:
+		fmt.Fprintf(&sb, "load %s, %s", in.Typ, typedIdent(in.Operands[0]))
+	case in.Op == OpStore:
+		fmt.Fprintf(&sb, "store %s, %s", typedIdent(in.Operands[0]), typedIdent(in.Operands[1]))
+	case in.Op == OpGEP:
+		fmt.Fprintf(&sb, "gep %s", typedIdent(in.Operands[0]))
+		for _, idx := range in.Operands[1:] {
+			fmt.Fprintf(&sb, ", %s", typedIdent(idx))
+		}
+	case in.Op == OpCall:
+		fmt.Fprintf(&sb, "call %s @%s(", in.Typ, in.Callee.Name)
+		for i, a := range in.Operands {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(typedIdent(a))
+		}
+		sb.WriteString(")")
+	case in.Op.IsCast():
+		fmt.Fprintf(&sb, "%s %s to %s", in.Op, typedIdent(in.Operands[0]), in.Typ)
+	case in.Op == OpPhi:
+		fmt.Fprintf(&sb, "phi %s ", in.Typ)
+		for i := range in.Operands {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "[%s, %%%s]", in.Operands[i].Ident(), in.Blocks[i].Name)
+		}
+	case in.Op == OpSelect:
+		fmt.Fprintf(&sb, "select %s, %s, %s",
+			typedIdent(in.Operands[0]), typedIdent(in.Operands[1]), typedIdent(in.Operands[2]))
+	case in.Op == OpBr:
+		fmt.Fprintf(&sb, "br %%%s", in.Blocks[0].Name)
+	case in.Op == OpCondBr:
+		fmt.Fprintf(&sb, "condbr %s, %%%s, %%%s", typedIdent(in.Operands[0]), in.Blocks[0].Name, in.Blocks[1].Name)
+	case in.Op == OpRet:
+		if len(in.Operands) == 0 {
+			sb.WriteString("ret void")
+		} else {
+			fmt.Fprintf(&sb, "ret %s", typedIdent(in.Operands[0]))
+		}
+	default:
+		fmt.Fprintf(&sb, "<invalid op %d>", int(in.Op))
+	}
+	return sb.String()
+}

@@ -1,0 +1,150 @@
+package ir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstIntTruncation(t *testing.T) {
+	cases := []struct {
+		typ  IntType
+		in   int64
+		want int64
+	}{
+		{I8, 127, 127},
+		{I8, 128, -128},
+		{I8, 255, -1},
+		{I8, 256, 0},
+		{I16, 1 << 15, -(1 << 15)},
+		{I32, 1<<31 - 1, 1<<31 - 1},
+		{I32, 1 << 31, -(1 << 31)},
+		{I64, math.MaxInt64, math.MaxInt64},
+		{I1, 1, -1}, // i1 1 sign-extends to -1 in the 64-bit carrier
+		{I1, 0, 0},
+	}
+	for _, c := range cases {
+		got := ConstInt(c.typ, c.in).Val
+		if got != c.want {
+			t.Errorf("ConstInt(%s, %d).Val = %d, want %d", c.typ, c.in, got, c.want)
+		}
+	}
+}
+
+func TestConstIntIdempotent(t *testing.T) {
+	// Property: normalizing twice equals normalizing once.
+	f := func(v int64, bitsSel uint8) bool {
+		bits := []int{1, 8, 16, 32, 64}[int(bitsSel)%5]
+		typ := IntType{Bits: bits}
+		once := ConstInt(typ, v).Val
+		twice := ConstInt(typ, once).Val
+		return once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstFloat32Rounding(t *testing.T) {
+	c := ConstFloat(F32, 0.1)
+	if c.Val != float64(float32(0.1)) {
+		t.Errorf("f32 constant not rounded to float32: %v", c.Val)
+	}
+	d := ConstFloat(F64, 0.1)
+	if d.Val != 0.1 {
+		t.Errorf("f64 constant altered: %v", d.Val)
+	}
+}
+
+func TestSameConst(t *testing.T) {
+	if !SameConst(ConstInt(I32, 5), ConstInt(I32, 5)) {
+		t.Error("equal i32 constants must be SameConst")
+	}
+	if SameConst(ConstInt(I32, 5), ConstInt(I64, 5)) {
+		t.Error("different widths must differ")
+	}
+	if SameConst(ConstInt(I32, 5), ConstFloat(F32, 5)) {
+		t.Error("int vs float must differ")
+	}
+	if !SameConst(ConstFloat(F64, math.NaN()), ConstFloat(F64, math.NaN())) {
+		t.Error("NaN constants compare equal for structural purposes")
+	}
+	if !SameConst(ConstNull(Ptr(I8)), ConstNull(Ptr(I8))) {
+		t.Error("same-typed nulls are equal")
+	}
+	if SameConst(ConstNull(Ptr(I8)), ConstNull(Ptr(I32))) {
+		t.Error("differently typed nulls differ")
+	}
+	a1 := &ArrayConst{Typ: ArrayOf(2, I32), Elems: []Const{ConstInt(I32, 1), ConstInt(I32, 2)}}
+	a2 := &ArrayConst{Typ: ArrayOf(2, I32), Elems: []Const{ConstInt(I32, 1), ConstInt(I32, 2)}}
+	a3 := &ArrayConst{Typ: ArrayOf(2, I32), Elems: []Const{ConstInt(I32, 1), ConstInt(I32, 3)}}
+	if !SameConst(a1, a2) || SameConst(a1, a3) {
+		t.Error("array constant comparison broken")
+	}
+	u := &UndefConst{Typ: I32}
+	if SameConst(u, u) {
+		t.Error("undef never equals anything, not even itself")
+	}
+}
+
+func TestSameValue(t *testing.T) {
+	p := &Param{Name: "x", Typ: I32}
+	if !SameValue(p, p) {
+		t.Error("identity must hold")
+	}
+	q := &Param{Name: "x", Typ: I32}
+	if SameValue(p, q) {
+		t.Error("distinct params with equal names are distinct values")
+	}
+	if !SameValue(ConstInt(I8, -1), ConstInt(I8, 255)) {
+		t.Error("i8 -1 and 255 normalize to the same constant")
+	}
+}
+
+func TestZeroValue(t *testing.T) {
+	if c, ok := ZeroValue(I32).(*IntConst); !ok || c.Val != 0 {
+		t.Error("zero of i32")
+	}
+	if c, ok := ZeroValue(F64).(*FloatConst); !ok || c.Val != 0 {
+		t.Error("zero of f64")
+	}
+	if _, ok := ZeroValue(Ptr(I8)).(*NullConst); !ok {
+		t.Error("zero of pointer is null")
+	}
+	if _, ok := ZeroValue(ArrayOf(3, I32)).(*ZeroConst); !ok {
+		t.Error("zero of aggregate is zeroinitializer")
+	}
+}
+
+func TestIdentSpellings(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{ConstInt(I32, 42), "42"},
+		{ConstInt(I32, -7), "-7"},
+		{ConstFloat(F64, 1.5), "1.5"},
+		{ConstFloat(F64, 2), "2.0"},
+		{ConstNull(Ptr(I8)), "null"},
+		{&UndefConst{Typ: I32}, "undef"},
+		{&Param{Name: "x", Typ: I32}, "%x"},
+		{&Global{Name: "g", Elem: I32}, "@g"},
+	}
+	for _, c := range cases {
+		if got := c.v.Ident(); got != c.want {
+			t.Errorf("Ident() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestIntValue(t *testing.T) {
+	if v, ok := IntValue(ConstInt(I32, 9)); !ok || v != 9 {
+		t.Error("IntValue on int constant")
+	}
+	if _, ok := IntValue(ConstFloat(F32, 9)); ok {
+		t.Error("IntValue must reject floats")
+	}
+	if _, ok := IntValue(&Param{Name: "x", Typ: I32}); ok {
+		t.Error("IntValue must reject non-constants")
+	}
+}

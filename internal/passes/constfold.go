@@ -1,0 +1,250 @@
+package passes
+
+import (
+	"math"
+
+	"rolag/internal/ir"
+)
+
+// ConstFold folds instructions whose operands are all constants and
+// replaces their uses with the folded constant. Returns true if anything
+// changed.
+func ConstFold(f *ir.Func) bool {
+	if f.IsDecl() {
+		return false
+	}
+	changed := false
+	for {
+		progress := false
+		for _, b := range f.Blocks {
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				in := b.Instrs[i]
+				c := foldInstr(in)
+				if c == nil {
+					continue
+				}
+				f.ReplaceAllUses(in, c)
+				b.Remove(in)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+// foldInstr returns the constant an instruction evaluates to, or nil.
+func foldInstr(in *ir.Instr) ir.Const {
+	switch {
+	case in.Op.IsIntBinary():
+		a, aok := in.Operand(0).(*ir.IntConst)
+		b, bok := in.Operand(1).(*ir.IntConst)
+		if !aok || !bok {
+			return nil
+		}
+		v, ok := FoldIntBinary(in.Op, a.Val, b.Val, a.Typ.Bits)
+		if !ok {
+			return nil
+		}
+		return ir.ConstInt(a.Typ, v)
+	case in.Op.IsFloatBinary():
+		a, aok := in.Operand(0).(*ir.FloatConst)
+		b, bok := in.Operand(1).(*ir.FloatConst)
+		if !aok || !bok {
+			return nil
+		}
+		return ir.ConstFloat(a.Typ, FoldFloatBinary(in.Op, a.Val, b.Val))
+	case in.Op == ir.OpICmp:
+		a, aok := in.Operand(0).(*ir.IntConst)
+		b, bok := in.Operand(1).(*ir.IntConst)
+		if !aok || !bok {
+			return nil
+		}
+		return ir.ConstBool(FoldICmp(in.Pred, a.Val, b.Val))
+	case in.Op == ir.OpFCmp:
+		a, aok := in.Operand(0).(*ir.FloatConst)
+		b, bok := in.Operand(1).(*ir.FloatConst)
+		if !aok || !bok {
+			return nil
+		}
+		return ir.ConstBool(FoldFCmp(in.Pred, a.Val, b.Val))
+	case in.Op == ir.OpSelect:
+		c, ok := in.Operand(0).(*ir.IntConst)
+		if !ok {
+			return nil
+		}
+		var arm ir.Value
+		if c.Val != 0 {
+			arm = in.Operand(1)
+		} else {
+			arm = in.Operand(2)
+		}
+		cv, ok := arm.(ir.Const)
+		if !ok {
+			return nil
+		}
+		return cv
+	case in.Op.IsCast():
+		return foldCast(in)
+	}
+	return nil
+}
+
+func foldCast(in *ir.Instr) ir.Const {
+	switch op := in.Operand(0).(type) {
+	case *ir.IntConst:
+		switch in.Op {
+		case ir.OpTrunc, ir.OpZExt, ir.OpSExt, ir.OpBitcast:
+			if t, ok := in.Typ.(ir.IntType); ok {
+				v := op.Val
+				if in.Op == ir.OpZExt {
+					v = zext(v, op.Typ.Bits)
+				}
+				return ir.ConstInt(t, v)
+			}
+		case ir.OpSIToFP:
+			if t, ok := in.Typ.(ir.FloatType); ok {
+				return ir.ConstFloat(t, float64(op.Val))
+			}
+		}
+	case *ir.FloatConst:
+		switch in.Op {
+		case ir.OpFPTrunc, ir.OpFPExt:
+			if t, ok := in.Typ.(ir.FloatType); ok {
+				return ir.ConstFloat(t, op.Val)
+			}
+		case ir.OpFPToSI:
+			if t, ok := in.Typ.(ir.IntType); ok {
+				return ir.ConstInt(t, int64(op.Val))
+			}
+		}
+	}
+	return nil
+}
+
+func zext(v int64, bits int) int64 {
+	if bits >= 64 {
+		return v
+	}
+	mask := int64(1)<<uint(bits) - 1
+	return v & mask
+}
+
+// FoldIntBinary evaluates an integer binary op over 64-bit values,
+// truncating/sign-extending to the given bit width. Division by zero is
+// reported as not foldable.
+func FoldIntBinary(op ir.Op, a, b int64, bits int) (int64, bool) {
+	var v int64
+	switch op {
+	case ir.OpAdd:
+		v = a + b
+	case ir.OpSub:
+		v = a - b
+	case ir.OpMul:
+		v = a * b
+	case ir.OpSDiv:
+		if b == 0 {
+			return 0, false
+		}
+		v = a / b
+	case ir.OpUDiv:
+		if b == 0 {
+			return 0, false
+		}
+		v = int64(uint64(zext(a, bits)) / uint64(zext(b, bits)))
+	case ir.OpSRem:
+		if b == 0 {
+			return 0, false
+		}
+		v = a % b
+	case ir.OpURem:
+		if b == 0 {
+			return 0, false
+		}
+		v = int64(uint64(zext(a, bits)) % uint64(zext(b, bits)))
+	case ir.OpAnd:
+		v = a & b
+	case ir.OpOr:
+		v = a | b
+	case ir.OpXor:
+		v = a ^ b
+	case ir.OpShl:
+		v = a << uint(b&63)
+	case ir.OpLShr:
+		v = int64(uint64(zext(a, bits)) >> uint(b&63))
+	case ir.OpAShr:
+		v = a >> uint(b&63)
+	default:
+		return 0, false
+	}
+	// Normalize to the declared width.
+	if bits < 64 {
+		shift := uint(64 - bits)
+		v = v << shift >> shift
+	}
+	return v, true
+}
+
+// FoldFloatBinary evaluates a floating binary op.
+func FoldFloatBinary(op ir.Op, a, b float64) float64 {
+	switch op {
+	case ir.OpFAdd:
+		return a + b
+	case ir.OpFSub:
+		return a - b
+	case ir.OpFMul:
+		return a * b
+	case ir.OpFDiv:
+		return a / b
+	}
+	return math.NaN()
+}
+
+// FoldICmp evaluates an integer comparison on sign-extended values.
+func FoldICmp(p ir.Pred, a, b int64) bool {
+	switch p {
+	case ir.PredEQ:
+		return a == b
+	case ir.PredNE:
+		return a != b
+	case ir.PredSLT:
+		return a < b
+	case ir.PredSLE:
+		return a <= b
+	case ir.PredSGT:
+		return a > b
+	case ir.PredSGE:
+		return a >= b
+	case ir.PredULT:
+		return uint64(a) < uint64(b)
+	case ir.PredULE:
+		return uint64(a) <= uint64(b)
+	case ir.PredUGT:
+		return uint64(a) > uint64(b)
+	case ir.PredUGE:
+		return uint64(a) >= uint64(b)
+	}
+	return false
+}
+
+// FoldFCmp evaluates an ordered floating comparison.
+func FoldFCmp(p ir.Pred, a, b float64) bool {
+	switch p {
+	case ir.PredOEQ:
+		return a == b
+	case ir.PredONE:
+		return a != b
+	case ir.PredOLT:
+		return a < b
+	case ir.PredOLE:
+		return a <= b
+	case ir.PredOGT:
+		return a > b
+	case ir.PredOGE:
+		return a >= b
+	}
+	return false
+}

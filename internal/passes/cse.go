@@ -1,0 +1,137 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+
+	"rolag/internal/analysis"
+	"rolag/internal/ir"
+)
+
+// CSE performs dominator-scoped common-subexpression elimination of pure
+// instructions (arithmetic, comparisons, geps, casts, selects). Loads and
+// calls are left alone — eliminating them would require memory dependence
+// tracking. Returns true if anything changed.
+//
+// Besides shrinking code, CSE canonicalizes repeated address computations
+// (e.g. the per-statement array-decay geps the frontend emits), which the
+// alignment strategies rely on: RoLAG's neutral-pointer rule (§IV.C2)
+// needs the shared base pointer to be one SSA value.
+func CSE(f *ir.Func) bool {
+	if f.IsDecl() {
+		return false
+	}
+	di := analysis.ComputeDom(f)
+	changed := false
+
+	type scope struct {
+		table map[string]*ir.Instr
+		prev  map[string]*ir.Instr // shadowed entries (nil = not present)
+	}
+	var stack []map[string]*ir.Instr
+	lookup := func(k string) *ir.Instr {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if in, ok := stack[i][k]; ok {
+				return in
+			}
+		}
+		return nil
+	}
+	_ = scope{}
+
+	var visit func(b *ir.Block)
+	visit = func(b *ir.Block) {
+		local := make(map[string]*ir.Instr)
+		stack = append(stack, local)
+		for i := 0; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			k, ok := cseKey(in)
+			if !ok {
+				continue
+			}
+			if prev := lookup(k); prev != nil {
+				f.ReplaceAllUses(in, prev)
+				b.Remove(in)
+				i--
+				changed = true
+				continue
+			}
+			local[k] = in
+		}
+		for _, c := range di.Children[b] {
+			visit(c)
+		}
+		stack = stack[:len(stack)-1]
+	}
+	visit(f.Entry())
+	if loadCSE(f) {
+		changed = true
+	}
+	return changed
+}
+
+// loadCSE eliminates redundant loads within each block: a load from p
+// reuses an earlier load of the same pointer value (or the value of an
+// earlier store to it) as long as no intervening instruction may write
+// memory that aliases p. Strictly block-local, so no path-sensitivity is
+// needed.
+func loadCSE(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		avail := make(map[ir.Value]ir.Value) // pointer -> known loaded/stored value
+		for i := 0; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			switch in.Op {
+			case ir.OpLoad:
+				p := in.Operand(0)
+				if v, ok := avail[p]; ok {
+					f.ReplaceAllUses(in, v)
+					b.Remove(in)
+					i--
+					changed = true
+					continue
+				}
+				avail[p] = in
+			case ir.OpStore:
+				p := in.Operand(1)
+				for q := range avail {
+					if q != p && analysis.MayAlias(p, q) {
+						delete(avail, q)
+					}
+				}
+				avail[p] = in.Operand(0)
+			case ir.OpCall:
+				if in.Callee == nil || !in.Callee.ReadOnly {
+					avail = make(map[ir.Value]ir.Value)
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// cseKey returns a structural hash key for pure instructions.
+func cseKey(in *ir.Instr) (string, bool) {
+	switch {
+	case in.Op.IsBinary(), in.Op.IsCast(),
+		in.Op == ir.OpGEP, in.Op == ir.OpICmp, in.Op == ir.OpFCmp,
+		in.Op == ir.OpSelect:
+	default:
+		return "", false
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%s|%d|", in.Op, in.Typ, in.Pred)
+	for _, op := range in.Operands {
+		switch c := op.(type) {
+		case *ir.IntConst:
+			fmt.Fprintf(&sb, "i%s:%d;", c.Typ, c.Val)
+		case *ir.FloatConst:
+			fmt.Fprintf(&sb, "f%s:%x;", c.Typ, c.Val)
+		case *ir.NullConst:
+			fmt.Fprintf(&sb, "null%s;", c.Typ)
+		default:
+			fmt.Fprintf(&sb, "%p;", op)
+		}
+	}
+	return sb.String(), true
+}

@@ -1,0 +1,42 @@
+package passes
+
+import "rolag/internal/ir"
+
+// DCE removes instructions whose results are unused and that have no
+// side effects, iterating to a fixed point. It returns true if anything
+// was removed.
+func DCE(f *ir.Func) bool {
+	if f.IsDecl() {
+		return false
+	}
+	removedAny := false
+	for {
+		users := f.Users()
+		removed := false
+		for _, b := range f.Blocks {
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				in := b.Instrs[i]
+				if in.IsTerminator() || in.MayWriteMemory() {
+					continue
+				}
+				if in.Op == ir.OpAlloca {
+					// Dead allocas (no users) can go too.
+					if len(users[in]) == 0 {
+						b.Remove(in)
+						removed = true
+					}
+					continue
+				}
+				if len(users[in]) == 0 {
+					b.Remove(in)
+					removed = true
+				}
+			}
+		}
+		if !removed {
+			break
+		}
+		removedAny = true
+	}
+	return removedAny
+}

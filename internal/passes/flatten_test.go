@@ -1,0 +1,148 @@
+package passes_test
+
+import (
+	"testing"
+
+	"rolag/internal/cc"
+	"rolag/internal/interp"
+	"rolag/internal/ir"
+	"rolag/internal/passes"
+	"rolag/internal/rolag"
+	"rolag/internal/unroll"
+)
+
+// rollThenFlatten: unroll x8, RoLAG, then Flatten — the §V.C cleanup.
+func rollThenFlatten(t *testing.T, src, fn string) (*ir.Module, *ir.Module, bool) {
+	t.Helper()
+	orig := lower(t, src)
+	passes.Standard().Run(orig)
+	work, err := cc.Compile(src, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes.Standard().Run(work)
+	for _, f := range work.Funcs {
+		unroll.UnrollAll(f, 8)
+	}
+	passes.Standard().Run(work)
+	rolag.RollModule(work, nil)
+	passes.Standard().Run(work)
+	flattened := false
+	for _, f := range work.Funcs {
+		if passes.Flatten(f) {
+			flattened = true
+		}
+	}
+	passes.Standard().Run(work)
+	if err := work.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, work)
+	}
+	return orig, work, flattened
+}
+
+func selfLoops(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			if s == b {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestFlattenRerolledLoop(t *testing.T) {
+	src := `
+void f(int *a, int *b) {
+	for (int i = 0; i < 64; i++)
+		a[i] = b[i] * 3 + 1;
+}`
+	orig, work, flattened := rollThenFlatten(t, src, "f")
+	if !flattened {
+		t.Fatalf("nest not flattened:\n%s", work.FindFunc("f"))
+	}
+	f := work.FindFunc("f")
+	if selfLoops(f) != 1 {
+		t.Errorf("want exactly one loop after flattening:\n%s", f)
+	}
+	if err := interp.CheckEquiv(orig, work, "f", 3, nil); err != nil {
+		t.Errorf("equivalence: %v\n%s", err, f)
+	}
+	// The flattened function should be as small as the original rolled
+	// source (the whole point of the paper's suggestion).
+	no := orig.FindFunc("f").NumInstrs()
+	nw := f.NumInstrs()
+	if nw > no+2 {
+		t.Errorf("flattened has %d instrs, original rolled %d", nw, no)
+	}
+}
+
+func TestFlattenReductionLoop(t *testing.T) {
+	src := `
+int f(int *a) {
+	int s = 0;
+	for (int i = 0; i < 64; i++) s += a[i];
+	return s;
+}`
+	orig, work, flattened := rollThenFlatten(t, src, "f")
+	if !flattened {
+		t.Fatalf("reduction nest not flattened:\n%s", work.FindFunc("f"))
+	}
+	if err := interp.CheckEquiv(orig, work, "f", 3, nil); err != nil {
+		t.Errorf("equivalence: %v\n%s", err, work.FindFunc("f"))
+	}
+}
+
+func TestFlattenRefusesUnsafeShapes(t *testing.T) {
+	// The inner loop's index is used alone (not just in the combiner):
+	// flattening must refuse.
+	src := `
+void g(int *a, int n) {
+	for (int j = 0; j < n; j++) {
+		a[0] = j; a[1] = j + 1; a[2] = j + 2; a[3] = j + 3;
+		a[4] = j + 4; a[5] = j + 5; a[6] = j + 6; a[7] = j + 7;
+	}
+}`
+	orig := lower(t, src)
+	passes.Standard().Run(orig)
+	work, err := cc.Compile(src, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes.Standard().Run(work)
+	rolag.RollModule(work, nil)
+	passes.Standard().Run(work)
+	for _, f := range work.Funcs {
+		passes.Flatten(f)
+	}
+	passes.Standard().Run(work)
+	if err := work.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := interp.CheckEquiv(orig, work, "g", 3, nil); err != nil {
+		t.Errorf("equivalence after (refused or applied) flatten: %v", err)
+	}
+}
+
+func TestFlattenNoFalsePositives(t *testing.T) {
+	// An ordinary nested loop (different trip counts, indices used
+	// independently) must not be flattened.
+	src := `
+void f(int *a) {
+	for (int i = 0; i < 8; i++)
+		for (int j = 0; j < 4; j++)
+			a[i * 4 + j] = i - j;
+}`
+	m := lower(t, src)
+	passes.Standard().Run(m)
+	orig := m.String()
+	for _, f := range m.Funcs {
+		if passes.Flatten(f) {
+			t.Errorf("flattened a non-RoLAG nest")
+		}
+	}
+	if m.String() != orig {
+		t.Error("Flatten mutated IR it rejected")
+	}
+}

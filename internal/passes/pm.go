@@ -1,0 +1,68 @@
+package passes
+
+import "rolag/internal/ir"
+
+// FuncPass transforms one function and reports whether it changed
+// anything.
+type FuncPass struct {
+	Name string
+	Run  func(*ir.Func) bool
+}
+
+// Pipeline is an ordered list of function passes applied to every
+// function of a module.
+type Pipeline struct {
+	Passes []FuncPass
+	// Verify, if set, runs the IR verifier after each pass and panics on
+	// failure; used in tests.
+	Verify bool
+}
+
+// Standard returns the canonicalization pipeline run after the frontend
+// and before loop transformations: promote memory to registers, fold
+// constants, simplify, and clean up dead code.
+func Standard() *Pipeline {
+	return &Pipeline{Passes: []FuncPass{
+		{Name: "mem2reg", Run: Mem2Reg},
+		{Name: "constfold", Run: ConstFold},
+		{Name: "simplify", Run: Simplify},
+		{Name: "ifconvert", Run: IfConvert},
+		{Name: "cse", Run: CSE},
+		{Name: "licm", Run: LICM},
+		{Name: "constfold", Run: ConstFold},
+		{Name: "dce", Run: DCE},
+		{Name: "simplify", Run: Simplify},
+		{Name: "dce", Run: DCE},
+	}}
+}
+
+// RunFunc applies the pipeline to one function, returning whether any
+// pass changed it.
+func (p *Pipeline) RunFunc(f *ir.Func) bool {
+	changed := false
+	for _, ps := range p.Passes {
+		if ps.Run(f) {
+			changed = true
+		}
+		if p.Verify {
+			if err := f.Verify(); err != nil {
+				panic("after pass " + ps.Name + ": " + err.Error())
+			}
+		}
+	}
+	return changed
+}
+
+// Run applies the pipeline to every function in the module.
+func (p *Pipeline) Run(m *ir.Module) bool {
+	changed := false
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if p.RunFunc(f) {
+			changed = true
+		}
+	}
+	return changed
+}

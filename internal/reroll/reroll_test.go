@@ -1,0 +1,177 @@
+package reroll_test
+
+import (
+	"testing"
+
+	"rolag/internal/analysis"
+	"rolag/internal/cc"
+	"rolag/internal/interp"
+	"rolag/internal/ir"
+	"rolag/internal/passes"
+	"rolag/internal/reroll"
+	"rolag/internal/unroll"
+)
+
+func build(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := cc.Compile(src, "rr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes.Standard().Run(m)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+// unrollThenReroll unrolls f's loops by factor, rerolls, and returns how
+// many loops rerolled.
+func unrollThenReroll(t *testing.T, m *ir.Module, factor int) int {
+	t.Helper()
+	n := 0
+	for _, f := range m.Funcs {
+		unroll.UnrollAll(f, factor)
+	}
+	passes.Standard().Run(m)
+	for _, f := range m.Funcs {
+		n += reroll.RerollFunc(f)
+	}
+	passes.Standard().Run(m)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify after reroll: %v\n%s", err, m)
+	}
+	return n
+}
+
+func TestRerollRoundTripShrinks(t *testing.T) {
+	src := `
+void f(int *a, int *b) {
+	for (int i = 0; i < 64; i++) a[i] = b[i] * 3 + 1;
+}`
+	orig := build(t, src)
+	work := build(t, src)
+	sizeRolled := work.FindFunc("f").NumInstrs()
+	if n := unrollThenReroll(t, work, 8); n != 1 {
+		t.Fatalf("rerolled %d, want 1", n)
+	}
+	if got := work.FindFunc("f").NumInstrs(); got > sizeRolled+2 {
+		t.Errorf("rerolled function has %d instrs; the rolled original had %d", got, sizeRolled)
+	}
+	if err := interp.CheckEquiv(orig, work, "f", 3, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRerollReduction(t *testing.T) {
+	src := `
+int f(int *a) {
+	int s = 0;
+	for (int i = 0; i < 32; i++) s += a[i] * a[i];
+	return s;
+}`
+	orig := build(t, src)
+	work := build(t, src)
+	if n := unrollThenReroll(t, work, 4); n != 1 {
+		t.Fatalf("rerolled %d, want 1", n)
+	}
+	if err := interp.CheckEquiv(orig, work, "f", 3, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRerollRejectsNonUnrolledLoop(t *testing.T) {
+	// A step-1 loop has no roots to collect.
+	m := build(t, `void f(int *a) { for (int i = 0; i < 8; i++) a[i] = i; }`)
+	f := m.FindFunc("f")
+	if n := reroll.RerollFunc(f); n != 0 {
+		t.Errorf("rerolled %d loops in already-rolled code", n)
+	}
+}
+
+func TestRerollRejectsPerturbedIteration(t *testing.T) {
+	// Manually unrolled by 2 but with one iteration subtly different
+	// (extra +1): the structural match must fail.
+	src := `
+void f(int *a, int *b) {
+	for (int i = 0; i < 32; i += 2) {
+		a[i] = b[i] * 3;
+		a[i + 1] = b[i + 1] * 3 + 1;
+	}
+}`
+	m := build(t, src)
+	f := m.FindFunc("f")
+	if n := reroll.RerollFunc(f); n != 0 {
+		t.Errorf("rerolled %d perturbed loops, want 0\n%s", n, f)
+	}
+	if err := m.Verify(); err != nil {
+		t.Errorf("rejected reroll broke the IR: %v", err)
+	}
+}
+
+func TestRerollRejectsExtraInstruction(t *testing.T) {
+	// An instruction belonging to no iteration (the coverage rule).
+	src := `
+int g;
+void f(int *a, int *b) {
+	for (int i = 0; i < 32; i += 2) {
+		a[i] = b[i] * 3;
+		a[i + 1] = b[i + 1] * 3;
+		g = g + i;
+	}
+}`
+	m := build(t, src)
+	f := m.FindFunc("f")
+	if n := reroll.RerollFunc(f); n != 0 {
+		t.Errorf("rerolled %d loops despite uncovered instruction\n%s", n, f)
+	}
+}
+
+func TestRerollHandwrittenUnrolledLoop(t *testing.T) {
+	// The Fig. 1a shape, written by hand rather than machine-unrolled.
+	src := `
+void f(int *a, int factor) {
+	for (int i = 0; i < 30; i += 3) {
+		a[i] = factor * i;
+		a[i + 1] = factor * (i + 1);
+		a[i + 2] = factor * (i + 2);
+	}
+}`
+	orig := build(t, src)
+	work := build(t, src)
+	f := work.FindFunc("f")
+	n := reroll.RerollFunc(f)
+	if n != 1 {
+		t.Fatalf("rerolled %d, want 1\n%s", n, f)
+	}
+	passes.Standard().Run(work)
+	if err := work.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Step must now be 1.
+	loops := analysis.FindLoops(work.FindFunc("f"))
+	if len(loops) != 1 || loops[0].Step != 1 {
+		t.Errorf("expected a step-1 loop after rerolling")
+	}
+	if err := interp.CheckEquiv(orig, work, "f", 3, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRerollMultipleArrays(t *testing.T) {
+	src := `
+void f(int *a, int *b, int *c, int *d) {
+	for (int i = 0; i < 40; i++) {
+		a[i] = b[i] + c[i];
+		d[i] = a[i] * 2;
+	}
+}`
+	orig := build(t, src)
+	work := build(t, src)
+	if n := unrollThenReroll(t, work, 8); n != 1 {
+		t.Fatalf("rerolled %d, want 1", n)
+	}
+	if err := interp.CheckEquiv(orig, work, "f", 3, nil); err != nil {
+		t.Error(err)
+	}
+}

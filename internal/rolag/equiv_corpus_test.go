@@ -1,0 +1,148 @@
+package rolag_test
+
+// Corpus-wide semantic equivalence: every transformation RoLAG performs
+// on the synthesized AnghaBench corpus and on the (integer-safe) TSVC
+// kernels must preserve behaviour under the interpreter — return values,
+// final memory, and the external-call trace.
+
+import (
+	"testing"
+
+	"rolag/internal/cc"
+	"rolag/internal/interp"
+	"rolag/internal/ir"
+	"rolag/internal/passes"
+	"rolag/internal/reroll"
+	"rolag/internal/rolag"
+	"rolag/internal/unroll"
+	"rolag/internal/workloads/angha"
+	"rolag/internal/workloads/tsvc"
+)
+
+func compileSrc(t *testing.T, src, name string) *ir.Module {
+	t.Helper()
+	m, err := cc.Compile(src, name)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	passes.Standard().Run(m)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("%s: verify: %v", name, err)
+	}
+	return m
+}
+
+// TestCorpusEquivalence rolls every function of a generated corpus and
+// checks observational equivalence against the unoptimized build.
+func TestCorpusEquivalence(t *testing.T) {
+	funcs := angha.Generate(400, 7)
+	rolled := 0
+	for _, fn := range funcs {
+		orig := compileSrc(t, fn.Src, fn.Name)
+		work := compileSrc(t, fn.Src, fn.Name)
+		stats := rolag.RollModule(work, nil)
+		passes.Standard().Run(work)
+		if err := work.Verify(); err != nil {
+			t.Fatalf("%s (%s): verify after roll: %v\n%s", fn.Name, fn.Family, err, work)
+		}
+		rolled += stats.LoopsRolled
+		for _, f := range work.Funcs {
+			if f.IsDecl() || orig.FindFunc(f.Name) == nil {
+				continue
+			}
+			if err := interp.CheckEquiv(orig, work, f.Name, 2, nil); err != nil {
+				t.Errorf("%s (%s): behaviour changed: %v\nrolled IR:\n%s",
+					fn.Name, fn.Family, err, work.FindFunc(f.Name))
+			}
+		}
+	}
+	if rolled < 50 {
+		t.Errorf("only %d loops rolled across the corpus; generator or optimizer regressed", rolled)
+	}
+	t.Logf("corpus: %d functions, %d loops rolled, all equivalent", len(funcs), rolled)
+}
+
+// TestCorpusEquivalenceAlwaysRoll repeats the corpus check with the
+// profitability gate disabled, exercising code generation paths that the
+// cost model would normally reject (mismatch arrays, extraction arrays).
+func TestCorpusEquivalenceAlwaysRoll(t *testing.T) {
+	opts := rolag.DefaultOptions()
+	opts.AlwaysRoll = true
+	funcs := angha.Generate(200, 11)
+	rolled := 0
+	for _, fn := range funcs {
+		orig := compileSrc(t, fn.Src, fn.Name)
+		work := compileSrc(t, fn.Src, fn.Name)
+		stats := rolag.RollModule(work, opts)
+		passes.Standard().Run(work)
+		if err := work.Verify(); err != nil {
+			t.Fatalf("%s: verify: %v", fn.Name, err)
+		}
+		rolled += stats.LoopsRolled
+		for _, f := range work.Funcs {
+			if f.IsDecl() || orig.FindFunc(f.Name) == nil {
+				continue
+			}
+			if err := interp.CheckEquiv(orig, work, f.Name, 2, nil); err != nil {
+				t.Errorf("%s (%s, always-roll): %v", fn.Name, fn.Family, err)
+			}
+		}
+	}
+	t.Logf("always-roll corpus: %d functions, %d loops rolled", len(funcs), rolled)
+}
+
+// TestTSVCEquivalence checks, for every TSVC kernel whose arithmetic is
+// reassociation-free under our defaults (FastMath off), that unroll ×8
+// followed by RoLAG preserves behaviour exactly.
+func TestTSVCEquivalence(t *testing.T) {
+	rolledTotal := 0
+	for _, kr := range tsvc.Kernels() {
+		orig := compileSrc(t, kr.Src, kr.Name)
+		work := compileSrc(t, kr.Src, kr.Name)
+		for _, f := range work.Funcs {
+			unroll.UnrollAll(f, 8)
+		}
+		passes.Standard().Run(work)
+		// FastMath off: float reductions are left alone, so bit-exact
+		// comparison is sound.
+		stats := rolag.RollModule(work, nil)
+		passes.Standard().Run(work)
+		if err := work.Verify(); err != nil {
+			t.Fatalf("%s: verify: %v", kr.Name, err)
+		}
+		rolledTotal += stats.LoopsRolled
+		if err := interp.CheckEquiv(orig, work, kr.Func, 2, &interp.Harness{MaxSteps: 3_000_000}); err != nil {
+			t.Errorf("%s: behaviour changed after unroll+roll: %v", kr.Name, err)
+		}
+	}
+	t.Logf("TSVC: %d loops rolled across the suite (fast-math off), all equivalent", rolledTotal)
+}
+
+// TestTSVCRerollEquivalence does the same for the LLVM-style baseline.
+func TestTSVCRerollEquivalence(t *testing.T) {
+	// Imported lazily to avoid a package cycle in the test file.
+	for _, kr := range tsvc.Kernels() {
+		orig := compileSrc(t, kr.Src, kr.Name)
+		work := compileSrc(t, kr.Src, kr.Name)
+		for _, f := range work.Funcs {
+			unroll.UnrollAll(f, 8)
+		}
+		passes.Standard().Run(work)
+		n := 0
+		for _, f := range work.Funcs {
+			n += rerollFunc(f)
+		}
+		if n == 0 {
+			continue
+		}
+		passes.Standard().Run(work)
+		if err := work.Verify(); err != nil {
+			t.Fatalf("%s: verify: %v", kr.Name, err)
+		}
+		if err := interp.CheckEquiv(orig, work, kr.Func, 2, &interp.Harness{MaxSteps: 3_000_000}); err != nil {
+			t.Errorf("%s: baseline rerolling changed behaviour: %v", kr.Name, err)
+		}
+	}
+}
+
+func rerollFunc(f *ir.Func) int { return reroll.RerollFunc(f) }

@@ -1,0 +1,739 @@
+package rolag
+
+import (
+	"fmt"
+	"strings"
+
+	"rolag/internal/ir"
+)
+
+// Node is one node of the alignment graph. A node groups one value per
+// lane (= loop iteration). Virtual lanes (possible in match nodes built
+// through the neutral-element identities) have a nil entry in Insts.
+type Node struct {
+	Kind NodeKind
+	// Vals holds the lane values. For match nodes built through neutral
+	// identities some entries may be nil (the lane's value is
+	// represented by the node's children alone).
+	Vals []ir.Value
+	// Insts holds the lane instructions of match nodes (nil entries for
+	// virtual lanes).
+	Insts []*ir.Instr
+	// Children are the operand nodes of a match node (one per operand
+	// position), the leaf-group node of a reduction, or empty.
+	Children []*Node
+
+	// Match-node instruction template fields.
+	Op     ir.Op
+	Typ    ir.Type
+	Pred   ir.Pred
+	Callee *ir.Func
+
+	// IntSeq fields: lane k has value Start + k*Step.
+	Start, Step int64
+	SeqTyp      ir.IntType
+
+	// Recurrence fields: lane 0 reads Init; lane k reads RefParent's
+	// lane k-1 value.
+	Init      ir.Value
+	RefParent *Node
+
+	// Reduction fields.
+	RedOp       ir.Op
+	RedRoot     *ir.Instr
+	RedInternal []*ir.Instr
+	// Min/max reduction fields (extension): the per-link comparison.
+	MinMaxPred ir.Pred
+	MinMaxCmp  ir.Op
+
+	// Joint: the seed-group subgraphs in loop-body order.
+	Groups []*Node
+
+	// Gep-over-struct rewrite (the paper's Fig. 4b "treat the struct as
+	// an array" trick): when a matched gep indexes different fields of a
+	// homogeneous struct per lane, the rolled gep is emitted as
+	// bitcast(base, GepCastElem*) indexed by GepPrefixElems + lastIndex.
+	GepCastElem    ir.Type
+	GepPrefixElems int64
+
+	// gen is the value generated for this node inside the rolled loop
+	// (set by codegen).
+	gen ir.Value
+}
+
+// Lanes returns the number of lanes (loop iterations) of the graph
+// containing n.
+func (n *Node) Lanes() int {
+	if n.Kind == KindJoint {
+		return n.Groups[0].Lanes()
+	}
+	if n.Kind == KindReduction {
+		return n.Children[0].Lanes()
+	}
+	return len(n.Vals)
+}
+
+// Graph is a complete alignment graph for one seed group (or joint seed
+// groups) of a basic block.
+type Graph struct {
+	Root  *Node
+	Block *ir.Block
+	// Nodes lists every node, in creation (bottom-up discovery) order.
+	Nodes []*Node
+	// Matched maps every instruction claimed by a match/reduction node
+	// to its lane (reduction internals use lane -1).
+	Matched map[*ir.Instr]int
+}
+
+// NodeCounts tallies the node kinds in the graph (Fig. 16 / Fig. 19).
+func (g *Graph) NodeCounts() map[NodeKind]int {
+	m := make(map[NodeKind]int)
+	for _, n := range g.Nodes {
+		m[n.Kind]++
+	}
+	return m
+}
+
+// String renders the graph for debugging.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	seen := make(map[*Node]bool)
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		fmt.Fprintf(&sb, "%s- %s", strings.Repeat("  ", depth), n.Kind)
+		switch n.Kind {
+		case KindIntSeq:
+			fmt.Fprintf(&sb, " %d..%d,%d", n.Start, n.Start+int64(len(n.Vals)-1)*n.Step, n.Step)
+		case KindMatch:
+			fmt.Fprintf(&sb, " %s", n.Op)
+			if n.Callee != nil {
+				fmt.Fprintf(&sb, " @%s", n.Callee.Name)
+			}
+		case KindIdentical:
+			fmt.Fprintf(&sb, " %s", n.Vals[0].Ident())
+		case KindReduction:
+			fmt.Fprintf(&sb, " %s", n.RedOp)
+		}
+		if seen[n] {
+			sb.WriteString(" (shared)\n")
+			return
+		}
+		seen[n] = true
+		sb.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+		for _, gr := range n.Groups {
+			walk(gr, depth+1)
+		}
+		if n.RefParent != nil {
+			fmt.Fprintf(&sb, "%s  (cycles to %s)\n", strings.Repeat("  ", depth), n.RefParent.Op)
+		}
+	}
+	walk(g.Root, 0)
+	return sb.String()
+}
+
+// errAbort is an internal sentinel: the candidate cannot be aligned.
+type errAbort struct{ reason string }
+
+func (e *errAbort) Error() string { return "rolag: " + e.reason }
+
+type laneRef struct {
+	node *Node
+	lane int
+}
+
+// graphBuilder constructs an alignment graph bottom-up.
+type graphBuilder struct {
+	opts    *Options
+	block   *ir.Block
+	inBlock map[*ir.Instr]bool
+	memo    map[string]*Node
+	claimed map[*ir.Instr]laneRef
+	nodes   []*Node
+}
+
+func newGraphBuilder(opts *Options, b *ir.Block) *graphBuilder {
+	gb := &graphBuilder{
+		opts:    opts,
+		block:   b,
+		inBlock: make(map[*ir.Instr]bool, len(b.Instrs)),
+		memo:    make(map[string]*Node),
+		claimed: make(map[*ir.Instr]laneRef),
+	}
+	for _, in := range b.Instrs {
+		gb.inBlock[in] = true
+	}
+	return gb
+}
+
+func (gb *graphBuilder) addNode(n *Node) *Node {
+	gb.nodes = append(gb.nodes, n)
+	return n
+}
+
+// groupKey identifies a lane group for memoization. Instructions and
+// other named values key by identity; constants key by type and value so
+// that structurally equal constant groups (e.g. the index sequence 0..n
+// appearing under several parents) share one node.
+func groupKey(vals []ir.Value) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		if c, ok := v.(ir.Const); ok {
+			fmt.Fprintf(&sb, "c:%s:%s;", c.Type(), c.Ident())
+			continue
+		}
+		fmt.Fprintf(&sb, "%p;", v)
+	}
+	return sb.String()
+}
+
+// build classifies a lane group and returns its node. parent is the
+// match node whose operands the group holds (used for recurrence
+// detection); it may be nil.
+func (gb *graphBuilder) build(vals []ir.Value, parent *Node) (*Node, error) {
+	// Identical values across all lanes: loop-invariant.
+	allSame := true
+	for _, v := range vals[1:] {
+		if !ir.SameValue(vals[0], v) {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		return gb.addNode(&Node{Kind: KindIdentical, Vals: append([]ir.Value(nil), vals...)}), nil
+	}
+
+	// Recurrence: lane k is some already-aligned node's lane k-1 value
+	// (§IV.C4). The chained dependence usually references the parent
+	// match node directly (Fig. 10), but conversions or sibling operands
+	// can put the chain one or more nodes away, so every match node
+	// discovered so far is a candidate. Checked before memoization
+	// because the result depends on graph context.
+	if gb.opts.EnableRecurrence {
+		var cands []*Node
+		if parent != nil && parent.Kind == KindMatch {
+			cands = append(cands, parent)
+		}
+		for i := len(gb.nodes) - 1; i >= 0; i-- {
+			if n := gb.nodes[i]; n.Kind == KindMatch && n != parent {
+				cands = append(cands, n)
+			}
+		}
+		for _, ref := range cands {
+			if n := gb.tryRecurrence(vals, ref); n != nil {
+				return n, nil
+			}
+		}
+	}
+
+	key := groupKey(vals)
+	if n, ok := gb.memo[key]; ok {
+		return n, nil
+	}
+	n, err := gb.classify(vals)
+	if err != nil {
+		return nil, err
+	}
+	gb.memo[key] = n
+	return n, nil
+}
+
+// tryRecurrence checks whether vals form a chained dependence on ref:
+// lane k reads ref's lane k-1 value, and lane 0 reads an initial value of
+// the same type.
+func (gb *graphBuilder) tryRecurrence(vals []ir.Value, ref *Node) *Node {
+	if len(ref.Insts) != len(vals) {
+		return nil
+	}
+	for k := 1; k < len(vals); k++ {
+		if ref.Insts[k-1] == nil || vals[k] != ir.Value(ref.Insts[k-1]) {
+			return nil
+		}
+	}
+	init := vals[0]
+	if !init.Type().Equal(ref.Typ) {
+		return nil
+	}
+	if d, ok := init.(*ir.Instr); ok {
+		if d == ref.Insts[len(vals)-1] {
+			return nil // degenerate self-cycle
+		}
+	}
+	return gb.addNode(&Node{
+		Kind:      KindRecurrence,
+		Vals:      append([]ir.Value(nil), vals...),
+		Init:      init,
+		RefParent: ref,
+	})
+}
+
+func (gb *graphBuilder) classify(vals []ir.Value) (*Node, error) {
+	// Monotonic integer sequences (§IV.C1).
+	if node := gb.tryIntSeq(vals); node != nil {
+		return node, nil
+	}
+	// Isomorphic instructions.
+	if node, err := gb.tryMatch(vals); node != nil || err != nil {
+		return node, err
+	}
+	// Neutral pointer operations (§IV.C2).
+	if gb.opts.EnableNeutralPtr {
+		if node, err := gb.tryNeutralGep(vals); node != nil || err != nil {
+			return node, err
+		}
+	}
+	// Neutral elements of binary operations (§IV.C3).
+	if gb.opts.EnableNeutralBinOp {
+		if node, err := gb.tryNeutralBinOp(vals); node != nil || err != nil {
+			return node, err
+		}
+	}
+	return gb.mismatch(vals)
+}
+
+// tryIntSeq recognizes S0..Sn,step sequences of integer constants.
+func (gb *graphBuilder) tryIntSeq(vals []ir.Value) *Node {
+	if !gb.opts.EnableIntSeq || len(vals) < 2 {
+		return nil
+	}
+	consts := make([]*ir.IntConst, len(vals))
+	for i, v := range vals {
+		c, ok := v.(*ir.IntConst)
+		if !ok {
+			return nil
+		}
+		consts[i] = c
+	}
+	typ := consts[0].Typ
+	step := consts[1].Val - consts[0].Val
+	if step == 0 {
+		return nil // identical would have caught equal lanes
+	}
+	for i := 1; i < len(consts); i++ {
+		if consts[i].Typ != typ || consts[i].Val-consts[i-1].Val != step {
+			return nil
+		}
+	}
+	return gb.addNode(&Node{
+		Kind:   KindIntSeq,
+		Vals:   toValues(consts),
+		Start:  consts[0].Val,
+		Step:   step,
+		SeqTyp: typ,
+	})
+}
+
+// tryMatch builds a match node when all lanes are distinct isomorphic
+// instructions from the seed block.
+func (gb *graphBuilder) tryMatch(vals []ir.Value) (*Node, error) {
+	insts := make([]*ir.Instr, len(vals))
+	seen := make(map[*ir.Instr]bool, len(vals))
+	for i, v := range vals {
+		in, ok := v.(*ir.Instr)
+		if !ok || !gb.inBlock[in] || seen[in] {
+			return nil, nil
+		}
+		if in.Op == ir.OpPhi || in.Op == ir.OpAlloca || in.IsTerminator() {
+			return nil, nil
+		}
+		seen[in] = true
+		insts[i] = in
+	}
+	t := insts[0]
+	for _, in := range insts[1:] {
+		if in.Op != t.Op || !in.Typ.Equal(t.Typ) || in.Pred != t.Pred ||
+			in.Callee != t.Callee || len(in.Operands) != len(t.Operands) {
+			return nil, nil
+		}
+		for oi := range t.Operands {
+			if !in.Operand(oi).Type().Equal(t.Operand(oi).Type()) {
+				return nil, nil
+			}
+		}
+	}
+	if t.Op == ir.OpGEP {
+		if _, _, _, ok := gepPlan(insts); !ok {
+			return nil, nil
+		}
+	}
+	return gb.makeMatch(insts)
+}
+
+// gepPlan decides how a group of isomorphic geps can be merged. If no
+// struct-field index varies across lanes the geps merge directly. A
+// varying struct index is only mergeable when it is the final index, all
+// earlier indices are identical constants, and the indexed fields form a
+// homogeneous run (equal types at offsets linear in the index) — then the
+// merged gep is emitted through a bitcast with a flat element index
+// (needCast true).
+func gepPlan(insts []*ir.Instr) (needCast bool, elem ir.Type, prefixElems int64, ok bool) {
+	t := insts[0]
+	pt := t.Operand(0).Type().(ir.PointerType)
+	cur := ir.Type(pt.Elem)
+	prefixBytes := int64(0)
+	prefixStatic := true
+	numIdx := len(t.Operands) - 1
+	for pos := 1; pos <= numIdx; pos++ {
+		varying := false
+		c0, isConst := ir.IntValue(t.Operand(pos))
+		for _, in := range insts[1:] {
+			if !ir.SameValue(in.Operand(pos), t.Operand(pos)) {
+				varying = true
+			}
+		}
+		st, isStruct := cur.(*ir.StructType)
+		if pos == 1 {
+			// The leading index steps whole pointees.
+			if varying || !isConst {
+				prefixStatic = false
+			} else {
+				prefixBytes += c0 * int64(cur.Size())
+			}
+			continue
+		}
+		switch {
+		case isStruct && !varying:
+			prefixBytes += int64(st.FieldOffset(int(c0)))
+			cur = st.Fields[c0]
+		case isStruct && varying:
+			if pos != numIdx || !prefixStatic {
+				return false, nil, 0, false
+			}
+			// Homogeneity over the lanes' field indices.
+			var ft ir.Type
+			for _, in := range insts {
+				f, isC := ir.IntValue(in.Operand(pos))
+				if !isC || int(f) >= len(st.Fields) {
+					return false, nil, 0, false
+				}
+				if ft == nil {
+					ft = st.Fields[f]
+				} else if !st.Fields[f].Equal(ft) {
+					return false, nil, 0, false
+				}
+				if int64(st.FieldOffset(int(f))) != f*int64(ft.Size()) {
+					return false, nil, 0, false
+				}
+			}
+			if ft.Size() == 0 || prefixBytes%int64(ft.Size()) != 0 {
+				return false, nil, 0, false
+			}
+			return true, ft, prefixBytes / int64(ft.Size()), true
+		default:
+			at, isArr := cur.(ir.ArrayType)
+			if !isArr {
+				return false, nil, 0, false
+			}
+			if varying || !isConst {
+				prefixStatic = false
+			} else {
+				prefixBytes += c0 * int64(at.Elem.Size())
+			}
+			cur = at.Elem
+		}
+	}
+	return false, nil, 0, true
+}
+
+// claim records node n as the owner of each lane instruction. A pure
+// (memory-effect-free) instruction may be claimed by several nodes at
+// different lanes — each node regenerates its own copy inside the loop —
+// but instructions with memory effects must have a single owner, since
+// duplicating them would change the program's memory behaviour.
+func (gb *graphBuilder) claim(n *Node, insts []*ir.Instr) error {
+	for lane, in := range insts {
+		if in == nil {
+			continue
+		}
+		if prev, ok := gb.claimed[in]; ok {
+			if in.HasMemoryEffect() || in.Op == ir.OpCall {
+				return &errAbort{reason: fmt.Sprintf("instruction %%%s with side effects claimed by two nodes (lanes %d and %d)", in.Name, prev.lane, lane)}
+			}
+			continue // shared pure instruction; first claim stands
+		}
+		gb.claimed[in] = laneRef{node: n, lane: lane}
+	}
+	return nil
+}
+
+// makeMatch claims the lanes, creates the node and recurses into the
+// operand groups.
+func (gb *graphBuilder) makeMatch(insts []*ir.Instr) (*Node, error) {
+	n := &Node{
+		Kind:   KindMatch,
+		Vals:   make([]ir.Value, len(insts)),
+		Insts:  append([]*ir.Instr(nil), insts...),
+		Op:     insts[0].Op,
+		Typ:    insts[0].Typ,
+		Pred:   insts[0].Pred,
+		Callee: insts[0].Callee,
+	}
+	if n.Op == ir.OpGEP {
+		needCast, elem, prefix, ok := gepPlan(insts)
+		if !ok {
+			return nil, nil
+		}
+		if needCast {
+			n.GepCastElem = elem
+			n.GepPrefixElems = prefix
+		}
+	}
+	for i, in := range insts {
+		n.Vals[i] = in
+	}
+	if err := gb.claim(n, insts); err != nil {
+		return nil, err
+	}
+	gb.addNode(n)
+	numOps := len(insts[0].Operands)
+	groups := make([][]ir.Value, numOps)
+	for oi := 0; oi < numOps; oi++ {
+		groups[oi] = make([]ir.Value, len(insts))
+		for k, in := range insts {
+			groups[oi][k] = in.Operand(oi)
+		}
+	}
+	if gb.opts.EnableCommutative && insts[0].Op.IsCommutative() && numOps == 2 {
+		reorderCommutative(groups[0], groups[1])
+	}
+	for oi := 0; oi < numOps; oi++ {
+		child, err := gb.build(groups[oi], n)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, child)
+	}
+	return n, nil
+}
+
+// reorderCommutative swaps operand pairs lane-by-lane so each lane best
+// resembles lane 0's orientation, uncovering more profitable alignments
+// for commutative operations (§IV.C3).
+func reorderCommutative(lhs, rhs []ir.Value) {
+	refL, refR := lhs[0], rhs[0]
+	for k := 1; k < len(lhs); k++ {
+		straight := similarity(refL, lhs[k]) + similarity(refR, rhs[k])
+		swapped := similarity(refL, rhs[k]) + similarity(refR, lhs[k])
+		if swapped > straight {
+			lhs[k], rhs[k] = rhs[k], lhs[k]
+		}
+	}
+}
+
+// similarity scores how alignable two values are.
+func similarity(a, b ir.Value) int {
+	if ir.SameValue(a, b) {
+		return 4
+	}
+	ai, aok := a.(*ir.Instr)
+	bi, bok := b.(*ir.Instr)
+	if aok && bok {
+		if ai.Op == bi.Op && ai.Typ.Equal(bi.Typ) {
+			return 3
+		}
+		return 1
+	}
+	if ir.IsConst(a) && ir.IsConst(b) {
+		return 2
+	}
+	if aok != bok {
+		return 0
+	}
+	return 1
+}
+
+// tryNeutralGep exploits gep(p, 0) == p: if every lane is either a
+// single-index gep off the same base pointer or the base pointer itself,
+// the plain lanes are treated as virtual zero-offset geps (§IV.C2).
+//
+// Geps defined outside the seed block (typically hoisted by LICM) also
+// participate: being pure and rematerializable they become virtual lanes
+// — the merged gep is regenerated inside the loop and the originals are
+// left untouched (dead-code elimination reclaims them if unused).
+func (gb *graphBuilder) tryNeutralGep(vals []ir.Value) (*Node, error) {
+	var base ir.Value
+	var idxType ir.Type
+	var resType ir.Type
+	anyGep := false
+	for _, v := range vals {
+		if in, ok := v.(*ir.Instr); ok && in.Op == ir.OpGEP && len(in.Operands) == 2 {
+			anyGep = true
+			if base == nil {
+				base = in.Operand(0)
+				idxType = in.Operand(1).Type()
+				resType = in.Typ
+			} else if in.Operand(0) != base || !in.Operand(1).Type().Equal(idxType) || !in.Typ.Equal(resType) {
+				return nil, nil
+			}
+		}
+	}
+	if !anyGep || base == nil {
+		return nil, nil
+	}
+	// Every non-gep lane must equal the base pointer, and the gep result
+	// type must equal the base type (true for single-index geps over
+	// scalars).
+	if !base.Type().Equal(resType) {
+		return nil, nil
+	}
+	insts := make([]*ir.Instr, len(vals))
+	idxGroup := make([]ir.Value, len(vals))
+	seen := make(map[*ir.Instr]bool)
+	for k, v := range vals {
+		if in, ok := v.(*ir.Instr); ok && in.Op == ir.OpGEP && len(in.Operands) == 2 && in.Operand(0) == base {
+			if seen[in] {
+				return nil, nil
+			}
+			seen[in] = true
+			if gb.inBlock[in] {
+				insts[k] = in
+			} else {
+				// Out-of-block gep: regenerate, do not claim. Its index
+				// must be available before the loop, which holds since
+				// it dominates the block already.
+				insts[k] = nil
+			}
+			idxGroup[k] = in.Operand(1)
+			continue
+		}
+		if v != base {
+			return nil, nil
+		}
+		insts[k] = nil
+		idxGroup[k] = ir.ZeroValue(idxType)
+	}
+	n := &Node{
+		Kind:  KindMatch,
+		Vals:  append([]ir.Value(nil), vals...),
+		Insts: insts,
+		Op:    ir.OpGEP,
+		Typ:   resType,
+	}
+	if err := gb.claim(n, insts); err != nil {
+		return nil, err
+	}
+	gb.addNode(n)
+	baseGroup := make([]ir.Value, len(vals))
+	for k := range baseGroup {
+		baseGroup[k] = base
+	}
+	bnode, err := gb.build(baseGroup, n)
+	if err != nil {
+		return nil, err
+	}
+	inode, err := gb.build(idxGroup, n)
+	if err != nil {
+		return nil, err
+	}
+	n.Children = []*Node{bnode, inode}
+	return n, nil
+}
+
+// tryNeutralBinOp pads lanes that lack the group's dominant binary
+// operation with its neutral element: x is treated as x op e (§IV.C3).
+func (gb *graphBuilder) tryNeutralBinOp(vals []ir.Value) (*Node, error) {
+	// Find the most frequent binary opcode among lanes that are
+	// instructions in the block.
+	counts := make(map[ir.Op]int)
+	var typ ir.Type
+	for _, v := range vals {
+		if typ == nil {
+			typ = v.Type()
+		} else if !v.Type().Equal(typ) {
+			return nil, nil
+		}
+		if in, ok := v.(*ir.Instr); ok && gb.inBlock[in] && in.Op.IsBinary() {
+			counts[in.Op]++
+		}
+	}
+	var domOp ir.Op
+	best := 0
+	for op, c := range counts {
+		if c > best {
+			domOp, best = op, c
+		}
+	}
+	if best == 0 || best == len(vals) || best < len(vals)/2 {
+		return nil, nil
+	}
+	neutral := domOp.NeutralElement(typ)
+	if neutral == nil {
+		return nil, nil
+	}
+	if domOp.IsFloatBinary() && !gb.opts.FastMath {
+		// x op 0.0 is not an identity for every float x (e.g. -0.0, NaN
+		// payloads) unless fast-math is on.
+		return nil, nil
+	}
+	insts := make([]*ir.Instr, len(vals))
+	lhs := make([]ir.Value, len(vals))
+	rhs := make([]ir.Value, len(vals))
+	seen := make(map[*ir.Instr]bool)
+	for k, v := range vals {
+		if in, ok := v.(*ir.Instr); ok && gb.inBlock[in] && in.Op == domOp {
+			if seen[in] {
+				return nil, nil
+			}
+			seen[in] = true
+			insts[k] = in
+			lhs[k], rhs[k] = in.Operand(0), in.Operand(1)
+			continue
+		}
+		insts[k] = nil
+		lhs[k], rhs[k] = v, neutral
+	}
+	n := &Node{
+		Kind:  KindMatch,
+		Vals:  append([]ir.Value(nil), vals...),
+		Insts: insts,
+		Op:    domOp,
+		Typ:   typ,
+	}
+	if err := gb.claim(n, insts); err != nil {
+		return nil, err
+	}
+	gb.addNode(n)
+	if gb.opts.EnableCommutative && domOp.IsCommutative() {
+		reorderCommutative(lhs, rhs)
+	}
+	lnode, err := gb.build(lhs, n)
+	if err != nil {
+		return nil, err
+	}
+	rnode, err := gb.build(rhs, n)
+	if err != nil {
+		return nil, err
+	}
+	n.Children = []*Node{lnode, rnode}
+	return n, nil
+}
+
+// mismatch builds a mismatching node, verifying that the lanes share a
+// scalar type so they can live in an array.
+func (gb *graphBuilder) mismatch(vals []ir.Value) (*Node, error) {
+	if !gb.opts.EnableMismatch {
+		return nil, &errAbort{reason: "mismatching node with mismatch handling disabled"}
+	}
+	t := vals[0].Type()
+	for _, v := range vals[1:] {
+		if !v.Type().Equal(t) {
+			return nil, &errAbort{reason: "mismatching lanes with different types"}
+		}
+	}
+	switch t.(type) {
+	case ir.IntType, ir.FloatType, ir.PointerType:
+	default:
+		return nil, &errAbort{reason: "mismatching lanes of non-scalar type"}
+	}
+	return gb.addNode(&Node{Kind: KindMismatch, Vals: append([]ir.Value(nil), vals...)}), nil
+}
+
+func toValues[T ir.Value](xs []T) []ir.Value {
+	out := make([]ir.Value, len(xs))
+	for i, x := range xs {
+		out[i] = x
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package rolag_test
+
+// Alignment-graph structure tests: the shapes of the paper's figures,
+// checked node by node.
+
+import (
+	"testing"
+
+	"rolag/internal/ir"
+	"rolag/internal/rolag"
+)
+
+// buildGraphFor compiles src, collects the seed groups of the first
+// block containing any, and builds the alignment graph of the first
+// group.
+func buildGraphFor(t *testing.T, src string, opts *rolag.Options) *rolag.Graph {
+	t.Helper()
+	if opts == nil {
+		opts = rolag.DefaultOptions()
+	}
+	m := compile(t, src)
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			groups := rolag.CollectSeedGroups(b, opts)
+			if len(groups) == 0 {
+				continue
+			}
+			g, err := rolag.BuildGraph(b, opts, groups[0])
+			if err != nil {
+				t.Fatalf("BuildGraph: %v", err)
+			}
+			return g
+		}
+	}
+	t.Fatal("no seed groups found")
+	return nil
+}
+
+func kinds(g *rolag.Graph) map[rolag.NodeKind]int { return g.NodeCounts() }
+
+// TestGraphFig7: stores of mismatching constants to consecutive slots —
+// the improved graph has a sequence node for the indices and a mismatch
+// node for the irregular values (Fig. 7c).
+func TestGraphFig7(t *testing.T) {
+	src := `
+void f(long *ptr) {
+	ptr[0] = 5;
+	ptr[1] = 1009;
+	ptr[2] = 40;
+}`
+	g := buildGraphFor(t, src, nil)
+	k := kinds(g)
+	if k[rolag.KindMismatch] != 1 {
+		t.Errorf("want 1 mismatch node (values 5,1009,40): %v\n%s", k, g)
+	}
+	if k[rolag.KindIntSeq] != 1 {
+		t.Errorf("want 1 sequence node (indices 0..2,1): %v\n%s", k, g)
+	}
+	if k[rolag.KindIdentical] != 1 {
+		t.Errorf("want 1 identical node (base ptr): %v\n%s", k, g)
+	}
+	if g.Root.Kind != rolag.KindMatch || g.Root.Op != ir.OpStore {
+		t.Errorf("root should be the store match node")
+	}
+}
+
+// TestGraphFig9: the aegis pattern — neutral pointer operations make the
+// raw base pointer a virtual zero-offset gep lane.
+func TestGraphFig9(t *testing.T) {
+	src := `
+extern void vst(char *p, char *q);
+void f(char *state, char *v) {
+	vst(state     , v     );
+	vst(state + 16, v + 16);
+	vst(state + 32, v + 32);
+}`
+	g := buildGraphFor(t, src, nil)
+	k := kinds(g)
+	if k[rolag.KindMismatch] != 0 {
+		t.Errorf("neutral pointer rule should remove all mismatches: %v\n%s", k, g)
+	}
+	if k[rolag.KindIntSeq] != 1 {
+		t.Errorf("want 1 shared sequence node (0..32,16 under both geps): %v\n%s", k, g)
+	}
+	// The gep match nodes must have a virtual lane 0 (nil instruction).
+	virtual := 0
+	for _, n := range g.Nodes {
+		if n.Kind == rolag.KindMatch && n.Op == ir.OpGEP {
+			if len(n.Insts) > 0 && n.Insts[0] == nil {
+				virtual++
+			}
+		}
+	}
+	if virtual != 2 {
+		t.Errorf("want 2 gep nodes with a virtual first lane, got %d\n%s", virtual, g)
+	}
+}
+
+// TestGraphFig10: the chained-call pattern — a recurrence node cycles
+// back to the call match node and the field indices count down.
+func TestGraphFig10(t *testing.T) {
+	src := `
+extern int fld(int r, int v) pure;
+struct Fmt { int a; int b; int c; int d; };
+int f(int r0, struct Fmt *fmt) {
+	int r = fld(r0, fmt->d);
+	r = fld(r, fmt->c);
+	r = fld(r, fmt->b);
+	r = fld(r, fmt->a);
+	return r;
+}`
+	g := buildGraphFor(t, src, nil)
+	k := kinds(g)
+	if k[rolag.KindRecurrence] != 1 {
+		t.Fatalf("want 1 recurrence node: %v\n%s", k, g)
+	}
+	var rec *rolag.Node
+	for _, n := range g.Nodes {
+		if n.Kind == rolag.KindRecurrence {
+			rec = n
+		}
+	}
+	if rec.RefParent == nil || rec.RefParent.Op != ir.OpCall {
+		t.Error("recurrence must cycle back to the call node")
+	}
+	if rec.Init == nil {
+		t.Error("recurrence must carry the initial value (r0 chain head)")
+	}
+	// The field gep group must include a down-counting sequence.
+	foundDown := false
+	for _, n := range g.Nodes {
+		if n.Kind == rolag.KindIntSeq && n.Step < 0 {
+			foundDown = true
+		}
+	}
+	if !foundDown {
+		t.Errorf("want a decreasing sequence node (3..0,-1): %v\n%s", k, g)
+	}
+}
+
+// TestGraphFig11: the dot-product reduction tree becomes a single
+// reduction node rooted over the multiply subgraph.
+func TestGraphFig11(t *testing.T) {
+	src := `
+int dot(const int *a, const int *b) {
+	return a[0]*b[0] + a[1]*b[1] + a[2]*b[2];
+}`
+	g := buildGraphFor(t, src, nil)
+	if g.Root.Kind != rolag.KindReduction || g.Root.RedOp != ir.OpAdd {
+		t.Fatalf("root should be an add-reduction node\n%s", g)
+	}
+	child := g.Root.Children[0]
+	if child.Kind != rolag.KindMatch || child.Op != ir.OpMul {
+		t.Errorf("reduction child should be the mul match node\n%s", g)
+	}
+	if g.Root.Lanes() != 3 {
+		t.Errorf("lanes = %d, want 3", g.Root.Lanes())
+	}
+}
+
+// TestGraphFig12: alternating store/call groups joined under one node.
+func TestGraphFig12(t *testing.T) {
+	src := `
+extern void callee(int arg);
+void f(int *ptr, int arg) {
+	ptr[0] = 0;
+	callee(arg);
+	ptr[1] = 0;
+	callee(arg + 1);
+}`
+	opts := rolag.DefaultOptions()
+	m := compile(t, src)
+	var g *rolag.Graph
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			groups := rolag.CollectSeedGroups(b, opts)
+			if len(groups) < 2 {
+				continue
+			}
+			joined := rolag.TryJoin(b, groups[0], groups)
+			if joined == nil {
+				t.Fatalf("groups should join (alternating)")
+			}
+			var err error
+			g, err = rolag.BuildGraph(b, opts, joined...)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if g == nil {
+		t.Fatal("no graph built")
+	}
+	if g.Root.Kind != rolag.KindJoint || len(g.Root.Groups) != 2 {
+		t.Fatalf("root should be a joint node over 2 groups\n%s", g)
+	}
+	if g.Root.Groups[0].Op != ir.OpStore || g.Root.Groups[1].Op != ir.OpCall {
+		t.Errorf("joint groups must preserve body order (store, call)\n%s", g)
+	}
+}
+
+// TestTryJoinRejectsNonAlternating: sequential (non-interleaved) groups
+// must not join.
+func TestTryJoinRejectsNonAlternating(t *testing.T) {
+	src := `
+extern void callee(int arg);
+void f(int *ptr, int arg) {
+	ptr[0] = 0;
+	ptr[1] = 0;
+	callee(arg);
+	callee(arg + 1);
+}`
+	opts := rolag.DefaultOptions()
+	m := compile(t, src)
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			groups := rolag.CollectSeedGroups(b, opts)
+			if len(groups) < 2 {
+				continue
+			}
+			if joined := rolag.TryJoin(b, groups[0], groups); joined != nil {
+				t.Errorf("sequential groups must not join")
+			}
+		}
+	}
+}
+
+// TestSeedGroupingRules: stores group by (type, base); calls by callee.
+func TestSeedGroupingRules(t *testing.T) {
+	src := `
+extern void ca(int x);
+extern void cb(int x);
+void f(int *p, long *q, int v) {
+	p[0] = v; p[1] = v;         // group 1: i32 stores to p
+	q[0] = 1; q[1] = 2;         // group 2: i64 stores to q
+	ca(v); ca(v + 1);           // group 3: calls to ca
+	cb(v); cb(v + 1);           // group 4: calls to cb
+}`
+	opts := rolag.DefaultOptions()
+	m := compile(t, src)
+	found := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			groups := rolag.CollectSeedGroups(b, opts)
+			if len(groups) > 0 {
+				found = len(groups)
+			}
+		}
+	}
+	if found != 4 {
+		t.Errorf("found %d seed groups, want 4", found)
+	}
+}
+
+// TestGraphSharing: a shared subexpression group appears once in the
+// graph (memoized), not once per parent.
+func TestGraphSharing(t *testing.T) {
+	src := `
+void f(int *a, int *b, int v) {
+	a[0] = b[0] + v;
+	a[1] = b[1] + v;
+	a[2] = b[2] + v;
+}`
+	g := buildGraphFor(t, src, nil)
+	// The index sequence 0..2 feeds both a's geps and b's geps; the
+	// memoized group must appear exactly once.
+	seq := 0
+	for _, n := range g.Nodes {
+		if n.Kind == rolag.KindIntSeq {
+			seq++
+		}
+	}
+	if seq != 1 {
+		t.Errorf("sequence node should be shared (got %d)\n%s", seq, g)
+	}
+}

@@ -1,0 +1,70 @@
+package rolag_test
+
+import (
+	"testing"
+
+	"rolag/internal/interp"
+	"rolag/internal/passes"
+	"rolag/internal/rolag"
+	"rolag/internal/unroll"
+	"rolag/internal/workloads/tsvc"
+)
+
+// TestMinMaxReductionExtension: the paper's future-work case (Fig. 20b):
+// an unrolled max-reduction loop. With the extension enabled the select
+// chain rolls; with defaults it does not.
+func TestMinMaxReductionExtension(t *testing.T) {
+	src := `
+int fmax4(const int *a, int m0) {
+	int m = m0;
+	m = a[0] > m ? a[0] : m;
+	m = a[1] > m ? a[1] : m;
+	m = a[2] > m ? a[2] : m;
+	m = a[3] > m ? a[3] : m;
+	m = a[4] > m ? a[4] : m;
+	m = a[5] > m ? a[5] : m;
+	return m;
+}`
+	// Defaults: unsupported, like the paper.
+	_, _, plain := roll(t, src, nil)
+	if plain.LoopsRolled != 0 {
+		t.Errorf("defaults rolled %d min/max loops; the paper's technique does not support them", plain.LoopsRolled)
+	}
+	// Extension: rolls and stays equivalent.
+	orig, work, ext := roll(t, src, rolag.Extensions())
+	if ext.LoopsRolled != 1 {
+		t.Fatalf("extension rolled %d, want 1\n%s", ext.LoopsRolled, work.FindFunc("fmax4"))
+	}
+	mustEquiv(t, orig, work, "fmax4")
+}
+
+// TestMinMaxOnUnrolledTSVC: the s3113-style kernel end to end: rotate,
+// if-convert, unroll x8, then roll the select chain back.
+func TestMinMaxOnUnrolledTSVC(t *testing.T) {
+	kr := tsvc.Find("s314")
+	if kr == nil {
+		t.Skip("kernel s314 not in suite")
+	}
+	orig := compile(t, kr.Src)
+	work := compile(t, kr.Src)
+	for _, f := range work.Funcs {
+		passes.IfConvert(f)
+		passes.Simplify(f)
+		passes.DCE(f)
+	}
+	for _, f := range work.Funcs {
+		unroll.UnrollAll(f, 8)
+	}
+	passes.Standard().Run(work)
+	stats := rolag.RollModule(work, rolag.Extensions())
+	passes.Standard().Run(work)
+	if err := work.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if stats.LoopsRolled == 0 {
+		t.Fatalf("expected the unrolled max reduction to roll\n%s", work.FindFunc(kr.Func))
+	}
+	if err := interp.CheckEquiv(orig, work, kr.Func, 2, &interp.Harness{MaxSteps: 3_000_000}); err != nil {
+		t.Errorf("equivalence: %v", err)
+	}
+}

@@ -1,0 +1,49 @@
+package rolag_test
+
+import (
+	"testing"
+
+	"rolag/internal/interp"
+	"rolag/internal/rolag"
+)
+
+// Fig. 4 of the paper: a chain of calls where each result feeds the next,
+// reading consecutive struct fields in reverse.
+const hdmiSrc = `
+extern int hdmi_read_reg(int *base, int cfg) pure;
+extern int FLD_MOD(int r, int v, int hi, int lo) pure;
+struct hdmi_audio_format {
+	int sample_size; int samples_word; int sample_order;
+	int justification; int type; int en_sig_blk;
+};
+int config_format(int *base, struct hdmi_audio_format *fmt) {
+	int r = hdmi_read_reg(base, 5);
+	r = FLD_MOD(r, fmt->en_sig_blk,    5, 5);
+	r = FLD_MOD(r, fmt->type,          4, 4);
+	r = FLD_MOD(r, fmt->justification, 3, 3);
+	r = FLD_MOD(r, fmt->sample_order,  2, 2);
+	r = FLD_MOD(r, fmt->samples_word,  1, 1);
+	r = FLD_MOD(r, fmt->sample_size,   0, 0);
+	return r;
+}
+`
+
+func TestRollHdmiChain(t *testing.T) {
+	orig := compile(t, hdmiSrc)
+	work := compile(t, hdmiSrc)
+	stats := rolag.RollModule(work, nil)
+	if err := work.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, work)
+	}
+	t.Logf("stats: %+v", stats)
+	t.Log("\n" + work.FindFunc("config_format").String())
+	if stats.LoopsRolled != 1 {
+		t.Fatalf("rolled %d loops, want 1", stats.LoopsRolled)
+	}
+	if stats.NodeCounts[rolag.KindRecurrence] == 0 {
+		t.Errorf("expected a recurrence node, got %+v", stats.NodeCounts)
+	}
+	if err := interp.CheckEquiv(orig, work, "config_format", 4, nil); err != nil {
+		t.Errorf("equivalence: %v", err)
+	}
+}

@@ -1,0 +1,178 @@
+package rolag
+
+import (
+	"fmt"
+	"strings"
+
+	"rolag/internal/ir"
+)
+
+// RollModule runs RoLAG on every function of the module and returns the
+// accumulated statistics.
+func RollModule(m *ir.Module, opts *Options) *Stats {
+	if opts == nil {
+		opts = DefaultOptions()
+	}
+	stats := NewStats()
+	for _, f := range m.Funcs {
+		stats.Add(RollFunc(f, opts))
+	}
+	return stats
+}
+
+// RollFunc runs RoLAG on every basic block of f (the main procedure of
+// Fig. 5). Newly generated loop blocks are not re-processed.
+func RollFunc(f *ir.Func, opts *Options) *Stats {
+	if opts == nil {
+		opts = DefaultOptions()
+	}
+	stats := NewStats()
+	if f.IsDecl() {
+		return stats
+	}
+	// Process blocks by index; rolling block i splits it into
+	// (preheader i, loop i+1, exit i+2). The preheader and exit keep
+	// leftover straight-line code and are revisited; the loop block is
+	// skipped.
+	skip := make(map[*ir.Block]bool)
+	revisits := make(map[string]int)
+	for i := 0; i < len(f.Blocks); i++ {
+		b := f.Blocks[i]
+		if skip[b] {
+			continue
+		}
+		// Backstop against pathological re-roll chains: a block (by
+		// name, which survives snapshots) is revisited a bounded number
+		// of times.
+		if revisits[b.Name] > 32 {
+			continue
+		}
+		revisits[b.Name]++
+		stats.BlocksScanned++
+		rolled, loopBlock := rollBlockOnce(f, i, opts, stats)
+		if rolled {
+			skip[loopBlock] = true
+			// Revisit the (now shorter) preheader for further seed
+			// groups (alternating patterns that were not joinable,
+			// second store groups, ...).
+			i--
+		}
+	}
+	return stats
+}
+
+// rollBlockOnce tries the seed groups of block f.Blocks[bi] in priority
+// order until one rolls profitably. It reports whether a roll happened
+// and the created loop block.
+func rollBlockOnce(f *ir.Func, bi int, opts *Options, stats *Stats) (bool, *ir.Block) {
+	failed := make(map[string]bool)
+	for {
+		b := f.Blocks[bi]
+		groups := CollectSeedGroups(b, opts)
+		stats.SeedGroups += countNew(groups, failed, b)
+
+		var attempt []*SeedGroup
+		for _, g := range groups {
+			if opts.EnableJoint {
+				if joined := TryJoin(b, g, groups); joined != nil {
+					sig := signature(b, joined...)
+					if !failed[sig] {
+						attempt = joined
+						break
+					}
+				}
+			}
+			if !failed[signature(b, g)] {
+				attempt = []*SeedGroup{g}
+				break
+			}
+		}
+		if attempt == nil {
+			return false, nil
+		}
+		sig := signature(b, attempt...)
+		loopBlock, err := tryRoll(f, bi, opts, stats, attempt)
+		if err == nil {
+			return true, loopBlock
+		}
+		failed[sig] = true
+	}
+}
+
+// tryRoll builds the alignment graph, runs the scheduling analysis,
+// generates the loop, and keeps it only if the cost model deems it
+// smaller (Fig. 5). On any failure the function body is restored.
+func tryRoll(f *ir.Func, bi int, opts *Options, stats *Stats, groups []*SeedGroup) (*ir.Block, error) {
+	b := f.Blocks[bi]
+	graph, err := BuildGraph(b, opts, groups...)
+	if err != nil {
+		return nil, err
+	}
+	stats.GraphsBuilt++
+	sched, err := AnalyzeScheduling(b, graph)
+	if err != nil {
+		stats.ScheduleFailed++
+		return nil, err
+	}
+
+	snapshot := ir.CloneBlocks(f)
+	nGlobals := len(f.Parent.Globals)
+	costBefore := opts.Model.Func(f) + rodataSize(f.Parent)
+
+	GenerateLoop(f, b, graph, sched, opts)
+
+	costAfter := opts.Model.Func(f) + rodataSize(f.Parent)
+	if !opts.AlwaysRoll && costAfter >= costBefore {
+		// Not profitable: restore the body and drop added globals.
+		f.Blocks = snapshot
+		f.Parent.Globals = f.Parent.Globals[:nGlobals]
+		stats.NotProfitable++
+		return nil, &errAbort{reason: fmt.Sprintf("not profitable (%d >= %d bytes)", costAfter, costBefore)}
+	}
+	stats.LoopsRolled++
+	stats.InstrsRolled += len(graph.Matched)
+	for kind, c := range graph.NodeCounts() {
+		stats.NodeCounts[kind] += c
+	}
+	return f.Blocks[bi+1], nil
+}
+
+// rodataSize sums the read-only global data the cost model attributes to
+// the text segment.
+func rodataSize(m *ir.Module) int {
+	n := 0
+	for _, g := range m.Globals {
+		if g.ReadOnly {
+			n += g.Elem.Size()
+		}
+	}
+	return n
+}
+
+// signature identifies a (joint) seed-group attempt stably across body
+// snapshots: block name plus each seed's index within the block.
+func signature(b *ir.Block, groups ...*SeedGroup) string {
+	idx := make(map[*ir.Instr]int, len(b.Instrs))
+	for i, in := range b.Instrs {
+		idx[in] = i
+	}
+	var sb strings.Builder
+	sb.WriteString(b.Name)
+	for _, g := range groups {
+		fmt.Fprintf(&sb, "|k%d:", g.Kind)
+		for _, in := range g.Instrs {
+			fmt.Fprintf(&sb, "%d,", idx[in])
+		}
+	}
+	return sb.String()
+}
+
+func countNew(groups []*SeedGroup, failed map[string]bool, b *ir.Block) int {
+	n := 0
+	for _, g := range groups {
+		if !failed[signature(b, g)] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,109 @@
+package rolag_test
+
+import (
+	"testing"
+
+	"rolag/internal/cc"
+	"rolag/internal/costmodel"
+	"rolag/internal/interp"
+	"rolag/internal/ir"
+	"rolag/internal/passes"
+	"rolag/internal/rolag"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := cc.Compile(src, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes.Standard().Run(m)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("input verify: %v\n%s", err, m)
+	}
+	return m
+}
+
+// Fig. 3 of the paper: five calls with a strided pointer pattern.
+const aegisSrc = `
+extern void vst1q_u8(char *p, char *v);
+struct aegis_state { char v[80]; };
+void save_state(struct aegis_state *st, void *state) {
+	vst1q_u8(state     , st->v     );
+	vst1q_u8(state + 16, st->v + 16);
+	vst1q_u8(state + 32, st->v + 32);
+	vst1q_u8(state + 48, st->v + 48);
+	vst1q_u8(state + 64, st->v + 64);
+}
+`
+
+func TestRollAegis(t *testing.T) {
+	orig := compile(t, aegisSrc)
+	work := compile(t, aegisSrc)
+	stats := rolag.RollModule(work, nil)
+	if err := work.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, work)
+	}
+	t.Logf("stats: %+v", stats)
+	t.Log("\n" + work.FindFunc("save_state").String())
+	if stats.LoopsRolled != 1 {
+		t.Fatalf("rolled %d loops, want 1", stats.LoopsRolled)
+	}
+	model := costmodel.Default()
+	so, sw := model.Module(orig), model.Module(work)
+	if sw >= so {
+		t.Errorf("rolled size %d >= original %d", sw, so)
+	}
+	if err := interp.CheckEquiv(orig, work, "save_state", 4, nil); err != nil {
+		t.Errorf("equivalence: %v", err)
+	}
+}
+
+// Fig. 11: reduction tree.
+const dotSrc = `
+int dot3(const int *a, const int *b) {
+	return a[0]*b[0] + a[1]*b[1] + a[2]*b[2] + a[3]*b[3] + a[4]*b[4] + a[5]*b[5];
+}
+`
+
+func TestRollDot(t *testing.T) {
+	orig := compile(t, dotSrc)
+	work := compile(t, dotSrc)
+	stats := rolag.RollModule(work, nil)
+	if err := work.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, work)
+	}
+	t.Logf("stats: %+v", stats)
+	t.Log("\n" + work.FindFunc("dot3").String())
+	if stats.LoopsRolled != 1 {
+		t.Fatalf("rolled %d loops, want 1", stats.LoopsRolled)
+	}
+	if err := interp.CheckEquiv(orig, work, "dot3", 4, nil); err != nil {
+		t.Errorf("equivalence: %v", err)
+	}
+}
+
+// Plain store sequence.
+const storeSrc = `
+void initarr(int *a) {
+	a[0] = 10; a[1] = 13; a[2] = 16; a[3] = 19;
+	a[4] = 22; a[5] = 25; a[6] = 28; a[7] = 31;
+}
+`
+
+func TestRollStores(t *testing.T) {
+	orig := compile(t, storeSrc)
+	work := compile(t, storeSrc)
+	stats := rolag.RollModule(work, nil)
+	if err := work.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, work)
+	}
+	t.Logf("stats: %+v", stats)
+	t.Log("\n" + work.FindFunc("initarr").String())
+	if stats.LoopsRolled != 1 {
+		t.Fatalf("rolled %d loops, want 1", stats.LoopsRolled)
+	}
+	if err := interp.CheckEquiv(orig, work, "initarr", 4, nil); err != nil {
+		t.Errorf("equivalence: %v", err)
+	}
+}

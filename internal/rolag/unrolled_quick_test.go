@@ -1,0 +1,88 @@
+package rolag_test
+
+import (
+	"testing"
+
+	"rolag/internal/interp"
+	"rolag/internal/ir"
+	"rolag/internal/passes"
+	"rolag/internal/rolag"
+	"rolag/internal/unroll"
+)
+
+const kernelsSrc = `
+void k_init(int *a) {
+	for (int i = 0; i < 64; i++) a[i] = i;
+}
+void k_vadd(int *a, int *b, int *c) {
+	for (int i = 0; i < 64; i++) c[i] = a[i] + b[i];
+}
+int k_sum(int *a) {
+	int s = 0;
+	for (int i = 0; i < 64; i++) s += a[i];
+	return s;
+}
+`
+
+func buildUnrolled(t *testing.T) (*ir.Module, *ir.Module) {
+	t.Helper()
+	orig := compile(t, kernelsSrc)
+	work := compile(t, kernelsSrc)
+	for _, f := range work.Funcs {
+		unroll.UnrollAll(f, 8)
+	}
+	passes.Standard().Run(work)
+	if err := work.Verify(); err != nil {
+		t.Fatalf("unrolled verify: %v", err)
+	}
+	return orig, work
+}
+
+func TestRollUnrolledKernels(t *testing.T) {
+	orig, work := buildUnrolled(t)
+	stats := rolag.RollModule(work, nil)
+	if err := work.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, work)
+	}
+	t.Logf("stats: %+v", stats)
+	if stats.LoopsRolled != 3 {
+		t.Errorf("rolled %d loops, want 3\n%s", stats.LoopsRolled, work)
+	}
+	passes.Standard().Run(work)
+	for _, name := range []string{"k_init", "k_vadd", "k_sum"} {
+		if err := interp.CheckEquiv(orig, work, name, 3, nil); err != nil {
+			t.Errorf("@%s: %v", name, err)
+		}
+	}
+	t.Log("\n" + work.FindFunc("k_vadd").String())
+}
+
+// Alternating store/call pattern exercising the joint node (§IV.C6).
+const jointSrc = `
+extern void sink(int x);
+void alternating(int *a) {
+	a[0] = 5; sink(10);
+	a[1] = 6; sink(20);
+	a[2] = 7; sink(30);
+	a[3] = 8; sink(40);
+	a[4] = 9; sink(50);
+	a[5] = 10; sink(60);
+}
+`
+
+func TestRollJoint(t *testing.T) {
+	orig := compile(t, jointSrc)
+	work := compile(t, jointSrc)
+	stats := rolag.RollModule(work, nil)
+	if err := work.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, work)
+	}
+	t.Logf("stats: %+v", stats)
+	t.Log("\n" + work.FindFunc("alternating").String())
+	if stats.NodeCounts[rolag.KindJoint] == 0 {
+		t.Errorf("expected a joint node; counts %+v", stats.NodeCounts)
+	}
+	if err := interp.CheckEquiv(orig, work, "alternating", 4, nil); err != nil {
+		t.Errorf("equivalence: %v", err)
+	}
+}

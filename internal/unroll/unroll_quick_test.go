@@ -1,0 +1,57 @@
+package unroll_test
+
+import (
+	"strings"
+	"testing"
+
+	"rolag/internal/cc"
+	"rolag/internal/interp"
+	"rolag/internal/ir"
+	"rolag/internal/passes"
+	"rolag/internal/unroll"
+)
+
+func TestUnrollQuick(t *testing.T) {
+	src := `
+void saxpy(float *a, float *b, int n) {
+	for (int i = 0; i < 64; i++)
+		a[i] = a[i] * 2.0f + b[i];
+}
+int redsum(int *a) {
+	int s = 0;
+	for (int i = 0; i < 16; i++) s += a[i];
+	return s;
+}
+`
+	build := func() *ir.Module {
+		m, err := cc.Compile(src, "u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		passes.Standard().Run(m)
+		return m
+	}
+	orig := build()
+	unrolled := build()
+	for _, f := range unrolled.Funcs {
+		n := unroll.UnrollAll(f, 8)
+		if !f.IsDecl() && n != 1 {
+			t.Fatalf("@%s: unrolled %d loops, want 1", f.Name, n)
+		}
+	}
+	passes.Standard().Run(unrolled)
+	if err := unrolled.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, unrolled)
+	}
+	for _, name := range []string{"saxpy", "redsum"} {
+		if err := interp.CheckEquiv(orig, unrolled, name, 3, nil); err != nil {
+			t.Errorf("@%s not equivalent after unroll: %v", name, err)
+		}
+	}
+	// The unrolled IR should contain iv+k adds in the canonical form.
+	text := unrolled.String()
+	if !strings.Contains(text, ", 7") {
+		t.Errorf("expected reassociated iv+7 increment in:\n%s", text)
+	}
+	t.Log("\n" + unrolled.FindFunc("redsum").String())
+}

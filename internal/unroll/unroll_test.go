@@ -1,0 +1,163 @@
+package unroll_test
+
+import (
+	"testing"
+
+	"rolag/internal/analysis"
+	"rolag/internal/cc"
+	"rolag/internal/interp"
+	"rolag/internal/ir"
+	"rolag/internal/passes"
+	"rolag/internal/unroll"
+)
+
+func build(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := cc.Compile(src, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes.Standard().Run(m)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+func TestUnrollFactors(t *testing.T) {
+	src := `
+int f(int *a) {
+	int s = 0;
+	for (int i = 0; i < 24; i++) { a[i] = i * 2; s += a[i]; }
+	return s;
+}`
+	for _, factor := range []int{2, 3, 4, 6, 8, 12} {
+		orig := build(t, src)
+		work := build(t, src)
+		f := work.FindFunc("f")
+		loops := analysis.FindLoops(f)
+		if len(loops) != 1 {
+			t.Fatalf("factor %d: %d loops", factor, len(loops))
+		}
+		if err := unroll.Unroll(f, loops[0], factor); err != nil {
+			t.Fatalf("factor %d: %v", factor, err)
+		}
+		passes.Standard().Run(work)
+		if err := work.Verify(); err != nil {
+			t.Fatalf("factor %d: verify: %v", factor, err)
+		}
+		if err := interp.CheckEquiv(orig, work, "f", 2, nil); err != nil {
+			t.Errorf("factor %d: %v", factor, err)
+		}
+	}
+}
+
+func TestUnrollBodyGrowth(t *testing.T) {
+	src := `void f(int *a) { for (int i = 0; i < 16; i++) a[i] = i; }`
+	m := build(t, src)
+	f := m.FindFunc("f")
+	before := f.NumInstrs()
+	loops := analysis.FindLoops(f)
+	if err := unroll.Unroll(f, loops[0], 4); err != nil {
+		t.Fatal(err)
+	}
+	after := f.NumInstrs()
+	if after <= before*2 {
+		t.Errorf("unroll x4 grew %d -> %d instructions; too little", before, after)
+	}
+}
+
+func TestUnrollRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		factor int
+	}{
+		{"unknown trip", `void f(int *a, int n) { for (int i = 0; i < n; i++) a[i] = i; }`, 4},
+		{"indivisible", `void f(int *a) { for (int i = 0; i < 10; i++) a[i] = i; }`, 4},
+		{"factor one", `void f(int *a) { for (int i = 0; i < 8; i++) a[i] = i; }`, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := build(t, c.src)
+			f := m.FindFunc("f")
+			loops := analysis.FindLoops(f)
+			if len(loops) != 1 {
+				t.Fatalf("%d loops", len(loops))
+			}
+			if err := unroll.Unroll(f, loops[0], c.factor); err == nil {
+				t.Error("expected a rejection")
+			}
+			if err := m.Verify(); err != nil {
+				t.Errorf("rejected unroll left broken IR: %v", err)
+			}
+		})
+	}
+}
+
+func TestUnrollAllCounts(t *testing.T) {
+	src := `
+void f(int *a, int *b) {
+	for (int i = 0; i < 16; i++) a[i] = i;
+	for (int i = 0; i < 10; i++) b[i] = i;  // 10 % 8 != 0: skipped
+	for (int i = 0; i < 32; i++) b[i] += a[i % 16];
+}`
+	m := build(t, src)
+	f := m.FindFunc("f")
+	n := unroll.UnrollAll(f, 8)
+	if n != 2 {
+		t.Errorf("unrolled %d loops, want 2", n)
+	}
+}
+
+func TestUnrollPreservesExitValues(t *testing.T) {
+	// The loop's final accumulator and IV values are observed after the
+	// loop; the unroller must remap those uses to the last clone.
+	src := `
+int f() {
+	int s = 0;
+	int i;
+	for (i = 0; i < 12; i++) s += i * i;
+	return s * 100 + i;
+}`
+	orig := build(t, src)
+	work := build(t, src)
+	f := work.FindFunc("f")
+	if n := unroll.UnrollAll(f, 4); n != 1 {
+		t.Fatalf("unrolled %d", n)
+	}
+	passes.Standard().Run(work)
+	if err := work.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	in1, _ := interp.New(orig)
+	in2, _ := interp.New(work)
+	v1, err1 := in1.Call("f")
+	v2, err2 := in2.Call("f")
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if v1 != v2 {
+		t.Errorf("exit values differ: %d vs %d", v1.I, v2.I)
+	}
+	if v1.I != 506*100+12 {
+		t.Errorf("f() = %d, want %d", v1.I, 506*100+12)
+	}
+}
+
+func TestUnrollDownwardLoop(t *testing.T) {
+	src := `
+void f(int *a) {
+	for (int i = 15; i >= 0; i--) a[i] = i;
+}`
+	orig := build(t, src)
+	work := build(t, src)
+	f := work.FindFunc("f")
+	if n := unroll.UnrollAll(f, 4); n != 1 {
+		t.Fatalf("unrolled %d, want 1", n)
+	}
+	passes.Standard().Run(work)
+	if err := interp.CheckEquiv(orig, work, "f", 2, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,369 @@
+// Package angha synthesizes the AnghaBench-style corpus used by the
+// paper's §V.A experiment. AnghaBench proper is one million compilable C
+// functions mined from popular GitHub repositories; this package
+// reproduces its *distribution of loop-rolling opportunities* with a
+// seeded generator that emits functions drawn from the pattern families
+// the paper reports (Fig. 16): sequences of stores, sequences of calls,
+// struct field copies (the Linux KVM example that tops Fig. 15), chained
+// call dependences (Fig. 4), reduction expressions, strided pointer
+// writes (Fig. 3), plus deliberately irregular near-misses and plain
+// unrollable-free code that keep the affected fraction small, as in the
+// paper.
+package angha
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Function is one synthesized corpus entry.
+type Function struct {
+	// Name identifies the function (unique in the corpus).
+	Name string
+	// Src is the full mini-C translation unit.
+	Src string
+	// Family records the generating pattern family (for diagnostics).
+	Family string
+}
+
+// Families in generation-weight order.
+const (
+	FamStoreSeq    = "store-seq"
+	FamCallSeq     = "call-seq"
+	FamFieldCopy   = "field-copy"
+	FamChainedCall = "chained-call"
+	FamReduction   = "reduction"
+	FamStridedPtr  = "strided-ptr"
+	FamNearMiss    = "near-miss"
+	FamPlain       = "plain"
+	// FamThin is the regression-prone shape: a short run of wide stores
+	// with large immediates whose profit margin sits inside the gap
+	// between the profitability and measurement cost models.
+	FamThin = "thin"
+)
+
+// Generate returns n corpus functions derived deterministically from
+// seed, using the default family mix.
+func Generate(n int, seed int64) []Function {
+	return GenerateMix(n, seed, nil)
+}
+
+// Mix maps family names to relative weights. A nil Mix selects the
+// default AnghaBench-like distribution.
+type Mix map[string]int
+
+// GenerateMix returns n corpus functions with a custom family mix; used
+// by the MiBench/SPEC program profiles, whose codebases have different
+// densities of rolling opportunities.
+func GenerateMix(n int, seed int64, mix Mix) []Function {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Function, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, genMix(rng, i, mix))
+	}
+	return out
+}
+
+// family weights sum to 100. Most real-world functions contain no
+// rolling opportunity; the rollable families mirror Fig. 16's mix.
+var familyTable = []struct {
+	fam    string
+	weight int
+}{
+	{FamPlain, 38},
+	{FamNearMiss, 14},
+	{FamStoreSeq, 14},
+	{FamFieldCopy, 9},
+	{FamCallSeq, 9},
+	{FamStridedPtr, 6},
+	{FamReduction, 6},
+	{FamChainedCall, 4},
+}
+
+func pickFamily(rng *rand.Rand, mix Mix) string {
+	if mix == nil {
+		x := rng.Intn(100)
+		for _, e := range familyTable {
+			if x < e.weight {
+				return e.fam
+			}
+			x -= e.weight
+		}
+		return FamPlain
+	}
+	total := 0
+	for _, w := range mix {
+		total += w
+	}
+	x := rng.Intn(total)
+	// Deterministic iteration order over the known family names.
+	for _, fam := range []string{FamPlain, FamNearMiss, FamStoreSeq, FamFieldCopy,
+		FamCallSeq, FamStridedPtr, FamReduction, FamChainedCall, FamThin} {
+		w := mix[fam]
+		if x < w {
+			return fam
+		}
+		x -= w
+	}
+	return FamPlain
+}
+
+func genMix(rng *rand.Rand, idx int, mix Mix) Function {
+	fam := pickFamily(rng, mix)
+	name := fmt.Sprintf("fn_%s_%04d", strings.ReplaceAll(fam, "-", ""), idx)
+	var src string
+	switch fam {
+	case FamStoreSeq:
+		src = genStoreSeq(rng, name)
+	case FamCallSeq:
+		src = genCallSeq(rng, name)
+	case FamFieldCopy:
+		src = genFieldCopy(rng, name)
+	case FamChainedCall:
+		src = genChainedCall(rng, name)
+	case FamReduction:
+		src = genReduction(rng, name)
+	case FamStridedPtr:
+		src = genStridedPtr(rng, name)
+	case FamNearMiss:
+		src = genNearMiss(rng, name)
+	case FamThin:
+		src = genThin(rng, name)
+	default:
+		src = genPlain(rng, name)
+	}
+	return Function{Name: name, Src: src, Family: fam}
+}
+
+// padding emits filler computation around the rollable pattern: real
+// corpus functions embed their opportunities inside otherwise ordinary
+// code, which dilutes per-function reductions (the paper's Fig. 15 curve
+// spans ~90% down to slightly negative). The filler is a scalar
+// arithmetic chain flushed into a global so it cannot be eliminated and
+// cannot form an alignment seed.
+const padDecl = "int pad_sink;\n"
+
+func padding(rng *rand.Rand, label string) string {
+	levels := rng.Intn(10)
+	if levels == 0 {
+		return ""
+	}
+	n := levels * (5 + rng.Intn(14))
+	var b strings.Builder
+	// Seed the chain from memory so constant folding cannot collapse it.
+	fmt.Fprintf(&b, "\tint %s0 = pad_sink + %d;\n", label, rng.Intn(100))
+	ops := []string{"+", "^", "*", "-", "|"}
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "\tint %s%d = %s%d %s %d;\n", label, i, label, i-1, ops[rng.Intn(len(ops))], rng.Intn(97)+1)
+	}
+	fmt.Fprintf(&b, "\tpad_sink = %s%d;\n", label, n)
+	return b.String()
+}
+
+// genStoreSeq: a[0] = e0; a[1] = e1; ... with a regular value pattern.
+func genStoreSeq(rng *rand.Rand, name string) string {
+	n := 3 + rng.Intn(14)
+	if rng.Intn(2) == 0 {
+		// Short runs dominate real code; they also carry the thinnest
+		// profitability margins.
+		n = 3 + rng.Intn(4)
+	}
+	start := rng.Intn(50)
+	step := 1 + rng.Intn(9)
+	kind := rng.Intn(3)
+	elem := "int"
+	if kind == 0 && rng.Intn(2) == 0 {
+		// Wider element type and large immediates: thinner profit
+		// margins on short runs, which is where the cost model's false
+		// positives live (§V.A).
+		elem = "long"
+		start = 200 + rng.Intn(5000)
+		step = 10 + rng.Intn(60)
+	}
+	var b strings.Builder
+	b.WriteString(padDecl)
+	fmt.Fprintf(&b, "void %s(%s *a, int v) {\n", name, elem)
+	b.WriteString(padding(rng, "sp"))
+	for i := 0; i < n; i++ {
+		switch kind {
+		case 0: // constant arithmetic sequence
+			fmt.Fprintf(&b, "\ta[%d] = %d;\n", i, start+i*step)
+		case 1: // value scaled by the position
+			fmt.Fprintf(&b, "\ta[%d] = v * %d;\n", i, start+i*step)
+		default: // copy with offset
+			fmt.Fprintf(&b, "\ta[%d] = a[%d] + v;\n", i, i+n)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// genCallSeq: n calls to the same callee with regular arguments (Fig. 3
+// shape). Every third instance uses irregular scalar constants instead —
+// those need a mismatch node (a constant pool) which a long enough call
+// run still amortizes, reproducing the paper's profitable-mismatch cases
+// (s452/s4117 in §V.C).
+func genCallSeq(rng *rand.Rand, name string) string {
+	n := 3 + rng.Intn(8)
+	stride := 4 * (1 + rng.Intn(7))
+	irregular := rng.Intn(3) == 0
+	if irregular {
+		n = 6 + rng.Intn(6)
+	}
+	var b strings.Builder
+	b.WriteString(padDecl)
+	b.WriteString("extern void sink2(char *p, int x);\n")
+	fmt.Fprintf(&b, "void %s(char *p) {\n", name)
+	b.WriteString(padding(rng, "cp"))
+	for i := 0; i < n; i++ {
+		arg := i
+		if irregular {
+			arg = rng.Intn(100000)
+		}
+		fmt.Fprintf(&b, "\tsink2(p + %d, %d);\n", i*stride, arg)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// genFieldCopy: copy k same-typed fields between two structs — the shape
+// of the Linux KVM copy_vmcs12_to_enlightened function that achieves the
+// best reduction in Fig. 15.
+func genFieldCopy(rng *rand.Rand, name string) string {
+	k := 6 + rng.Intn(40)
+	var b strings.Builder
+	b.WriteString("struct SrcT {")
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(&b, " int f%d;", i)
+	}
+	b.WriteString(" };\n")
+	b.WriteString("struct DstT {")
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(&b, " int g%d;", i)
+	}
+	b.WriteString(" };\n")
+	b.WriteString(padDecl)
+	fmt.Fprintf(&b, "void %s(struct DstT *d, struct SrcT *s) {\n", name)
+	b.WriteString(padding(rng, "fp"))
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(&b, "\td->g%d = s->f%d;\n", i, i)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// genChainedCall: r = f(r, x_i) chains (Fig. 4 shape).
+func genChainedCall(rng *rand.Rand, name string) string {
+	n := 4 + rng.Intn(6)
+	var b strings.Builder
+	b.WriteString("extern int fld_mod(int r, int v, int hi, int lo) pure;\n")
+	b.WriteString("struct Fmt {")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, " int m%d;", i)
+	}
+	b.WriteString(" };\n")
+	b.WriteString(padDecl)
+	fmt.Fprintf(&b, "int %s(int r0, struct Fmt *f) {\n\tint r = r0;\n", name)
+	b.WriteString(padding(rng, "hp"))
+	for i := n - 1; i >= 0; i-- {
+		fmt.Fprintf(&b, "\tr = fld_mod(r, f->m%d, %d, %d);\n", i, i, i)
+	}
+	b.WriteString("\treturn r;\n}\n")
+	return b.String()
+}
+
+// genReduction: a straight-line dot-product / sum expression (Fig. 11
+// shape).
+func genReduction(rng *rand.Rand, name string) string {
+	n := 4 + rng.Intn(12)
+	var b strings.Builder
+	b.WriteString(padDecl)
+	fmt.Fprintf(&b, "int %s(const int *a, const int *b) {\n", name)
+	b.WriteString(padding(rng, "rp"))
+	b.WriteString("\treturn ")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "a[%d]*b[%d]", i, i)
+	}
+	b.WriteString(";\n}\n")
+	return b.String()
+}
+
+// genStridedPtr: void* writes at a fixed stride.
+func genStridedPtr(rng *rand.Rand, name string) string {
+	n := 4 + rng.Intn(8)
+	stride := 8 * (1 + rng.Intn(4))
+	var b strings.Builder
+	b.WriteString(padDecl)
+	fmt.Fprintf(&b, "void %s(int *dst, int *src) {\n", name)
+	b.WriteString(padding(rng, "tp"))
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\tdst[%d] = src[%d];\n", i*stride/4, i)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// genNearMiss: looks repetitive but has an irregularity that breaks the
+// alignment — differing callees, a broken sequence, or a reordering
+// hazard — so a correct implementation must reject or fail to profit.
+func genNearMiss(rng *rand.Rand, name string) string {
+	var b strings.Builder
+	switch rng.Intn(3) {
+	case 0: // different callees
+		b.WriteString("extern void s_a(int x);\nextern void s_b(int x);\nextern void s_c(int x);\n")
+		fmt.Fprintf(&b, "void %s(int v) {\n\ts_a(v);\n\ts_b(v + 1);\n\ts_c(v + 2);\n\ts_a(v + 9);\n}\n", name)
+	case 1: // irregular constants (no common stride)
+		irr := []int{3, 7, 8, 21, 22, 40}
+		fmt.Fprintf(&b, "void %s(int *a) {\n", name)
+		for i, c := range irr {
+			fmt.Fprintf(&b, "\ta[%d] = %d;\n", i, c+rng.Intn(3))
+		}
+		b.WriteString("}\n")
+	default: // overlapping writes that forbid reordering lanes
+		fmt.Fprintf(&b, "void %s(int *a) {\n", name)
+		b.WriteString("\ta[1] = a[0] + 1;\n\ta[0] = a[1] + 2;\n\ta[3] = a[2] + 1;\n\ta[2] = a[3] + 2;\n")
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// genPlain: ordinary code with no rolling opportunity. These functions
+// carry most of a program's text mass, so they get bulk of their own.
+func genPlain(rng *rand.Rand, name string) string {
+	var b strings.Builder
+	b.WriteString(padDecl)
+	bulk := padding(rng, "pl")
+	switch rng.Intn(4) {
+	case 0:
+		fmt.Fprintf(&b, "int %s(int x, int y) {\n%s\tint t = x * 3 + y;\n\tif (t > 100) t -= y * 2;\n\treturn t ^ (x >> 2);\n}\n", name, bulk)
+	case 1:
+		fmt.Fprintf(&b, "int %s(const int *p, int n) {\n%s\tint best = p[0];\n\tfor (int i = 1; i < n; i++) {\n\t\tif (p[i] > best) best = p[i];\n\t}\n\treturn best;\n}\n", name, bulk)
+	case 2:
+		fmt.Fprintf(&b, "void %s(int *p, int n, int v) {\n%s\tfor (int i = 0; i < n; i++)\n\t\tp[i] = p[i] * v + i;\n}\n", name, bulk)
+	default:
+		fmt.Fprintf(&b, "int %s(int a0, int b0) {\n%s\tint s = a0 + b0;\n\tint d_ = a0 - b0;\n\treturn s * d_;\n}\n", name, bulk)
+	}
+	return b.String()
+}
+
+// genThin emits the regression-prone shape: a 4-wide run of long stores
+// with 32-bit immediates. The profitability model (TTI-style) sees a
+// small win; the finer measurement model sees a small loss — reproducing
+// the paper's cost-model false positives.
+func genThin(rng *rand.Rand, name string) string {
+	start := 200 + rng.Intn(5000)
+	step := 10 + rng.Intn(60)
+	var b strings.Builder
+	b.WriteString(padDecl)
+	fmt.Fprintf(&b, "void %s(long *a) {\n", name)
+	b.WriteString(padding(rng, "np"))
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&b, "\ta[%d] = %d;\n", i, start+i*step)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package angha_test
+
+import (
+	"testing"
+
+	"rolag/internal/cc"
+	"rolag/internal/passes"
+	"rolag/internal/workloads/angha"
+)
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := angha.Generate(100, 42)
+	b := angha.Generate(100, 42)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Src != b[i].Src || a[i].Family != b[i].Family {
+			t.Fatalf("function %d differs between runs with the same seed", i)
+		}
+	}
+	c := angha.Generate(100, 43)
+	same := 0
+	for i := range a {
+		if a[i].Src == c[i].Src {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced an identical corpus")
+	}
+}
+
+func TestGeneratorCoverage(t *testing.T) {
+	funcs := angha.Generate(1200, 7)
+	fams := make(map[string]int)
+	names := make(map[string]bool)
+	for _, fn := range funcs {
+		fams[fn.Family]++
+		if names[fn.Name] {
+			t.Errorf("duplicate function name %s", fn.Name)
+		}
+		names[fn.Name] = true
+	}
+	for _, fam := range []string{
+		angha.FamPlain, angha.FamNearMiss, angha.FamStoreSeq, angha.FamFieldCopy,
+		angha.FamCallSeq, angha.FamStridedPtr, angha.FamReduction, angha.FamChainedCall,
+	} {
+		if fams[fam] == 0 {
+			t.Errorf("family %s never generated", fam)
+		}
+	}
+	if fams[angha.FamPlain] < fams[angha.FamChainedCall] {
+		t.Error("plain functions should dominate the corpus")
+	}
+}
+
+func TestEveryGeneratedFunctionCompiles(t *testing.T) {
+	for _, fn := range angha.Generate(500, 3) {
+		m, err := cc.Compile(fn.Src, fn.Name)
+		if err != nil {
+			t.Fatalf("%s (%s): %v\n%s", fn.Name, fn.Family, err, fn.Src)
+		}
+		passes.Standard().Run(m)
+		if err := m.Verify(); err != nil {
+			t.Fatalf("%s: verify: %v", fn.Name, err)
+		}
+	}
+}
+
+func TestMixWeights(t *testing.T) {
+	mix := angha.Mix{angha.FamPlain: 1, angha.FamThin: 9}
+	funcs := angha.GenerateMix(400, 5, mix)
+	thin := 0
+	for _, fn := range funcs {
+		switch fn.Family {
+		case angha.FamThin:
+			thin++
+		case angha.FamPlain:
+		default:
+			t.Fatalf("unexpected family %s for restricted mix", fn.Family)
+		}
+	}
+	if thin < 300 {
+		t.Errorf("thin weight 90%% produced only %d/400", thin)
+	}
+}

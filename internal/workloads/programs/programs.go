@@ -1,0 +1,94 @@
+// Package programs models the MiBench and SPEC CPU 2017 programs of the
+// paper's Table I as multi-function synthetic binaries. Each program is a
+// seeded corpus of functions whose family mix reflects how dense that
+// codebase is in loop-rolling opportunities: image/raster code (the tiff
+// tools, povray, blender) is rich in store/call sequences and field
+// copies, while compression and integer kernels (sha, xz, mcf) mostly
+// offer thin-margin shapes that trip the profitability analysis — which
+// is how the paper's negative rows arise.
+//
+// Absolute sizes are scaled down (hundreds of functions instead of
+// megabytes of text); what the reproduction preserves is the *shape* of
+// Table I: which programs win, which regress, and how rolled-loop counts
+// track program size.
+package programs
+
+import "rolag/internal/workloads/angha"
+
+// Program describes one Table I row's synthetic stand-in.
+type Program struct {
+	// Suite is "MiBench" or "SPEC'17".
+	Suite string
+	// Name is the paper's program name.
+	Name string
+	// PaperKB is the paper's reported binary size (for the report).
+	PaperKB float64
+	// PaperRedPct is the paper's reported relative reduction (for the
+	// report; negative = growth).
+	PaperRedPct float64
+	// NumFuncs is how many functions the stand-in generates.
+	NumFuncs int
+	// Mix is the family mix.
+	Mix angha.Mix
+	// Seed drives generation.
+	Seed int64
+}
+
+// Functions generates the program's corpus.
+func (p *Program) Functions() []angha.Function {
+	return angha.GenerateMix(p.NumFuncs, p.Seed, p.Mix)
+}
+
+// Mix presets.
+var (
+	// mixRich: raster/rendering code — many regular sequences.
+	mixRich = angha.Mix{
+		angha.FamPlain: 55, angha.FamNearMiss: 10,
+		angha.FamStoreSeq: 12, angha.FamFieldCopy: 8, angha.FamCallSeq: 7,
+		angha.FamStridedPtr: 4, angha.FamReduction: 3, angha.FamChainedCall: 1,
+	}
+	// mixModerate: ordinary application code.
+	mixModerate = angha.Mix{
+		angha.FamPlain: 78, angha.FamNearMiss: 10,
+		angha.FamStoreSeq: 5, angha.FamFieldCopy: 2, angha.FamCallSeq: 2,
+		angha.FamStridedPtr: 1, angha.FamReduction: 1, angha.FamChainedCall: 1,
+	}
+	// mixSparse: almost no opportunities.
+	mixSparse = angha.Mix{
+		angha.FamPlain: 92, angha.FamNearMiss: 5,
+		angha.FamStoreSeq: 2, angha.FamReduction: 1,
+	}
+	// mixThin: dominated by regression-prone shapes.
+	mixThin = angha.Mix{
+		angha.FamPlain: 84, angha.FamNearMiss: 8, angha.FamThin: 8,
+	}
+)
+
+// Table returns the Table I program list.
+func Table() []Program {
+	return []Program{
+		// MiBench.
+		{Suite: "MiBench", Name: "typeset", PaperKB: 534.4, PaperRedPct: -0.1, NumFuncs: 170, Mix: mixThin, Seed: 101},
+		{Suite: "MiBench", Name: "sha", PaperKB: 3.3, PaperRedPct: -0.8, NumFuncs: 10, Mix: mixThin, Seed: 102},
+		{Suite: "MiBench", Name: "pgp", PaperKB: 179.2, PaperRedPct: 0, NumFuncs: 70, Mix: mixSparse, Seed: 103},
+		{Suite: "MiBench", Name: "gsm", PaperKB: 48.6, PaperRedPct: 0.1, NumFuncs: 30, Mix: mixSparse, Seed: 104},
+		{Suite: "MiBench", Name: "jpeg_d", PaperKB: 116.7, PaperRedPct: 0.1, NumFuncs: 50, Mix: mixModerate, Seed: 105},
+		{Suite: "MiBench", Name: "jpeg_c", PaperKB: 121.1, PaperRedPct: 0.2, NumFuncs: 55, Mix: mixModerate, Seed: 106},
+		{Suite: "MiBench", Name: "ghostscript", PaperKB: 908.8, PaperRedPct: 0.1, NumFuncs: 260, Mix: mixModerate, Seed: 107},
+		{Suite: "MiBench", Name: "tiff2bw", PaperKB: 240.1, PaperRedPct: 1.3, NumFuncs: 90, Mix: mixRich, Seed: 108},
+		{Suite: "MiBench", Name: "tiff2dither", PaperKB: 239.5, PaperRedPct: 1.4, NumFuncs: 90, Mix: mixRich, Seed: 109},
+		{Suite: "MiBench", Name: "tiff2median", PaperKB: 239.6, PaperRedPct: 1.4, NumFuncs: 90, Mix: mixRich, Seed: 110},
+		{Suite: "MiBench", Name: "tiff2rgba", PaperKB: 243.8, PaperRedPct: 1.4, NumFuncs: 92, Mix: mixRich, Seed: 111},
+		// SPEC 2017.
+		{Suite: "SPEC'17", Name: "657.xz_s", PaperKB: 158.2, PaperRedPct: -0.2, NumFuncs: 60, Mix: mixThin, Seed: 201},
+		{Suite: "SPEC'17", Name: "620.omnetpp_s", PaperKB: 1512.2, PaperRedPct: 0, NumFuncs: 280, Mix: mixSparse, Seed: 202},
+		{Suite: "SPEC'17", Name: "605.mcf_s", PaperKB: 17.8, PaperRedPct: -0.1, NumFuncs: 12, Mix: mixThin, Seed: 207},
+		{Suite: "SPEC'17", Name: "644.nab_s", PaperKB: 149.9, PaperRedPct: 0, NumFuncs: 55, Mix: mixSparse, Seed: 204},
+		{Suite: "SPEC'17", Name: "631.deepsjeng_s", PaperKB: 68.8, PaperRedPct: 0.1, NumFuncs: 35, Mix: mixModerate, Seed: 205},
+		{Suite: "SPEC'17", Name: "619.lbm_s", PaperKB: 15.4, PaperRedPct: 0.9, NumFuncs: 12, Mix: mixRich, Seed: 206},
+		{Suite: "SPEC'17", Name: "625.x264_s", PaperKB: 392.2, PaperRedPct: 0.1, NumFuncs: 130, Mix: mixModerate, Seed: 207},
+		{Suite: "SPEC'17", Name: "638.imagick_s", PaperKB: 1574.9, PaperRedPct: 0.1, NumFuncs: 300, Mix: mixModerate, Seed: 208},
+		{Suite: "SPEC'17", Name: "511.povray_r", PaperKB: 790.8, PaperRedPct: 2.7, NumFuncs: 220, Mix: mixRich, Seed: 209},
+		{Suite: "SPEC'17", Name: "526.blender_r", PaperKB: 8508.5, PaperRedPct: 1.1, NumFuncs: 620, Mix: mixRich, Seed: 210},
+	}
+}

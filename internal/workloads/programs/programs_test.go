@@ -1,0 +1,81 @@
+package programs_test
+
+import (
+	"testing"
+
+	"rolag/internal/cc"
+	"rolag/internal/passes"
+	"rolag/internal/workloads/programs"
+)
+
+func TestTableProfilesWellFormed(t *testing.T) {
+	rows := programs.Table()
+	if len(rows) != 21 {
+		t.Fatalf("Table I has %d rows, want 21 (11 MiBench + 10 SPEC)", len(rows))
+	}
+	names := make(map[string]bool)
+	for _, p := range rows {
+		if p.Suite != "MiBench" && p.Suite != "SPEC'17" {
+			t.Errorf("%s: unknown suite %q", p.Name, p.Suite)
+		}
+		if names[p.Name] {
+			t.Errorf("duplicate program %s", p.Name)
+		}
+		names[p.Name] = true
+		if p.NumFuncs < 4 {
+			t.Errorf("%s: only %d functions", p.Name, p.NumFuncs)
+		}
+		if p.PaperKB <= 0 {
+			t.Errorf("%s: missing paper size", p.Name)
+		}
+	}
+	// The paper's negative rows must be present.
+	for _, neg := range []string{"typeset", "sha", "657.xz_s", "605.mcf_s"} {
+		found := false
+		for _, p := range rows {
+			if p.Name == neg && p.PaperRedPct < 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("expected %s with a negative paper reduction", neg)
+		}
+	}
+}
+
+func TestProgramsGenerateAndCompile(t *testing.T) {
+	// Spot-check one small program per suite end to end.
+	for _, name := range []string{"sha", "619.lbm_s"} {
+		var found bool
+		for _, p := range programs.Table() {
+			if p.Name != name {
+				continue
+			}
+			found = true
+			funcs := p.Functions()
+			if len(funcs) != p.NumFuncs {
+				t.Errorf("%s: generated %d functions, want %d", name, len(funcs), p.NumFuncs)
+			}
+			for _, fn := range funcs {
+				m, err := cc.Compile(fn.Src, fn.Name)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", name, fn.Name, err)
+				}
+				passes.Standard().Run(m)
+				if err := m.Verify(); err != nil {
+					t.Fatalf("%s/%s: verify: %v", name, fn.Name, err)
+				}
+			}
+			// Determinism: same profile generates the same corpus.
+			again := p.Functions()
+			for i := range funcs {
+				if funcs[i].Src != again[i].Src {
+					t.Fatalf("%s: generation not deterministic", name)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("program %s missing from Table()", name)
+		}
+	}
+}

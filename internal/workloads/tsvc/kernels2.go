@@ -1,0 +1,245 @@
+package tsvc
+
+func vectorization() []Kernel {
+	return []Kernel{
+		k("s211", `
+void s211() {
+	for (int i = 1; i < 255; i++) {
+		a[i] = b[i - 1] + c[i] * d[i];
+		b[i] = b[i + 1] - e[i] * d[i];
+	}
+}`),
+		k("s212", `
+void s212() {
+	for (int i = 0; i < 255; i++) {
+		a[i] = a[i] * c[i];
+		b[i] = b[i] + a[i + 1] * d[i];
+	}
+}`),
+		k("s1213", `
+void s1213() {
+	for (int i = 1; i < 255; i++) {
+		a[i] = b[i-1] + c[i];
+		b[i] = a[i+1] * d[i];
+	}
+}`),
+		k("s221", `
+void s221() {
+	for (int i = 1; i < 256; i++) {
+		a[i] = a[i] + c[i] * d[i];
+		b[i] = b[i - 1] + a[i] + d[i];
+	}
+}`),
+		k("s1221k", `
+void s1221k() {
+	for (int i = 4; i < 256; i++)
+		b[i] = b[i - 4] + a[i];
+}`),
+		k("s222", `
+void s222() {
+	for (int i = 1; i < 256; i++) {
+		a[i] = a[i] + b[i] * c[i];
+		e[i] = e[i - 1] * e[i - 1];
+		a[i] = a[i] - b[i] * c[i];
+	}
+}`),
+		k("s231", `
+void s231() {
+	for (int i = 0; i < 16; i++)
+		for (int j = 1; j < 16; j++)
+			aa[j*16 + i] = aa[(j-1)*16 + i] + bb[j*16 + i];
+}`),
+		k("s232", `
+void s232() {
+	for (int j = 1; j < 16; j++)
+		for (int i = 1; i <= j; i++)
+			aa[j*16 + i] = aa[j*16 + i - 1] * aa[j*16 + i - 1] + bb[j*16 + i];
+}`),
+		k("s1232", `
+void s1232() {
+	for (int j = 0; j < 16; j++)
+		for (int i = j; i < 16; i++)
+			aa[i*16 + j] = bb[i*16 + j] + cc[i*16 + j];
+}`),
+		k("s233", `
+void s233() {
+	for (int i = 1; i < 16; i++) {
+		for (int j = 1; j < 16; j++)
+			aa[j*16 + i] = aa[(j-1)*16 + i] + cc[j*16 + i];
+		for (int j = 1; j < 16; j++)
+			bb[j*16 + i] = bb[j*16 + i - 1] + cc[j*16 + i];
+	}
+}`),
+		k("s2233", `
+void s2233() {
+	for (int i = 1; i < 16; i++) {
+		for (int j = 1; j < 16; j++)
+			aa[j*16 + i] = aa[(j-1)*16 + i] + cc[j*16 + i];
+		for (int j = 1; j < 16; j++)
+			cc[j*16 + i] = bb[j*16 + i - 1] + cc[j*16 + i];
+	}
+}`),
+		k("s235", `
+void s235() {
+	for (int i = 0; i < 16; i++) {
+		a[i] = a[i] + b[i] * c[i];
+		for (int j = 1; j < 16; j++)
+			aa[j*16 + i] = aa[(j-1)*16 + i] + bb[j*16 + i] * a[i];
+	}
+}`),
+	}
+}
+
+func controlFlow() []Kernel {
+	return []Kernel{
+		k("s241", `
+void s241() {
+	for (int i = 0; i < 255; i++) {
+		a[i] = b[i] * c[i] * d[i];
+		b[i] = a[i] * a[i + 1] * d[i];
+	}
+}`),
+		k("s242", `
+void s242(float s1, float s2) {
+	for (int i = 1; i < 256; i++)
+		a[i] = a[i - 1] + s1 + s2 + b[i] + c[i] + d[i];
+}`),
+		k("s243", `
+void s243() {
+	for (int i = 0; i < 255; i++) {
+		a[i] = b[i] + c[i] * d[i];
+		b[i] = a[i] + d[i] * e[i];
+		a[i] = b[i] + a[i + 1] * d[i];
+	}
+}`),
+		k("s244", `
+void s244() {
+	for (int i = 0; i < 255; i++) {
+		a[i] = b[i] + c[i] * d[i];
+		b[i] = c[i] + b[i];
+		a[i + 1] = b[i] + a[i + 1] * d[i];
+	}
+}`),
+		k("s1244", `
+void s1244() {
+	for (int i = 0; i < 255; i++) {
+		a[i] = b[i] + c[i] * c[i] + b[i] * b[i] + c[i];
+		d[i] = a[i] + a[i + 1];
+	}
+}`),
+		k("s2244", `
+void s2244() {
+	for (int i = 0; i < 255; i++) {
+		a[i + 1] = b[i] + e[i];
+		a[i] = b[i] + c[i];
+	}
+}`),
+		k("s251", `
+void s251() {
+	for (int i = 0; i < 256; i++) {
+		float s = b[i] + c[i] * d[i];
+		a[i] = s * s;
+	}
+}`),
+		k("s1251", `
+void s1251() {
+	for (int i = 0; i < 256; i++) {
+		float s = b[i] + c[i];
+		b[i] = a[i] + d[i];
+		a[i] = s * e[i];
+	}
+}`),
+		k("s2251", `
+void s2251() {
+	float s = 0.0f;
+	for (int i = 0; i < 256; i++) {
+		a[i] = s * e[i];
+		s = b[i] + c[i];
+		b[i] = a[i] + d[i];
+	}
+}`),
+		k("s3251", `
+void s3251() {
+	for (int i = 0; i < 255; i++) {
+		a[i + 1] = b[i] + c[i];
+		b[i] = c[i] * e[i];
+		d[i] = a[i] * e[i];
+	}
+}`),
+		k("s252", `
+void s252() {
+	float t = 0.0f;
+	for (int i = 0; i < 256; i++) {
+		float s = b[i] * c[i];
+		a[i] = s + t;
+		t = s;
+	}
+}`),
+		k("s253", `
+void s253() {
+	float s;
+	for (int i = 0; i < 256; i++) {
+		if (a[i] > b[i]) {
+			s = a[i] - b[i] * d[i];
+			c[i] = c[i] + s;
+			a[i] = s;
+		}
+	}
+}`),
+		k("s254", `
+void s254() {
+	float t = b[255];
+	for (int i = 0; i < 256; i++) {
+		a[i] = (b[i] + t) * 0.5f;
+		t = b[i];
+	}
+}`),
+		k("s255", `
+void s255() {
+	float t = b[255];
+	float s = b[254];
+	for (int i = 0; i < 256; i++) {
+		a[i] = (b[i] + t + s) * 0.333f;
+		s = t;
+		t = b[i];
+	}
+}`),
+		k("s256", `
+void s256() {
+	for (int i = 0; i < 16; i++) {
+		for (int j = 1; j < 16; j++) {
+			a[j] = aa[j*16 + i] - a[j - 1];
+			aa[j*16 + i] = a[j] + bb[j*16 + i];
+		}
+	}
+}`),
+		k("s257", `
+void s257() {
+	for (int i = 1; i < 16; i++) {
+		for (int j = 0; j < 16; j++) {
+			a[i] = aa[j*16 + i] - a[i - 1];
+			aa[j*16 + i] = a[i] + bb[j*16 + i];
+		}
+	}
+}`),
+		k("s258", `
+void s258() {
+	float s = 0.0f;
+	for (int i = 0; i < 16; i++) {
+		if (a[i] > 0.0f)
+			s = d[i] * d[i];
+		b[i] = s * c[i] + d[i];
+		e[i] = (s + 1.0f) * aa[i];
+	}
+}`),
+		k("s261", `
+void s261() {
+	for (int i = 1; i < 256; i++) {
+		float t = a[i] + b[i];
+		a[i] = t + c[i - 1];
+		t = c[i] * d[i];
+		c[i] = t;
+	}
+}`),
+	}
+}

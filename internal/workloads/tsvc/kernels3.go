@@ -1,0 +1,308 @@
+package tsvc
+
+func reductions() []Kernel {
+	return []Kernel{
+		k("s271", `
+void s271() {
+	for (int i = 0; i < 256; i++) {
+		if (b[i] > 0.0f)
+			a[i] += b[i] * c[i];
+	}
+}`),
+		k("s272", `
+void s272(float t) {
+	for (int i = 0; i < 256; i++) {
+		if (e[i] >= t) {
+			a[i] += c[i] * d[i];
+			b[i] += c[i] * c[i];
+		}
+	}
+}`),
+		k("s273", `
+void s273() {
+	for (int i = 0; i < 256; i++) {
+		a[i] += d[i] * e[i];
+		if (a[i] < 0.0f)
+			b[i] += d[i] * e[i];
+		c[i] += a[i] * d[i];
+	}
+}`),
+		k("s274", `
+void s274() {
+	for (int i = 0; i < 256; i++) {
+		a[i] = c[i] + e[i] * d[i];
+		if (a[i] > 0.0f)
+			b[i] = a[i] + b[i];
+		else
+			a[i] = d[i] * e[i];
+	}
+}`),
+		k("s275", `
+void s275() {
+	for (int i = 0; i < 16; i++) {
+		if (aa[i] > 0.0f) {
+			for (int j = 1; j < 16; j++)
+				aa[j*16 + i] = aa[(j-1)*16 + i] + bb[j*16 + i] * cc[j*16 + i];
+		}
+	}
+}`),
+		k("s2275", `
+void s2275() {
+	for (int i = 0; i < 16; i++) {
+		for (int j = 0; j < 16; j++)
+			aa[j*16 + i] = aa[j*16 + i] + bb[j*16 + i] * cc[j*16 + i];
+		a[i] = b[i] + c[i] * d[i];
+	}
+}`),
+		k("s276", `
+void s276() {
+	int mid = 128;
+	for (int i = 0; i < 256; i++) {
+		if (i + 1 < mid)
+			a[i] += b[i] * c[i];
+		else
+			a[i] += b[i] * d[i];
+	}
+}`),
+		k("s281", `
+void s281() {
+	float s = 0.0f;
+	for (int i = 0; i < 256; i++) {
+		float xv = a[255 - i] + b[i] * c[i];
+		a[i] = xv - 1.0f;
+		b[i] = xv;
+	}
+}`),
+		k("s291", `
+void s291() {
+	int im1 = 255;
+	for (int i = 0; i < 256; i++) {
+		a[i] = (b[i] + b[im1]) * 0.5f;
+		im1 = i;
+	}
+}`),
+		k("s292", `
+void s292() {
+	int im1 = 255;
+	int im2 = 254;
+	for (int i = 0; i < 256; i++) {
+		a[i] = (b[i] + b[im1] + b[im2]) * 0.333f;
+		im2 = im1;
+		im1 = i;
+	}
+}`),
+		k("s293", `
+void s293() {
+	for (int i = 0; i < 256; i++)
+		a[i] = a[0];
+}`),
+		k("s311", `
+float s311() {
+	float s = 0.0f;
+	for (int i = 0; i < 256; i++)
+		s += a[i];
+	return s;
+}`),
+		k("s312", `
+float s312() {
+	float p = 1.0f;
+	for (int i = 0; i < 256; i++)
+		p *= a[i];
+	return p;
+}`),
+		k("s313", `
+float s313() {
+	float d_ = 0.0f;
+	for (int i = 0; i < 256; i++)
+		d_ += a[i] * b[i];
+	return d_;
+}`),
+		k("s314", `
+float s314() {
+	float m = a[0];
+	for (int i = 0; i < 256; i++) {
+		if (a[i] > m)
+			m = a[i];
+	}
+	return m;
+}`),
+		k("s315", `
+float s315() {
+	float m = a[0];
+	int j = 0;
+	for (int i = 0; i < 256; i++) {
+		if (a[i] > m) {
+			m = a[i];
+			j = i;
+		}
+	}
+	return m + (float)j;
+}`),
+		k("s316", `
+float s316() {
+	float m = a[0];
+	for (int i = 1; i < 256; i++) {
+		if (a[i] < m)
+			m = a[i];
+	}
+	return m;
+}`),
+		k("s317", `
+float s317() {
+	float qv = 1.0f;
+	for (int i = 0; i < 128; i++)
+		qv *= 0.99f;
+	return qv;
+}`),
+		k("s318", `
+float s318(int incp) {
+	int j = 0;
+	float m = a[0];
+	if (m < 0.0f) m = -m;
+	int idx = 0;
+	for (int i = 1; i < 256; i++) {
+		j += incp;
+		float av = a[j];
+		if (av < 0.0f) av = -av;
+		if (av > m) {
+			m = av;
+			idx = i;
+		}
+	}
+	return m + (float)idx;
+}`),
+		k("s319", `
+float s319() {
+	float s = 0.0f;
+	for (int i = 0; i < 256; i++) {
+		a[i] = c[i] + d[i];
+		s += a[i];
+		b[i] = c[i] + e[i];
+		s += b[i];
+	}
+	return s;
+}`),
+		k("s3110", `
+float s3110() {
+	float m = aa[0];
+	for (int i = 0; i < 256; i++) {
+		if (aa[i] > m)
+			m = aa[i];
+	}
+	return m;
+}`),
+		k("s3111", `
+float s3111() {
+	float s = 0.0f;
+	for (int i = 0; i < 256; i++) {
+		if (a[i] > 0.0f)
+			s += a[i];
+	}
+	return s;
+}`),
+		k("s3112", `
+float s3112() {
+	float s = 0.0f;
+	for (int i = 0; i < 256; i++) {
+		s += a[i];
+		b[i] = s;
+	}
+	return s;
+}`),
+		k("s3113", `
+float s3113() {
+	float m = a[0];
+	for (int i = 0; i < 256; i++) {
+		if ((a[i] > m ? a[i] : m) > m)
+			m = a[i];
+	}
+	return m;
+}`),
+	}
+}
+
+func recurrences() []Kernel {
+	return []Kernel{
+		k("s321", `
+void s321() {
+	for (int i = 1; i < 256; i++)
+		a[i] += a[i - 1] * b[i];
+}`),
+		k("s322", `
+void s322() {
+	for (int i = 2; i < 256; i++)
+		a[i] = a[i] + a[i - 1] * b[i] + a[i - 2] * c[i];
+}`),
+		k("s323", `
+void s323() {
+	for (int i = 1; i < 256; i++) {
+		a[i] = b[i - 1] + c[i] * d[i];
+		b[i] = a[i] + c[i] * e[i];
+	}
+}`),
+	}
+}
+
+func searching() []Kernel {
+	return []Kernel{
+		k("s331", `
+int s331() {
+	int j = -1;
+	for (int i = 0; i < 256; i++) {
+		if (a[i] < 0.0f)
+			j = i;
+	}
+	return j;
+}`),
+		k("s332", `
+float s332(float t) {
+	int index_l = -2;
+	float value = -1.0f;
+	for (int i = 0; i < 256; i++) {
+		if (a[i] > t) {
+			index_l = i;
+			value = a[i];
+			break;
+		}
+	}
+	return value + (float)index_l;
+}`),
+	}
+}
+
+func packing() []Kernel {
+	return []Kernel{
+		k("s341", `
+void s341() {
+	int j = -1;
+	for (int i = 0; i < 256; i++) {
+		if (b[i] > 0.0f) {
+			j++;
+			a[j] = b[i];
+		}
+	}
+}`),
+		k("s342", `
+void s342() {
+	int j = -1;
+	for (int i = 0; i < 256; i++) {
+		if (a[i] > 0.0f) {
+			j++;
+			a[i] = b[j];
+		}
+	}
+}`),
+		k("s343", `
+void s343() {
+	int k = -1;
+	for (int i = 0; i < 16; i++) {
+		for (int j = 0; j < 16; j++) {
+			if (bb[j*16 + i] > 0.0f) {
+				k++;
+				flat_2d_array[k] = aa[j*16 + i];
+			}
+		}
+	}
+}`),
+	}
+}

@@ -1,0 +1,295 @@
+package tsvc
+
+func loopRestructuring() []Kernel {
+	return []Kernel{
+		k("s351", `
+void s351() {
+	float alpha_l = c[0];
+	for (int i = 0; i < 256; i += 5) {
+		a[i] += alpha_l * b[i];
+		a[i + 1] += alpha_l * b[i + 1];
+		a[i + 2] += alpha_l * b[i + 2];
+		a[i + 3] += alpha_l * b[i + 3];
+		a[i + 4] += alpha_l * b[i + 4];
+	}
+}`),
+		k("s1351", `
+void s1351() {
+	float *ap = a;
+	float *bp = b;
+	float *cp = c;
+	for (int i = 0; i < 256; i++) {
+		*ap = *bp + *cp;
+		ap++;
+		bp++;
+		cp++;
+	}
+}`),
+		k("s352", `
+float s352() {
+	float d_ = 0.0f;
+	for (int i = 0; i < 256; i += 5) {
+		d_ = d_ + (a[i] * b[i] + a[i + 1] * b[i + 1] + a[i + 2] * b[i + 2]
+			+ a[i + 3] * b[i + 3] + a[i + 4] * b[i + 4]);
+	}
+	return d_;
+}`),
+		k("s353", `
+void s353() {
+	float alpha_l = c[0];
+	for (int i = 0; i < 256; i += 5) {
+		a[i] += alpha_l * b[ip[i]];
+		a[i + 1] += alpha_l * b[ip[i + 1]];
+		a[i + 2] += alpha_l * b[ip[i + 2]];
+		a[i + 3] += alpha_l * b[ip[i + 3]];
+		a[i + 4] += alpha_l * b[ip[i + 4]];
+	}
+}`),
+	}
+}
+
+func equivalencing() []Kernel {
+	return []Kernel{
+		k("s421", `
+void s421() {
+	float *xx = flat_2d_array;
+	for (int i = 0; i < 255; i++)
+		xx[i] = flat_2d_array[i + 1] + a[i];
+}`),
+		k("s1421", `
+void s1421() {
+	float *xx = b + 128;
+	for (int i = 0; i < 128; i++)
+		b[i] = xx[i] + a[i];
+}`),
+		k("s422", `
+void s422() {
+	float *xx = flat_2d_array + 4;
+	for (int i = 0; i < 252; i++)
+		xx[i] = flat_2d_array[i + 8] + a[i];
+}`),
+		k("s423", `
+void s423() {
+	float *vxx = flat_2d_array + 64;
+	for (int i = 0; i < 255; i++)
+		vxx[i + 1] = flat_2d_array[i] + a[i];
+}`),
+		k("s424", `
+void s424() {
+	float *vxx = flat_2d_array + 63;
+	for (int i = 0; i < 255; i++)
+		vxx[i + 1] = flat_2d_array[i] + a[i];
+}`),
+		k("s431", `
+void s431() {
+	int k1 = 1;
+	int k2 = 2;
+	int kk = k2 - k1;
+	for (int i = 0; i < 255; i++)
+		a[i] = a[i + kk] + b[i];
+}`),
+		k("s441", `
+void s441() {
+	for (int i = 0; i < 256; i++) {
+		if (d[i] < 0.0f)
+			a[i] += b[i] * c[i];
+		else if (d[i] == 0.0f)
+			a[i] += b[i] * b[i];
+		else
+			a[i] += c[i] * c[i];
+	}
+}`),
+		k("s443", `
+void s443() {
+	for (int i = 0; i < 256; i++) {
+		if (d[i] <= 0.0f)
+			a[i] += b[i] * c[i];
+		else
+			a[i] += b[i] * b[i];
+	}
+}`),
+		k("s451", `
+void s451() {
+	for (int i = 0; i < 256; i++)
+		a[i] = b[i] + c[i] * d[i];
+}`),
+		k("s452", `
+void s452() {
+	for (int i = 0; i < 256; i++)
+		a[i] = b[i] + c[i] * (float)(i + 1);
+}`),
+		k("s453", `
+void s453() {
+	float s = 0.0f;
+	for (int i = 0; i < 256; i++) {
+		s += 2.0f;
+		a[i] = s * b[i];
+	}
+}`),
+		k("s471", `
+extern void s471s(void);
+void s471() {
+	int m = 256;
+	for (int i = 0; i < m; i++) {
+		x[i] = b[i] + d[i] * d[i];
+		s471s();
+		b[i] = c[i] + d[i] * e[i];
+	}
+}`),
+		k("s481", `
+extern void exit_now(int code);
+void s481() {
+	for (int i = 0; i < 256; i++) {
+		if (d[i] < 0.0f)
+			exit_now(0);
+		a[i] += b[i] * c[i];
+	}
+}`),
+		k("s482", `
+void s482() {
+	for (int i = 0; i < 256; i++) {
+		a[i] += b[i] * c[i];
+		if (c[i] > b[i])
+			break;
+	}
+}`),
+		k("s491", `
+void s491() {
+	for (int i = 0; i < 256; i++)
+		a[ip[i]] = b[i] + c[i] * d[i];
+}`),
+	}
+}
+
+func indirectAddressing() []Kernel {
+	return []Kernel{
+		k("s4112", `
+void s4112(float s) {
+	for (int i = 0; i < 256; i++)
+		a[i] = b[ip[i]] * s + a[i];
+}`),
+		k("s4113", `
+void s4113() {
+	for (int i = 0; i < 256; i++)
+		a[ip[i]] = b[ip[i]] + c[i];
+}`),
+		k("s4114", `
+void s4114(int n1_p) {
+	for (int i = n1_p - 1; i < 256; i++) {
+		int kk = ip[i];
+		a[i] = b[i] + c[255 - kk] * d[i];
+	}
+}`),
+		k("s4115", `
+float s4115() {
+	float s = 0.0f;
+	for (int i = 0; i < 256; i++)
+		s += a[i] * b[ip[i]];
+	return s;
+}`),
+		k("s4116", `
+float s4116(int j_p, int inc_p) {
+	float s = 0.0f;
+	int off = j_p - 1;
+	for (int i = 0; i < 255; i++)
+		s += a[off + i * inc_p] * aa[ip[i]];
+	return s;
+}`),
+		k("s4117", `
+void s4117() {
+	for (int i = 0; i < 256; i++)
+		a[i] = b[i] + c[i / 2] * d[i];
+}`),
+		k("s4121", `
+extern float f_ret(float x, float y) pure;
+void s4121() {
+	for (int i = 0; i < 256; i++)
+		a[i] += f_ret(b[i], c[i]);
+}`),
+	}
+}
+
+func controlLoops() []Kernel {
+	return []Kernel{
+		k("va", `
+void va() {
+	for (int i = 0; i < 256; i++)
+		a[i] = b[i];
+}`),
+		k("vag", `
+void vag() {
+	for (int i = 0; i < 256; i++)
+		a[i] = b[ip[i]];
+}`),
+		k("vas", `
+void vas() {
+	for (int i = 0; i < 256; i++)
+		a[ip[i]] = b[i];
+}`),
+		k("vif", `
+void vif() {
+	for (int i = 0; i < 256; i++) {
+		if (b[i] > 0.0f)
+			a[i] = b[i];
+	}
+}`),
+		k("vpv", `
+void vpv() {
+	for (int i = 0; i < 256; i++)
+		a[i] += b[i];
+}`),
+		k("vtv", `
+void vtv() {
+	for (int i = 0; i < 256; i++)
+		a[i] *= b[i];
+}`),
+		k("vpvtv", `
+void vpvtv() {
+	for (int i = 0; i < 256; i++)
+		a[i] += b[i] * c[i];
+}`),
+		k("vpvts", `
+void vpvts(float s) {
+	for (int i = 0; i < 256; i++)
+		a[i] += b[i] * s;
+}`),
+		k("vpvpv", `
+void vpvpv() {
+	for (int i = 0; i < 256; i++)
+		a[i] += b[i] + c[i];
+}`),
+		k("vtvtv", `
+void vtvtv() {
+	for (int i = 0; i < 256; i++)
+		a[i] = a[i] * b[i] * c[i];
+}`),
+		k("vsumr", `
+float vsumr() {
+	float s = 0.0f;
+	for (int i = 0; i < 256; i++)
+		s += a[i];
+	return s;
+}`),
+		k("vdotr", `
+float vdotr() {
+	float s = 0.0f;
+	for (int i = 0; i < 256; i++)
+		s += a[i] * b[i];
+	return s;
+}`),
+		k("vbor", `
+void vbor() {
+	for (int i = 0; i < 256; i++) {
+		float a1 = a[i];
+		float b1 = b[i];
+		float c1 = c[i];
+		float d1 = d[i];
+		float e1 = e[i];
+		float f1 = aa[i];
+		float s = a1*b1 + a1*c1 + a1*d1 + a1*e1 + a1*f1 + b1*c1 + b1*d1
+			+ b1*e1 + b1*f1 + c1*d1 + c1*e1 + c1*f1 + d1*e1 + d1*f1 + e1*f1;
+		x[i] = s * s;
+	}
+}`),
+	}
+}

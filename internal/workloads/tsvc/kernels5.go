@@ -1,0 +1,116 @@
+package tsvc
+
+// The remaining kernels that complete the 151-kernel suite.
+
+func extraKernels() []Kernel {
+	return []Kernel{
+		k("s1119", `
+void s1119() {
+	for (int i = 1; i < 16; i++)
+		for (int j = 0; j < 16; j++)
+			aa[i*16 + j] = aa[(i-1)*16 + j] + bb[i*16 + j];
+}`),
+		k("s1161", `
+void s1161() {
+	for (int i = 0; i < 255; i++) {
+		if (c[i] < 0.0f) {
+			b[i] = a[i] + d[i] * d[i];
+		} else {
+			a[i] = c[i] + d[i] * e[i];
+		}
+	}
+}`),
+		k("s2101", `
+void s2101() {
+	for (int i = 0; i < 16; i++)
+		aa[i*16 + i] = aa[i*16 + i] + bb[i*16 + i] * cc[i*16 + i];
+}`),
+		k("s2102", `
+void s2102() {
+	for (int i = 0; i < 16; i++) {
+		for (int j = 0; j < 16; j++)
+			aa[j*16 + i] = 0.0f;
+		aa[i*16 + i] = 1.0f;
+	}
+}`),
+		k("s2111", `
+void s2111() {
+	for (int j = 1; j < 16; j++)
+		for (int i = 1; i < 16; i++)
+			aa[j*16 + i] = (aa[j*16 + i - 1] + aa[(j-1)*16 + i]) / 1.9f;
+}`),
+		k("s1281", `
+void s1281() {
+	for (int i = 0; i < 256; i++) {
+		float xv = b[i] * c[i] + a[i] * d[i] + e[i];
+		a[i] = xv - 1.0f;
+		b[i] = xv;
+	}
+}`),
+		k("s2711", `
+void s2711() {
+	for (int i = 0; i < 256; i++) {
+		if (b[i] != 0.0f)
+			a[i] += b[i] * c[i];
+	}
+}`),
+		k("s2712", `
+void s2712() {
+	for (int i = 0; i < 256; i++) {
+		if (a[i] > b[i])
+			a[i] += b[i] * c[i];
+	}
+}`),
+		k("s321b", `
+void s321b() {
+	for (int i = 1; i < 256; i++)
+		a[i] += a[i - 1] * b[i] + c[i];
+}`),
+		k("s442", `
+void s442(int *indx_p) {
+	for (int i = 0; i < 256; i++) {
+		int w = indx_p[i] & 3;
+		if (w == 0)
+			a[i] = b[i] + d[i] * d[i];
+		else if (w == 1)
+			a[i] = b[i] + e[i] * e[i];
+		else
+			a[i] = b[i] + c[i] * c[i];
+	}
+}`),
+		k("s161b", `
+void s161b() {
+	for (int i = 0; i < 255; i++) {
+		if (b[i] >= 0.0f)
+			a[i] = c[i] + d[i] * e[i];
+	}
+}`),
+		k("va8", `
+void va8() {
+	for (int i = 0; i < 256; i++)
+		a[i] = b[i] + 8.5f;
+}`),
+		k("vneg", `
+void vneg() {
+	for (int i = 0; i < 256; i++)
+		a[i] = -b[i];
+}`),
+		k("vsqr", `
+void vsqr() {
+	for (int i = 0; i < 256; i++)
+		a[i] = b[i] * b[i];
+}`),
+		k("vcopy8", `
+void vcopy8() {
+	a[0] = b[0]; a[1] = b[1]; a[2] = b[2]; a[3] = b[3];
+	a[4] = b[4]; a[5] = b[5]; a[6] = b[6]; a[7] = b[7];
+}`),
+		k("vinit16", `
+void vinit16() {
+	for (int i = 0; i < 16; i++)
+		ia[i] = 5;
+	ia[16] = 1; ia[17] = 3; ia[18] = 5; ia[19] = 7;
+	ia[20] = 9; ia[21] = 11; ia[22] = 13; ia[23] = 15;
+}`),
+	}
+}

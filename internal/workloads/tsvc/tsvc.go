@@ -1,0 +1,338 @@
+// Package tsvc provides the TSVC benchmark kernels (Callahan, Dongarra,
+// Levine — "Vectorizing compilers: a test suite and results") translated
+// to the project's mini-C subset. The paper's §V.C experiment force-
+// unrolls every inner loop by 8 and measures how much of the original
+// (rolled) size each rerolling technique recovers; the rolled sources
+// here double as that experiment's oracle.
+//
+// Kernels operate on module-global arrays like the original suite
+// (LEN = 256 floats, flattened 16x16 for the 2D kernels). Kernels whose
+// control flow the techniques cannot handle (multi-block loop bodies,
+// conditionals, early exits) are included on purpose: the paper uses them
+// to expose the limitations of both techniques.
+package tsvc
+
+// Kernel is one TSVC kernel.
+type Kernel struct {
+	// Name is the original TSVC kernel name.
+	Name string
+	// Src is the mini-C translation unit (globals + the kernel
+	// function). This is the *rolled* form, which also serves as the
+	// oracle in Fig. 18.
+	Src string
+	// Func is the kernel function name.
+	Func string
+}
+
+// Prelude declares the global arrays shared by all kernels (each kernel
+// is compiled as its own module, so there is no cross-kernel
+// interference).
+const Prelude = `
+float a[256]; float b[256]; float c[256]; float d[256]; float e[256];
+float aa[256]; float bb[256]; float cc[256];
+float flat_2d_array[256];
+int ia[256]; int ib[256]; int ic[256]; int ip[256];
+float x[256]; float q;
+int n1; int n3; int inc;
+float alpha; float beta;
+float sum; float prod; float dot; float t_var;
+int index_g;
+`
+
+func k(name, body string) Kernel {
+	return Kernel{Name: name, Src: Prelude + body, Func: name}
+}
+
+// Kernels returns the suite in canonical order.
+func Kernels() []Kernel {
+	var out []Kernel
+	out = append(out, linearDependence()...)
+	out = append(out, induction()...)
+	out = append(out, globalDataFlow()...)
+	out = append(out, nonlogic()...)
+	out = append(out, vectorization()...)
+	out = append(out, controlFlow()...)
+	out = append(out, reductions()...)
+	out = append(out, recurrences()...)
+	out = append(out, searching()...)
+	out = append(out, packing()...)
+	out = append(out, loopRestructuring()...)
+	out = append(out, equivalencing()...)
+	out = append(out, indirectAddressing()...)
+	out = append(out, controlLoops()...)
+	out = append(out, extraKernels()...)
+	return out
+}
+
+// Find returns the kernel with the given name, or nil.
+func Find(name string) *Kernel {
+	for _, kr := range Kernels() {
+		if kr.Name == name {
+			return &kr
+		}
+	}
+	return nil
+}
+
+func linearDependence() []Kernel {
+	return []Kernel{
+		k("s000", `
+void s000() {
+	for (int i = 0; i < 256; i++)
+		a[i] = b[i] + 1.0f;
+}`),
+		k("s111", `
+void s111() {
+	for (int i = 1; i < 256; i += 2)
+		a[i] = a[i - 1] + b[i];
+}`),
+		k("s1111", `
+void s1111() {
+	for (int i = 0; i < 128; i++) {
+		a[2*i] = c[i] * b[i] + d[i] * b[i] + c[i] * c[i] + d[i] * b[i] + d[i] * c[i];
+	}
+}`),
+		k("s112", `
+void s112() {
+	for (int i = 254; i >= 0; i--)
+		a[i + 1] = a[i] + b[i];
+}`),
+		k("s1112", `
+void s1112() {
+	for (int i = 255; i >= 0; i--)
+		a[i] = b[i] + 1.0f;
+}`),
+		k("s113", `
+void s113() {
+	for (int i = 1; i < 256; i++)
+		a[i] = a[0] + b[i];
+}`),
+		k("s1113", `
+void s1113() {
+	for (int i = 0; i < 256; i++)
+		a[i] = a[128] + b[i];
+}`),
+		k("s114", `
+void s114() {
+	for (int i = 0; i < 16; i++)
+		for (int j = 0; j < i; j++)
+			aa[i*16 + j] = aa[j*16 + i] + bb[i*16 + j];
+}`),
+		k("s115", `
+void s115() {
+	for (int j = 0; j < 16; j++)
+		for (int i = j + 1; i < 16; i++)
+			a[i] = a[i] - aa[j*16 + i] * a[j];
+}`),
+		k("s1115", `
+void s1115() {
+	for (int i = 0; i < 16; i++)
+		for (int j = 0; j < 16; j++)
+			aa[i*16 + j] = aa[i*16 + j] * cc[j*16 + i] + bb[i*16 + j];
+}`),
+		k("s116", `
+void s116() {
+	for (int i = 0; i < 250; i += 5) {
+		a[i] = a[i + 1] * a[i];
+		a[i + 1] = a[i + 2] * a[i + 1];
+		a[i + 2] = a[i + 3] * a[i + 2];
+		a[i + 3] = a[i + 4] * a[i + 3];
+		a[i + 4] = a[i + 5] * a[i + 4];
+	}
+}`),
+		k("s118", `
+void s118() {
+	for (int i = 1; i < 16; i++)
+		for (int j = 0; j <= i - 1; j++)
+			a[i] = a[i] + bb[j*16 + i] * a[i - j - 1];
+}`),
+		k("s119", `
+void s119() {
+	for (int i = 1; i < 16; i++)
+		for (int j = 1; j < 16; j++)
+			aa[i*16 + j] = aa[(i-1)*16 + j - 1] + bb[i*16 + j];
+}`),
+	}
+}
+
+func induction() []Kernel {
+	return []Kernel{
+		k("s121", `
+void s121() {
+	for (int i = 0; i < 255; i++) {
+		int j = i + 1;
+		a[i] = a[j] + b[i];
+	}
+}`),
+		k("s1221", `
+void s1221() {
+	for (int i = 4; i < 256; i++)
+		b[i] = b[i - 4] + a[i];
+}`),
+		k("s122", `
+void s122(int n1_p, int n3_p) {
+	int j = 1;
+	int k = 0;
+	for (int i = n1_p - 1; i < 256; i += n3_p) {
+		k += j;
+		a[i] = a[i] + b[256 - k];
+	}
+}`),
+		k("s124", `
+void s124() {
+	int j = -1;
+	for (int i = 0; i < 256; i++) {
+		if (b[i] > 0.0f) {
+			j++;
+			a[j] = b[i] + d[i] * e[i];
+		} else {
+			j++;
+			a[j] = c[i] + d[i] * e[i];
+		}
+	}
+}`),
+		k("s125", `
+void s125() {
+	int k = -1;
+	for (int i = 0; i < 16; i++) {
+		for (int j = 0; j < 16; j++) {
+			k++;
+			flat_2d_array[k] = aa[i*16 + j] + bb[i*16 + j] * cc[i*16 + j];
+		}
+	}
+}`),
+		k("s126", `
+void s126() {
+	int k = 1;
+	for (int i = 0; i < 16; i++) {
+		for (int j = 1; j < 16; j++) {
+			bb[j*16 + i] = bb[(j-1)*16 + i] + flat_2d_array[k - 1] * cc[j*16 + i];
+			k++;
+		}
+		k++;
+	}
+}`),
+		k("s127", `
+void s127() {
+	int j = -1;
+	for (int i = 0; i < 128; i++) {
+		j++;
+		a[j] = b[i] + c[i] * d[i];
+		j++;
+		a[j] = b[i] + d[i] * e[i];
+	}
+}`),
+		k("s128", `
+void s128() {
+	int j = -1;
+	for (int i = 0; i < 128; i++) {
+		int k = j + 1;
+		a[i] = b[k] - d[i];
+		j = k + 1;
+		b[k] = a[i] + c[k];
+	}
+}`),
+	}
+}
+
+func globalDataFlow() []Kernel {
+	return []Kernel{
+		k("s131", `
+void s131() {
+	int m = 1;
+	for (int i = 0; i < 255; i++)
+		a[i] = a[i + m] + b[i];
+}`),
+		k("s132", `
+void s132() {
+	int m = 0;
+	int j = m;
+	int k = m + 1;
+	for (int i = 1; i < 16; i++)
+		aa[j*16 + i] = aa[k*16 + i - 1] + b[i] * c[1];
+}`),
+	}
+}
+
+func nonlogic() []Kernel {
+	return []Kernel{
+		k("s141", `
+void s141() {
+	for (int i = 0; i < 16; i++) {
+		int k = i;
+		for (int j = i; j < 16; j++) {
+			flat_2d_array[k] = flat_2d_array[k] + bb[j*16 + i];
+			k += 16;
+		}
+	}
+}`),
+		k("s151", `
+void s151s(float *ap, float *bp, int m) {
+	for (int i = 0; i < 256 - 1; i++)
+		ap[i] = ap[i + m] + bp[i];
+}
+void s151() {
+	s151s(a, b, 1);
+}`),
+		k("s152", `
+void s152s(float *ap, float *bp, float *cp, int i) {
+	ap[i] = ap[i] + bp[i] * cp[i];
+}
+void s152() {
+	for (int i = 0; i < 256; i++) {
+		b[i] = d[i] * e[i];
+		s152s(a, b, c, i);
+	}
+}`),
+		k("s161", `
+void s161() {
+	for (int i = 0; i < 255; i++) {
+		if (b[i] < 0.0f) {
+			c[i + 1] = a[i] + d[i] * d[i];
+		} else {
+			a[i] = c[i] + d[i] * e[i];
+		}
+	}
+}`),
+		k("s162", `
+void s162(int kp) {
+	if (kp > 0) {
+		for (int i = 0; i < 255; i++)
+			a[i] = a[i + kp] + b[i] * c[i];
+	}
+}`),
+		k("s171", `
+void s171(int incp) {
+	for (int i = 0; i < 256; i++)
+		a[i * incp] = a[i * incp] + b[i];
+}`),
+		k("s172", `
+void s172(int n1_p, int n3_p) {
+	for (int i = n1_p - 1; i < 256; i += n3_p)
+		a[i] = a[i] + b[i];
+}`),
+		k("s173", `
+void s173() {
+	int k = 128;
+	for (int i = 0; i < 128; i++)
+		a[i + k] = a[i] + b[i];
+}`),
+		k("s174", `
+void s174(int mp) {
+	for (int i = 0; i < mp; i++)
+		a[i + mp] = a[i] + b[i];
+}`),
+		k("s175", `
+void s175(int incp) {
+	for (int i = 0; i < 255; i += incp)
+		a[i] = a[i + incp] + b[i];
+}`),
+		k("s176", `
+void s176() {
+	int m = 128;
+	for (int j = 0; j < 128; j++)
+		for (int i = 0; i < 128; i++)
+			a[i] = a[i] + b[i + m - j - 1] * c[j];
+}`),
+	}
+}

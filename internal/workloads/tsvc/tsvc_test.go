@@ -1,0 +1,37 @@
+package tsvc_test
+
+import (
+	"testing"
+
+	"rolag/internal/cc"
+	"rolag/internal/passes"
+	"rolag/internal/workloads/tsvc"
+)
+
+// TestKernelsCompile ensures every kernel parses, lowers and verifies.
+func TestKernelsCompile(t *testing.T) {
+	ks := tsvc.Kernels()
+	if len(ks) < 80 {
+		t.Fatalf("only %d kernels", len(ks))
+	}
+	names := make(map[string]bool)
+	for _, kr := range ks {
+		if names[kr.Name] {
+			t.Errorf("duplicate kernel name %s", kr.Name)
+		}
+		names[kr.Name] = true
+		m, err := cc.Compile(kr.Src, kr.Name)
+		if err != nil {
+			t.Errorf("%s: %v", kr.Name, err)
+			continue
+		}
+		passes.Standard().Run(m)
+		if err := m.Verify(); err != nil {
+			t.Errorf("%s: verify: %v", kr.Name, err)
+		}
+		if m.FindFunc(kr.Func) == nil {
+			t.Errorf("%s: missing function %s", kr.Name, kr.Func)
+		}
+	}
+	t.Logf("%d kernels compiled", len(ks))
+}

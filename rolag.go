@@ -1,0 +1,190 @@
+// Package rolag is the public facade of the RoLAG reproduction: it
+// compiles mini-C source to SSA IR, runs the canonicalization pipeline,
+// optionally unrolls loops, applies a loop-(re)rolling technique, and
+// reports code sizes under the project's cost models.
+//
+// The implementation follows "Loop Rolling for Code Size Reduction",
+// Rocha, Petoumenos, Franke, Bhatotia, O'Boyle — CGO 2022. The primary
+// contribution lives in internal/rolag; the baseline from §II in
+// internal/reroll; every supporting substrate (IR, frontend, interpreter,
+// cost model, unroller) is implemented from scratch in this repository.
+package rolag
+
+import (
+	"fmt"
+
+	"rolag/internal/cc"
+	"rolag/internal/costmodel"
+	"rolag/internal/interp"
+	"rolag/internal/ir"
+	"rolag/internal/passes"
+	"rolag/internal/reroll"
+	rl "rolag/internal/rolag"
+	"rolag/internal/unroll"
+)
+
+// Optimization selects the loop-(re)rolling technique to apply.
+type Optimization int
+
+// Available techniques.
+const (
+	// OptNone applies no rolling (the evaluation baseline).
+	OptNone Optimization = iota
+	// OptLLVMReroll applies the LLVM-style loop rerolling of §II.
+	OptLLVMReroll
+	// OptRoLAG applies the paper's loop rolling for straight-line code.
+	OptRoLAG
+)
+
+func (o Optimization) String() string {
+	switch o {
+	case OptNone:
+		return "none"
+	case OptLLVMReroll:
+		return "llvm-reroll"
+	case OptRoLAG:
+		return "rolag"
+	}
+	return "unknown"
+}
+
+// Options re-exports the RoLAG configuration knobs.
+type Options = rl.Options
+
+// Stats re-exports the RoLAG run statistics.
+type Stats = rl.Stats
+
+// DefaultOptions returns the paper's full configuration.
+func DefaultOptions() *Options { return rl.DefaultOptions() }
+
+// NoSpecialNodes returns the Fig. 19 ablation configuration.
+func NoSpecialNodes() *Options { return rl.NoSpecialNodes() }
+
+// Extensions returns the defaults plus the beyond-paper extensions
+// (select-based min/max reductions, the paper's §V.C future work).
+func Extensions() *Options { return rl.Extensions() }
+
+// Config describes one compilation.
+type Config struct {
+	// Name is the module name (defaults to "module").
+	Name string
+	// Unroll, when >= 2, force-unrolls every canonical inner loop by
+	// this factor before optimizing (the TSVC methodology of §V.C).
+	Unroll int
+	// Opt selects the rolling technique.
+	Opt Optimization
+	// Options configures RoLAG when Opt == OptRoLAG (nil = defaults).
+	Options *Options
+	// Flatten runs the loop-flattening cleanup after RoLAG, collapsing
+	// the inner-loop-in-outer-loop nests left behind when an unrolled
+	// loop is rerolled (the improvement §V.C of the paper suggests).
+	Flatten bool
+	// SkipCleanup disables the post-roll cleanup pipeline.
+	SkipCleanup bool
+}
+
+// Result is the outcome of one compilation.
+type Result struct {
+	// Module is the final IR.
+	Module *ir.Module
+	// SizeBefore and SizeAfter are cost-model text sizes (in bytes)
+	// before and after the rolling technique ran, under the profit
+	// (TTI-style) model.
+	SizeBefore, SizeAfter int
+	// BinaryBefore and BinaryAfter are the corresponding sizes under the
+	// finer "binary" measurement model, mirroring the paper's
+	// object-file measurements.
+	BinaryBefore, BinaryAfter int
+	// Stats holds RoLAG statistics (nil unless Opt == OptRoLAG).
+	Stats *Stats
+	// Rerolled counts loops rerolled by the baseline (Opt ==
+	// OptLLVMReroll).
+	Rerolled int
+}
+
+// Reduction returns the relative binary-size reduction in percent
+// (positive = smaller).
+func (r *Result) Reduction() float64 {
+	if r.BinaryBefore == 0 {
+		return 0
+	}
+	return 100 * float64(r.BinaryBefore-r.BinaryAfter) / float64(r.BinaryBefore)
+}
+
+// Compile parses mini-C source and runs the canonicalization pipeline,
+// returning the IR module without any rolling applied.
+func Compile(src, name string) (*ir.Module, error) {
+	if name == "" {
+		name = "module"
+	}
+	m, err := cc.Compile(src, name)
+	if err != nil {
+		return nil, err
+	}
+	passes.Standard().Run(m)
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("rolag: internal error: %w", err)
+	}
+	return m, nil
+}
+
+// Build compiles src and applies the configured pipeline.
+func Build(src string, cfg Config) (*Result, error) {
+	m, err := Compile(src, cfg.Name)
+	if err != nil {
+		return nil, err
+	}
+	return Optimize(m, cfg)
+}
+
+// Optimize applies the configured unrolling and rolling technique to a
+// compiled module in place.
+func Optimize(m *ir.Module, cfg Config) (*Result, error) {
+	if cfg.Unroll >= 2 {
+		for _, f := range m.Funcs {
+			unroll.UnrollAll(f, cfg.Unroll)
+		}
+		passes.Standard().Run(m)
+		if err := m.Verify(); err != nil {
+			return nil, fmt.Errorf("rolag: after unroll: %w", err)
+		}
+	}
+	profit := costmodel.Default()
+	binary := costmodel.Binary()
+	res := &Result{
+		Module:       m,
+		SizeBefore:   profit.Module(m),
+		BinaryBefore: binary.Module(m),
+	}
+	switch cfg.Opt {
+	case OptNone:
+	case OptLLVMReroll:
+		for _, f := range m.Funcs {
+			res.Rerolled += reroll.RerollFunc(f)
+		}
+	case OptRoLAG:
+		res.Stats = rl.RollModule(m, cfg.Options)
+		if cfg.Flatten {
+			for _, f := range m.Funcs {
+				passes.Flatten(f)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("rolag: unknown optimization %d", cfg.Opt)
+	}
+	if !cfg.SkipCleanup && cfg.Opt != OptNone {
+		passes.Standard().Run(m)
+	}
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("rolag: after %s: %w", cfg.Opt, err)
+	}
+	res.SizeAfter = profit.Module(m)
+	res.BinaryAfter = binary.Module(m)
+	return res, nil
+}
+
+// CheckEquiv verifies behavioural equivalence of one function across two
+// modules by interpreting both on seeded inputs (see internal/interp).
+func CheckEquiv(orig, xform *ir.Module, fname string, runs int) error {
+	return interp.CheckEquiv(orig, xform, fname, runs, nil)
+}
