@@ -1,0 +1,32 @@
+# Build/test entry points. `make ci` is the tier-1 gate plus the race
+# detector over the whole tree; `make bench` regenerates the
+# machine-readable service perf record (results/BENCH_service.json).
+
+GO ?= go
+
+.PHONY: all build vet test race ci bench serve clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: vet build race
+
+bench:
+	$(GO) run ./cmd/experiments -run bench
+
+serve:
+	$(GO) run ./cmd/rolagd
+
+clean:
+	$(GO) clean ./...

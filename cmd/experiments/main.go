@@ -3,28 +3,39 @@
 //
 // Usage:
 //
-//	experiments [-out results] [-run all|angha|tsvc|table1|perf] [-n 2000]
+//	experiments [-out results] [-run all|angha|tsvc|table1|perf|bench] [-n 2000] [-serial]
 //
 // The experiment ids map to the paper as follows: "angha" produces
 // Fig. 15 and Fig. 16, "table1" produces Table I, "tsvc" produces
 // Fig. 17, Fig. 18 and Fig. 19, and "perf" produces the §V.D overhead
-// summary.
+// summary. "bench" times the serial reference driver against the
+// concurrent service engine (cold and warm cache) and writes the
+// machine-readable BENCH_service.json perf record.
+//
+// The corpus experiments run through the shared concurrent engine
+// (internal/service) by default; -serial restores the one-at-a-time
+// facade driver.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"rolag/internal/experiments"
+	"rolag/internal/service"
 )
 
 func main() {
 	out := flag.String("out", "results", "directory for CSV output (empty = none)")
-	run := flag.String("run", "all", "comma-separated experiments: angha,tsvc,table1,perf or all")
+	run := flag.String("run", "all", "comma-separated experiments: angha,tsvc,table1,perf,bench or all")
 	n := flag.Int("n", 2000, "AnghaBench corpus size")
 	seed := flag.Int64("seed", 0, "AnghaBench corpus seed (0 = default)")
+	benchN := flag.Int("benchn", 600, "corpus size for the service benchmark")
+	workers := flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	serial := flag.Bool("serial", false, "use the serial reference driver instead of the engine")
 	flag.Parse()
 
 	want := make(map[string]bool)
@@ -39,9 +50,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	// One engine serves every corpus experiment, so identical
+	// compilations (e.g. the tsvc and perf passes) hit the cache.
+	var engine *service.Engine
+	if !*serial {
+		engine = service.New(service.Config{Workers: *workers})
+		defer engine.Close(context.Background())
+	}
+
 	if all || want["angha"] {
 		fmt.Println("running AnghaBench experiment (Fig. 15, Fig. 16)...")
-		s, err := experiments.RunAngha(experiments.AnghaConfig{N: *n, Seed: *seed})
+		s, err := experiments.RunAngha(experiments.AnghaConfig{N: *n, Seed: *seed, Engine: engine, Serial: *serial})
 		if err != nil {
 			fail("angha", err)
 		}
@@ -67,6 +86,8 @@ func main() {
 		cfg := experiments.DefaultTSVCConfig()
 		cfg.MeasurePerf = all || want["perf"]
 		cfg.WithExtensions = true
+		cfg.Engine = engine
+		cfg.Serial = *serial
 		s, err := experiments.RunTSVC(cfg)
 		if err != nil {
 			fail("tsvc", err)
@@ -86,6 +107,19 @@ func main() {
 			if err := rep.Perf(s); err != nil {
 				fail("perf", err)
 			}
+		}
+	}
+	if all || want["bench"] {
+		fmt.Println("running service-mode benchmark (serial vs engine, cold and warm cache)...")
+		b, err := experiments.RunServiceBench(experiments.ServiceBenchConfig{N: *benchN, Seed: *seed, Workers: *workers})
+		if err != nil {
+			fail("bench", err)
+		}
+		if err := rep.ServiceBench(b); err != nil {
+			fail("bench report", err)
+		}
+		if !b.Identical {
+			fail("bench", fmt.Errorf("parallel driver diverged from the serial reference"))
 		}
 	}
 	if *out != "" {

@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"rolag"
 	"rolag/internal/irparse"
 	"rolag/internal/passes"
+	rl "rolag/internal/rolag"
 )
 
 func main() {
@@ -94,8 +96,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rolag: blocks=%d seeds=%d graphs=%d rolled=%d scheduleFailed=%d notProfitable=%d\n",
 			res.Stats.BlocksScanned, res.Stats.SeedGroups, res.Stats.GraphsBuilt,
 			res.Stats.LoopsRolled, res.Stats.ScheduleFailed, res.Stats.NotProfitable)
-		for k, v := range res.Stats.NodeCounts {
-			fmt.Fprintf(os.Stderr, "  node %-11s %d\n", k, v)
+		kinds := make([]rl.NodeKind, 0, len(res.Stats.NodeCounts))
+		for k := range res.Stats.NodeCounts {
+			kinds = append(kinds, k)
+		}
+		sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+		for _, k := range kinds {
+			fmt.Fprintf(os.Stderr, "  node %-11s %d\n", k, res.Stats.NodeCounts[k])
 		}
 	}
 	if cfg.Opt == rolag.OptLLVMReroll {

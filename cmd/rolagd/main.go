@@ -1,0 +1,220 @@
+// Command rolagd is the RoLAG compilation daemon: the concurrent
+// service engine (internal/service) behind an HTTP API.
+//
+// Usage:
+//
+//	rolagd [-addr :8723] [-workers N] [-cache N] [-request-timeout 30s] [-shutdown-timeout 10s]
+//
+// Endpoints:
+//
+//	POST /v1/compile   compile one unit (JSON in, JSON out; see CompileRequest)
+//	GET  /healthz      liveness plus a metrics summary (JSON)
+//	GET  /metrics      Prometheus text exposition
+//	GET  /debug/vars   the same counters as expvar JSON
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains
+// in-flight compilations for up to -shutdown-timeout, and exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rolag"
+	"rolag/internal/service"
+)
+
+// CompileRequest is the POST /v1/compile body.
+type CompileRequest struct {
+	// Source is mini-C, or textual IR when IR is set.
+	Source string `json:"source"`
+	IR     bool   `json:"ir,omitempty"`
+	Config struct {
+		Name string `json:"name,omitempty"`
+		// Opt is "none", "llvm" or "rolag" (default "rolag").
+		Opt            string `json:"opt,omitempty"`
+		Unroll         int    `json:"unroll,omitempty"`
+		Flatten        bool   `json:"flatten,omitempty"`
+		FastMath       bool   `json:"fastMath,omitempty"`
+		AlwaysRoll     bool   `json:"alwaysRoll,omitempty"`
+		NoSpecialNodes bool   `json:"noSpecialNodes,omitempty"`
+		// Extensions enables the beyond-paper min/max reductions.
+		Extensions bool `json:"extensions,omitempty"`
+	} `json:"config"`
+	// EmitIR asks for the final IR text (default true).
+	EmitIR *bool `json:"emitIR,omitempty"`
+}
+
+// CompileResponse is the POST /v1/compile result.
+type CompileResponse struct {
+	IR           string  `json:"ir,omitempty"`
+	SizeBefore   int     `json:"sizeBefore"`
+	SizeAfter    int     `json:"sizeAfter"`
+	BinaryBefore int     `json:"binaryBefore"`
+	BinaryAfter  int     `json:"binaryAfter"`
+	Reduction    float64 `json:"reduction"`
+	LoopsRolled  int     `json:"loopsRolled"`
+	Rerolled     int     `json:"rerolled"`
+	CacheHit     bool    `json:"cacheHit"`
+	ElapsedMs    float64 `json:"elapsedMs"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// toServiceRequest maps the wire config onto the facade config.
+func (cr *CompileRequest) toServiceRequest() (service.Request, error) {
+	req := service.Request{Source: cr.Source, IRInput: cr.IR}
+	req.EmitIR = cr.EmitIR == nil || *cr.EmitIR
+	cfg := rolag.Config{Name: cr.Config.Name, Unroll: cr.Config.Unroll, Flatten: cr.Config.Flatten}
+	switch cr.Config.Opt {
+	case "none":
+		cfg.Opt = rolag.OptNone
+	case "llvm":
+		cfg.Opt = rolag.OptLLVMReroll
+	case "", "rolag":
+		cfg.Opt = rolag.OptRoLAG
+		opts := rolag.DefaultOptions()
+		if cr.Config.NoSpecialNodes {
+			opts = rolag.NoSpecialNodes()
+		} else if cr.Config.Extensions {
+			opts = rolag.Extensions()
+		}
+		opts.FastMath = cr.Config.FastMath
+		opts.AlwaysRoll = cr.Config.AlwaysRoll
+		cfg.Options = opts
+	default:
+		return req, fmt.Errorf("unknown opt %q (want none, llvm or rolag)", cr.Config.Opt)
+	}
+	req.Config = cfg
+	return req, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// newMux wires the daemon's routes around an engine. Split from main so
+// tests can drive the full HTTP surface in-process.
+func newMux(e *service.Engine, requestTimeout time.Duration) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/compile", func(w http.ResponseWriter, r *http.Request) {
+		var cr CompileRequest
+		if err := json.NewDecoder(r.Body).Decode(&cr); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+			return
+		}
+		req, err := cr.toServiceRequest()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		ctx := r.Context()
+		if requestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, requestTimeout)
+			defer cancel()
+		}
+		start := time.Now()
+		resp, err := e.Compile(ctx, req)
+		if err != nil {
+			status := http.StatusUnprocessableEntity
+			switch {
+			case errors.Is(err, service.ErrClosed), errors.Is(err, service.ErrDraining):
+				status = http.StatusServiceUnavailable
+			case errors.Is(err, context.DeadlineExceeded):
+				status = http.StatusGatewayTimeout
+			}
+			writeJSON(w, status, errorResponse{Error: err.Error()})
+			return
+		}
+		out := CompileResponse{
+			IR:           resp.IR,
+			SizeBefore:   resp.SizeBefore,
+			SizeAfter:    resp.SizeAfter,
+			BinaryBefore: resp.BinaryBefore,
+			BinaryAfter:  resp.BinaryAfter,
+			Reduction:    resp.Reduction(),
+			Rerolled:     resp.Rerolled,
+			CacheHit:     resp.CacheHit,
+			ElapsedMs:    float64(time.Since(start)) / float64(time.Millisecond),
+		}
+		if resp.Stats != nil {
+			out.LoopsRolled = resp.Stats.LoopsRolled
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":  "ok",
+			"metrics": e.Metrics(),
+		})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s := e.Metrics()
+		s.WritePrometheus(w)
+	})
+
+	// expvar.Publish panics on duplicate names; tests build several muxes.
+	if expvar.Get("rolagd") == nil {
+		expvar.Publish("rolagd", expvar.Func(func() any { return e.Metrics() }))
+	}
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	return mux
+}
+
+func main() {
+	addr := flag.String("addr", ":8723", "listen address")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	cache := flag.Int("cache", 4096, "result-cache entries (negative disables caching)")
+	queue := flag.Int("queue", 0, "job-queue depth (0 = 4x workers)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-job compile deadline (0 = none)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
+	flag.Parse()
+
+	engine := service.New(service.Config{Workers: *workers, QueueDepth: *queue, CacheEntries: *cache})
+	srv := &http.Server{Addr: *addr, Handler: newMux(engine, *requestTimeout)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "rolagd: listening on %s (%d workers)\n", *addr, engine.Workers())
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "rolagd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "rolagd: draining (up to %s)...\n", *shutdownTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "rolagd: http shutdown: %v\n", err)
+	}
+	if err := engine.Close(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "rolagd: engine drain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "rolagd: drained cleanly")
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rolag/internal/service"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	engine := service.New(service.Config{Workers: 2})
+	t.Cleanup(func() { engine.Close(context.Background()) })
+	srv := httptest.NewServer(newMux(engine, 10*time.Second))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+const testSrc = `void f(int *a) {
+  a[0] = a[0] + 1;
+  a[1] = a[1] + 1;
+  a[2] = a[2] + 1;
+  a[3] = a[3] + 1;
+}`
+
+func postCompile(t *testing.T, srv *httptest.Server, body string) (*http.Response, CompileResponse) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/compile", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out CompileResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func TestCompileEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	body, _ := json.Marshal(map[string]any{"source": testSrc})
+	resp, out := postCompile(t, srv, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.IR == "" {
+		t.Error("missing IR in response")
+	}
+	if out.BinaryBefore == 0 || out.BinaryAfter == 0 {
+		t.Errorf("missing sizes: %+v", out)
+	}
+	if out.CacheHit {
+		t.Error("first request reported a cache hit")
+	}
+
+	// Identical request → cache hit, identical IR.
+	resp2, out2 := postCompile(t, srv, string(body))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp2.StatusCode)
+	}
+	if !out2.CacheHit {
+		t.Error("second request missed the cache")
+	}
+	if out2.IR != out.IR {
+		t.Error("cached IR differs")
+	}
+}
+
+func TestCompileEndpointErrors(t *testing.T) {
+	srv := newTestServer(t)
+
+	resp, _ := postCompile(t, srv, `{not json`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, _ = postCompile(t, srv, `{"source":"void f() {}","config":{"opt":"wat"}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad opt: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, _ = postCompile(t, srv, `{"source":"int f( {"}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("compile error: status %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	srv := newTestServer(t)
+	body, _ := json.Marshal(map[string]any{"source": testSrc})
+	postCompile(t, srv, string(body))
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status  string                  `json:"status"`
+		Metrics service.MetricsSnapshot `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Metrics.Requests == 0 {
+		t.Errorf("unexpected health: %+v", health)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"rolagd_requests_total", "rolagd_cache_hits_total",
+		"rolagd_compile_seconds_bucket{le=\"+Inf\"}", "rolagd_loops_rolled_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

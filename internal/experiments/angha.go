@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"rolag"
 	rl "rolag/internal/rolag"
+	"rolag/internal/service"
 	"rolag/internal/workloads/angha"
 )
 
@@ -54,9 +56,36 @@ type AnghaConfig struct {
 	N int
 	// Seed drives the generator.
 	Seed int64
+	// Engine optionally supplies a shared compilation engine; nil makes
+	// the run start (and drain) a temporary one.
+	Engine *service.Engine
+	// Serial forces the original single-threaded facade driver — the
+	// reference path the parallel engine driver is validated against.
+	Serial bool
 }
 
-// RunAngha reproduces Fig. 15 and Fig. 16 on the synthesized corpus.
+// anghaBuild is the slice of one compilation the aggregation needs.
+type anghaBuild struct {
+	binaryAfter int
+	rolled      int // RoLAG loops rolled
+	nodeCounts  map[rl.NodeKind]int
+	rerolled    int // LLVM baseline loops rerolled
+}
+
+// anghaConfigs returns the three per-function pipeline configurations of
+// the §V.A experiment, in aggregation order (base, RoLAG, LLVM).
+func anghaConfigs(name string) [3]rolag.Config {
+	return [3]rolag.Config{
+		{Name: name, Opt: rolag.OptNone},
+		{Name: name, Opt: rolag.OptRoLAG},
+		{Name: name, Opt: rolag.OptLLVMReroll},
+	}
+}
+
+// RunAngha reproduces Fig. 15 and Fig. 16 on the synthesized corpus. By
+// default the corpus fans out over the service engine's worker pool;
+// cfg.Serial recovers the paper-faithful one-at-a-time driver. Both
+// paths aggregate identically, so their summaries are deeply equal.
 func RunAngha(cfg AnghaConfig) (*AnghaSummary, error) {
 	if cfg.N == 0 {
 		cfg.N = 2000
@@ -65,40 +94,78 @@ func RunAngha(cfg AnghaConfig) (*AnghaSummary, error) {
 		cfg.Seed = 20220402 // CGO 2022 presentation date
 	}
 	funcs := angha.Generate(cfg.N, cfg.Seed)
+	builds := make([][3]anghaBuild, len(funcs))
+	if cfg.Serial {
+		for i, fn := range funcs {
+			for c, bcfg := range anghaConfigs(fn.Name) {
+				res, err := rolag.Build(fn.Src, bcfg)
+				if err != nil {
+					return nil, fmt.Errorf("angha %s (%s): %w", fn.Name, bcfg.Opt, err)
+				}
+				builds[i][c] = anghaBuild{binaryAfter: res.BinaryAfter, rerolled: res.Rerolled}
+				if res.Stats != nil {
+					builds[i][c].rolled = res.Stats.LoopsRolled
+					builds[i][c].nodeCounts = res.Stats.NodeCounts
+				}
+			}
+		}
+	} else {
+		engine := cfg.Engine
+		if engine == nil {
+			engine = service.New(service.Config{})
+			defer engine.Close(context.Background())
+		}
+		reqs := make([]service.Request, 0, 3*len(funcs))
+		for _, fn := range funcs {
+			for _, bcfg := range anghaConfigs(fn.Name) {
+				reqs = append(reqs, service.Request{Source: fn.Src, Config: bcfg})
+			}
+		}
+		items := engine.CompileBatch(context.Background(), reqs)
+		for i, fn := range funcs {
+			for c := 0; c < 3; c++ {
+				item := items[3*i+c]
+				if item.Err != nil {
+					return nil, fmt.Errorf("angha %s (%s): %w", fn.Name, reqs[3*i+c].Config.Opt, item.Err)
+				}
+				builds[i][c] = anghaBuild{binaryAfter: item.Resp.BinaryAfter, rerolled: item.Resp.Rerolled}
+				if item.Resp.Stats != nil {
+					builds[i][c].rolled = item.Resp.Stats.LoopsRolled
+					builds[i][c].nodeCounts = item.Resp.Stats.NodeCounts
+				}
+			}
+		}
+	}
+	return aggregateAngha(funcs, builds), nil
+}
+
+// aggregateAngha folds per-function builds into the summary. Shared by
+// the serial and parallel drivers so both produce identical output for
+// identical per-function results.
+func aggregateAngha(funcs []angha.Function, builds [][3]anghaBuild) *AnghaSummary {
 	summary := &AnghaSummary{
 		Total:          len(funcs),
 		NodeCounts:     make(map[rl.NodeKind]int),
 		FamilyAffected: make(map[string]int),
 	}
-	for _, fn := range funcs {
-		base, err := rolag.Build(fn.Src, rolag.Config{Name: fn.Name, Opt: rolag.OptNone})
-		if err != nil {
-			return nil, fmt.Errorf("angha %s: %w", fn.Name, err)
-		}
-		rg, err := rolag.Build(fn.Src, rolag.Config{Name: fn.Name, Opt: rolag.OptRoLAG})
-		if err != nil {
-			return nil, fmt.Errorf("angha %s (rolag): %w", fn.Name, err)
-		}
-		lv, err := rolag.Build(fn.Src, rolag.Config{Name: fn.Name, Opt: rolag.OptLLVMReroll})
-		if err != nil {
-			return nil, fmt.Errorf("angha %s (llvm): %w", fn.Name, err)
-		}
+	for i, fn := range funcs {
+		base, rg, lv := builds[i][0], builds[i][1], builds[i][2]
 		res := AnghaResult{
 			Name:      fn.Name,
 			Family:    fn.Family,
-			SizeBase:  base.BinaryAfter,
-			SizeRoLAG: rg.BinaryAfter,
-			SizeLLVM:  lv.BinaryAfter,
-			Rolled:    rg.Stats.LoopsRolled,
+			SizeBase:  base.binaryAfter,
+			SizeRoLAG: rg.binaryAfter,
+			SizeLLVM:  lv.binaryAfter,
+			Rolled:    rg.rolled,
 		}
-		if lv.Rerolled > 0 && res.SizeLLVM != res.SizeBase {
+		if lv.rerolled > 0 && res.SizeLLVM != res.SizeBase {
 			summary.AffectedLLVM++
 		}
 		if res.Rolled > 0 && res.SizeRoLAG != res.SizeBase {
 			summary.Affected = append(summary.Affected, res)
 			summary.FamilyAffected[fn.Family]++
 			if res.SizeRoLAG < res.SizeBase {
-				for k, v := range rg.Stats.NodeCounts {
+				for k, v := range rg.nodeCounts {
 					summary.NodeCounts[k] += v
 				}
 			} else {
@@ -116,5 +183,5 @@ func RunAngha(cfg AnghaConfig) (*AnghaSummary, error) {
 		summary.MeanReduction /= float64(len(summary.Affected))
 		summary.BestReduction = summary.Affected[0].Red()
 	}
-	return summary, nil
+	return summary
 }

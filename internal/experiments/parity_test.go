@@ -1,0 +1,59 @@
+package experiments_test
+
+import (
+	"reflect"
+	"testing"
+
+	"rolag/internal/experiments"
+	"rolag/internal/workloads/tsvc"
+)
+
+// TestAnghaParallelMatchesSerial checks the engine-driven corpus run is
+// result-for-result identical to the serial reference driver.
+func TestAnghaParallelMatchesSerial(t *testing.T) {
+	serial, err := experiments.RunAngha(experiments.AnghaConfig{N: 150, Seed: 7, Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := experiments.RunAngha(experiments.AnghaConfig{N: 150, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel summary diverges from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestTSVCParallelMatchesSerial does the same for the TSVC methodology,
+// including the interpreted §V.D step counts (which exercise the
+// engine's module cloning).
+func TestTSVCParallelMatchesSerial(t *testing.T) {
+	cfg := experiments.DefaultTSVCConfig()
+	for i, kr := range tsvc.Kernels() {
+		if i%8 == 0 { // a cross-section of the suite, kept small for -race
+			cfg.Kernels = append(cfg.Kernels, kr.Name)
+		}
+	}
+	if len(cfg.Kernels) == 0 {
+		t.Fatal("no kernels selected")
+	}
+	cfg.MeasurePerf = true
+	cfg.WithExtensions = true
+
+	scfg := cfg
+	scfg.Serial = true
+	serial, err := experiments.RunTSVC(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Results) != len(cfg.Kernels) {
+		t.Fatalf("serial run produced %d results for %d kernels", len(serial.Results), len(cfg.Kernels))
+	}
+	parallel, err := experiments.RunTSVC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel summary diverges from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}

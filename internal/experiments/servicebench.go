@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"time"
+
+	"rolag/internal/service"
+)
+
+// ServiceBenchConfig tunes the service-mode benchmark.
+type ServiceBenchConfig struct {
+	// N is the AnghaBench corpus size to drive (default 600).
+	N int
+	// Seed drives the generator (0 = the experiment default).
+	Seed int64
+	// Workers sizes the engine pool (0 = GOMAXPROCS).
+	Workers int
+}
+
+// ServiceBench is the machine-readable record cmd/experiments writes to
+// BENCH_service.json so successive PRs have a performance trajectory.
+type ServiceBench struct {
+	// Corpus and pool shape.
+	N       int `json:"n"`
+	Workers int `json:"workers"`
+	// Wall-clock seconds for the serial reference driver, the parallel
+	// cold-cache run, and the parallel warm-cache rerun.
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	WarmSeconds     float64 `json:"warm_seconds"`
+	// Speedup is serial/parallel (cold cache).
+	Speedup float64 `json:"speedup"`
+	// WarmSpeedup is serial/warm (every request a cache hit).
+	WarmSpeedup float64 `json:"warm_speedup"`
+	// FunctionsPerSecond is corpus throughput of the parallel cold run.
+	FunctionsPerSecond float64 `json:"functions_per_second"`
+	// ColdHitRate is the cache+dedup hit rate of the cold run (nonzero
+	// when the generated corpus contains duplicate sources).
+	ColdHitRate float64 `json:"cold_hit_rate"`
+	// WarmHitRate is the hit rate of the warm rerun (expected ≈1).
+	WarmHitRate float64 `json:"warm_hit_rate"`
+	// Identical records that the parallel driver's summary was deeply
+	// equal to the serial driver's.
+	Identical bool `json:"identical_to_serial"`
+}
+
+// RunServiceBench times the AnghaBench corpus through the serial
+// reference driver and through the engine (cold, then warm cache), and
+// verifies the two drivers agree result-for-result.
+func RunServiceBench(cfg ServiceBenchConfig) (*ServiceBench, error) {
+	if cfg.N == 0 {
+		cfg.N = 600
+	}
+	b := &ServiceBench{N: cfg.N}
+
+	start := time.Now()
+	serial, err := RunAngha(AnghaConfig{N: cfg.N, Seed: cfg.Seed, Serial: true})
+	if err != nil {
+		return nil, err
+	}
+	b.SerialSeconds = time.Since(start).Seconds()
+
+	engine := service.New(service.Config{Workers: cfg.Workers})
+	defer engine.Close(context.Background())
+	b.Workers = engine.Workers()
+
+	start = time.Now()
+	parallel, err := RunAngha(AnghaConfig{N: cfg.N, Seed: cfg.Seed, Engine: engine})
+	if err != nil {
+		return nil, err
+	}
+	b.ParallelSeconds = time.Since(start).Seconds()
+	cold := engine.Metrics()
+	b.ColdHitRate = cold.HitRate()
+
+	start = time.Now()
+	warm, err := RunAngha(AnghaConfig{N: cfg.N, Seed: cfg.Seed, Engine: engine})
+	if err != nil {
+		return nil, err
+	}
+	b.WarmSeconds = time.Since(start).Seconds()
+	after := engine.Metrics()
+	if d := after.Requests - cold.Requests; d > 0 {
+		b.WarmHitRate = float64(after.CacheHits+after.DedupHits-cold.CacheHits-cold.DedupHits) / float64(d)
+	}
+
+	if b.ParallelSeconds > 0 {
+		b.Speedup = b.SerialSeconds / b.ParallelSeconds
+		b.FunctionsPerSecond = float64(cfg.N) / b.ParallelSeconds
+	}
+	if b.WarmSeconds > 0 {
+		b.WarmSpeedup = b.SerialSeconds / b.WarmSeconds
+	}
+	b.Identical = reflect.DeepEqual(serial, parallel) && reflect.DeepEqual(serial, warm)
+	return b, nil
+}

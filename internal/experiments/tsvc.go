@@ -2,10 +2,13 @@
 // evaluation (§V): the AnghaBench reduction curve and node breakdown
 // (Fig. 15, Fig. 16), the MiBench/SPEC program table (Table I), the TSVC
 // comparison (Fig. 17, Fig. 18, Fig. 19) and the runtime overhead
-// (§V.D).
+// (§V.D). The corpus drivers fan out over the concurrent compilation
+// engine (internal/service) by default and keep a serial reference path
+// the parallel results are validated against.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -13,6 +16,7 @@ import (
 	"rolag/internal/interp"
 	"rolag/internal/ir"
 	rl "rolag/internal/rolag"
+	"rolag/internal/service"
 	"rolag/internal/workloads/tsvc"
 )
 
@@ -88,11 +92,60 @@ type TSVCConfig struct {
 	// WithExtensions additionally measures the beyond-paper extension
 	// configuration (min/max reductions).
 	WithExtensions bool
+	// Engine optionally supplies a shared compilation engine; nil makes
+	// the run start (and drain) a temporary one.
+	Engine *service.Engine
+	// Serial forces the original single-threaded facade driver.
+	Serial bool
 }
 
 // DefaultTSVCConfig returns the paper's §V.C setup.
 func DefaultTSVCConfig() TSVCConfig {
 	return TSVCConfig{UnrollFactor: 8, FastMath: true, MeasurePerf: false}
+}
+
+// tsvcBuild is the slice of one compilation the aggregation needs.
+type tsvcBuild struct {
+	binaryBefore, binaryAfter int
+	rerolled                  int
+	rolled                    int
+	nodeCounts                map[rl.NodeKind]int
+	module                    *ir.Module
+}
+
+// tsvcVariant names one of the per-kernel pipeline configurations, in
+// aggregation order.
+const (
+	vOracle = iota
+	vBase
+	vLLVM
+	vRoLAG
+	vFlat
+	vNoSpecial
+	vExt // only populated when WithExtensions
+	numVariants
+)
+
+// tsvcConfigs returns the per-kernel configurations of the §V.C
+// methodology. The vExt slot is a zero Config unless extensions are on.
+func tsvcConfigs(cfg *TSVCConfig, name string, opts, noSpecial, extOpts *rolag.Options) [numVariants]rolag.Config {
+	out := [numVariants]rolag.Config{
+		vOracle:    {Name: name, Opt: rolag.OptNone},
+		vBase:      {Name: name, Unroll: cfg.UnrollFactor, Opt: rolag.OptNone},
+		vLLVM:      {Name: name, Unroll: cfg.UnrollFactor, Opt: rolag.OptLLVMReroll},
+		vRoLAG:     {Name: name, Unroll: cfg.UnrollFactor, Opt: rolag.OptRoLAG, Options: opts},
+		vFlat:      {Name: name, Unroll: cfg.UnrollFactor, Opt: rolag.OptRoLAG, Options: opts, Flatten: true},
+		vNoSpecial: {Name: name, Unroll: cfg.UnrollFactor, Opt: rolag.OptRoLAG, Options: noSpecial},
+	}
+	if cfg.WithExtensions {
+		out[vExt] = rolag.Config{Name: name, Unroll: cfg.UnrollFactor, Opt: rolag.OptRoLAG, Options: extOpts}
+	}
+	return out
+}
+
+var variantNames = [numVariants]string{
+	vOracle: "oracle", vBase: "base", vLLVM: "llvm", vRoLAG: "rolag",
+	vFlat: "flatten", vNoSpecial: "no-special", vExt: "extensions",
 }
 
 // RunTSVC reproduces Fig. 17 (per-kernel bars + means), Fig. 18 (oracle
@@ -115,7 +168,6 @@ func RunTSVC(cfg TSVCConfig) (*TSVCSummary, error) {
 		}
 		kernels = filtered
 	}
-	summary := &TSVCSummary{NodeCounts: make(map[rl.NodeKind]int)}
 	opts := rolag.DefaultOptions()
 	opts.FastMath = cfg.FastMath
 	noSpecial := rolag.NoSpecialNodes()
@@ -123,71 +175,107 @@ func RunTSVC(cfg TSVCConfig) (*TSVCSummary, error) {
 	extOpts := rolag.Extensions()
 	extOpts.FastMath = cfg.FastMath
 
-	var extSum float64
+	variants := numVariants - 1
+	if cfg.WithExtensions {
+		variants = numVariants
+	}
+	builds := make([][numVariants]tsvcBuild, len(kernels))
 
+	if cfg.Serial {
+		for i, kr := range kernels {
+			cfgs := tsvcConfigs(&cfg, kr.Name, opts, noSpecial, extOpts)
+			for v := 0; v < variants; v++ {
+				res, err := rolag.Build(kr.Src, cfgs[v])
+				if err != nil {
+					return nil, fmt.Errorf("tsvc %s (%s): %w", kr.Name, variantNames[v], err)
+				}
+				builds[i][v] = tsvcBuild{
+					binaryBefore: res.BinaryBefore,
+					binaryAfter:  res.BinaryAfter,
+					rerolled:     res.Rerolled,
+					module:       res.Module,
+				}
+				if res.Stats != nil {
+					builds[i][v].rolled = res.Stats.LoopsRolled
+					builds[i][v].nodeCounts = res.Stats.NodeCounts
+				}
+			}
+		}
+	} else {
+		engine := cfg.Engine
+		if engine == nil {
+			engine = service.New(service.Config{})
+			defer engine.Close(context.Background())
+		}
+		reqs := make([]service.Request, 0, variants*len(kernels))
+		for _, kr := range kernels {
+			cfgs := tsvcConfigs(&cfg, kr.Name, opts, noSpecial, extOpts)
+			for v := 0; v < variants; v++ {
+				req := service.Request{Source: kr.Src, Config: cfgs[v]}
+				// §V.D interprets the baseline and rolled modules.
+				req.NeedModule = cfg.MeasurePerf && (v == vBase || v == vRoLAG)
+				reqs = append(reqs, req)
+			}
+		}
+		items := engine.CompileBatch(context.Background(), reqs)
+		for i, kr := range kernels {
+			for v := 0; v < variants; v++ {
+				item := items[i*variants+v]
+				if item.Err != nil {
+					return nil, fmt.Errorf("tsvc %s (%s): %w", kr.Name, variantNames[v], item.Err)
+				}
+				builds[i][v] = tsvcBuild{
+					binaryBefore: item.Resp.BinaryBefore,
+					binaryAfter:  item.Resp.BinaryAfter,
+					rerolled:     item.Resp.Rerolled,
+					module:       item.Resp.Module,
+				}
+				if item.Resp.Stats != nil {
+					builds[i][v].rolled = item.Resp.Stats.LoopsRolled
+					builds[i][v].nodeCounts = item.Resp.Stats.NodeCounts
+				}
+			}
+		}
+	}
+	return aggregateTSVC(&cfg, kernels, builds)
+}
+
+// aggregateTSVC folds per-kernel builds into the summary. Shared by the
+// serial and parallel drivers so both produce identical output for
+// identical per-kernel results.
+func aggregateTSVC(cfg *TSVCConfig, kernels []tsvc.Kernel, builds [][numVariants]tsvcBuild) (*TSVCSummary, error) {
+	summary := &TSVCSummary{NodeCounts: make(map[rl.NodeKind]int)}
+	var extSum float64
 	var perfSum float64
 	var perfN int
-	for _, kr := range kernels {
-		res := TSVCResult{Name: kr.Name}
-
-		oracle, err := rolag.Build(kr.Src, rolag.Config{Name: kr.Name, Opt: rolag.OptNone})
-		if err != nil {
-			return nil, fmt.Errorf("tsvc %s (oracle): %w", kr.Name, err)
+	for i, kr := range kernels {
+		b := &builds[i]
+		res := TSVCResult{
+			Name:         kr.Name,
+			SizeOracle:   b[vOracle].binaryAfter,
+			SizeBase:     b[vBase].binaryAfter,
+			SizeLLVM:     b[vLLVM].binaryAfter,
+			LLVMRerolled: b[vLLVM].rerolled,
+			SizeRoLAG:    b[vRoLAG].binaryAfter,
+			RoLAGRolled:  b[vRoLAG].rolled,
+			SizeFlat:     b[vFlat].binaryAfter,
 		}
-		res.SizeOracle = oracle.BinaryAfter
-
-		base, err := rolag.Build(kr.Src, rolag.Config{Name: kr.Name, Unroll: cfg.UnrollFactor, Opt: rolag.OptNone})
-		if err != nil {
-			return nil, fmt.Errorf("tsvc %s (base): %w", kr.Name, err)
-		}
-		res.SizeBase = base.BinaryAfter
-
-		llvm, err := rolag.Build(kr.Src, rolag.Config{Name: kr.Name, Unroll: cfg.UnrollFactor, Opt: rolag.OptLLVMReroll})
-		if err != nil {
-			return nil, fmt.Errorf("tsvc %s (llvm): %w", kr.Name, err)
-		}
-		res.SizeLLVM = llvm.BinaryAfter
-		res.LLVMRerolled = llvm.Rerolled
-
-		rg, err := rolag.Build(kr.Src, rolag.Config{Name: kr.Name, Unroll: cfg.UnrollFactor, Opt: rolag.OptRoLAG, Options: opts})
-		if err != nil {
-			return nil, fmt.Errorf("tsvc %s (rolag): %w", kr.Name, err)
-		}
-		res.SizeRoLAG = rg.BinaryAfter
-		res.RoLAGRolled = rg.Stats.LoopsRolled
-
-		fl, err := rolag.Build(kr.Src, rolag.Config{Name: kr.Name, Unroll: cfg.UnrollFactor, Opt: rolag.OptRoLAG, Options: opts, Flatten: true})
-		if err != nil {
-			return nil, fmt.Errorf("tsvc %s (flatten): %w", kr.Name, err)
-		}
-		res.SizeFlat = fl.BinaryAfter
-		if rg.Stats.LoopsRolled > 0 && rg.BinaryAfter < rg.BinaryBefore {
-			for kk, v := range rg.Stats.NodeCounts {
+		if b[vRoLAG].rolled > 0 && b[vRoLAG].binaryAfter < b[vRoLAG].binaryBefore {
+			for kk, v := range b[vRoLAG].nodeCounts {
 				summary.NodeCounts[kk] += v
 			}
 		}
-
-		ns, err := rolag.Build(kr.Src, rolag.Config{Name: kr.Name, Unroll: cfg.UnrollFactor, Opt: rolag.OptRoLAG, Options: noSpecial})
-		if err != nil {
-			return nil, fmt.Errorf("tsvc %s (no-special): %w", kr.Name, err)
-		}
-		if ns.Stats.LoopsRolled > 0 && ns.BinaryAfter < ns.BinaryBefore {
+		if b[vNoSpecial].rolled > 0 && b[vNoSpecial].binaryAfter < b[vNoSpecial].binaryBefore {
 			summary.AffectedNoSpecial++
 		}
-
 		if cfg.WithExtensions {
-			ex, err := rolag.Build(kr.Src, rolag.Config{Name: kr.Name, Unroll: cfg.UnrollFactor, Opt: rolag.OptRoLAG, Options: extOpts})
-			if err != nil {
-				return nil, fmt.Errorf("tsvc %s (extensions): %w", kr.Name, err)
-			}
-			if ex.Stats.LoopsRolled > 0 && ex.BinaryAfter < ex.BinaryBefore {
+			if b[vExt].rolled > 0 && b[vExt].binaryAfter < b[vExt].binaryBefore {
 				summary.AffectedExtensions++
 			}
-			extSum += pct(res.SizeBase, ex.BinaryAfter)
+			extSum += pct(res.SizeBase, b[vExt].binaryAfter)
 		}
-
 		if cfg.MeasurePerf && res.RoLAGRolled > 0 {
-			sb, sr, ok := measureSteps(kr, base.Module, rg.Module)
+			sb, sr, ok := measureSteps(kr, b[vBase].module, b[vRoLAG].module)
 			if ok {
 				res.StepsBase, res.StepsRoLAG = sb, sr
 				if sr > 0 {
@@ -196,7 +284,6 @@ func RunTSVC(cfg TSVCConfig) (*TSVCSummary, error) {
 				}
 			}
 		}
-
 		if res.LLVMRerolled > 0 && res.SizeLLVM < res.SizeBase {
 			summary.AffectedLLVM++
 		}

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a mutex-guarded LRU map from content hash to immutable
+// cache entries. It is deliberately simple: the working set of a corpus
+// run is far smaller than the bound, and the bound only exists so a
+// long-lived daemon cannot grow without limit.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruItem struct {
+	key string
+	val *entry
+}
+
+func newLRUCache(max int) *lruCache {
+	return &lruCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+func (c *lruCache) get(key string) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).val, true
+}
+
+func (c *lruCache) put(key string, val *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruItem).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruItem).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

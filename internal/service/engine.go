@@ -1,0 +1,433 @@
+// Package service is the concurrent compilation engine behind rolagd
+// and the parallel experiment drivers. It wraps the serial rolag facade
+// with a bounded worker pool, a content-addressed LRU result cache
+// (SHA-256 of source + canonical config), single-flight deduplication
+// of identical concurrent requests, per-job context deadlines, panic
+// recovery, and lock-free metrics.
+//
+// Cached results are immutable: the engine owns every module it stores
+// and hands callers deep clones (Request.NeedModule) or printed IR
+// (Request.EmitIR), never the cached pointer.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rolag"
+	"rolag/internal/ir"
+	"rolag/internal/irparse"
+	"rolag/internal/passes"
+	rl "rolag/internal/rolag"
+)
+
+// Engine lifecycle errors.
+var (
+	// ErrClosed is returned by Compile after Close has been called.
+	ErrClosed = errors.New("service: engine is closed")
+	// ErrDraining is returned for jobs abandoned because Close gave up
+	// waiting for the drain to finish.
+	ErrDraining = errors.New("service: engine shut down before the job ran")
+)
+
+// Config sizes the engine.
+type Config struct {
+	// Workers is the worker-pool size (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// QueueDepth is the job-queue buffer (default 4×Workers).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 4096; negative
+	// disables caching and single-flight deduplication entirely).
+	CacheEntries int
+}
+
+// Request is one compilation job: one translation unit (typically a
+// single corpus function group) plus the pipeline configuration.
+type Request struct {
+	// Source is mini-C, or textual IR when IRInput is set.
+	Source string
+	// IRInput marks Source as textual IR (see internal/irparse).
+	IRInput bool
+	// Config selects the pipeline. Name does not affect the compiled
+	// output and is excluded from the cache key.
+	Config rolag.Config
+	// EmitIR asks for the final IR text in Response.IR.
+	EmitIR bool
+	// NeedModule asks for a caller-owned deep clone of the final module
+	// in Response.Module.
+	NeedModule bool
+}
+
+// Response is the outcome of one compilation job. All fields are owned
+// by the caller; nothing aliases the engine's cache.
+type Response struct {
+	// IR is the final IR text (only when Request.EmitIR).
+	IR string
+	// Module is a private clone of the final module (only when
+	// Request.NeedModule).
+	Module *ir.Module
+	// Sizes under the profitability and binary cost models, as in
+	// rolag.Result.
+	SizeBefore, SizeAfter     int
+	BinaryBefore, BinaryAfter int
+	// Stats holds RoLAG statistics (nil unless Opt == OptRoLAG).
+	Stats *rolag.Stats
+	// Rerolled counts loops rerolled by the LLVM baseline.
+	Rerolled int
+	// CacheHit reports that the result came from the cache or from an
+	// identical in-flight compilation rather than a fresh compile.
+	CacheHit bool
+}
+
+// Reduction returns the relative binary-size reduction in percent.
+func (r *Response) Reduction() float64 {
+	if r.BinaryBefore == 0 {
+		return 0
+	}
+	return 100 * float64(r.BinaryBefore-r.BinaryAfter) / float64(r.BinaryBefore)
+}
+
+// entry is an immutable cached result. The result module itself is
+// NOT retained: cached modules are pointer-dense graphs the GC would
+// re-scan on every cycle for the lifetime of the cache, which on a big
+// corpus costs more than the compiles the cache saves. The printed IR
+// (one flat, pointer-free string) carries the same information; the
+// rare NeedModule hit reparses it, which the printer/parser round-trip
+// guarantees is equivalent to cloning.
+type entry struct {
+	irText                    string
+	sizeBefore, sizeAfter     int
+	binaryBefore, binaryAfter int
+	stats                     *rolag.Stats
+	rerolled                  int
+}
+
+type job struct {
+	ctx  context.Context
+	req  *Request
+	done chan jobResult
+}
+
+type jobResult struct {
+	entry *entry
+	err   error
+}
+
+// Engine is a concurrency-safe compilation service over the rolag
+// facade. Create with New, release with Close.
+type Engine struct {
+	cfg     Config
+	cache   *lruCache // nil when caching is disabled
+	flights flightGroup
+	metrics metrics
+
+	jobs chan *job
+	quit chan struct{} // closed by Close to stop the workers
+
+	workerWG sync.WaitGroup
+	inflight sync.WaitGroup // accepted Compile calls
+
+	mu     sync.RWMutex // guards closed
+	closed bool
+}
+
+// New starts an engine with cfg's worker pool and cache.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 4096
+	}
+	e := &Engine{
+		cfg:  cfg,
+		jobs: make(chan *job, cfg.QueueDepth),
+		quit: make(chan struct{}),
+	}
+	if cfg.CacheEntries > 0 {
+		e.cache = newLRUCache(cfg.CacheEntries)
+	}
+	e.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Workers returns the worker-pool size.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Metrics returns a point-in-time snapshot of the engine counters.
+func (e *Engine) Metrics() MetricsSnapshot {
+	s := e.metrics.snapshot()
+	if e.cache != nil {
+		s.CacheEntries = e.cache.len()
+	}
+	s.Workers = e.cfg.Workers
+	return s
+}
+
+// Compile runs one job and blocks until it completes, fails, or ctx
+// expires. Identical concurrent requests (same source and canonical
+// config) compile once and share the result.
+func (e *Engine) Compile(ctx context.Context, req Request) (*Response, error) {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	e.inflight.Add(1)
+	e.mu.RUnlock()
+	defer e.inflight.Done()
+
+	e.metrics.requests.Add(1)
+	e.metrics.inFlight.Add(1)
+	defer e.metrics.inFlight.Add(-1)
+
+	if req.Source == "" {
+		e.metrics.errors.Add(1)
+		return nil, errors.New("service: empty source")
+	}
+
+	if e.cache == nil {
+		en, err := e.dispatch(ctx, &req)
+		if err != nil {
+			e.metrics.errors.Add(1)
+			return nil, err
+		}
+		return respFromEntry(en, &req, false)
+	}
+
+	key := cacheKey(&req)
+	if en, ok := e.cache.get(key); ok {
+		e.metrics.cacheHits.Add(1)
+		return respFromEntry(en, &req, true)
+	}
+
+	en, err, leader := e.flights.do(ctx, key, func() (*entry, error) {
+		e.metrics.cacheMisses.Add(1)
+		en, err := e.dispatch(ctx, &req)
+		if err != nil {
+			return nil, err
+		}
+		e.cache.put(key, en)
+		return en, nil
+	})
+	if err != nil {
+		e.metrics.errors.Add(1)
+		return nil, err
+	}
+	if !leader {
+		e.metrics.dedupHits.Add(1)
+	}
+	return respFromEntry(en, &req, !leader)
+}
+
+// BatchItem pairs one CompileBatch response with its error.
+type BatchItem struct {
+	Resp *Response
+	Err  error
+}
+
+// CompileBatch fans reqs out over the worker pool and returns the
+// results in request order. Per-item failures land in the item's Err;
+// the batch itself never fails part-way. Submission is bounded to a
+// small multiple of the worker count: a goroutine per request would
+// keep thousands of stacks alive while the pool can only drain
+// Workers jobs at a time, which costs real scheduler and GC time on
+// large corpora.
+func (e *Engine) CompileBatch(ctx context.Context, reqs []Request) []BatchItem {
+	out := make([]BatchItem, len(reqs))
+	submitters := 4 * e.cfg.Workers
+	if submitters < 16 {
+		submitters = 16
+	}
+	if submitters > len(reqs) {
+		submitters = len(reqs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i].Resp, out[i].Err = e.Compile(ctx, reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// dispatch hands the job to the worker pool and waits for the result.
+func (e *Engine) dispatch(ctx context.Context, req *Request) (*entry, error) {
+	j := &job{ctx: ctx, req: req, done: make(chan jobResult, 1)}
+	select {
+	case e.jobs <- j:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-e.quit:
+		return nil, ErrDraining
+	}
+	select {
+	case res := <-j.done:
+		return res.entry, res.err
+	case <-ctx.Done():
+		// The worker will notice the expired context before compiling,
+		// or finish a compile nobody is waiting for; done is buffered
+		// so it never blocks.
+		return nil, ctx.Err()
+	case <-e.quit:
+		return nil, ErrDraining
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.workerWG.Done()
+	for {
+		select {
+		case j := <-e.jobs:
+			j.done <- e.runJob(j)
+		case <-e.quit:
+			return
+		}
+	}
+}
+
+// runJob executes one compilation with panic recovery: a crashing pass
+// becomes that job's error instead of taking down the process.
+func (e *Engine) runJob(j *job) (res jobResult) {
+	if err := j.ctx.Err(); err != nil {
+		return jobResult{err: err}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			e.metrics.panics.Add(1)
+			res = jobResult{err: fmt.Errorf("service: compile panicked: %v", r)}
+		}
+	}()
+	if hook := testCompileHook.Load(); hook != nil {
+		(*hook)(j.req)
+	}
+	start := time.Now()
+	cfg := j.req.Config
+	var out *rolag.Result
+	var err error
+	if j.req.IRInput {
+		var m *ir.Module
+		m, err = irparse.ParseModule(j.req.Source)
+		if err == nil {
+			passes.Standard().Run(m)
+			// The parsed module is reachable by nothing else, but clone
+			// anyway so a future module-input API cannot quietly alias
+			// cache-owned memory.
+			cfg.CloneInput = true
+			out, err = rolag.OptimizeContext(j.ctx, m, cfg)
+		}
+	} else {
+		out, err = rolag.BuildContext(j.ctx, j.req.Source, cfg)
+	}
+	if err != nil {
+		return jobResult{err: err}
+	}
+	e.metrics.observeCompile(time.Since(start))
+	e.metrics.compiles.Add(1)
+	if out.Stats != nil {
+		e.metrics.loopsRolled.Add(int64(out.Stats.LoopsRolled))
+	}
+	return jobResult{entry: &entry{
+		irText:       out.Module.String(),
+		sizeBefore:   out.SizeBefore,
+		sizeAfter:    out.SizeAfter,
+		binaryBefore: out.BinaryBefore,
+		binaryAfter:  out.BinaryAfter,
+		stats:        copyStats(out.Stats),
+		rerolled:     out.Rerolled,
+	}}
+}
+
+// testCompileHook, when set by a test, runs inside the worker before
+// each compilation (used to inject panics and stalls). Atomic because a
+// worker abandoned by a timed-out Close can outlive the test that
+// installed the hook.
+var testCompileHook atomic.Pointer[func(*Request)]
+
+// Close drains the engine: new Compile calls fail with ErrClosed,
+// accepted jobs run to completion, then the workers stop. If ctx
+// expires first, queued-but-unstarted jobs fail with ErrDraining and
+// Close returns ctx.Err() without waiting for compilations already on a
+// worker (they finish and are discarded).
+func (e *Engine) Close(ctx context.Context) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		e.inflight.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		close(e.quit)
+		e.workerWG.Wait()
+		return nil
+	case <-ctx.Done():
+		close(e.quit)
+		return ctx.Err()
+	}
+}
+
+// respFromEntry materializes a caller-owned Response from an immutable
+// cache entry.
+func respFromEntry(en *entry, req *Request, hit bool) (*Response, error) {
+	resp := &Response{
+		SizeBefore:   en.sizeBefore,
+		SizeAfter:    en.sizeAfter,
+		BinaryBefore: en.binaryBefore,
+		BinaryAfter:  en.binaryAfter,
+		Stats:        copyStats(en.stats),
+		Rerolled:     en.rerolled,
+		CacheHit:     hit,
+	}
+	if req.EmitIR {
+		resp.IR = en.irText
+	}
+	if req.NeedModule {
+		m, err := irparse.ParseModule(en.irText)
+		if err != nil {
+			return nil, fmt.Errorf("service: reparse cached result: %w", err)
+		}
+		resp.Module = m
+	}
+	return resp, nil
+}
+
+func copyStats(s *rolag.Stats) *rolag.Stats {
+	if s == nil {
+		return nil
+	}
+	ns := *s
+	ns.NodeCounts = make(map[rl.NodeKind]int, len(s.NodeCounts))
+	for k, v := range s.NodeCounts {
+		ns.NodeCounts[k] = v
+	}
+	return &ns
+}

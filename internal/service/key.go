@@ -1,0 +1,47 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"rolag"
+	"rolag/internal/costmodel"
+)
+
+// cacheKey derives the content address of a request: the SHA-256 of the
+// source text plus a canonical encoding of every Config field that can
+// change the compiled output.
+//
+// Config.Name is deliberately excluded — the module name never appears
+// in the printed IR or in any size measurement, so two requests that
+// differ only in name share one compilation. Config.CloneInput is an
+// ownership knob, not a pipeline knob, and is likewise excluded.
+// Options.Model is canonicalized by value (nil means the default
+// profitability model), so the fresh-but-identical *Model pointers that
+// rolag.DefaultOptions returns on every call all map to the same key.
+func cacheKey(req *Request) string {
+	h := sha256.New()
+	cfg := &req.Config
+	fmt.Fprintf(h, "v1|ir=%t|unroll=%d|opt=%d|flatten=%t|skipcleanup=%t|",
+		req.IRInput, cfg.Unroll, cfg.Opt, cfg.Flatten, cfg.SkipCleanup)
+	if cfg.Opt == rolag.OptRoLAG {
+		o := cfg.Options
+		if o == nil {
+			o = rolag.DefaultOptions()
+		}
+		fmt.Fprintf(h, "intseq=%t|neutralptr=%t|neutralbinop=%t|commutative=%t|recurrence=%t|reduction=%t|joint=%t|minmax=%t|mismatch=%t|fastmath=%t|alwaysroll=%t|minlanes=%d|",
+			o.EnableIntSeq, o.EnableNeutralPtr, o.EnableNeutralBinOp,
+			o.EnableCommutative, o.EnableRecurrence, o.EnableReduction,
+			o.EnableJoint, o.EnableMinMaxReduction, o.EnableMismatch,
+			o.FastMath, o.AlwaysRoll, o.MinLanes)
+		model := o.Model
+		if model == nil {
+			model = costmodel.Default()
+		}
+		fmt.Fprintf(h, "model=%d,%d,%d,%t|",
+			model.CallBytes, model.BranchBytes, model.CondBranchBytes, model.BinaryMode)
+	}
+	h.Write([]byte(req.Source))
+	return hex.EncodeToString(h.Sum(nil))
+}

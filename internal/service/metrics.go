@@ -1,0 +1,148 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the upper bounds (seconds) of the compile-latency
+// histogram buckets; a final implicit +Inf bucket catches the rest.
+var latencyBounds = [...]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// metrics is the engine's hot-path instrumentation: plain atomics, no
+// locks, safe to bump from every worker concurrently.
+type metrics struct {
+	requests    atomic.Int64
+	cacheHits   atomic.Int64
+	dedupHits   atomic.Int64
+	cacheMisses atomic.Int64
+	inFlight    atomic.Int64
+	compiles    atomic.Int64
+	errors      atomic.Int64
+	panics      atomic.Int64
+	loopsRolled atomic.Int64
+
+	latencyBuckets [len(latencyBounds) + 1]atomic.Int64
+	latencyCount   atomic.Int64
+	latencyNanos   atomic.Int64
+}
+
+func (m *metrics) observeCompile(d time.Duration) {
+	sec := d.Seconds()
+	idx := len(latencyBounds)
+	for i, ub := range latencyBounds {
+		if sec <= ub {
+			idx = i
+			break
+		}
+	}
+	m.latencyBuckets[idx].Add(1)
+	m.latencyCount.Add(1)
+	m.latencyNanos.Add(int64(d))
+}
+
+// Bucket is one cumulative histogram bucket in a MetricsSnapshot.
+type Bucket struct {
+	// LE is the bucket's inclusive upper bound in seconds; the last
+	// bucket's bound is +Inf and serialized as such.
+	LE float64 `json:"le"`
+	// Count is cumulative, Prometheus-style.
+	Count int64 `json:"count"`
+}
+
+// MetricsSnapshot is a consistent-enough point-in-time copy of the
+// engine counters, suitable for JSON or Prometheus text rendering.
+type MetricsSnapshot struct {
+	Requests     int64 `json:"requests"`
+	CacheHits    int64 `json:"cache_hits"`
+	DedupHits    int64 `json:"dedup_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	InFlight     int64 `json:"in_flight"`
+	Compiles     int64 `json:"compiles"`
+	Errors       int64 `json:"errors"`
+	Panics       int64 `json:"panics"`
+	LoopsRolled  int64 `json:"loops_rolled"`
+	CacheEntries int   `json:"cache_entries"`
+	Workers      int   `json:"workers"`
+
+	LatencyCount      int64    `json:"latency_count"`
+	LatencySumSeconds float64  `json:"latency_sum_seconds"`
+	LatencyBuckets    []Bucket `json:"latency_buckets"`
+}
+
+// HitRate returns the fraction of requests served from the cache or a
+// shared in-flight compilation.
+func (s *MetricsSnapshot) HitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.CacheHits+s.DedupHits) / float64(s.Requests)
+}
+
+func (m *metrics) snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Requests:          m.requests.Load(),
+		CacheHits:         m.cacheHits.Load(),
+		DedupHits:         m.dedupHits.Load(),
+		CacheMisses:       m.cacheMisses.Load(),
+		InFlight:          m.inFlight.Load(),
+		Compiles:          m.compiles.Load(),
+		Errors:            m.errors.Load(),
+		Panics:            m.panics.Load(),
+		LoopsRolled:       m.loopsRolled.Load(),
+		LatencyCount:      m.latencyCount.Load(),
+		LatencySumSeconds: float64(m.latencyNanos.Load()) / 1e9,
+	}
+	var cum int64
+	for i := range m.latencyBuckets {
+		cum += m.latencyBuckets[i].Load()
+		le := inf
+		if i < len(latencyBounds) {
+			le = latencyBounds[i]
+		}
+		s.LatencyBuckets = append(s.LatencyBuckets, Bucket{LE: le, Count: cum})
+	}
+	return s
+}
+
+// inf stands in for +Inf so the snapshot stays JSON-encodable.
+const inf = 1e308
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (counters, one gauge, and the compile-latency histogram).
+func (s *MetricsSnapshot) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("rolagd_requests_total", "Compilation requests received.", s.Requests)
+	counter("rolagd_cache_hits_total", "Requests served from the result cache.", s.CacheHits)
+	counter("rolagd_dedup_hits_total", "Requests served by an identical in-flight compilation.", s.DedupHits)
+	counter("rolagd_cache_misses_total", "Requests that required a fresh compilation.", s.CacheMisses)
+	counter("rolagd_compiles_total", "Fresh compilations executed.", s.Compiles)
+	counter("rolagd_errors_total", "Requests that failed.", s.Errors)
+	counter("rolagd_panics_total", "Compilations that panicked and were converted to errors.", s.Panics)
+	counter("rolagd_loops_rolled_total", "Loops rolled across fresh compilations.", s.LoopsRolled)
+
+	fmt.Fprintf(w, "# HELP rolagd_in_flight_jobs Requests currently being served.\n")
+	fmt.Fprintf(w, "# TYPE rolagd_in_flight_jobs gauge\nrolagd_in_flight_jobs %d\n", s.InFlight)
+	fmt.Fprintf(w, "# HELP rolagd_cache_entries Entries currently in the result cache.\n")
+	fmt.Fprintf(w, "# TYPE rolagd_cache_entries gauge\nrolagd_cache_entries %d\n", s.CacheEntries)
+	fmt.Fprintf(w, "# HELP rolagd_workers Size of the worker pool.\n")
+	fmt.Fprintf(w, "# TYPE rolagd_workers gauge\nrolagd_workers %d\n", s.Workers)
+
+	fmt.Fprintf(w, "# HELP rolagd_compile_seconds Latency of fresh compilations.\n")
+	fmt.Fprintf(w, "# TYPE rolagd_compile_seconds histogram\n")
+	for _, b := range s.LatencyBuckets {
+		if b.LE >= inf {
+			fmt.Fprintf(w, "rolagd_compile_seconds_bucket{le=\"+Inf\"} %d\n", b.Count)
+		} else {
+			fmt.Fprintf(w, "rolagd_compile_seconds_bucket{le=\"%g\"} %d\n", b.LE, b.Count)
+		}
+	}
+	fmt.Fprintf(w, "rolagd_compile_seconds_sum %g\n", s.LatencySumSeconds)
+	fmt.Fprintf(w, "rolagd_compile_seconds_count %d\n", s.LatencyCount)
+}

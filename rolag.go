@@ -11,6 +11,7 @@
 package rolag
 
 import (
+	"context"
 	"fmt"
 
 	"rolag/internal/cc"
@@ -81,6 +82,11 @@ type Config struct {
 	Flatten bool
 	// SkipCleanup disables the post-roll cleanup pipeline.
 	SkipCleanup bool
+	// CloneInput makes Optimize work on a deep copy of the input module,
+	// leaving the caller's module untouched. Result.Module is then owned
+	// exclusively by the caller. The compilation service sets this so
+	// cached results are immutable.
+	CloneInput bool
 }
 
 // Result is the outcome of one compilation.
@@ -129,25 +135,64 @@ func Compile(src, name string) (*ir.Module, error) {
 }
 
 // Build compiles src and applies the configured pipeline.
+//
+// Unless cfg.CloneInput is set, the returned Result.Module is the very
+// module the pipeline mutated; see Optimize for the aliasing contract.
 func Build(src string, cfg Config) (*Result, error) {
+	return BuildContext(context.Background(), src, cfg)
+}
+
+// BuildContext is Build with a deadline/cancellation context. The
+// context is checked between pipeline stages and between functions, so
+// a cancelled compilation returns ctx.Err() promptly without leaving
+// the caller with a half-transformed module it should keep using.
+func BuildContext(ctx context.Context, src string, cfg Config) (*Result, error) {
 	m, err := Compile(src, cfg.Name)
 	if err != nil {
 		return nil, err
 	}
-	return Optimize(m, cfg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return OptimizeContext(ctx, m, cfg)
 }
 
 // Optimize applies the configured unrolling and rolling technique to a
-// compiled module in place.
+// compiled module.
+//
+// Aliasing: by default the module is transformed IN PLACE and
+// Result.Module is the same pointer as the input — callers that need
+// the pre-optimization module, or that cache and share Results, must
+// either clone first (ir.CloneModule) or set cfg.CloneInput, which
+// makes Optimize transform a private deep copy and leave the input
+// untouched.
 func Optimize(m *ir.Module, cfg Config) (*Result, error) {
+	return OptimizeContext(context.Background(), m, cfg)
+}
+
+// OptimizeContext is Optimize with a deadline/cancellation context,
+// checked between pipeline stages and between functions. When the
+// context expires mid-run the input module may already be partially
+// transformed (unless cfg.CloneInput is set); the error tells the
+// caller to discard it.
+func OptimizeContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) {
+	if cfg.CloneInput {
+		m = ir.CloneModule(m)
+	}
 	if cfg.Unroll >= 2 {
 		for _, f := range m.Funcs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			unroll.UnrollAll(f, cfg.Unroll)
 		}
 		passes.Standard().Run(m)
 		if err := m.Verify(); err != nil {
 			return nil, fmt.Errorf("rolag: after unroll: %w", err)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	profit := costmodel.Default()
 	binary := costmodel.Binary()
@@ -160,10 +205,23 @@ func Optimize(m *ir.Module, cfg Config) (*Result, error) {
 	case OptNone:
 	case OptLLVMReroll:
 		for _, f := range m.Funcs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			res.Rerolled += reroll.RerollFunc(f)
 		}
 	case OptRoLAG:
-		res.Stats = rl.RollModule(m, cfg.Options)
+		opts := cfg.Options
+		if opts == nil {
+			opts = rl.DefaultOptions()
+		}
+		res.Stats = rl.NewStats()
+		for _, f := range m.Funcs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res.Stats.Add(rl.RollFunc(f, opts))
+		}
 		if cfg.Flatten {
 			for _, f := range m.Funcs {
 				passes.Flatten(f)
@@ -171,6 +229,9 @@ func Optimize(m *ir.Module, cfg Config) (*Result, error) {
 		}
 	default:
 		return nil, fmt.Errorf("rolag: unknown optimization %d", cfg.Opt)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if !cfg.SkipCleanup && cfg.Opt != OptNone {
 		passes.Standard().Run(m)
