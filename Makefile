@@ -1,10 +1,12 @@
 # Build/test entry points. `make ci` is the tier-1 gate plus the race
-# detector over the whole tree; `make bench` regenerates the
-# machine-readable service perf record (results/BENCH_service.json).
+# detector over the whole tree and a short differential-fuzzing smoke;
+# `make bench` regenerates the machine-readable service perf record
+# (results/BENCH_service.json).
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build vet test race ci bench serve clean
+.PHONY: all build vet test race fuzz-smoke ci bench serve clean
 
 all: build
 
@@ -20,7 +22,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: vet build race
+# Short differential-fuzzing run over every native fuzz target; any
+# counterexample fails the build and lands in
+# internal/fuzzgen/testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test ./internal/fuzzgen -run '^$$' -fuzz '^FuzzGenerated$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fuzzgen -run '^$$' -fuzz '^FuzzMutated$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fuzzgen -run '^$$' -fuzz '^FuzzSource$$' -fuzztime $(FUZZTIME)
+
+ci: vet build race fuzz-smoke
 
 bench:
 	$(GO) run ./cmd/experiments -run bench

@@ -1,0 +1,208 @@
+// Command rolag-fuzz is the standalone fuzzing driver: it generates
+// and mutates mini-C programs, runs each through the differential
+// oracle (internal/fuzzgen), and on failure shrinks the program to a
+// minimal reproduction (internal/reduce) before writing it to the
+// crashers directory.
+//
+// Typical runs:
+//
+//	rolag-fuzz -n 2000                    # 2000 generated programs
+//	rolag-fuzz -duration 60s -jobs 8      # timed parallel campaign
+//	rolag-fuzz -repro crash.c             # re-check + minimize one file
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rolag/internal/fuzzgen"
+	"rolag/internal/reduce"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 0, "number of programs to try (0 = until -duration)")
+		duration = flag.Duration("duration", 30*time.Second, "campaign length when -n is 0")
+		seed     = flag.Int64("seed", 1, "base generator seed")
+		budget   = flag.Int("budget", 48, "max statements per generated program")
+		mutate   = flag.Int("mutate", 30, "percent of inputs derived by mutating corpus entries")
+		jobs     = flag.Int("jobs", 4, "parallel oracle workers")
+		corpus   = flag.String("corpus", "", "directory of interesting programs (read for mutation, written on rolls)")
+		crashers = flag.String("crashers", "crashers", "directory minimized failures are written to")
+		repro    = flag.String("repro", "", "check and minimize one source file, then exit")
+		genOnly  = flag.Bool("gen", false, "print the program for (-seed, -budget) and exit")
+		noreduce = flag.Bool("noreduce", false, "write crashers unminimized")
+		verbose  = flag.Bool("v", false, "log every failure as it is found")
+	)
+	flag.Parse()
+
+	if *genOnly {
+		fmt.Print(fuzzgen.Generate(*seed, *budget))
+		return
+	}
+	if *repro != "" {
+		os.Exit(reproduceFile(*repro, *noreduce))
+	}
+	os.Exit(campaign(*n, *duration, *seed, *budget, *mutate, *jobs, *corpus, *crashers, *noreduce, *verbose))
+}
+
+// reproduceFile re-runs the oracle on one file and, if it still fails,
+// prints the minimized reproduction to stdout.
+func reproduceFile(path string, noreduce bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	o := &fuzzgen.Oracle{SkipCompileErrors: true}
+	fail, exercised := o.Check(string(data))
+	if !exercised {
+		fmt.Fprintln(os.Stderr, "input does not compile")
+		return 2
+	}
+	if fail == nil {
+		fmt.Println("PASS: no failure reproduced")
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "reproduced: %v\n", fail)
+	src := string(data)
+	if !noreduce {
+		src = reduce.Minimize(src, samePred(o, fail))
+		fmt.Fprintf(os.Stderr, "minimized to %d statements\n", reduce.Statements(src))
+	}
+	fmt.Println(src)
+	return 1
+}
+
+// samePred builds the reduction predicate: the candidate must fail the
+// oracle with the same class and variant as the original failure.
+func samePred(o *fuzzgen.Oracle, orig *fuzzgen.Failure) reduce.Predicate {
+	return func(src string) bool {
+		fail, _ := o.Check(src)
+		return fail != nil && orig.SameBug(fail)
+	}
+}
+
+func campaign(n int, duration time.Duration, seed int64, budget, mutatePct, jobs int, corpusDir, crashDir string, noreduce, verbose bool) int {
+	var corpusFiles []string
+	if corpusDir != "" {
+		if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		matches, _ := filepath.Glob(filepath.Join(corpusDir, "*.c"))
+		corpusFiles = matches
+	}
+	if err := os.MkdirAll(crashDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	deadline := time.Now().Add(duration)
+	var (
+		seq      atomic.Int64
+		found    atomic.Int64
+		mu       sync.Mutex // serializes crasher/corpus writes
+		wg       sync.WaitGroup
+		seenBugs = map[string]bool{}
+	)
+	seq.Store(seed)
+
+	worker := func() {
+		defer wg.Done()
+		o := &fuzzgen.Oracle{SkipCompileErrors: true}
+		for {
+			i := seq.Add(1)
+			if n > 0 && i-seed > int64(n) {
+				return
+			}
+			if n == 0 && time.Now().After(deadline) {
+				return
+			}
+			rng := rand.New(rand.NewSource(i))
+			var src string
+			if len(corpusFiles) > 0 && rng.Intn(100) < mutatePct {
+				data, err := os.ReadFile(corpusFiles[rng.Intn(len(corpusFiles))])
+				if err != nil {
+					continue
+				}
+				src = fuzzgen.Mutate(rng, string(data), rng.Intn(6)+1)
+			} else {
+				src = fuzzgen.Generate(i, rng.Intn(budget)+4)
+			}
+			fail, exercised := o.Check(src)
+			if !exercised {
+				continue
+			}
+			if fail == nil {
+				if corpusDir != "" && rng.Intn(50) == 0 {
+					saveCorpus(&mu, corpusDir, src)
+				}
+				continue
+			}
+			found.Add(1)
+			if verbose {
+				fmt.Fprintf(os.Stderr, "[%d] %v\n", i, fail)
+			}
+			min := src
+			if !noreduce {
+				min = reduce.Minimize(src, samePred(o, fail))
+			}
+			writeCrasher(&mu, seenBugs, crashDir, min, fail)
+		}
+	}
+
+	if jobs < 1 {
+		jobs = 1
+	}
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go worker()
+	}
+	wg.Wait()
+
+	snap := fuzzgen.Snapshot()
+	out, _ := json.MarshalIndent(snap, "", "  ")
+	fmt.Fprintf(os.Stderr, "campaign done: %s\n", out)
+	if found.Load() > 0 {
+		fmt.Fprintf(os.Stderr, "%d failing programs written to %s\n", found.Load(), crashDir)
+		return 1
+	}
+	return 0
+}
+
+func saveCorpus(mu *sync.Mutex, dir, src string) {
+	mu.Lock()
+	defer mu.Unlock()
+	sum := sha256.Sum256([]byte(src))
+	path := filepath.Join(dir, fmt.Sprintf("corpus-%x.c", sum[:8]))
+	if _, err := os.Stat(path); err == nil {
+		return
+	}
+	_ = os.WriteFile(path, []byte(src), 0o644)
+}
+
+// writeCrasher stores one minimized failure, deduplicated by
+// (class, variant) so a campaign reports each distinct bug once.
+func writeCrasher(mu *sync.Mutex, seen map[string]bool, dir, src string, fail *fuzzgen.Failure) {
+	mu.Lock()
+	defer mu.Unlock()
+	key := fail.Class + "/" + fail.Variant
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+	sum := sha256.Sum256([]byte(src))
+	base := filepath.Join(dir, fmt.Sprintf("crash-%s-%x", fail.Class, sum[:6]))
+	_ = os.WriteFile(base+".c", []byte(src), 0o644)
+	_ = os.WriteFile(base+".txt", []byte(fail.Error()+"\n"), 0o644)
+	fmt.Fprintf(os.Stderr, "crasher: %s.c (%v)\n", base, fail)
+}

@@ -1,0 +1,69 @@
+package fuzzgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzGenerated drives the generator: the input is the generator seed
+// and budget, so every exercised input is a well-typed program and any
+// oracle failure is a real pipeline defect.
+func FuzzGenerated(f *testing.F) {
+	for s := int64(0); s < 24; s++ {
+		f.Add(s, uint16(8+s*3))
+	}
+	o := &Oracle{Seeds: 2}
+	f.Fuzz(func(t *testing.T, seed int64, budget uint16) {
+		src := Generate(seed, int(budget%96)+4)
+		fail, _ := o.Check(src)
+		if fail != nil {
+			t.Fatalf("%v\nprogram:\n%s", fail, src)
+		}
+	})
+}
+
+// FuzzMutated starts from a generated program and applies seeded
+// mutations, probing irregular, near-miss, and trap-bearing shapes the
+// generator avoids. Non-compiling mutants are skipped.
+func FuzzMutated(f *testing.F) {
+	for s := int64(0); s < 16; s++ {
+		f.Add(s, s*31+7, uint8(s%5+1))
+	}
+	o := &Oracle{Seeds: 2, SkipCompileErrors: true}
+	f.Fuzz(func(t *testing.T, seed, mutSeed int64, nmut uint8) {
+		src := Mutate(rand.New(rand.NewSource(mutSeed)), Generate(seed, 40), int(nmut%8)+1)
+		fail, exercised := o.Check(src)
+		if !exercised {
+			t.Skip("mutant does not compile")
+		}
+		if fail != nil {
+			t.Fatalf("%v\nprogram:\n%s", fail, src)
+		}
+	})
+}
+
+// FuzzSource feeds raw text to the whole stack, so the coverage-guided
+// engine can explore the frontend too. Compile rejections are skips;
+// anything that compiles must survive the full differential oracle.
+func FuzzSource(f *testing.F) {
+	for s := int64(0); s < 8; s++ {
+		f.Add(Generate(s, 24))
+	}
+	f.Add("int g; void fz(int *a) { a[0] = g; a[1] = g; a[2] = g; }")
+	f.Add("int fz(int x) { return 7 / (x - x); }")
+	f.Add("struct S { int a; int b; }; int fz(struct S *s) { return s->a + s->b; }")
+	f.Add("int fz(int x) { int v[4]; v[0] = x; v[1] = x; v[2] = x; v[3] = x; return v[x & 3]; }")
+	o := &Oracle{Seeds: 2, SkipCompileErrors: true}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 8192 {
+			t.Skip("oversized input")
+		}
+		fail, exercised := o.Check(src)
+		if !exercised {
+			t.Skip("input does not compile")
+		}
+		if fail != nil {
+			t.Fatalf("%v\nprogram:\n%s", fail, src)
+		}
+	})
+}

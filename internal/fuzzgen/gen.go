@@ -1,0 +1,426 @@
+// Package fuzzgen implements generative differential testing for the
+// RoLAG pipeline: a seeded generator of well-typed mini-C programs
+// biased toward rollable shapes, a mutator over existing corpus
+// programs, and an oracle that compiles each program through every
+// pipeline variant and checks verifier cleanliness, interpreter
+// equivalence, and cost-model honesty (see oracle.go).
+//
+// The generator's contract is strict: Generate is deterministic in
+// (seed, budget) and every program it emits compiles. Shapes are drawn
+// from the alignment-graph node taxonomy of the paper (§IV.B–C) —
+// store runs, call runs, reductions, recurrences, field copies,
+// strided writes, guarded updates, min/max select chains — plus plain
+// scalar filler, so that the corpus exercises both the rolling
+// transformations and their profitability rejections.
+package fuzzgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Buffer layout contract with internal/interp.Harness: every pointer
+// parameter is backed by 512 bytes, so int indices must stay below 128,
+// long indices below 64, and the generator keeps base+span comfortably
+// inside that.
+const (
+	maxIntIdx  = 96 // worst-case index through an int pointer
+	maxLongIdx = 48 // worst-case index through a long pointer
+)
+
+// Generate returns a well-typed mini-C translation unit derived
+// deterministically from seed, containing one function "fz" whose body
+// has roughly budget statements. The result always compiles.
+func Generate(seed int64, budget int) string {
+	if budget < 4 {
+		budget = 4
+	}
+	if budget > 96 {
+		budget = 96
+	}
+	g := &gen{rng: rand.New(rand.NewSource(seed))}
+	return g.program(budget)
+}
+
+type gen struct {
+	rng     *rand.Rand
+	b       strings.Builder
+	locals  int  // running counter for fresh scalar names
+	hasStru bool // struct params present
+	hasChar bool // char* param present
+	hasLong bool // long* param present
+	hasFlt  bool // float* param present
+}
+
+func (g *gen) program(budget int) string {
+	g.hasStru = g.rng.Intn(3) == 0
+	g.hasChar = g.rng.Intn(3) == 0
+	g.hasLong = g.rng.Intn(4) == 0
+	g.hasFlt = g.rng.Intn(5) == 0
+
+	g.b.WriteString("int g_sink;\nint g_tab[32];\n")
+	g.b.WriteString("extern void sink2(char *p, int x);\n")
+	g.b.WriteString("extern int ext2(int a, int b) pure;\n")
+	g.b.WriteString("extern int ext3(int a, int b, int c);\n")
+	if g.hasFlt {
+		g.b.WriteString("extern float extf(float a) pure;\n")
+	}
+	if g.hasStru {
+		g.b.WriteString("struct S1 {")
+		for i := 0; i < 8; i++ {
+			fmt.Fprintf(&g.b, " int f%d;", i)
+		}
+		g.b.WriteString(" };\n")
+	}
+
+	params := "int *a, int *b, int x, int y"
+	if g.hasLong {
+		params += ", long *c"
+	}
+	if g.hasFlt {
+		params += ", float *d"
+	}
+	if g.hasChar {
+		params += ", char *p"
+	}
+	if g.hasStru {
+		params += ", struct S1 *s, struct S1 *t"
+	}
+	fmt.Fprintf(&g.b, "int fz(%s) {\n", params)
+	g.b.WriteString("\tint acc = x;\n")
+	budget--
+
+	for budget > 0 {
+		budget -= g.shape(budget)
+	}
+
+	k := g.rng.Intn(32)
+	fmt.Fprintf(&g.b, "\tg_tab[%d] = acc;\n", k)
+	g.b.WriteString("\tg_sink = g_sink + acc;\n")
+	g.b.WriteString("\treturn acc ^ g_tab[" + fmt.Sprint(g.rng.Intn(8)) + "];\n}\n")
+	return g.b.String()
+}
+
+// shape emits one pattern and returns the number of statements used.
+func (g *gen) shape(budget int) int {
+	for {
+		switch g.rng.Intn(14) {
+		case 0:
+			return g.storeRun(budget)
+		case 1:
+			return g.callRun(budget)
+		case 2:
+			return g.reduction(budget)
+		case 3:
+			return g.minMaxChain(budget)
+		case 4:
+			if !g.hasStru {
+				continue
+			}
+			return g.fieldCopy(budget)
+		case 5:
+			return g.stridedCopy(budget)
+		case 6:
+			return g.guarded(budget)
+		case 7:
+			return g.recurrence(budget)
+		case 8:
+			return g.smallLoop()
+		case 9:
+			return g.scalarChain(budget)
+		case 10:
+			return g.jointRun(budget)
+		case 11:
+			return g.divMix(budget)
+		case 12:
+			if !g.hasLong && !g.hasFlt && !g.hasChar {
+				continue
+			}
+			return g.typedRun(budget)
+		default:
+			return g.globalRun(budget)
+		}
+	}
+}
+
+func (g *gen) run(budget, min, max int) int {
+	n := min + g.rng.Intn(max-min+1)
+	if n > budget {
+		n = budget
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (g *gen) ptr() string {
+	if g.rng.Intn(2) == 0 {
+		return "a"
+	}
+	return "b"
+}
+
+// intExpr returns a small side-effect-free int expression; lane is the
+// position within a run so that consecutive statements form an
+// alignable (or deliberately irregular) sequence.
+func (g *gen) intExpr(lane int) string {
+	switch g.rng.Intn(7) {
+	case 0:
+		return fmt.Sprint(g.rng.Intn(2000) - 400)
+	case 1:
+		return fmt.Sprintf("x * %d + %d", g.rng.Intn(9)+1, lane)
+	case 2:
+		return fmt.Sprintf("%s[%d] + y", g.ptr(), g.rng.Intn(maxIntIdx))
+	case 3:
+		return fmt.Sprintf("(x << %d) ^ %d", g.rng.Intn(6), g.rng.Intn(64))
+	case 4:
+		return fmt.Sprintf("acc + %d", lane*g.rng.Intn(12))
+	case 5:
+		return fmt.Sprintf("y & %d", g.rng.Intn(255)+1)
+	default:
+		return fmt.Sprintf("%s[%d] - %s[%d]", g.ptr(), g.rng.Intn(maxIntIdx), g.ptr(), g.rng.Intn(maxIntIdx))
+	}
+}
+
+// storeRun: the paper's Fig. 1 shape — n consecutive stores with a
+// regular (or near-miss irregular) value pattern.
+func (g *gen) storeRun(budget int) int {
+	n := g.run(budget, 2, 10)
+	dst := g.ptr()
+	base := g.rng.Intn(maxIntIdx - n)
+	regular := g.rng.Intn(4) != 0
+	start, step := g.rng.Intn(60), g.rng.Intn(7)+1
+	for i := 0; i < n; i++ {
+		if regular {
+			fmt.Fprintf(&g.b, "\t%s[%d] = %d;\n", dst, base+i, start+i*step)
+		} else {
+			fmt.Fprintf(&g.b, "\t%s[%d] = %s;\n", dst, base+i, g.intExpr(i))
+		}
+	}
+	return n
+}
+
+// callRun: repeated calls to the same external with regular arguments
+// (Fig. 3 shape), or an accumulator chain through a pure external.
+func (g *gen) callRun(budget int) int {
+	n := g.run(budget, 2, 7)
+	if g.hasChar && g.rng.Intn(2) == 0 {
+		stride := g.rng.Intn(6) + 1
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&g.b, "\tsink2(p + %d, %s);\n", i*stride, g.intExpr(i))
+		}
+		return n
+	}
+	src := g.ptr()
+	base := g.rng.Intn(maxIntIdx - n)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&g.b, "\tacc = ext2(acc, %s[%d]);\n", src, base+i)
+	}
+	return n
+}
+
+// reduction: acc += a[i]*b[i] terms, either one wide expression or a
+// run of compound assignments (Fig. 11 shape).
+func (g *gen) reduction(budget int) int {
+	n := g.run(budget, 2, 8)
+	base := g.rng.Intn(maxIntIdx - n)
+	if g.rng.Intn(2) == 0 {
+		g.b.WriteString("\tacc = acc")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&g.b, " + a[%d]*b[%d]", base+i, base+i)
+		}
+		g.b.WriteString(";\n")
+		return 1
+	}
+	op := []string{"+", "^", "|"}[g.rng.Intn(3)]
+	src := g.ptr()
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&g.b, "\tacc = acc %s %s[%d];\n", op, src, base+i)
+	}
+	return n
+}
+
+// minMaxChain: select-based min/max reduction (the s314 shape the
+// Extensions configuration rolls).
+func (g *gen) minMaxChain(budget int) int {
+	n := g.run(budget, 2, 6)
+	src := g.ptr()
+	base := g.rng.Intn(maxIntIdx - n)
+	cmp := []string{">", "<"}[g.rng.Intn(2)]
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&g.b, "\tacc = %s[%d] %s acc ? %s[%d] : acc;\n", src, base+i, cmp, src, base+i)
+	}
+	return n
+}
+
+// fieldCopy: homogeneous struct field copies (the Linux KVM shape).
+func (g *gen) fieldCopy(budget int) int {
+	n := g.run(budget, 2, 8)
+	for i := 0; i < n; i++ {
+		fi := i % 8
+		switch g.rng.Intn(3) {
+		case 0:
+			fmt.Fprintf(&g.b, "\ts->f%d = t->f%d;\n", fi, fi)
+		case 1:
+			fmt.Fprintf(&g.b, "\ts->f%d = %s[%d];\n", fi, g.ptr(), g.rng.Intn(maxIntIdx))
+		default:
+			fmt.Fprintf(&g.b, "\tacc = acc + t->f%d;\n", fi)
+		}
+	}
+	return n
+}
+
+// stridedCopy: dst[i*s] = src[i] op k — gep chains with a stride.
+func (g *gen) stridedCopy(budget int) int {
+	n := g.run(budget, 2, 8)
+	stride := g.rng.Intn(3) + 1
+	base := g.rng.Intn(maxIntIdx - n*stride - 1)
+	dst, src := "a", "b"
+	if g.rng.Intn(2) == 0 {
+		dst, src = "b", "a"
+	}
+	k := g.rng.Intn(17)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&g.b, "\t%s[%d] = %s[%d] + %d;\n", dst, base+i*stride, src, base+i, k)
+	}
+	return n
+}
+
+// guarded: if-convertible updates and real branches around stores.
+func (g *gen) guarded(budget int) int {
+	n := g.run(budget, 2, 6)
+	src := g.ptr()
+	base := g.rng.Intn(maxIntIdx - n)
+	if g.rng.Intn(2) == 0 {
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&g.b, "\tif (%s[%d] > y) acc = acc + %d;\n", src, base+i, i+1)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&g.b, "\tif (%s[%d] > y) %s[%d] = y - %d;\n", src, base+i, src, base+i, i)
+		}
+	}
+	return n
+}
+
+// recurrence: v = v*k + a[i] chains (second-order seeds, Fig. 4).
+func (g *gen) recurrence(budget int) int {
+	n := g.run(budget, 2, 7)
+	src := g.ptr()
+	base := g.rng.Intn(maxIntIdx - n)
+	k := g.rng.Intn(5) + 2
+	if g.rng.Intn(3) == 0 {
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&g.b, "\tacc = ext3(acc, %s[%d], %d);\n", src, base+i, i)
+		}
+		return n
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&g.b, "\tacc = acc * %d + %s[%d];\n", k, src, base+i)
+	}
+	return n
+}
+
+// smallLoop: an already-rolled loop, food for the unroll-then-roll
+// variants and the LLVM reroll baseline.
+func (g *gen) smallLoop() int {
+	iters := g.rng.Intn(14) + 2
+	v := fmt.Sprintf("i%d", g.locals)
+	g.locals++
+	switch g.rng.Intn(3) {
+	case 0:
+		fmt.Fprintf(&g.b, "\tfor (int %s = 0; %s < %d; %s++) a[%s] = acc + %s;\n", v, v, iters, v, v, v)
+	case 1:
+		fmt.Fprintf(&g.b, "\tfor (int %s = 0; %s < %d; %s++) acc = acc + b[%s];\n", v, v, iters, v, v)
+	default:
+		fmt.Fprintf(&g.b, "\tfor (int %s = 0; %s < %d; %s++) a[%s] = b[%s] * x;\n", v, v, iters, v, v, v)
+	}
+	return 1
+}
+
+// scalarChain: plain filler arithmetic that must not roll.
+func (g *gen) scalarChain(budget int) int {
+	n := g.run(budget, 2, 6)
+	v := fmt.Sprintf("t%d", g.locals)
+	g.locals++
+	fmt.Fprintf(&g.b, "\tint %s = %s;\n", v, g.intExpr(0))
+	ops := []string{"+", "^", "*", "-", "|"}
+	for i := 1; i < n; i++ {
+		fmt.Fprintf(&g.b, "\t%s = %s %s %d;\n", v, v, ops[g.rng.Intn(len(ops))], g.rng.Intn(97)+1)
+	}
+	fmt.Fprintf(&g.b, "\tacc = acc + %s;\n", v)
+	return n + 1
+}
+
+// jointRun: two interleaved store runs — the joint-node shape (§IV.C).
+func (g *gen) jointRun(budget int) int {
+	n := g.run(budget, 2, 5)
+	ab := g.rng.Intn(maxIntIdx - n)
+	bb := g.rng.Intn(maxIntIdx - n)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&g.b, "\ta[%d] = x + %d;\n", ab+i, i)
+		fmt.Fprintf(&g.b, "\tb[%d] = y - %d;\n", bb+i, i)
+	}
+	return 2 * n
+}
+
+// divMix: division and remainder with a nonzero divisor in the common
+// case; the x-only divisor relies on the harness seeding x in 1..7, so
+// mutated corpora can and do turn these into genuine trap sites.
+func (g *gen) divMix(budget int) int {
+	n := g.run(budget, 1, 4)
+	src := g.ptr()
+	for i := 0; i < n; i++ {
+		base := g.rng.Intn(maxIntIdx)
+		switch g.rng.Intn(3) {
+		case 0:
+			fmt.Fprintf(&g.b, "\tacc = acc + %s[%d] / ((%s[%d] & 7) + 1);\n", src, base, g.ptr(), g.rng.Intn(maxIntIdx))
+		case 1:
+			fmt.Fprintf(&g.b, "\tacc = acc + %s[%d] %% %d;\n", src, base, g.rng.Intn(9)+2)
+		default:
+			fmt.Fprintf(&g.b, "\tacc = acc + %s[%d] / x;\n", src, base)
+		}
+	}
+	return n
+}
+
+// typedRun: store runs through the long/float/char pointers.
+func (g *gen) typedRun(budget int) int {
+	n := g.run(budget, 2, 6)
+	switch {
+	case g.hasLong && (g.rng.Intn(2) == 0 || !g.hasFlt && !g.hasChar):
+		base := g.rng.Intn(maxLongIdx - n)
+		start, step := g.rng.Intn(5000)+200, g.rng.Intn(60)+10
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&g.b, "\tc[%d] = %d;\n", base+i, start+i*step)
+		}
+	case g.hasFlt && (g.rng.Intn(2) == 0 || !g.hasChar):
+		base := g.rng.Intn(maxIntIdx - n)
+		for i := 0; i < n; i++ {
+			if g.rng.Intn(2) == 0 {
+				fmt.Fprintf(&g.b, "\td[%d] = d[%d] * 2.0;\n", base+i, base+i)
+			} else {
+				fmt.Fprintf(&g.b, "\td[%d] = extf(d[%d]);\n", base+i, base+i)
+			}
+		}
+	default:
+		base := g.rng.Intn(256)
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&g.b, "\tp[%d] = x + %d;\n", base+i, i)
+		}
+	}
+	return n
+}
+
+// globalRun: stores into the int global table, observable through the
+// Observation.Globals comparison.
+func (g *gen) globalRun(budget int) int {
+	n := g.run(budget, 2, 6)
+	base := g.rng.Intn(32 - n)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&g.b, "\tg_tab[%d] = %s;\n", base+i, g.intExpr(i))
+	}
+	return n
+}

@@ -1,0 +1,81 @@
+package fuzzgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rolag/internal/cc"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := Generate(seed, 40)
+		b := Generate(seed, 40)
+		if a != b {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+}
+
+func TestGenerateAlwaysCompiles(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		budget := int(seed%90) + 4
+		src := Generate(seed, budget)
+		if _, err := cc.Compile(src, "gen"); err != nil {
+			t.Fatalf("seed %d budget %d: %v\n%s", seed, budget, err, src)
+		}
+	}
+}
+
+func TestGenerateRespectsBudgetClamp(t *testing.T) {
+	small := Generate(1, -5)
+	if !strings.Contains(small, "int fz(") {
+		t.Fatalf("tiny budget still yields a function:\n%s", small)
+	}
+	big := Generate(1, 10_000)
+	if n := strings.Count(big, "\n"); n > 200 {
+		t.Fatalf("budget clamp failed: %d lines", n)
+	}
+}
+
+func TestMutateDeterministic(t *testing.T) {
+	src := Generate(7, 40)
+	a := Mutate(rand.New(rand.NewSource(3)), src, 5)
+	b := Mutate(rand.New(rand.NewSource(3)), src, 5)
+	if a != b {
+		t.Fatal("same mutation seed produced different mutants")
+	}
+}
+
+func TestMutateMostlyCompiles(t *testing.T) {
+	// Mutants need not all compile, but the edits are tame enough that
+	// a clear majority must, or mutation-based fuzzing wastes its time.
+	rng := rand.New(rand.NewSource(11))
+	ok := 0
+	const total = 100
+	for i := 0; i < total; i++ {
+		src := Generate(int64(i), 30)
+		mut := Mutate(rng, src, 1+rng.Intn(4))
+		if _, err := cc.Compile(mut, "mut"); err == nil {
+			ok++
+		}
+	}
+	if ok < total/2 {
+		t.Fatalf("only %d/%d mutants compile", ok, total)
+	}
+}
+
+func TestMutateChangesProgram(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := Generate(9, 40)
+	changed := 0
+	for i := 0; i < 20; i++ {
+		if Mutate(rng, src, 3) != src {
+			changed++
+		}
+	}
+	if changed < 15 {
+		t.Fatalf("mutation is a no-op too often: %d/20 changed", changed)
+	}
+}

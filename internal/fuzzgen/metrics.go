@@ -1,0 +1,67 @@
+package fuzzgen
+
+import "sync/atomic"
+
+// Package-wide fuzzing counters, updated by every Oracle.Check call in
+// the process (native fuzz targets, the rolag-fuzz CLI, and any
+// in-service background fuzzing alike). The service metrics registry
+// (internal/service) snapshots these into its /metrics output.
+var counters struct {
+	execs    atomic.Int64
+	skipped  atomic.Int64
+	failures atomic.Int64
+
+	compile atomic.Int64
+	verify  atomic.Int64
+	equiv   atomic.Int64
+	cost    atomic.Int64
+	panics  atomic.Int64
+}
+
+// Counters is a point-in-time snapshot of the fuzzing counters.
+type Counters struct {
+	// Execs counts oracle runs that exercised the full pipeline.
+	Execs int64 `json:"execs"`
+	// Skipped counts inputs rejected before the pipeline (compile
+	// errors under SkipCompileErrors).
+	Skipped int64 `json:"skipped"`
+	// Failures counts oracle runs that returned a Failure.
+	Failures int64 `json:"failures"`
+
+	// Per-class failure counts.
+	FailCompile int64 `json:"fail_compile"`
+	FailVerify  int64 `json:"fail_verify"`
+	FailEquiv   int64 `json:"fail_equiv"`
+	FailCost    int64 `json:"fail_cost"`
+	FailPanic   int64 `json:"fail_panic"`
+}
+
+// Snapshot returns the current fuzzing counters.
+func Snapshot() Counters {
+	return Counters{
+		Execs:       counters.execs.Load(),
+		Skipped:     counters.skipped.Load(),
+		Failures:    counters.failures.Load(),
+		FailCompile: counters.compile.Load(),
+		FailVerify:  counters.verify.Load(),
+		FailEquiv:   counters.equiv.Load(),
+		FailCost:    counters.cost.Load(),
+		FailPanic:   counters.panics.Load(),
+	}
+}
+
+func countFailure(class string) {
+	counters.failures.Add(1)
+	switch class {
+	case ClassCompile:
+		counters.compile.Add(1)
+	case ClassVerify:
+		counters.verify.Add(1)
+	case ClassEquiv:
+		counters.equiv.Add(1)
+	case ClassCost:
+		counters.cost.Add(1)
+	case ClassPanic:
+		counters.panics.Add(1)
+	}
+}

@@ -1,0 +1,100 @@
+package fuzzgen
+
+import (
+	"math/rand"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Mutate returns a variant of src with up to n random line-level edits:
+// duplicating, deleting, or swapping body statements, perturbing
+// integer literals, and swapping binary operators. Mutants are NOT
+// guaranteed to compile — callers route them through an Oracle with
+// SkipCompileErrors set — but the edits are structured so that most do,
+// and the ones that do frequently break the regularity the generator
+// built in, probing the alignment and profitability boundaries.
+func Mutate(rng *rand.Rand, src string, n int) string {
+	lines := strings.Split(src, "\n")
+	for i := 0; i < n; i++ {
+		lines = mutateOnce(rng, lines)
+	}
+	return strings.Join(lines, "\n")
+}
+
+// bodyLines returns the indices of mutable statement lines: indented,
+// semicolon-terminated, and not a declaration keeping later lines
+// compiling.
+func bodyLines(lines []string) []int {
+	var idx []int
+	for i, l := range lines {
+		t := strings.TrimSpace(l)
+		if !strings.HasPrefix(l, "\t") || !strings.HasSuffix(t, ";") {
+			continue
+		}
+		if strings.HasPrefix(t, "return") {
+			continue
+		}
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+var intLit = regexp.MustCompile(`\b\d+\b`)
+
+func mutateOnce(rng *rand.Rand, lines []string) []string {
+	body := bodyLines(lines)
+	if len(body) == 0 {
+		return lines
+	}
+	pick := body[rng.Intn(len(body))]
+	switch rng.Intn(5) {
+	case 0: // duplicate — lengthens a run or creates a conflicting lane
+		out := make([]string, 0, len(lines)+1)
+		out = append(out, lines[:pick+1]...)
+		out = append(out, lines[pick])
+		return append(out, lines[pick+1:]...)
+	case 1: // delete — breaks a run or a local's definition
+		out := make([]string, 0, len(lines)-1)
+		out = append(out, lines[:pick]...)
+		return append(out, lines[pick+1:]...)
+	case 2: // swap with the next statement — reorders lanes
+		for j, b := range body {
+			if b == pick && j+1 < len(body) {
+				lines[pick], lines[body[j+1]] = lines[body[j+1]], lines[pick]
+				break
+			}
+		}
+		return lines
+	case 3: // perturb an integer literal
+		lits := intLit.FindAllStringIndex(lines[pick], -1)
+		if len(lits) == 0 {
+			return lines
+		}
+		span := lits[rng.Intn(len(lits))]
+		v, _ := strconv.Atoi(lines[pick][span[0]:span[1]])
+		switch rng.Intn(5) {
+		case 0:
+			v++
+		case 1:
+			v--
+		case 2:
+			v *= 2
+		case 3:
+			v = 0
+		default:
+			v = rng.Intn(1 << 16)
+		}
+		if v < 0 {
+			v = 0
+		}
+		lines[pick] = lines[pick][:span[0]] + strconv.Itoa(v) + lines[pick][span[1]:]
+		return lines
+	default: // swap one binary operator
+		ops := []string{" + ", " - ", " * ", " ^ ", " & ", " | "}
+		from := ops[rng.Intn(len(ops))]
+		to := ops[rng.Intn(len(ops))]
+		lines[pick] = strings.Replace(lines[pick], from, to, 1)
+		return lines
+	}
+}

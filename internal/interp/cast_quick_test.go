@@ -111,7 +111,10 @@ func TestQuickMemoryRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	addr := in.Alloc(16, 8)
+	addr, aerr := in.Alloc(16, 8)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
 	prop := func(x int64) bool {
 		if err := in.StoreTyped(addr, ir.I64, interp.IntVal(x)); err != nil {
 			return false

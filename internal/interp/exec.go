@@ -48,7 +48,7 @@ func (in *Interp) execInstr(instr *ir.Instr, frame map[ir.Value]Val) (Val, error
 		bits := instr.Typ.(ir.IntType).Bits
 		v, ok := passes.FoldIntBinary(instr.Op, ops[0].I, ops[1].I, bits)
 		if !ok {
-			return Val{}, fmt.Errorf("interp: division by zero")
+			return Val{}, &Trap{Kind: TrapDivByZero}
 		}
 		return IntVal(v), nil
 	case instr.Op.IsFloatBinary():
@@ -63,8 +63,15 @@ func (in *Interp) execInstr(instr *ir.Instr, frame map[ir.Value]Val) (Val, error
 		return boolVal(passes.FoldFCmp(instr.Pred, ops[0].F, ops[1].F)), nil
 	case instr.Op == ir.OpAlloca:
 		n := ops[0].I
-		size := int64(instr.Alloc.Size()) * n
-		addr := in.Alloc(size, int64(instr.Alloc.Align()))
+		elem := int64(instr.Alloc.Size())
+		if n < 0 || (elem > 0 && n > in.MaxMem/elem) {
+			return Val{}, &Trap{Kind: TrapBadAlloca, Detail: fmt.Sprintf("count %d of %d-byte elements", n, elem)}
+		}
+		size := elem * n
+		addr, err := in.Alloc(size, int64(instr.Alloc.Align()))
+		if err != nil {
+			return Val{}, err
+		}
 		// Zero the slot: allocas may be re-executed (loops) and the
 		// bump allocator does not recycle, so fresh memory is zero
 		// already, but be explicit for clarity.
@@ -103,7 +110,11 @@ func (in *Interp) evalGEP(instr *ir.Instr, ops []Val) (Val, error) {
 			addr += idxVal.I * int64(t.Elem.Size())
 			cur = t.Elem
 		case *ir.StructType:
-			fi := instr.Operand(i + 2).(*ir.IntConst).Val
+			fc, ok := instr.Operand(i + 2).(*ir.IntConst)
+			if !ok || fc.Val < 0 || int(fc.Val) >= len(t.Fields) {
+				return Val{}, fmt.Errorf("interp: gep struct index is not a valid constant field")
+			}
+			fi := fc.Val
 			addr += int64(t.FieldOffset(int(fi)))
 			cur = t.Fields[fi]
 		default:

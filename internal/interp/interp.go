@@ -8,11 +8,86 @@ package interp
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"rolag/internal/ir"
 )
+
+// TrapKind classifies a defined runtime trap: a condition under which
+// execution stops with a well-defined error instead of a Go panic or an
+// unbounded hang. Traps make the interpreter safe to drive from a fuzzer
+// — no input can take down or stall the harness.
+type TrapKind int
+
+// Trap kinds.
+const (
+	// TrapDivByZero is an integer division or remainder by zero.
+	TrapDivByZero TrapKind = iota
+	// TrapOutOfBounds is a memory access outside the allocated range
+	// (including accesses through null or small invalid addresses).
+	TrapOutOfBounds
+	// TrapStepLimit means the execution fuel (MaxSteps) ran out.
+	TrapStepLimit
+	// TrapMemLimit means an allocation would exceed MaxMem.
+	TrapMemLimit
+	// TrapCallDepth means the call stack exceeded MaxDepth.
+	TrapCallDepth
+	// TrapBadAlloca is an alloca with a negative or absurd element count.
+	TrapBadAlloca
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapDivByZero:
+		return "division by zero"
+	case TrapOutOfBounds:
+		return "out-of-bounds access"
+	case TrapStepLimit:
+		return "step limit exceeded"
+	case TrapMemLimit:
+		return "memory limit exceeded"
+	case TrapCallDepth:
+		return "call depth exceeded"
+	case TrapBadAlloca:
+		return "invalid alloca size"
+	}
+	return "unknown trap"
+}
+
+// Trap is a defined runtime error. It wraps no other error; use AsTrap to
+// recover it from the (possibly annotated) error chain.
+type Trap struct {
+	Kind   TrapKind
+	Detail string
+}
+
+func (t *Trap) Error() string {
+	if t.Detail == "" {
+		return "interp: trap: " + t.Kind.String()
+	}
+	return "interp: trap: " + t.Kind.String() + ": " + t.Detail
+}
+
+// AsTrap extracts a *Trap from an error chain.
+func AsTrap(err error) (*Trap, bool) {
+	var t *Trap
+	if errors.As(err, &t) {
+		return t, true
+	}
+	return nil, false
+}
+
+// IsResourceTrap reports whether err is a fuel, memory or call-depth
+// trap — the traps whose trigger point legitimately differs between two
+// equivalent programs (a rolled loop executes more instructions than its
+// straight-line original).
+func IsResourceTrap(err error) bool {
+	t, ok := AsTrap(err)
+	return ok && (t.Kind == TrapStepLimit || t.Kind == TrapMemLimit || t.Kind == TrapCallDepth)
+}
 
 // Val is a runtime value: integers and pointers in I (pointers are
 // addresses), floats in F. The static type of the producing value selects
@@ -50,15 +125,36 @@ type Interp struct {
 	Trace []TraceEvent
 	// Steps counts executed instructions.
 	Steps int64
-	// MaxSteps aborts execution when exceeded (default 10M).
+	// MaxSteps is the execution fuel: the run traps with TrapStepLimit
+	// once more than MaxSteps instructions execute (default 10M).
 	MaxSteps int64
+	// MaxMem bounds the flat memory in bytes; allocations beyond it trap
+	// with TrapMemLimit (default 64 MiB).
+	MaxMem int64
+	// MaxDepth bounds the call stack; deeper calls trap with
+	// TrapCallDepth (default 4096).
+	MaxDepth int
 
 	mem        []byte
 	brk        int64
+	depth      int
+	spans      []span
 	globalAddr map[*ir.Global]int64
 	funcAddr   map[int64]*ir.Func
 	nextFnAddr int64
 }
+
+// span is one live allocation. Accesses must fall entirely inside a
+// single span; anything else traps with TrapOutOfBounds. Spans are
+// separated by redZone bytes of unmapped address space so that
+// out-of-bounds offsets land between objects instead of silently
+// aliasing the next allocation — essential when the interpreter serves
+// as a differential-testing oracle, where transformed modules lay
+// objects out at different addresses.
+type span struct{ start, end int64 }
+
+// redZone is the guard gap between allocations.
+const redZone = 4096
 
 // New returns an interpreter for mod with globals laid out and
 // initialized in memory.
@@ -67,6 +163,8 @@ func New(mod *ir.Module) (*Interp, error) {
 		Mod:        mod,
 		Externs:    make(map[string]ExternFunc),
 		MaxSteps:   10_000_000,
+		MaxMem:     64 << 20,
+		MaxDepth:   4096,
 		mem:        make([]byte, 1<<16),
 		brk:        16, // keep 0 (null) and small addresses invalid
 		globalAddr: make(map[*ir.Global]int64),
@@ -74,7 +172,10 @@ func New(mod *ir.Module) (*Interp, error) {
 		nextFnAddr: -1024,
 	}
 	for _, g := range mod.Globals {
-		addr := in.Alloc(int64(g.Elem.Size()), int64(g.Elem.Align()))
+		addr, err := in.Alloc(int64(g.Elem.Size()), int64(g.Elem.Align()))
+		if err != nil {
+			return nil, fmt.Errorf("interp: allocating @%s: %w", g.Name, err)
+		}
 		in.globalAddr[g] = addr
 		if g.Init != nil {
 			if err := in.storeConst(addr, g.Elem, g.Init); err != nil {
@@ -86,28 +187,51 @@ func New(mod *ir.Module) (*Interp, error) {
 }
 
 // Alloc reserves size bytes with the given alignment and returns the
-// address. Memory grows as needed and is zero-initialized.
-func (in *Interp) Alloc(size, align int64) int64 {
+// address. Memory grows as needed and is zero-initialized; growth past
+// MaxMem traps with TrapMemLimit.
+func (in *Interp) Alloc(size, align int64) (int64, error) {
+	if size < 0 {
+		return 0, &Trap{Kind: TrapBadAlloca, Detail: fmt.Sprintf("negative size %d", size)}
+	}
 	if align < 1 {
 		align = 1
 	}
 	addr := (in.brk + align - 1) / align * align
-	in.brk = addr + size
-	for int64(len(in.mem)) < in.brk {
+	if size > in.MaxMem || addr > in.MaxMem-size {
+		return 0, &Trap{Kind: TrapMemLimit, Detail: fmt.Sprintf("%d bytes at break %d (limit %d)", size, in.brk, in.MaxMem)}
+	}
+	in.spans = append(in.spans, span{start: addr, end: addr + size})
+	in.brk = addr + size + redZone
+	for int64(len(in.mem)) < addr+size {
 		in.mem = append(in.mem, make([]byte, len(in.mem))...)
 	}
-	return addr
+	return addr, nil
 }
 
 // GlobalAddr returns the address of a global.
 func (in *Interp) GlobalAddr(g *ir.Global) int64 { return in.globalAddr[g] }
 
-// Mem returns the backing memory. Tests use it to compare final state.
-func (in *Interp) Mem() []byte { return in.mem[:in.brk] }
+// Mem returns the backing memory up to the last allocation. Tests use
+// it to compare final state.
+func (in *Interp) Mem() []byte {
+	if len(in.spans) == 0 {
+		return in.mem[:0]
+	}
+	return in.mem[:in.spans[len(in.spans)-1].end]
+}
 
+// checkRange traps unless [addr, addr+size) lies entirely inside one
+// live allocation.
 func (in *Interp) checkRange(addr, size int64) error {
-	if addr < 16 || addr+size > int64(len(in.mem)) {
-		return fmt.Errorf("interp: out-of-range access at %d (size %d)", addr, size)
+	if addr < 16 || size < 0 {
+		return &Trap{Kind: TrapOutOfBounds, Detail: fmt.Sprintf("address %d, size %d", addr, size)}
+	}
+	// Find the last span starting at or before addr; spans are sorted
+	// because the bump allocator hands out monotonically increasing
+	// addresses.
+	i := sort.Search(len(in.spans), func(i int) bool { return in.spans[i].start > addr })
+	if i == 0 || addr+size > in.spans[i-1].end {
+		return &Trap{Kind: TrapOutOfBounds, Detail: fmt.Sprintf("address %d, size %d outside any allocation", addr, size)}
 	}
 	return nil
 }
@@ -246,6 +370,11 @@ func (in *Interp) CallFunc(f *ir.Func, args []Val) (Val, error) {
 	if len(args) != len(f.Params) {
 		return Val{}, fmt.Errorf("interp: call @%s with %d args, want %d", f.Name, len(args), len(f.Params))
 	}
+	if in.depth >= in.MaxDepth && in.MaxDepth > 0 {
+		return Val{}, &Trap{Kind: TrapCallDepth, Detail: fmt.Sprintf("@%s at depth %d", f.Name, in.depth)}
+	}
+	in.depth++
+	defer func() { in.depth-- }()
 	frame := make(map[ir.Value]Val, f.NumInstrs()+len(args))
 	for i, p := range f.Params {
 		frame[p] = args[i]
@@ -291,7 +420,7 @@ func (in *Interp) execBlock(f *ir.Func, b, prev *ir.Block, frame map[ir.Value]Va
 	for _, instr := range b.Instrs[len(phis):] {
 		in.Steps++
 		if in.Steps > in.MaxSteps {
-			return nil, Val{}, false, fmt.Errorf("interp: step limit exceeded in @%s", f.Name)
+			return nil, Val{}, false, &Trap{Kind: TrapStepLimit, Detail: "in @" + f.Name}
 		}
 		switch instr.Op {
 		case ir.OpBr:

@@ -49,7 +49,10 @@ void fill(int *a, int n) {
 	if v.I != 55 {
 		t.Errorf("fib(10) = %d, want 55", v.I)
 	}
-	addr := in.Alloc(40, 8)
+	addr, aerr := in.Alloc(40, 8)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
 	if _, err = in.Call("fill", interp.IntVal(addr), interp.IntVal(10)); err != nil {
 		t.Fatal(err)
 	}

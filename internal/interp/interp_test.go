@@ -29,7 +29,10 @@ func TestMemoryLayoutTyped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	addr := in.Alloc(64, 8)
+	addr, aerr := in.Alloc(64, 8)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
 	cases := []struct {
 		typ ir.Type
 		val interp.Val

@@ -62,7 +62,10 @@ done:
 	if err != nil {
 		t.Fatal(err)
 	}
-	addr := in.Alloc(4, 4)
+	addr, aerr := in.Alloc(4, 4)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
 	if err := in.StoreTyped(addr, parseI32(), interp.IntVal(6)); err != nil {
 		t.Fatal(err)
 	}

@@ -128,7 +128,10 @@ float f(float *a) {
 		t.Errorf("expected a single-block loop after if-conversion:\n%s", f)
 	}
 	in, _ := interp.New(m)
-	base := in.Alloc(256, 4)
+	base, aerr := in.Alloc(256, 4)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
 	for i := int64(0); i < 64; i++ {
 		val := float64((i*37)%19) - 9
 		if err := in.StoreTyped(base+i*4, ir.F32, interp.FloatVal(val)); err != nil {

@@ -1,0 +1,183 @@
+// Package reduce shrinks failing mini-C programs to minimal
+// reproductions. It is deliberately syntax-light: candidates are
+// produced by deleting lines (delta debugging over statements) and by
+// textual expression simplifications, and every candidate is validated
+// only through the caller's predicate — a candidate that no longer
+// compiles, or fails differently, is simply rejected. This keeps the
+// reducer correct for any predicate without needing a parser.
+package reduce
+
+import (
+	"regexp"
+	"strings"
+)
+
+// Predicate reports whether a candidate program still exhibits the
+// failure being chased. It must be deterministic. Implementations
+// typically compile the candidate and re-run the failing oracle check,
+// accepting only the same failure class.
+type Predicate func(src string) bool
+
+// Minimize shrinks src while pred keeps holding, alternating
+// statement-level delta debugging with expression-level
+// simplifications until a fixpoint. The input itself must satisfy
+// pred; otherwise it is returned unchanged.
+func Minimize(src string, pred Predicate) string {
+	if !pred(src) {
+		return src
+	}
+	cur := src
+	for {
+		next := minimizeLines(cur, pred)
+		next = simplifyExprs(next, pred)
+		if next == cur {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// Statements counts statement lines (semicolon-terminated) — the
+// minimality metric used by tests and the CLI's reporting.
+func Statements(src string) int {
+	n := 0
+	for _, l := range strings.Split(src, "\n") {
+		if strings.HasSuffix(strings.TrimSpace(l), ";") {
+			n++
+		}
+	}
+	return n
+}
+
+// removable returns the indices of lines the reducer may try deleting:
+// everything except structural lines containing braces (function
+// headers, closers, struct definitions).
+func removable(lines []string) []int {
+	var idx []int
+	for i, l := range lines {
+		t := strings.TrimSpace(l)
+		if t == "" || strings.ContainsAny(t, "{}") {
+			continue
+		}
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+func drop(lines []string, omit map[int]bool) string {
+	out := make([]string, 0, len(lines))
+	for i, l := range lines {
+		if !omit[i] {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// minimizeLines is ddmin over deletable lines: try removing
+// progressively smaller chunks, restarting whenever a removal
+// succeeds, until no single line can be removed.
+func minimizeLines(src string, pred Predicate) string {
+	lines := strings.Split(src, "\n")
+	n := 2
+	for {
+		cand := removable(lines)
+		if len(cand) == 0 {
+			break
+		}
+		if n > len(cand) {
+			n = len(cand)
+		}
+		chunk := (len(cand) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cand); start += chunk {
+			end := start + chunk
+			if end > len(cand) {
+				end = len(cand)
+			}
+			omit := map[int]bool{}
+			for _, i := range cand[start:end] {
+				omit[i] = true
+			}
+			candidate := drop(lines, omit)
+			if pred(candidate) {
+				lines = strings.Split(candidate, "\n")
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cand) {
+				break
+			}
+			n *= 2
+			if n > len(cand) {
+				n = len(cand)
+			}
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+var (
+	// simpleOperand matches an identifier, an indexed access, a struct
+	// field access, or an integer literal.
+	operand = `(?:[A-Za-z_][A-Za-z0-9_]*(?:->[A-Za-z0-9_]+|\[[^\[\]]*\])?|\d+)`
+	binOp   = regexp.MustCompile(`(` + operand + `)\s*(?:<<|>>|[-+*/%&|^])\s*(` + operand + `)`)
+	bigLit  = regexp.MustCompile(`\b\d\d+\b`)
+	index   = regexp.MustCompile(`\[[^\[\]]*\]`)
+)
+
+// simplifyExprs hill-climbs per-line textual simplifications: collapse
+// a binary expression to one operand, shrink a multi-digit literal to
+// a single digit, and zero an index expression. Each candidate edit is
+// kept only if pred still holds.
+func simplifyExprs(src string, pred Predicate) string {
+	for {
+		improved := false
+		lines := strings.Split(src, "\n")
+		for li, line := range lines {
+			for _, cand := range lineCandidates(line) {
+				if cand == line {
+					continue
+				}
+				lines[li] = cand
+				trial := strings.Join(lines, "\n")
+				if pred(trial) {
+					src = trial
+					line = cand
+					improved = true
+				} else {
+					lines[li] = line
+				}
+			}
+		}
+		if !improved {
+			return src
+		}
+	}
+}
+
+// lineCandidates proposes simplified versions of one line, most
+// aggressive first.
+func lineCandidates(line string) []string {
+	var out []string
+	for _, m := range binOp.FindAllStringSubmatchIndex(line, -1) {
+		// Replace the whole binary expression with each operand alone.
+		lop, rop := line[m[2]:m[3]], line[m[4]:m[5]]
+		out = append(out, line[:m[0]]+lop+line[m[1]:])
+		out = append(out, line[:m[0]]+rop+line[m[1]:])
+	}
+	for _, m := range bigLit.FindAllStringIndex(line, -1) {
+		out = append(out, line[:m[0]]+"1"+line[m[1]:])
+	}
+	for _, m := range index.FindAllStringIndex(line, -1) {
+		if line[m[0]:m[1]] != "[0]" {
+			out = append(out, line[:m[0]]+"[0]"+line[m[1]:])
+		}
+	}
+	return out
+}

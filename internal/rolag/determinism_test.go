@@ -1,0 +1,86 @@
+package rolag_test
+
+// Determinism: rolling the same source must print byte-identical IR on
+// every run. The alignment graph walks several maps internally; any
+// decision hanging off map iteration order (as the dominant-op choice in
+// tryNeutralBinOp once did) shows up here as run-to-run diffs, which in
+// turn poison the service result cache and make fuzz failures
+// unreproducible.
+
+import (
+	"testing"
+
+	"rolag/internal/rolag"
+)
+
+var determinismSources = []struct {
+	name string
+	src  string
+}{
+	{
+		// Two binary opcodes with equal lane counts: the dominant-op
+		// choice in neutral-element padding is a tie and must be broken
+		// by lane order, not map order.
+		name: "neutral-binop-tie",
+		src: `
+void tie(int *a, int x) {
+	a[0] = x + 1;
+	a[1] = x + 2;
+	a[2] = x ^ 3;
+	a[3] = x ^ 4;
+}`,
+	},
+	{
+		// Three-way tie across six lanes.
+		name: "neutral-binop-three-way",
+		src: `
+void tie3(int *a, int x, int y) {
+	a[0] = x + y;
+	a[1] = x + 1;
+	a[2] = x ^ y;
+	a[3] = x ^ 2;
+	a[4] = x | y;
+	a[5] = x | 4;
+}`,
+	},
+	{
+		// A mixed function exercising several node kinds at once.
+		name: "mixed",
+		src: `
+extern int ext2(int a, int b);
+void mix(int *a, int *b, int x, int y) {
+	a[0] = b[0] + x;
+	a[1] = b[1] + x;
+	a[2] = b[2] + x;
+	a[3] = b[3] + x;
+	int s = ext2(b[4], y) + ext2(b[5], y) + ext2(b[6], y) + ext2(b[7], y);
+	a[4] = s ^ x;
+	a[5] = s ^ y;
+	a[6] = s + 1;
+	a[7] = s + 2;
+}`,
+	},
+}
+
+func TestRollingIsDeterministic(t *testing.T) {
+	for _, tc := range determinismSources {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := rolag.Extensions()
+			opts.AlwaysRoll = true
+			var first string
+			for run := 0; run < 20; run++ {
+				work := compile(t, tc.src)
+				rolag.RollModule(work, opts)
+				got := work.String()
+				if run == 0 {
+					first = got
+					continue
+				}
+				if got != first {
+					t.Fatalf("run %d printed different IR\n--- run 0 ---\n%s--- run %d ---\n%s",
+						run, first, run, got)
+				}
+			}
+		})
+	}
+}

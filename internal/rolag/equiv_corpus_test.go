@@ -111,7 +111,7 @@ func TestTSVCEquivalence(t *testing.T) {
 			t.Fatalf("%s: verify: %v", kr.Name, err)
 		}
 		rolledTotal += stats.LoopsRolled
-		if err := interp.CheckEquiv(orig, work, kr.Func, 2, &interp.Harness{MaxSteps: 3_000_000}); err != nil {
+		if err := interp.CheckEquiv(orig, work, kr.Func, 2, &interp.Harness{MaxSteps: 3_000_000, BufBytes: 1 << 16}); err != nil {
 			t.Errorf("%s: behaviour changed after unroll+roll: %v", kr.Name, err)
 		}
 	}
@@ -139,7 +139,7 @@ func TestTSVCRerollEquivalence(t *testing.T) {
 		if err := work.Verify(); err != nil {
 			t.Fatalf("%s: verify: %v", kr.Name, err)
 		}
-		if err := interp.CheckEquiv(orig, work, kr.Func, 2, &interp.Harness{MaxSteps: 3_000_000}); err != nil {
+		if err := interp.CheckEquiv(orig, work, kr.Func, 2, &interp.Harness{MaxSteps: 3_000_000, BufBytes: 1 << 16}); err != nil {
 			t.Errorf("%s: baseline rerolling changed behaviour: %v", kr.Name, err)
 		}
 	}

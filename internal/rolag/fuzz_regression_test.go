@@ -1,0 +1,40 @@
+package rolag_test
+
+// Minimized repros of bugs found by rolag-fuzz, checked in so they run
+// as ordinary tier-1 tests forever after. Each *.c file under
+// testdata/fuzz-regressions documents its original failure in a header
+// comment; the strict oracle must now find every one of them clean.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rolag/internal/fuzzgen"
+)
+
+func TestFuzzRegressions(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "fuzz-regressions", "*.c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no regression programs found")
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := &fuzzgen.Oracle{Seeds: 3}
+			fail, exercised := o.Check(string(src))
+			if !exercised {
+				t.Fatal("regression program did not compile")
+			}
+			if fail != nil {
+				t.Fatalf("regression resurfaced: %v", fail)
+			}
+		})
+	}
+}

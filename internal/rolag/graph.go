@@ -635,9 +635,13 @@ func (gb *graphBuilder) tryNeutralGep(vals []ir.Value) (*Node, error) {
 // operation with its neutral element: x is treated as x op e (§IV.C3).
 func (gb *graphBuilder) tryNeutralBinOp(vals []ir.Value) (*Node, error) {
 	// Find the most frequent binary opcode among lanes that are
-	// instructions in the block.
+	// instructions in the block. Ties are broken by lane order (the op
+	// that first reaches the winning count wins) so the choice never
+	// depends on map iteration order.
 	counts := make(map[ir.Op]int)
 	var typ ir.Type
+	var domOp ir.Op
+	best := 0
 	for _, v := range vals {
 		if typ == nil {
 			typ = v.Type()
@@ -646,13 +650,9 @@ func (gb *graphBuilder) tryNeutralBinOp(vals []ir.Value) (*Node, error) {
 		}
 		if in, ok := v.(*ir.Instr); ok && gb.inBlock[in] && in.Op.IsBinary() {
 			counts[in.Op]++
-		}
-	}
-	var domOp ir.Op
-	best := 0
-	for op, c := range counts {
-		if c > best {
-			domOp, best = op, c
+			if counts[in.Op] > best {
+				domOp, best = in.Op, counts[in.Op]
+			}
 		}
 	}
 	if best == 0 || best == len(vals) || best < len(vals)/2 {

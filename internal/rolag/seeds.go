@@ -175,12 +175,13 @@ func baseObject(v ir.Value) ir.Value {
 // associative binary operations whose internal nodes are used only inside
 // the tree. The leaves become the seed lanes.
 func collectReductions(b *ir.Block, opts *Options, minLanes int) []*SeedGroup {
-	users := make(map[ir.Value][]*ir.Instr)
-	for _, in := range b.Instrs {
-		for _, op := range in.Operands {
-			users[op] = append(users[op], in)
-		}
-	}
+	// Uses must be counted function-wide, not per-block: an earlier roll
+	// in the same RollFunc invocation may have split the block, moving a
+	// user of an intermediate value (a terminator operand, a value live
+	// across the split) into a successor block. A block-local map would
+	// miss that use, claim the intermediate as tree-internal, and delete
+	// a value that is still referenced.
+	users := b.Parent.Users()
 	assoc := func(op ir.Op) bool {
 		if op.IsAssociative() {
 			return true
@@ -450,12 +451,9 @@ func oddFirstLeaf(leaves []ir.Value, b *ir.Block) bool {
 // chain's entry value seeds the accumulator. This implements the
 // min/max reductions the paper lists as future work (§V.C).
 func collectMinMaxReductions(b *ir.Block, minLanes int) []*SeedGroup {
-	users := make(map[ir.Value][]*ir.Instr)
-	for _, in := range b.Instrs {
-		for _, op := range in.Operands {
-			users[op] = append(users[op], in)
-		}
-	}
+	// Function-wide for the same reason as collectReductions: chain
+	// values may have users in blocks created by earlier rolls.
+	users := b.Parent.Users()
 	var out []*SeedGroup
 	claimed := make(map[*ir.Instr]bool)
 	for i := len(b.Instrs) - 1; i >= 0; i-- {

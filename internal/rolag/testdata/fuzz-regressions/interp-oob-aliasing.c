@@ -1,0 +1,25 @@
+/*
+ * Found by rolag-fuzz (FuzzMutated), reduced by hand.
+ *
+ * The out-of-bounds store g_tab[46] (the array has 32 elements) used to
+ * land silently in the interpreter's flat memory, aliasing whatever
+ * allocation happened to be adjacent. Layout-changing transformations
+ * then produced spurious buffer differences and the oracle reported a
+ * miscompile that wasn't one.
+ *
+ * Fixed by tracking allocations as spans separated by red zones in the
+ * interpreter: the store now traps deterministically, the baseline run
+ * faults, and the oracle skips the seed as source-level UB.
+ */
+int g_sink;
+int g_tab[32];
+int fz(int *a, int *b, int x, int y) {
+	int acc = x;
+	a[0] = y + 1;
+	a[1] = y + 2;
+	a[2] = y + 3;
+	a[3] = y + 4;
+	g_tab[46] = acc;
+	g_sink = g_sink + acc;
+	return acc ^ g_tab[3];
+}

@@ -1,0 +1,22 @@
+/*
+ * Found by rolag-fuzz (FuzzGenerated), minimized by internal/reduce.
+ *
+ * Under AlwaysRoll, a first roll of the two a[0] stores splits the
+ * block, moving `return acc` into the split-off exit block. The
+ * reduction collector then counted users with a block-local map, missed
+ * the cross-block use of the intermediate value, claimed it as
+ * tree-internal, and deleted it — leaving a phi with a dangling operand
+ * (verifier: "operand %tN is not defined").
+ *
+ * Fixed by counting users function-wide (Func.Users) in
+ * collectReductions and collectMinMaxReductions.
+ */
+int g_tab[1];
+int fz(int *a, int *b, int x, int y) {
+	int acc = x;
+	acc = 3 + b[0];
+	g_tab[0] = acc + 1;
+	a[0] = 1;
+	a[0] = 2;
+	return acc;
+}

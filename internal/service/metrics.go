@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"rolag/internal/fuzzgen"
 )
 
 // latencyBounds are the upper bounds (seconds) of the compile-latency
@@ -72,6 +74,11 @@ type MetricsSnapshot struct {
 	LatencyCount      int64    `json:"latency_count"`
 	LatencySumSeconds float64  `json:"latency_sum_seconds"`
 	LatencyBuckets    []Bucket `json:"latency_buckets"`
+
+	// Fuzz mirrors the process-wide differential-fuzzing counters
+	// (internal/fuzzgen): oracle executions, skips, and failures by
+	// class. They advance whenever fuzzing runs in this process.
+	Fuzz fuzzgen.Counters `json:"fuzz"`
 }
 
 // HitRate returns the fraction of requests served from the cache or a
@@ -96,6 +103,7 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		LoopsRolled:       m.loopsRolled.Load(),
 		LatencyCount:      m.latencyCount.Load(),
 		LatencySumSeconds: float64(m.latencyNanos.Load()) / 1e9,
+		Fuzz:              fuzzgen.Snapshot(),
 	}
 	var cum int64
 	for i := range m.latencyBuckets {
@@ -133,6 +141,15 @@ func (s *MetricsSnapshot) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE rolagd_cache_entries gauge\nrolagd_cache_entries %d\n", s.CacheEntries)
 	fmt.Fprintf(w, "# HELP rolagd_workers Size of the worker pool.\n")
 	fmt.Fprintf(w, "# TYPE rolagd_workers gauge\nrolagd_workers %d\n", s.Workers)
+
+	counter("rolagd_fuzz_execs_total", "Differential-fuzzing oracle executions.", s.Fuzz.Execs)
+	counter("rolagd_fuzz_skipped_total", "Fuzz inputs skipped before exercising the pipeline.", s.Fuzz.Skipped)
+	counter("rolagd_fuzz_failures_total", "Fuzz failures across all classes.", s.Fuzz.Failures)
+	counter("rolagd_fuzz_fail_compile_total", "Fuzz failures: frontend rejections.", s.Fuzz.FailCompile)
+	counter("rolagd_fuzz_fail_verify_total", "Fuzz failures: verifier or pass errors.", s.Fuzz.FailVerify)
+	counter("rolagd_fuzz_fail_equiv_total", "Fuzz failures: interpreter-observable miscompiles.", s.Fuzz.FailEquiv)
+	counter("rolagd_fuzz_fail_cost_total", "Fuzz failures: dishonest cost-model reports.", s.Fuzz.FailCost)
+	counter("rolagd_fuzz_fail_panic_total", "Fuzz failures: panics in any stage.", s.Fuzz.FailPanic)
 
 	fmt.Fprintf(w, "# HELP rolagd_compile_seconds Latency of fresh compilations.\n")
 	fmt.Fprintf(w, "# TYPE rolagd_compile_seconds histogram\n")
