@@ -1,12 +1,12 @@
 # Build/test entry points. `make ci` is the tier-1 gate plus the race
-# detector over the whole tree and a short differential-fuzzing smoke;
-# `make bench` regenerates the machine-readable service perf record
-# (results/BENCH_service.json).
+# detector over the whole tree, a short differential-fuzzing smoke, and
+# the fault-injection chaos smoke; `make bench` regenerates the
+# machine-readable service perf record (results/BENCH_service.json).
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke ci bench serve clean
+.PHONY: all build vet test race fuzz-smoke chaos-smoke ci bench serve clean
 
 all: build
 
@@ -30,7 +30,15 @@ fuzz-smoke:
 	$(GO) test ./internal/fuzzgen -run '^$$' -fuzz '^FuzzMutated$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fuzzgen -run '^$$' -fuzz '^FuzzSource$$' -fuzztime $(FUZZTIME)
 
-ci: vet build race fuzz-smoke
+# Fault-injection chaos smoke: the seeded chaos suite under the race
+# detector plus a short rolag-fuzz -chaos campaign. Violations of the
+# fail-soft contract (crash, verifier failure, equivalence break, or a
+# wrong Degraded report) fail the build.
+chaos-smoke:
+	$(GO) test -race ./internal/fuzzgen -run '^TestChaos' -short -v
+	$(GO) run ./cmd/rolag-fuzz -chaos -n 60 -crashers $(or $(TMPDIR),/tmp)/rolag-chaos-crashers
+
+ci: vet build race fuzz-smoke chaos-smoke
 
 bench:
 	$(GO) run ./cmd/experiments -run bench

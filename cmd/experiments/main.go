@@ -14,7 +14,8 @@
 //
 // The corpus experiments run through the shared concurrent engine
 // (internal/service) by default; -serial restores the one-at-a-time
-// facade driver.
+// facade driver, and -daemon http://host:port offloads the angha corpus
+// to a running rolagd through the retrying HTTP client.
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 	benchN := flag.Int("benchn", 600, "corpus size for the service benchmark")
 	workers := flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 	serial := flag.Bool("serial", false, "use the serial reference driver instead of the engine")
+	daemon := flag.String("daemon", "", "base URL of a running rolagd; the angha corpus compiles remotely through it")
 	flag.Parse()
 
 	want := make(map[string]bool)
@@ -60,7 +62,7 @@ func main() {
 
 	if all || want["angha"] {
 		fmt.Println("running AnghaBench experiment (Fig. 15, Fig. 16)...")
-		s, err := experiments.RunAngha(experiments.AnghaConfig{N: *n, Seed: *seed, Engine: engine, Serial: *serial})
+		s, err := experiments.RunAngha(experiments.AnghaConfig{N: *n, Seed: *seed, Engine: engine, Serial: *serial, Daemon: *daemon})
 		if err != nil {
 			fail("angha", err)
 		}

@@ -9,6 +9,14 @@
 //	rolag-fuzz -n 2000                    # 2000 generated programs
 //	rolag-fuzz -duration 60s -jobs 8      # timed parallel campaign
 //	rolag-fuzz -repro crash.c             # re-check + minimize one file
+//	rolag-fuzz -chaos -n 200              # fault-injection chaos campaign
+//
+// The -chaos mode arms every fault point (internal/faultpoint) at
+// -chaos-prob probability (or a deterministic -faults spec) and asserts
+// the fail-soft contract on each program: no crash, verifier-clean
+// output, interpreter equivalence of degraded results, and Degraded
+// reported iff a fault fired. Chaos campaigns are single-threaded —
+// the fault-point subsystem is process-global.
 package main
 
 import (
@@ -23,6 +31,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rolag"
+	"rolag/internal/faultpoint"
 	"rolag/internal/fuzzgen"
 	"rolag/internal/reduce"
 )
@@ -41,6 +51,12 @@ func main() {
 		genOnly  = flag.Bool("gen", false, "print the program for (-seed, -budget) and exit")
 		noreduce = flag.Bool("noreduce", false, "write crashers unminimized")
 		verbose  = flag.Bool("v", false, "log every failure as it is found")
+
+		chaos       = flag.Bool("chaos", false, "run the fault-injection chaos campaign (single-threaded)")
+		chaosProb   = flag.Float64("chaos-prob", 0.10, "per-visit fault probability in -chaos mode")
+		chaosStall  = flag.Duration("chaos-stall", fuzzgen.DefaultChaosStall, "injected stall duration in -chaos mode")
+		chaosBudget = flag.Duration("chaos-budget", fuzzgen.DefaultChaosBudget, "fail-soft per-pass budget in -chaos mode")
+		faults      = flag.String("faults", "", `deterministic fault arms, "site=kind[:count],..." (overrides -chaos-prob at those sites)`)
 	)
 	flag.Parse()
 
@@ -51,7 +67,81 @@ func main() {
 	if *repro != "" {
 		os.Exit(reproduceFile(*repro, *noreduce))
 	}
+	if *chaos {
+		os.Exit(chaosCampaign(*n, *duration, *seed, *budget, *chaosProb, *chaosStall, *chaosBudget, *faults, *crashers, *verbose))
+	}
 	os.Exit(campaign(*n, *duration, *seed, *budget, *mutate, *jobs, *corpus, *crashers, *noreduce, *verbose))
+}
+
+// chaosCampaign runs generated programs through the chaos oracle with
+// every fault point armed. Violations are written unminimized (the
+// reduction predicate cannot replay a seeded probabilistic fault
+// sequence deterministically across shrink candidates).
+func chaosCampaign(n int, duration time.Duration, seed int64, budget int, prob float64, stall, passBudget time.Duration, faultSpec, crashDir string, verbose bool) int {
+	if n <= 0 {
+		n = 0 // timed mode below
+	}
+	if err := os.MkdirAll(crashDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	faultpoint.Enable(faultpoint.Options{Seed: seed, Prob: prob, Stall: stall})
+	if faultSpec != "" {
+		if err := faultpoint.ArmSpec(faultSpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	defer faultpoint.Reset()
+
+	oracle := &fuzzgen.ChaosOracle{PassBudget: passBudget}
+	configs := []rolag.Config{
+		{Opt: rolag.OptRoLAG},
+		{Opt: rolag.OptRoLAG, Unroll: 8, Flatten: true},
+		{Opt: rolag.OptLLVMReroll},
+	}
+	deadline := time.Now().Add(duration)
+	var (
+		mu                                   sync.Mutex
+		seenBugs                             = map[string]bool{}
+		tried, firedN, degradedN, violations int
+	)
+	for i := int64(0); ; i++ {
+		if n > 0 && i >= int64(n) {
+			break
+		}
+		if n == 0 && time.Now().After(deadline) {
+			break
+		}
+		rng := rand.New(rand.NewSource(seed + i))
+		src := fuzzgen.Generate(seed+i, rng.Intn(budget)+4)
+		fail, fired, degraded := oracle.Check(src, configs[i%int64(len(configs))])
+		tried++
+		if fired {
+			firedN++
+		}
+		if degraded {
+			degradedN++
+		}
+		if fail != nil {
+			violations++
+			if verbose {
+				fmt.Fprintf(os.Stderr, "[chaos %d] %v\n", seed+i, fail)
+			}
+			writeCrasher(&mu, seenBugs, crashDir, src, fail)
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"chaos campaign done: %d programs, %d hit faults, %d degraded, %d violations\n",
+		tried, firedN, degradedN, violations)
+	if violations > 0 {
+		return 1
+	}
+	if tried > 20 && firedN == 0 {
+		fmt.Fprintln(os.Stderr, "chaos: no faults fired across the whole campaign; injection is not reaching the pipeline")
+		return 1
+	}
+	return 0
 }
 
 // reproduceFile re-runs the oracle on one file and, if it still fails,

@@ -3,17 +3,27 @@
 //
 // Usage:
 //
-//	rolagd [-addr :8723] [-workers N] [-cache N] [-request-timeout 30s] [-shutdown-timeout 10s]
+//	rolagd [-addr :8723] [-workers N] [-cache N] [-max-inflight N]
+//	       [-request-timeout 30s] [-shutdown-timeout 10s]
+//	       [-pass-budget 10s] [-breaker-threshold 5] [-breaker-cooldown 30s]
+//	       [-fail-hard]
 //
 // Endpoints:
 //
-//	POST /v1/compile   compile one unit (JSON in, JSON out; see CompileRequest)
-//	GET  /healthz      liveness plus a metrics summary (JSON)
+//	POST /v1/compile   compile one unit (JSON in, JSON out; see rolagdapi.CompileRequest)
+//	GET  /healthz      liveness plus a metrics summary (JSON); 200 while the process runs
+//	GET  /readyz       readiness; 503 while draining or while the rolag breaker is open
 //	GET  /metrics      Prometheus text exposition
 //	GET  /debug/vars   the same counters as expvar JSON
 //
-// On SIGINT/SIGTERM the daemon stops accepting connections, drains
-// in-flight compilations for up to -shutdown-timeout, and exits.
+// Overload: when more than -max-inflight requests are in flight the
+// daemon sheds with HTTP 429 and a Retry-After header instead of
+// queueing unboundedly. A request may bound its own compile time with
+// the timeoutMs body field, clamped by -request-timeout.
+//
+// On SIGINT/SIGTERM the daemon marks /readyz unready, stops accepting
+// connections, drains in-flight compilations for up to
+// -shutdown-timeout, and exits; /healthz stays 200 until exit.
 package main
 
 import (
@@ -26,79 +36,24 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
-	"rolag"
+	"rolag/internal/rolagdapi"
 	"rolag/internal/service"
 )
 
-// CompileRequest is the POST /v1/compile body.
-type CompileRequest struct {
-	// Source is mini-C, or textual IR when IR is set.
-	Source string `json:"source"`
-	IR     bool   `json:"ir,omitempty"`
-	Config struct {
-		Name string `json:"name,omitempty"`
-		// Opt is "none", "llvm" or "rolag" (default "rolag").
-		Opt            string `json:"opt,omitempty"`
-		Unroll         int    `json:"unroll,omitempty"`
-		Flatten        bool   `json:"flatten,omitempty"`
-		FastMath       bool   `json:"fastMath,omitempty"`
-		AlwaysRoll     bool   `json:"alwaysRoll,omitempty"`
-		NoSpecialNodes bool   `json:"noSpecialNodes,omitempty"`
-		// Extensions enables the beyond-paper min/max reductions.
-		Extensions bool `json:"extensions,omitempty"`
-	} `json:"config"`
-	// EmitIR asks for the final IR text (default true).
-	EmitIR *bool `json:"emitIR,omitempty"`
-}
+// Wire types live in internal/rolagdapi so the daemon, its client, and
+// the experiment drivers share one protocol definition.
+type (
+	CompileRequest  = rolagdapi.CompileRequest
+	CompileResponse = rolagdapi.CompileResponse
+)
 
-// CompileResponse is the POST /v1/compile result.
-type CompileResponse struct {
-	IR           string  `json:"ir,omitempty"`
-	SizeBefore   int     `json:"sizeBefore"`
-	SizeAfter    int     `json:"sizeAfter"`
-	BinaryBefore int     `json:"binaryBefore"`
-	BinaryAfter  int     `json:"binaryAfter"`
-	Reduction    float64 `json:"reduction"`
-	LoopsRolled  int     `json:"loopsRolled"`
-	Rerolled     int     `json:"rerolled"`
-	CacheHit     bool    `json:"cacheHit"`
-	ElapsedMs    float64 `json:"elapsedMs"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-// toServiceRequest maps the wire config onto the facade config.
-func (cr *CompileRequest) toServiceRequest() (service.Request, error) {
-	req := service.Request{Source: cr.Source, IRInput: cr.IR}
-	req.EmitIR = cr.EmitIR == nil || *cr.EmitIR
-	cfg := rolag.Config{Name: cr.Config.Name, Unroll: cr.Config.Unroll, Flatten: cr.Config.Flatten}
-	switch cr.Config.Opt {
-	case "none":
-		cfg.Opt = rolag.OptNone
-	case "llvm":
-		cfg.Opt = rolag.OptLLVMReroll
-	case "", "rolag":
-		cfg.Opt = rolag.OptRoLAG
-		opts := rolag.DefaultOptions()
-		if cr.Config.NoSpecialNodes {
-			opts = rolag.NoSpecialNodes()
-		} else if cr.Config.Extensions {
-			opts = rolag.Extensions()
-		}
-		opts.FastMath = cr.Config.FastMath
-		opts.AlwaysRoll = cr.Config.AlwaysRoll
-		cfg.Options = opts
-	default:
-		return req, fmt.Errorf("unknown opt %q (want none, llvm or rolag)", cr.Config.Opt)
-	}
-	req.Config = cfg
-	return req, nil
-}
+// shedRetryAfter is the Retry-After hint (seconds) on 429 replies:
+// compiles are fast, so shed load can come back almost immediately.
+const shedRetryAfter = 1
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -106,73 +61,133 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// newMux wires the daemon's routes around an engine. Split from main so
-// tests can drive the full HTTP surface in-process.
-func newMux(e *service.Engine, requestTimeout time.Duration) *http.ServeMux {
+// daemon wires the engine to the HTTP surface and carries the drain
+// flag that splits liveness from readiness.
+type daemon struct {
+	engine *service.Engine
+	// requestCap bounds every compile deadline; a request's timeoutMs
+	// is clamped to it (0 = no cap and timeoutMs is used as given).
+	requestCap time.Duration
+	draining   atomic.Bool
+}
+
+// beginDrain flips /readyz to 503. Called when shutdown starts, before
+// the listener closes, so load balancers stop routing here first.
+func (d *daemon) beginDrain() { d.draining.Store(true) }
+
+// effectiveTimeout resolves a request's timeoutMs against the server
+// cap: the smaller of the two wins, and with no cap the request value
+// is used as-is.
+func effectiveTimeout(requestMs int, cap time.Duration) time.Duration {
+	reqTO := time.Duration(requestMs) * time.Millisecond
+	switch {
+	case reqTO <= 0:
+		return cap
+	case cap > 0 && reqTO > cap:
+		return cap
+	default:
+		return reqTO
+	}
+}
+
+func (d *daemon) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var cr CompileRequest
+	if err := json.NewDecoder(r.Body).Decode(&cr); err != nil {
+		writeJSON(w, http.StatusBadRequest, rolagdapi.ErrorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	req, err := cr.ToService()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, rolagdapi.ErrorResponse{Error: err.Error()})
+		return
+	}
+	ctx := r.Context()
+	if to := effectiveTimeout(cr.TimeoutMs, d.requestCap); to > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, to)
+		defer cancel()
+	}
+	start := time.Now()
+	resp, err := d.engine.Compile(ctx, req)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		switch {
+		case errors.Is(err, service.ErrOverloaded):
+			w.Header().Set("Retry-After", fmt.Sprint(shedRetryAfter))
+			status = http.StatusTooManyRequests
+		case errors.Is(err, service.ErrClosed), errors.Is(err, service.ErrDraining):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		}
+		writeJSON(w, status, rolagdapi.ErrorResponse{Error: err.Error()})
+		return
+	}
+	out := CompileResponse{
+		IR:           resp.IR,
+		SizeBefore:   resp.SizeBefore,
+		SizeAfter:    resp.SizeAfter,
+		BinaryBefore: resp.BinaryBefore,
+		BinaryAfter:  resp.BinaryAfter,
+		Reduction:    resp.Reduction(),
+		Rerolled:     resp.Rerolled,
+		CacheHit:     resp.CacheHit,
+		ElapsedMs:    float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if resp.Stats != nil {
+		out.LoopsRolled = resp.Stats.LoopsRolled
+		out.NodeCounts = rolagdapi.NodeCountsToWire(resp.Stats.NodeCounts)
+	}
+	if resp.Degraded != nil {
+		out.Degraded = true
+		out.DegradedPasses = resp.Degraded.Passes()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// mux builds the daemon's routes. Split from main so tests can drive
+// the full HTTP surface in-process.
+func (d *daemon) mux() *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", d.handleCompile)
 
-	mux.HandleFunc("POST /v1/compile", func(w http.ResponseWriter, r *http.Request) {
-		var cr CompileRequest
-		if err := json.NewDecoder(r.Body).Decode(&cr); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
-			return
-		}
-		req, err := cr.toServiceRequest()
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-			return
-		}
-		ctx := r.Context()
-		if requestTimeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, requestTimeout)
-			defer cancel()
-		}
-		start := time.Now()
-		resp, err := e.Compile(ctx, req)
-		if err != nil {
-			status := http.StatusUnprocessableEntity
-			switch {
-			case errors.Is(err, service.ErrClosed), errors.Is(err, service.ErrDraining):
-				status = http.StatusServiceUnavailable
-			case errors.Is(err, context.DeadlineExceeded):
-				status = http.StatusGatewayTimeout
-			}
-			writeJSON(w, status, errorResponse{Error: err.Error()})
-			return
-		}
-		out := CompileResponse{
-			IR:           resp.IR,
-			SizeBefore:   resp.SizeBefore,
-			SizeAfter:    resp.SizeAfter,
-			BinaryBefore: resp.BinaryBefore,
-			BinaryAfter:  resp.BinaryAfter,
-			Reduction:    resp.Reduction(),
-			Rerolled:     resp.Rerolled,
-			CacheHit:     resp.CacheHit,
-			ElapsedMs:    float64(time.Since(start)) / float64(time.Millisecond),
-		}
-		if resp.Stats != nil {
-			out.LoopsRolled = resp.Stats.LoopsRolled
-		}
-		writeJSON(w, http.StatusOK, out)
-	})
-
+	// Liveness: the process is up and serving HTTP. Stays 200 through a
+	// graceful drain so orchestrators don't kill a draining instance.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
-			"status":  "ok",
-			"metrics": e.Metrics(),
+			"status":   "ok",
+			"draining": d.draining.Load(),
+			"metrics":  d.engine.Metrics(),
+		})
+	})
+
+	// Readiness: whether new traffic should be routed here. 503 while
+	// draining or while the core optimization is breaker-dark (served
+	// results would silently skip RoLAG).
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		status := http.StatusOK
+		state := "ready"
+		switch {
+		case d.draining.Load():
+			status, state = http.StatusServiceUnavailable, "draining"
+		case d.engine.Dark():
+			status, state = http.StatusServiceUnavailable, "breaker-dark"
+		}
+		writeJSON(w, status, map[string]any{
+			"status":   state,
+			"breakers": d.engine.Breakers(),
 		})
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		s := e.Metrics()
+		s := d.engine.Metrics()
 		s.WritePrometheus(w)
 	})
 
 	// expvar.Publish panics on duplicate names; tests build several muxes.
 	if expvar.Get("rolagd") == nil {
+		e := d.engine
 		expvar.Publish("rolagd", expvar.Func(func() any { return e.Metrics() }))
 	}
 	mux.Handle("GET /debug/vars", expvar.Handler())
@@ -185,12 +200,27 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", 4096, "result-cache entries (negative disables caching)")
 	queue := flag.Int("queue", 0, "job-queue depth (0 = 4x workers)")
-	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-job compile deadline (0 = none)")
+	maxInFlight := flag.Int("max-inflight", 0, "admission bound before shedding with 429 (0 = 4x(workers+queue), negative disables)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-job compile deadline cap (0 = none)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
+	passBudget := flag.Duration("pass-budget", 0, "fail-soft per-pass wall-clock budget (0 = built-in default)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive pass failures that open its breaker (0 = default)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default)")
+	failHard := flag.Bool("fail-hard", false, "disable the fail-soft sandbox: a broken pass fails the whole job")
 	flag.Parse()
 
-	engine := service.New(service.Config{Workers: *workers, QueueDepth: *queue, CacheEntries: *cache})
-	srv := &http.Server{Addr: *addr, Handler: newMux(engine, *requestTimeout)}
+	engine := service.New(service.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cache,
+		MaxInFlight:      *maxInFlight,
+		DisableFailSoft:  *failHard,
+		PassBudget:       *passBudget,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+	})
+	d := &daemon{engine: engine, requestCap: *requestTimeout}
+	srv := &http.Server{Addr: *addr, Handler: d.mux()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -206,6 +236,7 @@ func main() {
 	case <-ctx.Done():
 	}
 
+	d.beginDrain()
 	fmt.Fprintf(os.Stderr, "rolagd: draining (up to %s)...\n", *shutdownTimeout)
 	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()

@@ -3,22 +3,38 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
+	"rolag/internal/faultpoint"
 	"rolag/internal/service"
 )
 
+func newTestDaemon(t *testing.T, cfg service.Config, requestCap time.Duration) (*daemon, *httptest.Server) {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	engine := service.New(cfg)
+	t.Cleanup(func() { engine.Close(context.Background()) })
+	d := &daemon{engine: engine, requestCap: requestCap}
+	srv := httptest.NewServer(d.mux())
+	t.Cleanup(srv.Close)
+	return d, srv
+}
+
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	engine := service.New(service.Config{Workers: 2})
-	t.Cleanup(func() { engine.Close(context.Background()) })
-	srv := httptest.NewServer(newMux(engine, 10*time.Second))
-	t.Cleanup(srv.Close)
+	_, srv := newTestDaemon(t, service.Config{}, 10*time.Second)
 	return srv
 }
 
@@ -60,6 +76,9 @@ func TestCompileEndpoint(t *testing.T) {
 	}
 	if out.CacheHit {
 		t.Error("first request reported a cache hit")
+	}
+	if out.Degraded {
+		t.Errorf("healthy compile reported degraded: %+v", out.DegradedPasses)
 	}
 
 	// Identical request → cache hit, identical IR.
@@ -128,9 +147,232 @@ func TestHealthAndMetrics(t *testing.T) {
 	for _, want := range []string{
 		"rolagd_requests_total", "rolagd_cache_hits_total",
 		"rolagd_compile_seconds_bucket{le=\"+Inf\"}", "rolagd_loops_rolled_total",
+		"rolagd_degraded_total", "rolagd_breaker_open_total", "rolagd_shed_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestDegradedResponse injects one pass failure and checks that the
+// response flags it, names the pass, and that the degraded counters
+// reach /metrics.
+func TestDegradedResponse(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	srv := newTestServer(t)
+
+	faultpoint.Arm("pass:constfold", faultpoint.KindError, 1)
+	body, _ := json.Marshal(map[string]any{"source": testSrc, "config": map[string]any{"name": "degraded"}})
+	resp, out := postCompile(t, srv, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !out.Degraded {
+		t.Fatal("injected pass failure not reported as degraded")
+	}
+	found := false
+	for _, p := range out.DegradedPasses {
+		if p == "constfold" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("degradedPasses = %v, want to contain constfold", out.DegradedPasses)
+	}
+	if out.IR == "" {
+		t.Error("degraded compile returned no IR")
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, _ := io.ReadAll(mresp.Body)
+	text := string(raw)
+	if !strings.Contains(text, "rolagd_degraded_total 1") {
+		t.Error("metrics missing rolagd_degraded_total 1")
+	}
+	if !strings.Contains(text, `rolagd_pass_skipped_total{pass="constfold"} 1`) {
+		t.Error("metrics missing rolagd_pass_skipped_total for constfold")
+	}
+}
+
+// TestShedding429 saturates a MaxInFlight=1 daemon with a stalled
+// compile and checks the next request is shed with 429 + Retry-After.
+func TestShedding429(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	d, srv := newTestDaemon(t, service.Config{
+		Workers: 1, QueueDepth: 1, MaxInFlight: 1, CacheEntries: -1,
+	}, 10*time.Second)
+
+	faultpoint.Enable(faultpoint.Options{Seed: 1, Prob: 0, Stall: 800 * time.Millisecond})
+	faultpoint.Arm(faultpoint.EngineRun, faultpoint.KindStall, 1)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		body, _ := json.Marshal(map[string]any{"source": testSrc})
+		resp, err := http.Post(srv.URL+"/v1/compile", "application/json", strings.NewReader(string(body)))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	// Wait for the stalled request to occupy the admission slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for d.engine.Metrics().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled request never became in-flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	body, _ := json.Marshal(map[string]any{"source": "void g() {}"})
+	resp, err := http.Post(srv.URL+"/v1/compile", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 reply missing Retry-After")
+	}
+	wg.Wait()
+
+	if shed := d.engine.Metrics().Shed; shed != 1 {
+		t.Errorf("shed counter = %d, want 1", shed)
+	}
+}
+
+// TestReadyzDrainOnSIGTERM replicates main's signal wiring: on SIGTERM
+// /readyz flips to 503 while /healthz stays 200 until the process
+// exits.
+func TestReadyzDrainOnSIGTERM(t *testing.T) {
+	d, srv := newTestDaemon(t, service.Config{}, 10*time.Second)
+
+	get := func(path string) int {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz before drain: %d, want 200", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz before drain: %d, want 200", got)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGTERM never delivered")
+	}
+	d.beginDrain()
+
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("/readyz during drain: %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz during drain: %d, want 200", got)
+	}
+}
+
+// TestReadyzBreakerDark opens the rolag breaker with injected failures
+// and checks readiness goes dark while liveness stays up.
+func TestReadyzBreakerDark(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	d, srv := newTestDaemon(t, service.Config{
+		Workers: 1, BreakerThreshold: 1, CacheEntries: -1,
+	}, 10*time.Second)
+
+	faultpoint.Arm("pass:rolag", faultpoint.KindError, 1)
+	body, _ := json.Marshal(map[string]any{"source": testSrc})
+	resp, out := postCompile(t, srv, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !out.Degraded {
+		t.Fatal("injected rolag failure not reported as degraded")
+	}
+	if !d.engine.Dark() {
+		t.Fatal("engine not breaker-dark after threshold-1 rolag failure")
+	}
+
+	rresp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while breaker-dark: %d, want 503", rresp.StatusCode)
+	}
+	var ready struct {
+		Status   string                `json:"status"`
+		Breakers []service.BreakerInfo `json:"breakers"`
+	}
+	if err := json.NewDecoder(rresp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Status != "breaker-dark" {
+		t.Errorf("readyz status %q, want breaker-dark", ready.Status)
+	}
+
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz while breaker-dark: %d, want 200", hresp.StatusCode)
+	}
+}
+
+// TestRequestTimeout bounds a stalled compile with the body's timeoutMs
+// and expects 504.
+func TestRequestTimeout(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	_, srv := newTestDaemon(t, service.Config{Workers: 1, CacheEntries: -1}, 10*time.Second)
+
+	faultpoint.Enable(faultpoint.Options{Seed: 1, Prob: 0, Stall: 500 * time.Millisecond})
+	faultpoint.Arm(faultpoint.EngineRun, faultpoint.KindStall, 1)
+
+	body := fmt.Sprintf(`{"source":%q,"timeoutMs":50}`, testSrc)
+	resp, _ := postCompile(t, srv, body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+}
+
+func TestEffectiveTimeout(t *testing.T) {
+	cases := []struct {
+		requestMs int
+		cap, want time.Duration
+	}{
+		{0, 30 * time.Second, 30 * time.Second},       // no request value → cap
+		{0, 0, 0},                                     // nothing set → no deadline
+		{50, 30 * time.Second, 50 * time.Millisecond}, // request below cap
+		{60_000, 30 * time.Second, 30 * time.Second},  // clamped to cap
+		{60_000, 0, 60_000 * time.Millisecond},        // no cap → as given
+		{-5, 10 * time.Second, 10 * time.Second},      // negative ignored
+	}
+	for _, c := range cases {
+		if got := effectiveTimeout(c.requestMs, c.cap); got != c.want {
+			t.Errorf("effectiveTimeout(%d, %v) = %v, want %v", c.requestMs, c.cap, got, c.want)
 		}
 	}
 }

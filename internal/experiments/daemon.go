@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"rolag"
+	"rolag/internal/rolagdapi"
+	"rolag/internal/workloads/angha"
+)
+
+// daemonJobs is the fan-out of the remote driver. The daemon sheds load
+// past its admission cap and the client backs off with jitter, so this
+// only bounds how many requests are in flight from this process.
+const daemonJobs = 8
+
+// optWire maps a facade optimization onto its rolagd wire name.
+func optWire(o rolag.Optimization) string {
+	switch o {
+	case rolag.OptNone:
+		return "none"
+	case rolag.OptLLVMReroll:
+		return "llvm"
+	default:
+		return "rolag"
+	}
+}
+
+// runAnghaDaemon compiles the corpus against a remote rolagd instance
+// through the retrying client, preserving the (function, config) build
+// layout of the in-process drivers. A degraded compile is an error: the
+// experiment's numbers must come from the full pipeline, not from a
+// fail-soft fallback, so the caller should retry once the daemon is
+// healthy again.
+func runAnghaDaemon(ctx context.Context, baseURL string, funcs []angha.Function) ([][3]anghaBuild, error) {
+	client := &rolagdapi.Client{BaseURL: strings.TrimRight(baseURL, "/")}
+	builds := make([][3]anghaBuild, len(funcs))
+
+	type job struct{ fn, cfg int }
+	jobs := make(chan job)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err; cancel() })
+	}
+
+	noIR := false
+	for w := 0; w < daemonJobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				fn := funcs[j.fn]
+				bcfg := anghaConfigs(fn.Name)[j.cfg]
+				req := &rolagdapi.CompileRequest{
+					Source: fn.Src,
+					EmitIR: &noIR,
+					Config: rolagdapi.CompileConfig{Name: bcfg.Name, Opt: optWire(bcfg.Opt)},
+				}
+				resp, err := client.Compile(ctx, req)
+				if err != nil {
+					fail(fmt.Errorf("angha %s (%s): %w", fn.Name, bcfg.Opt, err))
+					return
+				}
+				if resp.Degraded {
+					fail(fmt.Errorf("angha %s (%s): daemon compile degraded (passes %v); rerun against a healthy daemon",
+						fn.Name, bcfg.Opt, resp.DegradedPasses))
+					return
+				}
+				b := anghaBuild{binaryAfter: resp.BinaryAfter, rerolled: resp.Rerolled, rolled: resp.LoopsRolled}
+				if len(resp.NodeCounts) > 0 {
+					b.nodeCounts = rolagdapi.NodeCountsFromWire(resp.NodeCounts)
+				}
+				builds[j.fn][j.cfg] = b
+			}
+		}()
+	}
+
+feed:
+	for i := range funcs {
+		for c := 0; c < 3; c++ {
+			select {
+			case jobs <- job{i, c}:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return builds, nil
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"rolag/internal/rolagdapi"
+	"rolag/internal/service"
+)
+
+// fakeRolagd serves the rolagd wire protocol on top of a real engine,
+// so the daemon driver can be validated end-to-end without a process
+// boundary. shedFirst makes the handler reject the first shedFirst
+// requests with 429 to exercise the client's retry path.
+func fakeRolagd(t *testing.T, shedFirst int64) *httptest.Server {
+	t.Helper()
+	engine := service.New(service.Config{Workers: 2, CacheEntries: -1})
+	t.Cleanup(func() { engine.Close(context.Background()) })
+	var seen atomic.Int64
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/compile" || r.Method != http.MethodPost {
+			http.NotFound(w, r)
+			return
+		}
+		if seen.Add(1) <= shedFirst {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(rolagdapi.ErrorResponse{Error: "shed"})
+			return
+		}
+		var req rolagdapi.CompileRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		sreq, err := req.ToService()
+		if err != nil {
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			json.NewEncoder(w).Encode(rolagdapi.ErrorResponse{Error: err.Error()})
+			return
+		}
+		resp, err := engine.Compile(r.Context(), sreq)
+		if err != nil {
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			json.NewEncoder(w).Encode(rolagdapi.ErrorResponse{Error: err.Error()})
+			return
+		}
+		out := rolagdapi.CompileResponse{
+			BinaryAfter: resp.BinaryAfter,
+			Rerolled:    resp.Rerolled,
+		}
+		if resp.Stats != nil {
+			out.LoopsRolled = resp.Stats.LoopsRolled
+			out.NodeCounts = rolagdapi.NodeCountsToWire(resp.Stats.NodeCounts)
+		}
+		json.NewEncoder(w).Encode(out)
+	}))
+}
+
+// TestRunAnghaDaemonMatchesSerial checks the remote driver reproduces
+// the serial reference exactly — same corpus, same aggregation, deeply
+// equal summaries — through a wire round-trip.
+func TestRunAnghaDaemonMatchesSerial(t *testing.T) {
+	srv := fakeRolagd(t, 0)
+	defer srv.Close()
+
+	n := 30
+	want, err := RunAngha(AnghaConfig{N: n, Serial: true})
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	got, err := RunAngha(AnghaConfig{N: n, Daemon: srv.URL})
+	if err != nil {
+		t.Fatalf("daemon: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("daemon summary diverged from serial reference:\nserial: %+v\ndaemon: %+v", want, got)
+	}
+}
+
+// TestRunAnghaDaemonRetriesShed checks the driver rides out load
+// shedding: the fake daemon 429s the first few requests and the
+// client's backoff retries them to completion.
+func TestRunAnghaDaemonRetriesShed(t *testing.T) {
+	srv := fakeRolagd(t, 5)
+	defer srv.Close()
+
+	n := 10
+	want, err := RunAngha(AnghaConfig{N: n, Serial: true})
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	got, err := RunAngha(AnghaConfig{N: n, Daemon: srv.URL})
+	if err != nil {
+		t.Fatalf("daemon with shedding: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("daemon summary diverged from serial reference after retries")
+	}
+}

@@ -1,0 +1,285 @@
+// Package faultpoint provides named fault-injection sites compiled into
+// the compilation pipeline, the service engine, and the result cache.
+//
+// A site is a string name ("pass:licm", "engine:run", "cache:get").
+// Code visits a site by calling Fire with the set of fault kinds it
+// knows how to enact at that point; Fire decides — from deterministic
+// arms installed with Arm, or from the seeded probability installed
+// with Enable — whether a fault fires there and of which kind. When
+// nothing is armed the fast path is a single atomic load, so shipping
+// the sites compiled into production code costs nothing.
+//
+// The package powers the chaos test suite and `rolag-fuzz -chaos`,
+// which assert the fail-soft pipeline's contract: no process crash,
+// verifier-clean output, interpreter equivalence of degraded results,
+// and a Degraded report exactly when a fault fired.
+package faultpoint
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the kind of fault a site enacts.
+type Kind int
+
+const (
+	// None means no fault fires at this visit.
+	None Kind = iota
+	// KindPanic makes the visiting code panic.
+	KindPanic
+	// KindStall makes Fire sleep for the configured stall duration
+	// before returning, simulating a wedged pass or a slow dependency.
+	KindStall
+	// KindError makes the visiting code fail with an error.
+	KindError
+	// KindCorrupt makes the visiting code corrupt its in-flight IR so
+	// the verifier (not the fault site) must catch the damage.
+	KindCorrupt
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case KindPanic:
+		return "panic"
+	case KindStall:
+		return "stall"
+	case KindError:
+		return "error"
+	case KindCorrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// ParseKind parses a kind name as used in arm specs.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "panic":
+		return KindPanic, nil
+	case "stall":
+		return KindStall, nil
+	case "error":
+		return KindError, nil
+	case "corrupt":
+		return KindCorrupt, nil
+	}
+	return None, fmt.Errorf("faultpoint: unknown kind %q (want panic, stall, error or corrupt)", s)
+}
+
+// Well-known non-pass sites. Pass sites are named "pass:<pass name>" by
+// the sandbox (internal/passes).
+const (
+	// EngineRun is visited by every service worker before compiling.
+	EngineRun = "engine:run"
+	// CacheGet is visited on every result-cache hit; an error fault
+	// turns the hit into a miss.
+	CacheGet = "cache:get"
+	// CachePut is visited before storing a fresh result; an error fault
+	// drops the store.
+	CachePut = "cache:put"
+)
+
+// Options configures probabilistic arming of every site.
+type Options struct {
+	// Seed drives the draw sequence; runs with the same seed and the
+	// same visit order fire identically.
+	Seed int64
+	// Prob is the per-visit fire probability in [0, 1].
+	Prob float64
+	// Kinds restricts the drawn kinds (default: all four).
+	Kinds []Kind
+	// Stall is how long KindStall sleeps (default 150ms). Chaos suites
+	// must keep this above the sandbox pass budget so injected stalls
+	// are observed as timeouts.
+	Stall time.Duration
+}
+
+// DefaultStall is the stall duration when Options.Stall is zero.
+const DefaultStall = 150 * time.Millisecond
+
+type arm struct {
+	kind  Kind
+	count int // <= 0: every visit
+}
+
+var (
+	active atomic.Bool
+
+	mu        sync.Mutex
+	arms      map[string]*arm
+	prob      float64
+	probKinds []Kind
+	rng       *rand.Rand
+	stall     time.Duration
+	firedN    uint64
+	firedBy   map[string]uint64
+)
+
+func init() { resetLocked() }
+
+func resetLocked() {
+	arms = make(map[string]*arm)
+	prob = 0
+	probKinds = nil
+	rng = nil
+	stall = DefaultStall
+	firedN = 0
+	firedBy = make(map[string]uint64)
+}
+
+// Enable arms every site probabilistically per o and activates the
+// subsystem. Deterministic arms installed with Arm take precedence at
+// their site.
+func Enable(o Options) {
+	mu.Lock()
+	defer mu.Unlock()
+	prob = o.Prob
+	probKinds = o.Kinds
+	if len(probKinds) == 0 {
+		probKinds = []Kind{KindPanic, KindStall, KindError, KindCorrupt}
+	}
+	rng = rand.New(rand.NewSource(o.Seed))
+	if o.Stall > 0 {
+		stall = o.Stall
+	}
+	active.Store(true)
+}
+
+// Arm installs a deterministic fault at one site: the next count visits
+// that allow k fire it (count <= 0 means every visit). Arm activates
+// the subsystem.
+func Arm(site string, k Kind, count int) {
+	mu.Lock()
+	defer mu.Unlock()
+	arms[site] = &arm{kind: k, count: count}
+	active.Store(true)
+}
+
+// ArmSpec parses and installs a comma-separated arm list of the form
+// "site=kind[:count]", e.g. "pass:licm=panic:2,engine:run=stall".
+func ArmSpec(spec string) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		site, rest, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("faultpoint: bad spec %q (want site=kind[:count])", part)
+		}
+		kindName, countStr, hasCount := strings.Cut(rest, ":")
+		k, err := ParseKind(kindName)
+		if err != nil {
+			return err
+		}
+		count := 0
+		if hasCount {
+			count, err = strconv.Atoi(countStr)
+			if err != nil {
+				return fmt.Errorf("faultpoint: bad count in %q: %v", part, err)
+			}
+		}
+		Arm(site, k, count)
+	}
+	return nil
+}
+
+// Reset disarms everything and zeroes the fired counters.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	resetLocked()
+	active.Store(false)
+}
+
+// Pause deactivates firing (counters and arms are kept) and returns a
+// function that reactivates it. Chaos drivers pause around baseline
+// compilations. Not safe for concurrent pause/resume from multiple
+// goroutines; chaos campaigns are single-threaded by design.
+func Pause() (resume func()) {
+	was := active.Swap(false)
+	return func() { active.Store(was) }
+}
+
+// Active reports whether any faults can fire.
+func Active() bool { return active.Load() }
+
+// Fired returns the total number of faults fired since the last Reset.
+func Fired() uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	return firedN
+}
+
+// FiredAt returns how many faults fired at one site.
+func FiredAt(site string) uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	return firedBy[site]
+}
+
+// Fire visits a site. allowed lists the kinds the call site knows how
+// to enact; a fault of any other kind neither fires nor is consumed.
+// KindStall is enacted inside Fire (the call sleeps), every other
+// returned kind must be enacted by the caller: panic on KindPanic,
+// fail on KindError, corrupt the in-flight IR on KindCorrupt.
+func Fire(site string, allowed ...Kind) Kind {
+	if !active.Load() {
+		return None
+	}
+	mu.Lock()
+	k := None
+	if a, ok := arms[site]; ok && kindAllowed(a.kind, allowed) {
+		k = a.kind
+		if a.count > 0 {
+			a.count--
+			if a.count == 0 {
+				delete(arms, site)
+			}
+		}
+	} else if rng != nil && prob > 0 && rng.Float64() < prob {
+		cands := allowedOf(probKinds, allowed)
+		if len(cands) == 1 {
+			k = cands[0]
+		} else if len(cands) > 1 {
+			k = cands[rng.Intn(len(cands))]
+		}
+	}
+	if k != None {
+		firedN++
+		firedBy[site]++
+	}
+	d := stall
+	mu.Unlock()
+	if k == KindStall {
+		time.Sleep(d)
+	}
+	return k
+}
+
+func kindAllowed(k Kind, allowed []Kind) bool {
+	for _, a := range allowed {
+		if a == k {
+			return true
+		}
+	}
+	return false
+}
+
+func allowedOf(kinds, allowed []Kind) []Kind {
+	var out []Kind
+	for _, k := range kinds {
+		if kindAllowed(k, allowed) {
+			out = append(out, k)
+		}
+	}
+	return out
+}

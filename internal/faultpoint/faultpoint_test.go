@@ -1,0 +1,172 @@
+package faultpoint
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInactiveByDefault(t *testing.T) {
+	Reset()
+	if Active() {
+		t.Fatal("active after Reset")
+	}
+	if k := Fire("pass:licm", KindPanic, KindError); k != None {
+		t.Fatalf("fired %v with nothing armed", k)
+	}
+	if Fired() != 0 {
+		t.Fatalf("fired counter %d after no-op visits", Fired())
+	}
+}
+
+func TestArmCountsDown(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm("pass:licm", KindError, 2)
+	for i := 0; i < 2; i++ {
+		if k := Fire("pass:licm", KindError); k != KindError {
+			t.Fatalf("visit %d: got %v, want error", i, k)
+		}
+	}
+	if k := Fire("pass:licm", KindError); k != None {
+		t.Fatalf("arm survived its count: %v", k)
+	}
+	if got := FiredAt("pass:licm"); got != 2 {
+		t.Fatalf("FiredAt = %d, want 2", got)
+	}
+	if Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2", Fired())
+	}
+}
+
+func TestArmSiteIsolation(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm("pass:licm", KindError, 0) // every visit
+	if k := Fire("pass:dce", KindError); k != None {
+		t.Fatalf("fault leaked to another site: %v", k)
+	}
+	for i := 0; i < 3; i++ {
+		if k := Fire("pass:licm", KindError); k != KindError {
+			t.Fatalf("persistent arm stopped firing at visit %d: %v", i, k)
+		}
+	}
+}
+
+func TestArmKindFiltering(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm("cache:get", KindCorrupt, 1)
+	// The cache site only enacts errors; a corrupt arm must neither fire
+	// nor be consumed there.
+	if k := Fire("cache:get", KindError); k != None {
+		t.Fatalf("disallowed kind fired: %v", k)
+	}
+	if Fired() != 0 {
+		t.Fatal("disallowed kind consumed the arm")
+	}
+	if k := Fire("cache:get", KindError, KindCorrupt); k != KindCorrupt {
+		t.Fatalf("arm gone after disallowed visit: %v", k)
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	defer Reset()
+	Reset()
+	if err := ArmSpec("pass:licm=panic:2, engine:run=stall"); err != nil {
+		t.Fatal(err)
+	}
+	if k := Fire("pass:licm", KindPanic); k != KindPanic {
+		t.Fatalf("licm arm missing: %v", k)
+	}
+	Enable(Options{Stall: time.Millisecond}) // keep the stall sleep short
+	if k := Fire("engine:run", KindStall); k != KindStall {
+		t.Fatalf("engine arm missing: %v", k)
+	}
+
+	for _, bad := range []string{"nonsense", "site=frob", "a=panic:x"} {
+		if err := ArmSpec(bad); err == nil {
+			t.Errorf("ArmSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSeededProbabilityDeterministic(t *testing.T) {
+	defer Reset()
+	run := func() []Kind {
+		Reset()
+		Enable(Options{Seed: 7, Prob: 0.5, Stall: time.Microsecond})
+		out := make([]Kind, 0, 64)
+		for i := 0; i < 64; i++ {
+			out = append(out, Fire("pass:x", KindPanic, KindStall, KindError, KindCorrupt))
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("visit %d diverged across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] != None {
+			fired++
+		}
+	}
+	// 64 visits at p=0.5: zero fires means the draw is broken.
+	if fired == 0 {
+		t.Fatal("no faults fired at p=0.5")
+	}
+}
+
+func TestProbabilityRespectsAllowedKinds(t *testing.T) {
+	defer Reset()
+	Reset()
+	Enable(Options{Seed: 1, Prob: 1, Kinds: []Kind{KindPanic}, Stall: time.Microsecond})
+	// The site only enacts errors; a panic-only configuration must never
+	// fire there.
+	for i := 0; i < 16; i++ {
+		if k := Fire("cache:put", KindError); k != None {
+			t.Fatalf("kind outside the allowed set fired: %v", k)
+		}
+	}
+}
+
+func TestPauseResume(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm("pass:licm", KindError, 0)
+	resume := Pause()
+	if Active() {
+		t.Fatal("active while paused")
+	}
+	if k := Fire("pass:licm", KindError); k != None {
+		t.Fatalf("fired while paused: %v", k)
+	}
+	resume()
+	if !Active() {
+		t.Fatal("not active after resume")
+	}
+	if k := Fire("pass:licm", KindError); k != KindError {
+		t.Fatalf("arm lost across pause: %v", k)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	Arm("pass:licm", KindError, 0)
+	Fire("pass:licm", KindError)
+	Reset()
+	if Active() || Fired() != 0 || FiredAt("pass:licm") != 0 {
+		t.Fatalf("Reset left state: active=%v fired=%d", Active(), Fired())
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindPanic, KindStall, KindError, KindCorrupt} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("none"); err == nil {
+		t.Error(`ParseKind("none") accepted; arms must name a real fault`)
+	}
+}

@@ -1,0 +1,74 @@
+package fuzzgen
+
+import (
+	"testing"
+
+	"rolag"
+	"rolag/internal/faultpoint"
+)
+
+// TestChaosDegradedContract is the chaos suite: every fault point armed
+// at 10% probability over seeded generated programs, asserting zero
+// crashes, verifier-clean output, interpreter equivalence of degraded
+// results, and Degraded reported iff a fault fired. Run under -race by
+// `make race` / `make ci`.
+func TestChaosDegradedContract(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 60
+	}
+	defer faultpoint.Reset()
+	faultpoint.Enable(faultpoint.Options{
+		Seed:  42,
+		Prob:  0.10,
+		Stall: DefaultChaosStall,
+	})
+
+	oracle := &ChaosOracle{PassBudget: DefaultChaosBudget}
+	configs := []rolag.Config{
+		{Opt: rolag.OptRoLAG},
+		{Opt: rolag.OptRoLAG, Unroll: 8, Flatten: true},
+	}
+	var firedN, degradedN int
+	for i := 0; i < n; i++ {
+		src := Generate(int64(1000+i), 40)
+		cfg := configs[i%len(configs)]
+		fail, fired, degraded := oracle.Check(src, cfg)
+		if fail != nil {
+			t.Fatalf("seed %d: chaos contract violated: %v", 1000+i, fail)
+		}
+		if fired {
+			firedN++
+		}
+		if degraded {
+			degradedN++
+		}
+	}
+	t.Logf("chaos: %d/%d programs hit faults (all degraded-and-correct)", firedN, n)
+	// At 10% per-visit probability over dozens of pass visits per
+	// program, a campaign with zero fired faults means the injection is
+	// broken, not that we got lucky.
+	if firedN == 0 {
+		t.Fatal("no faults fired across the whole campaign; fault injection is not reaching the pipeline")
+	}
+	if degradedN != firedN {
+		t.Fatalf("degraded count %d != fired count %d", degradedN, firedN)
+	}
+}
+
+// TestChaosCleanWithoutFaults checks the oracle itself reports neither
+// firing nor degradation when injection is disabled.
+func TestChaosCleanWithoutFaults(t *testing.T) {
+	faultpoint.Reset()
+	oracle := &ChaosOracle{PassBudget: DefaultChaosBudget}
+	for i := 0; i < 10; i++ {
+		src := Generate(int64(i), 30)
+		fail, fired, degraded := oracle.Check(src, rolag.Config{Opt: rolag.OptRoLAG})
+		if fail != nil {
+			t.Fatalf("seed %d: %v", i, fail)
+		}
+		if fired || degraded {
+			t.Fatalf("seed %d: fired=%v degraded=%v with injection disabled", i, fired, degraded)
+		}
+	}
+}

@@ -11,11 +11,12 @@ var counters struct {
 	skipped  atomic.Int64
 	failures atomic.Int64
 
-	compile atomic.Int64
-	verify  atomic.Int64
-	equiv   atomic.Int64
-	cost    atomic.Int64
-	panics  atomic.Int64
+	compile  atomic.Int64
+	verify   atomic.Int64
+	equiv    atomic.Int64
+	cost     atomic.Int64
+	panics   atomic.Int64
+	degraded atomic.Int64
 }
 
 // Counters is a point-in-time snapshot of the fuzzing counters.
@@ -34,19 +35,23 @@ type Counters struct {
 	FailEquiv   int64 `json:"fail_equiv"`
 	FailCost    int64 `json:"fail_cost"`
 	FailPanic   int64 `json:"fail_panic"`
+	// FailDegraded counts chaos-contract violations: the Degraded
+	// report disagreed with the fault-injection ground truth.
+	FailDegraded int64 `json:"fail_degraded"`
 }
 
 // Snapshot returns the current fuzzing counters.
 func Snapshot() Counters {
 	return Counters{
-		Execs:       counters.execs.Load(),
-		Skipped:     counters.skipped.Load(),
-		Failures:    counters.failures.Load(),
-		FailCompile: counters.compile.Load(),
-		FailVerify:  counters.verify.Load(),
-		FailEquiv:   counters.equiv.Load(),
-		FailCost:    counters.cost.Load(),
-		FailPanic:   counters.panics.Load(),
+		Execs:        counters.execs.Load(),
+		Skipped:      counters.skipped.Load(),
+		Failures:     counters.failures.Load(),
+		FailCompile:  counters.compile.Load(),
+		FailVerify:   counters.verify.Load(),
+		FailEquiv:    counters.equiv.Load(),
+		FailCost:     counters.cost.Load(),
+		FailPanic:    counters.panics.Load(),
+		FailDegraded: counters.degraded.Load(),
 	}
 }
 
@@ -63,5 +68,7 @@ func countFailure(class string) {
 		counters.cost.Add(1)
 	case ClassPanic:
 		counters.panics.Add(1)
+	case ClassDegraded:
+		counters.degraded.Add(1)
 	}
 }

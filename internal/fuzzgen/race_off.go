@@ -1,0 +1,6 @@
+//go:build !race
+
+package fuzzgen
+
+// raceDelayScale is 1 in regular builds; see race_on.go.
+const raceDelayScale = 1

@@ -1,0 +1,9 @@
+//go:build race
+
+package fuzzgen
+
+// raceDelayScale stretches the chaos timing defaults under the race
+// detector, whose instrumentation slows honest passes by roughly an
+// order of magnitude; without the stretch they trip the budget and
+// register as spurious degradations.
+const raceDelayScale = 10

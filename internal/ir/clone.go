@@ -115,6 +115,41 @@ func CloneBlocks(f *Func) []*Block {
 	return out
 }
 
+// ShadowFunc returns a detached deep copy of f's body for sandboxed
+// pass execution. The shadow shares f's Params (so cloned operands keep
+// referring to the same values and committing the body back needs no
+// remapping), keeps f's Parent (so global references verify), and
+// carries f's name counter (so names generated while transforming the
+// shadow are exactly the names in-place execution would have produced).
+// The shadow is NOT registered in Parent.Funcs; it is reachable only by
+// its creator, which makes it safe to abandon to a timed-out goroutine.
+func ShadowFunc(f *Func) *Func {
+	sh := &Func{
+		Name:        f.Name,
+		Sig:         f.Sig,
+		Params:      f.Params,
+		Parent:      f.Parent,
+		ReadOnly:    f.ReadOnly,
+		nameCounter: f.nameCounter,
+	}
+	sh.Blocks = CloneBlocks(f)
+	for _, b := range sh.Blocks {
+		b.Parent = sh
+	}
+	return sh
+}
+
+// AdoptBody commits a shadow produced by ShadowFunc back into f: the
+// shadow's blocks (reparented to f) and its name-counter state replace
+// f's. After adoption the shadow must not be used again.
+func (f *Func) AdoptBody(sh *Func) {
+	f.Blocks = sh.Blocks
+	for _, b := range f.Blocks {
+		b.Parent = f
+	}
+	f.nameCounter = sh.nameCounter
+}
+
 func mapValue(v Value, vmap map[Value]Value) Value {
 	if nv, ok := vmap[v]; ok {
 		return nv

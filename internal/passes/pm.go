@@ -66,3 +66,24 @@ func (p *Pipeline) Run(m *ir.Module) bool {
 	}
 	return changed
 }
+
+// RunSandboxed applies the pipeline to every function under the
+// fail-soft sandbox: each pass execution that panics, stalls past the
+// budget, or breaks the verifier is rolled back and recorded on the
+// sandbox's report, and the remaining passes keep running from the
+// checkpoint. Pass and function order match Run exactly, so a run in
+// which nothing fails produces a byte-identical module.
+func (p *Pipeline) RunSandboxed(m *ir.Module, sb *Sandbox) bool {
+	changed := false
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		for _, ps := range p.Passes {
+			if c, ok := sb.RunShadow(ps.Name, f, ps.Run); ok && c {
+				changed = true
+			}
+		}
+	}
+	return changed
+}

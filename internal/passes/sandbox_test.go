@@ -1,0 +1,207 @@
+package passes_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rolag/internal/ir"
+	"rolag/internal/passes"
+)
+
+const sandboxSrc = `
+int f(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) s += i * 3 + 1;
+	return s;
+}`
+
+func lowerF(t *testing.T) (*ir.Module, *ir.Func) {
+	t.Helper()
+	m := lower(t, sandboxSrc)
+	return m, m.FindFunc("f")
+}
+
+func TestSandboxPanicRollsBack(t *testing.T) {
+	_, f := lowerF(t)
+	before := f.String()
+	sb := &passes.Sandbox{}
+	changed, ok := sb.RunShadow("boom", f, func(sf *ir.Func) bool {
+		sf.Blocks = nil // half-done mutation the rollback must discard
+		panic("kaboom")
+	})
+	if changed || ok {
+		t.Fatalf("panicking pass committed: changed=%v ok=%v", changed, ok)
+	}
+	if got := f.String(); got != before {
+		t.Fatalf("function mutated after rollback:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+	rep := sb.Report()
+	if rep == nil || len(rep.Skips) != 1 {
+		t.Fatalf("want one skip, got %v", rep)
+	}
+	sk := rep.Skips[0]
+	if sk.Pass != "boom" || sk.Func != "f" || sk.Reason != passes.SkipPanic {
+		t.Fatalf("bad skip record: %+v", sk)
+	}
+	if !strings.Contains(sk.Detail, "kaboom") {
+		t.Fatalf("skip detail lost the panic value: %q", sk.Detail)
+	}
+}
+
+func TestSandboxTimeoutAbandons(t *testing.T) {
+	_, f := lowerF(t)
+	before := f.String()
+	sb := &passes.Sandbox{Budget: 20 * time.Millisecond}
+	release := make(chan struct{})
+	_, ok := sb.RunShadow("slow", f, func(sf *ir.Func) bool {
+		<-release // wedged until after the sandbox gave up
+		sf.Blocks = nil
+		return true
+	})
+	close(release)
+	if ok {
+		t.Fatal("wedged pass committed")
+	}
+	if got := f.String(); got != before {
+		t.Fatalf("function mutated by abandoned pass:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+	rep := sb.Report()
+	if rep == nil || rep.Skips[0].Reason != passes.SkipTimeout {
+		t.Fatalf("want timeout skip, got %v", rep)
+	}
+}
+
+func TestSandboxVerifyFailureRollsBack(t *testing.T) {
+	_, f := lowerF(t)
+	before := f.String()
+	sb := &passes.Sandbox{}
+	_, ok := sb.RunShadow("corrupter", f, func(sf *ir.Func) bool {
+		// Drop the entry block's terminator: the verifier must refuse it.
+		b := sf.Blocks[0]
+		b.Instrs = b.Instrs[:len(b.Instrs)-1]
+		return true
+	})
+	if ok {
+		t.Fatal("verifier-rejected pass committed")
+	}
+	if got := f.String(); got != before {
+		t.Fatal("function kept verifier-rejected mutation")
+	}
+	rep := sb.Report()
+	if rep == nil || rep.Skips[0].Reason != passes.SkipVerify {
+		t.Fatalf("want verify skip, got %v", rep)
+	}
+}
+
+func TestSandboxCommitMatchesDirectRun(t *testing.T) {
+	_, sandboxed := lowerF(t)
+	_, direct := lowerF(t)
+
+	sb := &passes.Sandbox{}
+	changed, ok := sb.RunShadow("mem2reg", sandboxed, passes.Mem2Reg)
+	if !ok || !changed {
+		t.Fatalf("healthy pass did not commit: changed=%v ok=%v", changed, ok)
+	}
+	if sb.Report() != nil {
+		t.Fatalf("clean run produced a report: %v", sb.Report())
+	}
+	if !passes.Mem2Reg(direct) {
+		t.Fatal("direct Mem2Reg reported no change")
+	}
+	if sandboxed.String() != direct.String() {
+		t.Fatalf("sandboxed commit diverged from direct run:\nsandboxed:\n%s\ndirect:\n%s",
+			sandboxed, direct)
+	}
+}
+
+// vetoGuard refuses one pass and records Report calls.
+type vetoGuard struct {
+	veto    string
+	reports []string
+}
+
+func (g *vetoGuard) Allow(pass string) bool { return pass != g.veto }
+func (g *vetoGuard) Report(pass string, ok bool) {
+	g.reports = append(g.reports, pass)
+}
+
+func TestSandboxGuardVeto(t *testing.T) {
+	_, f := lowerF(t)
+	g := &vetoGuard{veto: "licm"}
+	sb := &passes.Sandbox{Guard: g}
+	ran := false
+	_, ok := sb.RunShadow("licm", f, func(*ir.Func) bool { ran = true; return true })
+	if ok || ran {
+		t.Fatalf("vetoed pass ran: ok=%v ran=%v", ok, ran)
+	}
+	rep := sb.Report()
+	if rep == nil || rep.Skips[0].Reason != passes.SkipBreaker {
+		t.Fatalf("want breaker skip, got %v", rep)
+	}
+	if len(g.reports) != 0 {
+		t.Fatalf("Report called for a refused execution: %v", g.reports)
+	}
+	// A permitted pass still reports its outcome.
+	if _, ok := sb.RunShadow("mem2reg", f, passes.Mem2Reg); !ok {
+		t.Fatal("permitted pass did not commit")
+	}
+	if len(g.reports) != 1 || g.reports[0] != "mem2reg" {
+		t.Fatalf("want one report for mem2reg, got %v", g.reports)
+	}
+}
+
+func TestRunInPlaceRollsBackGlobals(t *testing.T) {
+	m, f := lowerF(t)
+	before := f.String()
+	nGlobals := len(m.Globals)
+	sb := &passes.Sandbox{}
+	_, ok := sb.RunInPlace("rolag", f, func(tf *ir.Func) bool {
+		m.Globals = append(m.Globals, &ir.Global{Name: "junk", Elem: ir.I32, Parent: m})
+		panic("codegen died")
+	})
+	if ok {
+		t.Fatal("panicking in-place pass committed")
+	}
+	if len(m.Globals) != nGlobals {
+		t.Fatalf("appended globals survived rollback: %d -> %d", nGlobals, len(m.Globals))
+	}
+	if got := f.String(); got != before {
+		t.Fatal("function body not restored by in-place rollback")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("module broken after rollback: %v", err)
+	}
+}
+
+func TestRunInPlaceBudgetOverrun(t *testing.T) {
+	_, f := lowerF(t)
+	before := f.String()
+	sb := &passes.Sandbox{Budget: time.Millisecond}
+	_, ok := sb.RunInPlace("rolag", f, func(tf *ir.Func) bool {
+		time.Sleep(20 * time.Millisecond)
+		return true
+	})
+	if ok {
+		t.Fatal("over-budget in-place pass committed")
+	}
+	rep := sb.Report()
+	if rep == nil || rep.Skips[0].Reason != passes.SkipTimeout {
+		t.Fatalf("want timeout skip, got %v", rep)
+	}
+	if f.String() != before {
+		t.Fatal("function mutated by rolled-back in-place pass")
+	}
+}
+
+func TestDegradedPassesSortedDistinct(t *testing.T) {
+	d := &passes.Degraded{Skips: []passes.Skip{
+		{Pass: "rolag", Func: "a"},
+		{Pass: "licm", Func: "b"},
+		{Pass: "rolag", Func: "c"},
+	}}
+	got := d.Passes()
+	if len(got) != 2 || got[0] != "licm" || got[1] != "rolag" {
+		t.Fatalf("Passes() = %v, want [licm rolag]", got)
+	}
+}

@@ -1,0 +1,119 @@
+// Package rolagdapi holds the rolagd wire types and a small retrying
+// HTTP client. The daemon (cmd/rolagd) serves these types, the
+// experiment drivers (internal/experiments) consume them, and tests on
+// both sides share one definition of the protocol.
+package rolagdapi
+
+import (
+	"fmt"
+
+	"rolag"
+	rl "rolag/internal/rolag"
+	"rolag/internal/service"
+)
+
+// CompileConfig is the pipeline selection inside a CompileRequest.
+type CompileConfig struct {
+	Name string `json:"name,omitempty"`
+	// Opt is "none", "llvm" or "rolag" (default "rolag").
+	Opt            string `json:"opt,omitempty"`
+	Unroll         int    `json:"unroll,omitempty"`
+	Flatten        bool   `json:"flatten,omitempty"`
+	FastMath       bool   `json:"fastMath,omitempty"`
+	AlwaysRoll     bool   `json:"alwaysRoll,omitempty"`
+	NoSpecialNodes bool   `json:"noSpecialNodes,omitempty"`
+	// Extensions enables the beyond-paper min/max reductions.
+	Extensions bool `json:"extensions,omitempty"`
+}
+
+// CompileRequest is the POST /v1/compile body.
+type CompileRequest struct {
+	// Source is mini-C, or textual IR when IR is set.
+	Source string        `json:"source"`
+	IR     bool          `json:"ir,omitempty"`
+	Config CompileConfig `json:"config"`
+	// EmitIR asks for the final IR text (default true).
+	EmitIR *bool `json:"emitIR,omitempty"`
+	// TimeoutMs is the caller's per-request compile deadline in
+	// milliseconds. The server clamps it to its own -request-timeout
+	// cap; zero means the server default applies.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// CompileResponse is the POST /v1/compile result.
+type CompileResponse struct {
+	IR           string  `json:"ir,omitempty"`
+	SizeBefore   int     `json:"sizeBefore"`
+	SizeAfter    int     `json:"sizeAfter"`
+	BinaryBefore int     `json:"binaryBefore"`
+	BinaryAfter  int     `json:"binaryAfter"`
+	Reduction    float64 `json:"reduction"`
+	LoopsRolled  int     `json:"loopsRolled"`
+	Rerolled     int     `json:"rerolled"`
+	CacheHit     bool    `json:"cacheHit"`
+	ElapsedMs    float64 `json:"elapsedMs"`
+	// Degraded reports a fail-soft compile: one or more passes were
+	// rolled back and skipped, so the output is correct but possibly
+	// larger than a healthy pipeline would produce. DegradedPasses
+	// lists the distinct skipped pass names.
+	Degraded       bool     `json:"degraded"`
+	DegradedPasses []string `json:"degradedPasses,omitempty"`
+	// NodeCounts is the RoLAG alignment-graph node histogram keyed by
+	// the numeric rolag.NodeKind (JSON objects keyed by integers
+	// marshal with string keys natively). Present only for opt=rolag.
+	NodeCounts map[int]int `json:"nodeCounts,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ToService maps the wire request onto an engine request.
+func (cr *CompileRequest) ToService() (service.Request, error) {
+	req := service.Request{Source: cr.Source, IRInput: cr.IR}
+	req.EmitIR = cr.EmitIR == nil || *cr.EmitIR
+	cfg := rolag.Config{Name: cr.Config.Name, Unroll: cr.Config.Unroll, Flatten: cr.Config.Flatten}
+	switch cr.Config.Opt {
+	case "none":
+		cfg.Opt = rolag.OptNone
+	case "llvm":
+		cfg.Opt = rolag.OptLLVMReroll
+	case "", "rolag":
+		cfg.Opt = rolag.OptRoLAG
+		opts := rolag.DefaultOptions()
+		if cr.Config.NoSpecialNodes {
+			opts = rolag.NoSpecialNodes()
+		} else if cr.Config.Extensions {
+			opts = rolag.Extensions()
+		}
+		opts.FastMath = cr.Config.FastMath
+		opts.AlwaysRoll = cr.Config.AlwaysRoll
+		cfg.Options = opts
+	default:
+		return req, fmt.Errorf("unknown opt %q (want none, llvm or rolag)", cr.Config.Opt)
+	}
+	req.Config = cfg
+	return req, nil
+}
+
+// NodeCountsToWire converts a RoLAG node histogram to its wire form.
+func NodeCountsToWire(m map[rl.NodeKind]int) map[int]int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[int(k)] = v
+	}
+	return out
+}
+
+// NodeCountsFromWire is the inverse of NodeCountsToWire.
+func NodeCountsFromWire(m map[int]int) map[rl.NodeKind]int {
+	out := make(map[rl.NodeKind]int, len(m))
+	for k, v := range m {
+		out[rl.NodeKind(k)] = v
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package rolagdapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client defaults.
+const (
+	DefaultMaxAttempts = 6
+	DefaultBaseDelay   = 100 * time.Millisecond
+	DefaultMaxDelay    = 3 * time.Second
+)
+
+// Client talks to a rolagd instance with jittered exponential backoff.
+// Retryable outcomes are transport errors, HTTP 429 (load shed — the
+// server's Retry-After is honored as the minimum wait) and HTTP 503
+// (draining or not ready). Everything else returns immediately. The
+// zero BaseURL-only value is ready to use.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8723".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per Compile call (0 = DefaultMaxAttempts).
+	MaxAttempts int
+	// BaseDelay/MaxDelay shape the backoff: the wait before attempt n
+	// is drawn uniformly from (0, min(MaxDelay, BaseDelay·2ⁿ)] ("full
+	// jitter"), so a fleet of shed clients does not retry in lockstep.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+// HTTPError is a non-2xx reply that was not retried (or exhausted its
+// retries).
+type HTTPError struct {
+	Status  int
+	Message string
+	// RetryAfter is the server's Retry-After hint (429 replies), zero
+	// when absent.
+	RetryAfter time.Duration
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("rolagd: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Compile posts one request, retrying shed/unavailable replies with
+// backoff until ctx expires or MaxAttempts is reached.
+func (c *Client) Compile(ctx context.Context, req *CompileRequest) (*CompileResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultMaxAttempts
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, c.backoff(attempt, lastErr)); err != nil {
+				return nil, err
+			}
+		}
+		resp, retry, err := c.post(ctx, body)
+		if err == nil {
+			return resp, nil
+		}
+		if !retry {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("rolagd: giving up after %d attempts: %w", attempts, lastErr)
+}
+
+// post runs one attempt. retry reports whether the failure is worth
+// another try.
+func (c *Client) post(ctx context.Context, body []byte) (resp *CompileResponse, retry bool, err error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/compile", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	hresp, err := hc.Do(hreq)
+	if err != nil {
+		// Transport errors (connection refused, reset) are retryable;
+		// context expiry is surfaced as-is by the next sleepCtx.
+		return nil, ctx.Err() == nil, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode == http.StatusOK {
+		var out CompileResponse
+		if err := json.NewDecoder(hresp.Body).Decode(&out); err != nil {
+			return nil, false, fmt.Errorf("rolagd: decoding response: %w", err)
+		}
+		return &out, false, nil
+	}
+	herr := &HTTPError{Status: hresp.StatusCode}
+	var eresp ErrorResponse
+	raw, _ := io.ReadAll(io.LimitReader(hresp.Body, 4096))
+	if json.Unmarshal(raw, &eresp) == nil && eresp.Error != "" {
+		herr.Message = eresp.Error
+	} else {
+		herr.Message = string(raw)
+	}
+	switch hresp.StatusCode {
+	case http.StatusTooManyRequests:
+		if ra, err := strconv.Atoi(hresp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			herr.RetryAfter = time.Duration(ra) * time.Second
+		}
+		return nil, true, herr
+	case http.StatusServiceUnavailable:
+		return nil, true, herr
+	}
+	return nil, false, herr
+}
+
+// backoff computes the full-jitter wait before the given attempt,
+// respecting a Retry-After hint carried by the previous error.
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	base := c.BaseDelay
+	if base <= 0 {
+		base = DefaultBaseDelay
+	}
+	max := c.MaxDelay
+	if max <= 0 {
+		max = DefaultMaxDelay
+	}
+	ceil := base << uint(attempt-1)
+	if ceil > max || ceil <= 0 {
+		ceil = max
+	}
+	d := time.Duration(rand.Int63n(int64(ceil)) + 1)
+	if he, ok := lastErr.(*HTTPError); ok && he.RetryAfter > d {
+		d = he.RetryAfter
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

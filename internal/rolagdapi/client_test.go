@@ -1,0 +1,130 @@
+package rolagdapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// replySeq serves a scripted sequence of status codes, then 200s.
+func replySeq(t *testing.T, codes ...int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := int(n.Add(1)) - 1
+		if i < len(codes) && codes[i] != http.StatusOK {
+			if codes[i] == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
+			w.WriteHeader(codes[i])
+			json.NewEncoder(w).Encode(ErrorResponse{Error: http.StatusText(codes[i])})
+			return
+		}
+		json.NewEncoder(w).Encode(CompileResponse{IR: "ok", SizeAfter: 7})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &n
+}
+
+// fastClient returns a client with near-zero backoff so retry tests run
+// in milliseconds.
+func fastClient(url string) *Client {
+	return &Client{BaseURL: url, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+func TestClientRetriesShedThenSucceeds(t *testing.T) {
+	srv, n := replySeq(t, http.StatusTooManyRequests, http.StatusServiceUnavailable)
+	c := fastClient(srv.URL)
+
+	// The configured backoff is milliseconds, but the 429 carries a
+	// Retry-After of 1s and the hint is a floor — the call must both
+	// succeed and take at least that long.
+	start := time.Now()
+	resp, err := c.Compile(context.Background(), &CompileRequest{Source: "int f() { return 1; }"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.IR != "ok" || resp.SizeAfter != 7 {
+		t.Fatalf("bad response: %+v", resp)
+	}
+	if got := n.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("Retry-After hint ignored: finished in %v", elapsed)
+	}
+}
+
+func TestClientTerminalErrorNotRetried(t *testing.T) {
+	srv, n := replySeq(t, http.StatusUnprocessableEntity)
+	resp, err := fastClient(srv.URL).Compile(context.Background(), &CompileRequest{Source: "bogus"})
+	if resp != nil || err == nil {
+		t.Fatalf("want terminal error, got resp=%v err=%v", resp, err)
+	}
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("want HTTPError 422, got %v", err)
+	}
+	if got := n.Load(); got != 1 {
+		t.Fatalf("terminal error retried: server saw %d requests", got)
+	}
+}
+
+func TestClientExhaustsAttempts(t *testing.T) {
+	srv, n := replySeq(t,
+		http.StatusServiceUnavailable, http.StatusServiceUnavailable,
+		http.StatusServiceUnavailable, http.StatusServiceUnavailable)
+	c := fastClient(srv.URL)
+	c.MaxAttempts = 3
+	_, err := c.Compile(context.Background(), &CompileRequest{Source: "int f() { return 1; }"})
+	if err == nil {
+		t.Fatal("want exhaustion error")
+	}
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusServiceUnavailable {
+		t.Fatalf("exhaustion error does not wrap the last HTTP failure: %v", err)
+	}
+	if got := n.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want MaxAttempts=3", got)
+	}
+}
+
+func TestClientContextCancelsBackoff(t *testing.T) {
+	srv, _ := replySeq(t, http.StatusServiceUnavailable, http.StatusServiceUnavailable)
+	c := fastClient(srv.URL)
+	c.BaseDelay = time.Hour // the wait must be cut short by the context
+	c.MaxDelay = time.Hour
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Compile(ctx, &CompileRequest{Source: "int f() { return 1; }"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("context cancellation did not interrupt the backoff sleep")
+	}
+}
+
+func TestClientTransportErrorRetried(t *testing.T) {
+	// A server that dies after the first reply: the second attempt hits a
+	// closed port and must be retried until attempts run out.
+	srv, _ := replySeq(t, http.StatusServiceUnavailable)
+	url := srv.URL
+	srv.Close()
+	c := fastClient(url)
+	c.MaxAttempts = 2
+	_, err := c.Compile(context.Background(), &CompileRequest{Source: "int f() { return 1; }"})
+	if err == nil {
+		t.Fatal("want transport error")
+	}
+	if !strings.Contains(err.Error(), "giving up after 2 attempts") {
+		t.Fatalf("transport error not retried to exhaustion: %v", err)
+	}
+}

@@ -1,0 +1,230 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rolag"
+	"rolag/internal/faultpoint"
+)
+
+// TestBreakerLifecycle walks one breaker through every transition with
+// an injected clock: closed -> open at the failure threshold, refusal
+// while the cooldown runs, a single half-open probe after it, re-arm on
+// probe failure, close on probe success.
+func TestBreakerLifecycle(t *testing.T) {
+	clock := time.Unix(0, 0)
+	bs := newBreakerSet(3, 10*time.Second)
+	bs.now = func() time.Time { return clock }
+
+	for i := 0; i < 3; i++ {
+		if !bs.Allow("licm") {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		bs.Report("licm", false)
+	}
+	if bs.Allow("licm") {
+		t.Fatal("breaker allowed work after hitting the threshold")
+	}
+	if !bs.isOpen("licm") {
+		t.Fatal("isOpen false for an open breaker")
+	}
+	if got := bs.opens.Load(); got != 1 {
+		t.Fatalf("opens = %d, want 1", got)
+	}
+
+	// Mid-cooldown: still refused.
+	clock = clock.Add(5 * time.Second)
+	if bs.Allow("licm") {
+		t.Fatal("breaker allowed work mid-cooldown")
+	}
+
+	// Cooldown elapsed: exactly one probe gets through.
+	clock = clock.Add(6 * time.Second)
+	if !bs.Allow("licm") {
+		t.Fatal("half-open probe refused")
+	}
+	if bs.Allow("licm") {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// Probe fails: cooldown re-arms.
+	bs.Report("licm", false)
+	if bs.Allow("licm") {
+		t.Fatal("breaker allowed work after a failed probe")
+	}
+	if got := bs.opens.Load(); got != 2 {
+		t.Fatalf("opens = %d after failed probe, want 2", got)
+	}
+
+	// Next probe succeeds: breaker closes and stays closed.
+	clock = clock.Add(11 * time.Second)
+	if !bs.Allow("licm") {
+		t.Fatal("second probe refused")
+	}
+	bs.Report("licm", true)
+	for i := 0; i < 3; i++ {
+		if !bs.Allow("licm") {
+			t.Fatal("closed breaker refused work after recovery")
+		}
+	}
+	if bs.isOpen("licm") {
+		t.Fatal("isOpen true after recovery")
+	}
+}
+
+// TestBreakerSuccessResetsCount checks intervening successes keep a
+// flaky-but-mostly-healthy pass from tripping the breaker.
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	bs := newBreakerSet(3, time.Hour)
+	for i := 0; i < 10; i++ {
+		bs.Report("licm", false)
+		bs.Report("licm", false)
+		bs.Report("licm", true)
+	}
+	if !bs.Allow("licm") {
+		t.Fatal("breaker opened despite interleaved successes")
+	}
+	if got := bs.opens.Load(); got != 0 {
+		t.Fatalf("opens = %d, want 0", got)
+	}
+}
+
+func TestBreakerInfos(t *testing.T) {
+	clock := time.Unix(0, 0)
+	bs := newBreakerSet(1, 10*time.Second)
+	bs.now = func() time.Time { return clock }
+	bs.Report("rolag", false) // opens
+	bs.Report("licm", true)
+
+	infos := bs.infos()
+	if len(infos) != 2 || infos[0].Pass != "licm" || infos[1].Pass != "rolag" {
+		t.Fatalf("infos not sorted by pass: %+v", infos)
+	}
+	if infos[0].State != BreakerClosed || infos[1].State != BreakerOpen {
+		t.Fatalf("states = %s/%s, want closed/open", infos[0].State, infos[1].State)
+	}
+	clock = clock.Add(11 * time.Second)
+	infos = bs.infos()
+	if infos[1].State != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %s, want half-open", infos[1].State)
+	}
+}
+
+// TestEngineBreakerSkipsPass drives the engine until a pass's breaker
+// opens, then checks subsequent compilations skip the pass outright
+// (SkipBreaker) and the metrics surface the transition.
+func TestEngineBreakerSkipsPass(t *testing.T) {
+	defer faultpoint.Reset()
+	faultpoint.Reset()
+	funcs := corpus(t, 2)
+	e := New(Config{Workers: 1, BreakerThreshold: 1, BreakerCooldown: time.Hour, CacheEntries: -1})
+	defer e.Close(context.Background())
+
+	faultpoint.Arm("pass:licm", faultpoint.KindError, 1)
+	r1, err := e.Compile(context.Background(), Request{
+		Source: funcs[0].Src, Config: rolag.Config{Opt: rolag.OptRoLAG},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Degraded == nil {
+		t.Fatal("faulted compile not marked degraded")
+	}
+
+	if !e.breakers.isOpen("licm") {
+		t.Fatal("breaker did not open at threshold 1")
+	}
+	r2, err := e.Compile(context.Background(), Request{
+		Source: funcs[1].Src, Config: rolag.Config{Opt: rolag.OptRoLAG},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Degraded == nil {
+		t.Fatal("compile under an open breaker not marked degraded")
+	}
+	sawBreakerSkip := false
+	for _, sk := range r2.Degraded.Skips {
+		if sk.Pass == "licm" && sk.Reason == "breaker" {
+			sawBreakerSkip = true
+		}
+		if sk.Pass == "licm" && sk.Reason == "error" {
+			t.Fatal("licm was attempted under an open breaker")
+		}
+	}
+	if !sawBreakerSkip {
+		t.Fatalf("no breaker skip recorded: %v", r2.Degraded)
+	}
+
+	m := e.Metrics()
+	if m.Degraded < 2 {
+		t.Errorf("Degraded = %d, want >= 2", m.Degraded)
+	}
+	if m.BreakerOpens != 1 {
+		t.Errorf("BreakerOpens = %d, want 1", m.BreakerOpens)
+	}
+	if m.PassSkipped["licm"] == 0 {
+		t.Error("PassSkipped missing licm")
+	}
+	found := false
+	for _, bi := range m.Breakers {
+		if bi.Pass == "licm" && bi.State == BreakerOpen {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("breaker snapshot missing open licm: %+v", m.Breakers)
+	}
+}
+
+// TestDegradedNotCached is the cache-poisoning regression test: a
+// degraded compile must not populate the cache, and a later clean
+// compile of the same request both recomputes and repopulates it.
+func TestDegradedNotCached(t *testing.T) {
+	defer faultpoint.Reset()
+	faultpoint.Reset()
+	fn := corpus(t, 1)[0]
+	e := New(Config{Workers: 1})
+	defer e.Close(context.Background())
+	req := Request{Source: fn.Src, Config: rolag.Config{Opt: rolag.OptRoLAG}, EmitIR: true}
+
+	faultpoint.Arm("pass:constfold", faultpoint.KindError, 1)
+	r1, err := e.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Degraded == nil {
+		t.Fatal("faulted compile not marked degraded")
+	}
+	if r1.CacheHit {
+		t.Fatal("first compile marked as cache hit")
+	}
+
+	faultpoint.Reset()
+	r2, err := e.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CacheHit {
+		t.Fatal("second compile hit the cache: the degraded result was stored")
+	}
+	if r2.Degraded != nil {
+		t.Fatalf("clean recompile still degraded: %v", r2.Degraded)
+	}
+
+	r3, err := e.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.CacheHit {
+		t.Fatal("third compile missed: the clean result was not cached")
+	}
+	if r3.IR != r2.IR {
+		t.Fatal("cached IR differs from the clean compile")
+	}
+	if m := e.Metrics(); m.Degraded != 1 {
+		t.Errorf("Degraded = %d, want 1", m.Degraded)
+	}
+}

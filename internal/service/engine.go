@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"rolag"
+	"rolag/internal/faultpoint"
 	"rolag/internal/ir"
 	"rolag/internal/irparse"
 	"rolag/internal/passes"
@@ -33,6 +34,10 @@ var (
 	// ErrDraining is returned for jobs abandoned because Close gave up
 	// waiting for the drain to finish.
 	ErrDraining = errors.New("service: engine shut down before the job ran")
+	// ErrOverloaded is returned when admission control sheds a request
+	// because MaxInFlight requests are already being served. The caller
+	// should back off and retry (rolagd maps it to HTTP 429).
+	ErrOverloaded = errors.New("service: engine overloaded, request shed")
 )
 
 // Config sizes the engine.
@@ -44,6 +49,24 @@ type Config struct {
 	// CacheEntries bounds the result cache (default 4096; negative
 	// disables caching and single-flight deduplication entirely).
 	CacheEntries int
+	// MaxInFlight bounds admitted Compile calls; beyond it requests are
+	// shed with ErrOverloaded instead of queueing unboundedly. Default
+	// 4×(Workers+QueueDepth), floored at 32 so it always exceeds
+	// CompileBatch's submitter count; negative disables shedding.
+	MaxInFlight int
+	// DisableFailSoft turns off the fail-soft sandbox and the per-pass
+	// circuit breakers, restoring fail-hard semantics: a broken pass
+	// fails the whole job (its panic is still recovered per job).
+	DisableFailSoft bool
+	// PassBudget is the fail-soft per-pass wall-clock budget
+	// (0 = passes.DefaultPassBudget).
+	PassBudget time.Duration
+	// BreakerThreshold is how many consecutive failures of one pass open
+	// its circuit breaker (0 = DefaultBreakerThreshold).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses a pass before
+	// admitting a half-open probe (0 = DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
 }
 
 // Request is one compilation job: one translation unit (typically a
@@ -82,6 +105,12 @@ type Response struct {
 	// CacheHit reports that the result came from the cache or from an
 	// identical in-flight compilation rather than a fresh compile.
 	CacheHit bool
+	// Degraded is the fail-soft degradation report: nil for a clean
+	// compile, otherwise the pass executions that were rolled back and
+	// skipped. Degraded results are correct but not cached. The report
+	// is shared (read-only) with single-flight followers of the same
+	// compilation; callers must not mutate it.
+	Degraded *rolag.Degraded
 }
 
 // Reduction returns the relative binary-size reduction in percent.
@@ -105,6 +134,10 @@ type entry struct {
 	binaryBefore, binaryAfter int
 	stats                     *rolag.Stats
 	rerolled                  int
+	// degraded is non-nil for fail-soft-degraded results. Such entries
+	// are handed to single-flight followers but never stored in the
+	// cache: a transient pass failure must not poison the key.
+	degraded *rolag.Degraded
 }
 
 type job struct {
@@ -121,13 +154,16 @@ type jobResult struct {
 // Engine is a concurrency-safe compilation service over the rolag
 // facade. Create with New, release with Close.
 type Engine struct {
-	cfg     Config
-	cache   *lruCache // nil when caching is disabled
-	flights flightGroup
-	metrics metrics
+	cfg      Config
+	cache    *lruCache   // nil when caching is disabled
+	breakers *breakerSet // nil when fail-soft is disabled
+	flights  flightGroup
+	metrics  metrics
 
 	jobs chan *job
 	quit chan struct{} // closed by Close to stop the workers
+
+	admitted atomic.Int64 // admission-control occupancy
 
 	workerWG sync.WaitGroup
 	inflight sync.WaitGroup // accepted Compile calls
@@ -147,6 +183,12 @@ func New(cfg Config) *Engine {
 	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = 4096
 	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 4 * (cfg.Workers + cfg.QueueDepth)
+		if cfg.MaxInFlight < 32 {
+			cfg.MaxInFlight = 32
+		}
+	}
 	e := &Engine{
 		cfg:  cfg,
 		jobs: make(chan *job, cfg.QueueDepth),
@@ -154,6 +196,9 @@ func New(cfg Config) *Engine {
 	}
 	if cfg.CacheEntries > 0 {
 		e.cache = newLRUCache(cfg.CacheEntries)
+	}
+	if !cfg.DisableFailSoft {
+		e.breakers = newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	e.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -172,12 +217,18 @@ func (e *Engine) Metrics() MetricsSnapshot {
 		s.CacheEntries = e.cache.len()
 	}
 	s.Workers = e.cfg.Workers
+	if e.breakers != nil {
+		s.BreakerOpens = e.breakers.opens.Load()
+		s.Breakers = e.breakers.infos()
+	}
 	return s
 }
 
 // Compile runs one job and blocks until it completes, fails, or ctx
 // expires. Identical concurrent requests (same source and canonical
-// config) compile once and share the result.
+// config) compile once and share the result. When MaxInFlight requests
+// are already admitted the call is shed immediately with ErrOverloaded
+// instead of queueing.
 func (e *Engine) Compile(ctx context.Context, req Request) (*Response, error) {
 	e.mu.RLock()
 	if e.closed {
@@ -187,6 +238,15 @@ func (e *Engine) Compile(ctx context.Context, req Request) (*Response, error) {
 	e.inflight.Add(1)
 	e.mu.RUnlock()
 	defer e.inflight.Done()
+
+	if max := int64(e.cfg.MaxInFlight); max > 0 {
+		if e.admitted.Add(1) > max {
+			e.admitted.Add(-1)
+			e.metrics.shed.Add(1)
+			return nil, ErrOverloaded
+		}
+		defer e.admitted.Add(-1)
+	}
 
 	e.metrics.requests.Add(1)
 	e.metrics.inFlight.Add(1)
@@ -208,8 +268,12 @@ func (e *Engine) Compile(ctx context.Context, req Request) (*Response, error) {
 
 	key := cacheKey(&req)
 	if en, ok := e.cache.get(key); ok {
-		e.metrics.cacheHits.Add(1)
-		return respFromEntry(en, &req, true)
+		// An injected cache:get fault turns the hit into a miss; the
+		// compile below still produces a correct answer.
+		if faultpoint.Fire(faultpoint.CacheGet, faultpoint.KindError) != faultpoint.KindError {
+			e.metrics.cacheHits.Add(1)
+			return respFromEntry(en, &req, true)
+		}
 	}
 
 	en, err, leader := e.flights.do(ctx, key, func() (*entry, error) {
@@ -218,7 +282,13 @@ func (e *Engine) Compile(ctx context.Context, req Request) (*Response, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.cache.put(key, en)
+		// Degraded results are served but never cached: a transient
+		// pass failure must not poison this key until eviction. An
+		// injected cache:put fault likewise drops the store.
+		if en.degraded == nil &&
+			faultpoint.Fire(faultpoint.CachePut, faultpoint.KindError) != faultpoint.KindError {
+			e.cache.put(key, en)
+		}
 		return en, nil
 	})
 	if err != nil {
@@ -322,20 +392,50 @@ func (e *Engine) runJob(j *job) (res jobResult) {
 	if hook := testCompileHook.Load(); hook != nil {
 		(*hook)(j.req)
 	}
+	switch faultpoint.Fire(faultpoint.EngineRun,
+		faultpoint.KindPanic, faultpoint.KindStall, faultpoint.KindError) {
+	case faultpoint.KindPanic:
+		panic("faultpoint: injected panic at engine:run")
+	case faultpoint.KindError:
+		return jobResult{err: errors.New("service: injected engine fault")}
+	}
 	start := time.Now()
 	cfg := j.req.Config
+	if !e.cfg.DisableFailSoft {
+		cfg.FailSoft = true
+		cfg.PassBudget = e.cfg.PassBudget
+		cfg.Guard = e.breakers
+	}
 	var out *rolag.Result
 	var err error
 	if j.req.IRInput {
 		var m *ir.Module
 		m, err = irparse.ParseModule(j.req.Source)
 		if err == nil {
-			passes.Standard().Run(m)
+			// Pre-pipeline canonicalization of IR input runs under its
+			// own sandbox so its skips land on the same report.
+			var pre *passes.Sandbox
+			if cfg.FailSoft {
+				pre = &passes.Sandbox{Budget: cfg.PassBudget, Guard: cfg.Guard}
+				passes.Standard().RunSandboxed(m, pre)
+			} else {
+				passes.Standard().Run(m)
+			}
 			// The parsed module is reachable by nothing else, but clone
 			// anyway so a future module-input API cannot quietly alias
 			// cache-owned memory.
 			cfg.CloneInput = true
 			out, err = rolag.OptimizeContext(j.ctx, m, cfg)
+			if err == nil && pre != nil {
+				if rep := pre.Report(); rep != nil {
+					if out.Degraded == nil {
+						out.Degraded = rep
+					} else {
+						rep.Skips = append(rep.Skips, out.Degraded.Skips...)
+						out.Degraded = rep
+					}
+				}
+			}
 		}
 	} else {
 		out, err = rolag.BuildContext(j.ctx, j.req.Source, cfg)
@@ -348,6 +448,12 @@ func (e *Engine) runJob(j *job) (res jobResult) {
 	if out.Stats != nil {
 		e.metrics.loopsRolled.Add(int64(out.Stats.LoopsRolled))
 	}
+	if out.Degraded != nil {
+		e.metrics.degraded.Add(1)
+		for _, sk := range out.Degraded.Skips {
+			e.metrics.skipPass(sk.Pass)
+		}
+	}
 	return jobResult{entry: &entry{
 		irText:       out.Module.String(),
 		sizeBefore:   out.SizeBefore,
@@ -356,6 +462,7 @@ func (e *Engine) runJob(j *job) (res jobResult) {
 		binaryAfter:  out.BinaryAfter,
 		stats:        copyStats(out.Stats),
 		rerolled:     out.Rerolled,
+		degraded:     out.Degraded,
 	}}
 }
 
@@ -406,6 +513,7 @@ func respFromEntry(en *entry, req *Request, hit bool) (*Response, error) {
 		Stats:        copyStats(en.stats),
 		Rerolled:     en.rerolled,
 		CacheHit:     hit,
+		Degraded:     en.degraded,
 	}
 	if req.EmitIR {
 		resp.IR = en.irText

@@ -16,7 +16,11 @@ import (
 // Config.Name is deliberately excluded — the module name never appears
 // in the printed IR or in any size measurement, so two requests that
 // differ only in name share one compilation. Config.CloneInput is an
-// ownership knob, not a pipeline knob, and is likewise excluded.
+// ownership knob, not a pipeline knob, and is likewise excluded. The
+// fail-soft knobs (FailSoft, PassBudget, Guard) are excluded too: the
+// engine sets them itself on every job, and a degraded result is never
+// stored, so the cache only ever holds outputs equal to what the
+// fail-hard pipeline would produce for the same key.
 // Options.Model is canonicalized by value (nil means the default
 // profitability model), so the fresh-but-identical *Model pointers that
 // rolag.DefaultOptions returns on every call all map to the same key.

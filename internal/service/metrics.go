@@ -3,6 +3,8 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -27,10 +29,28 @@ type metrics struct {
 	errors      atomic.Int64
 	panics      atomic.Int64
 	loopsRolled atomic.Int64
+	degraded    atomic.Int64
+	shed        atomic.Int64
 
 	latencyBuckets [len(latencyBounds) + 1]atomic.Int64
 	latencyCount   atomic.Int64
 	latencyNanos   atomic.Int64
+
+	// skipMu guards passSkipped; the per-pass breakdown is off the hot
+	// path (bumped only when a pass actually degrades).
+	skipMu      sync.Mutex
+	passSkipped map[string]int64
+}
+
+// skipPass counts one skipped pass execution under the fail-soft
+// sandbox, keyed by pass name.
+func (m *metrics) skipPass(pass string) {
+	m.skipMu.Lock()
+	if m.passSkipped == nil {
+		m.passSkipped = make(map[string]int64)
+	}
+	m.passSkipped[pass]++
+	m.skipMu.Unlock()
 }
 
 func (m *metrics) observeCompile(d time.Duration) {
@@ -71,6 +91,13 @@ type MetricsSnapshot struct {
 	CacheEntries int   `json:"cache_entries"`
 	Workers      int   `json:"workers"`
 
+	// Fail-soft and overload instrumentation.
+	Degraded     int64            `json:"degraded"`
+	Shed         int64            `json:"shed"`
+	PassSkipped  map[string]int64 `json:"pass_skipped,omitempty"`
+	BreakerOpens int64            `json:"breaker_opens"`
+	Breakers     []BreakerInfo    `json:"breakers,omitempty"`
+
 	LatencyCount      int64    `json:"latency_count"`
 	LatencySumSeconds float64  `json:"latency_sum_seconds"`
 	LatencyBuckets    []Bucket `json:"latency_buckets"`
@@ -101,10 +128,20 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		Errors:            m.errors.Load(),
 		Panics:            m.panics.Load(),
 		LoopsRolled:       m.loopsRolled.Load(),
+		Degraded:          m.degraded.Load(),
+		Shed:              m.shed.Load(),
 		LatencyCount:      m.latencyCount.Load(),
 		LatencySumSeconds: float64(m.latencyNanos.Load()) / 1e9,
 		Fuzz:              fuzzgen.Snapshot(),
 	}
+	m.skipMu.Lock()
+	if len(m.passSkipped) > 0 {
+		s.PassSkipped = make(map[string]int64, len(m.passSkipped))
+		for k, v := range m.passSkipped {
+			s.PassSkipped[k] = v
+		}
+	}
+	m.skipMu.Unlock()
 	var cum int64
 	for i := range m.latencyBuckets {
 		cum += m.latencyBuckets[i].Load()
@@ -134,6 +171,36 @@ func (s *MetricsSnapshot) WritePrometheus(w io.Writer) {
 	counter("rolagd_errors_total", "Requests that failed.", s.Errors)
 	counter("rolagd_panics_total", "Compilations that panicked and were converted to errors.", s.Panics)
 	counter("rolagd_loops_rolled_total", "Loops rolled across fresh compilations.", s.LoopsRolled)
+	counter("rolagd_degraded_total", "Compilations that completed fail-soft with passes skipped.", s.Degraded)
+	counter("rolagd_breaker_open_total", "Circuit-breaker open transitions (incl. re-arms after failed probes).", s.BreakerOpens)
+	counter("rolagd_shed_total", "Requests shed by admission control.", s.Shed)
+
+	if len(s.PassSkipped) > 0 {
+		fmt.Fprintf(w, "# HELP rolagd_pass_skipped_total Pass executions rolled back and skipped, by pass.\n")
+		fmt.Fprintf(w, "# TYPE rolagd_pass_skipped_total counter\n")
+		names := make([]string, 0, len(s.PassSkipped))
+		for name := range s.PassSkipped {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "rolagd_pass_skipped_total{pass=%q} %d\n", name, s.PassSkipped[name])
+		}
+	}
+	if len(s.Breakers) > 0 {
+		fmt.Fprintf(w, "# HELP rolagd_breaker_state Per-pass breaker state (0 closed, 1 half-open, 2 open).\n")
+		fmt.Fprintf(w, "# TYPE rolagd_breaker_state gauge\n")
+		for _, b := range s.Breakers {
+			v := 0
+			switch b.State {
+			case BreakerHalfOpen:
+				v = 1
+			case BreakerOpen:
+				v = 2
+			}
+			fmt.Fprintf(w, "rolagd_breaker_state{pass=%q} %d\n", b.Pass, v)
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP rolagd_in_flight_jobs Requests currently being served.\n")
 	fmt.Fprintf(w, "# TYPE rolagd_in_flight_jobs gauge\nrolagd_in_flight_jobs %d\n", s.InFlight)

@@ -13,6 +13,7 @@ package rolag
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"rolag/internal/cc"
 	"rolag/internal/costmodel"
@@ -55,6 +56,17 @@ type Options = rl.Options
 // Stats re-exports the RoLAG run statistics.
 type Stats = rl.Stats
 
+// Degraded re-exports the fail-soft degradation report: which pass
+// executions were rolled back and why. See Config.FailSoft.
+type Degraded = passes.Degraded
+
+// PassSkip re-exports one entry of a Degraded report.
+type PassSkip = passes.Skip
+
+// Guard re-exports the sandbox admission interface (the service
+// engine's circuit breakers implement it).
+type Guard = passes.Guard
+
 // DefaultOptions returns the paper's full configuration.
 func DefaultOptions() *Options { return rl.DefaultOptions() }
 
@@ -87,6 +99,21 @@ type Config struct {
 	// exclusively by the caller. The compilation service sets this so
 	// cached results are immutable.
 	CloneInput bool
+	// FailSoft runs every pass (and RoLAG itself, per function) under a
+	// checkpointed sandbox: a pass that panics, exceeds the per-pass
+	// budget, or breaks the IR verifier is rolled back and skipped, the
+	// rest of the pipeline continues, and Result.Degraded records what
+	// was lost. The output is then correct but potentially larger than a
+	// fully healthy pipeline would produce. Frontend errors and a
+	// corrupt final module still fail hard.
+	FailSoft bool
+	// PassBudget is the fail-soft per-pass wall-clock budget
+	// (0 = passes.DefaultPassBudget). Ignored unless FailSoft is set.
+	PassBudget time.Duration
+	// Guard, when set with FailSoft, is consulted before and notified
+	// after every sandboxed pass execution; the service engine passes
+	// its per-pass circuit breakers here.
+	Guard Guard
 }
 
 // Result is the outcome of one compilation.
@@ -106,6 +133,10 @@ type Result struct {
 	// Rerolled counts loops rerolled by the baseline (Opt ==
 	// OptLLVMReroll).
 	Rerolled int
+	// Degraded is the fail-soft degradation report: nil when every pass
+	// took effect (or Config.FailSoft was off), otherwise the list of
+	// pass executions that were rolled back and skipped.
+	Degraded *Degraded
 }
 
 // Reduction returns the relative binary-size reduction in percent
@@ -146,15 +177,42 @@ func Build(src string, cfg Config) (*Result, error) {
 // context is checked between pipeline stages and between functions, so
 // a cancelled compilation returns ctx.Err() promptly without leaving
 // the caller with a half-transformed module it should keep using.
+//
+// With cfg.FailSoft the canonicalization pipeline already runs under
+// the sandbox; frontend (parse/typecheck/lowering) errors still fail
+// hard, because without IR there is nothing correct to fall back to.
 func BuildContext(ctx context.Context, src string, cfg Config) (*Result, error) {
-	m, err := Compile(src, cfg.Name)
+	if !cfg.FailSoft {
+		m, err := Compile(src, cfg.Name)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return optimizeContext(ctx, m, cfg, nil)
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "module"
+	}
+	m, err := cc.Compile(src, name)
 	if err != nil {
 		return nil, err
 	}
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("rolag: internal error: %w", err)
+	}
+	sb := cfg.sandbox()
+	passes.Standard().RunSandboxed(m, sb)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return OptimizeContext(ctx, m, cfg)
+	return optimizeContext(ctx, m, cfg, sb)
+}
+
+func (cfg Config) sandbox() *passes.Sandbox {
+	return &passes.Sandbox{Budget: cfg.PassBudget, Guard: cfg.Guard}
 }
 
 // Optimize applies the configured unrolling and rolling technique to a
@@ -176,6 +234,20 @@ func Optimize(m *ir.Module, cfg Config) (*Result, error) {
 // transformed (unless cfg.CloneInput is set); the error tells the
 // caller to discard it.
 func OptimizeContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) {
+	var sb *passes.Sandbox
+	if cfg.FailSoft {
+		sb = cfg.sandbox()
+	}
+	return optimizeContext(ctx, m, cfg, sb)
+}
+
+// optimizeContext is the shared pipeline body. With sb == nil it is the
+// fail-hard path: any pass failure propagates (panics unwind, a broken
+// module fails the final Verify). With a sandbox every transformation
+// stage runs checkpointed and rollback-protected; the final Verify
+// remains as a fail-hard backstop, but can only trip if the sandbox
+// itself has a bug, since each committed execution was verified.
+func optimizeContext(ctx context.Context, m *ir.Module, cfg Config, sb *passes.Sandbox) (*Result, error) {
 	if cfg.CloneInput {
 		m = ir.CloneModule(m)
 	}
@@ -184,11 +256,20 @@ func OptimizeContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, er
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			unroll.UnrollAll(f, cfg.Unroll)
+			if sb != nil {
+				k := cfg.Unroll
+				sb.RunShadow("unroll", f, func(sf *ir.Func) bool {
+					return unroll.UnrollAll(sf, k) > 0
+				})
+			} else {
+				unroll.UnrollAll(f, cfg.Unroll)
+			}
 		}
-		passes.Standard().Run(m)
-		if err := m.Verify(); err != nil {
-			return nil, fmt.Errorf("rolag: after unroll: %w", err)
+		runStandard(m, sb)
+		if sb == nil {
+			if err := m.Verify(); err != nil {
+				return nil, fmt.Errorf("rolag: after unroll: %w", err)
+			}
 		}
 	}
 	if err := ctx.Err(); err != nil {
@@ -208,7 +289,20 @@ func OptimizeContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, er
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			res.Rerolled += reroll.RerollFunc(f)
+			if sb != nil {
+				// n is fresh per iteration and only read when the runner
+				// committed, so an abandoned (timed-out) goroutine writing
+				// it later races with nothing.
+				var n int
+				if _, ok := sb.RunShadow("reroll", f, func(sf *ir.Func) bool {
+					n = reroll.RerollFunc(sf)
+					return n > 0
+				}); ok {
+					res.Rerolled += n
+				}
+			} else {
+				res.Rerolled += reroll.RerollFunc(f)
+			}
 		}
 	case OptRoLAG:
 		opts := cfg.Options
@@ -220,11 +314,28 @@ func OptimizeContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, er
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			res.Stats.Add(rl.RollFunc(f, opts))
+			if sb != nil {
+				// RoLAG appends constant-table globals to the module, so it
+				// runs in place (same goroutine) behind a snapshot rather
+				// than on an abandonable shadow; see Sandbox.RunInPlace.
+				var st *rl.Stats
+				if _, ok := sb.RunInPlace("rolag", f, func(sf *ir.Func) bool {
+					st = rl.RollFunc(sf, opts)
+					return st.LoopsRolled > 0
+				}); ok && st != nil {
+					res.Stats.Add(st)
+				}
+			} else {
+				res.Stats.Add(rl.RollFunc(f, opts))
+			}
 		}
 		if cfg.Flatten {
 			for _, f := range m.Funcs {
-				passes.Flatten(f)
+				if sb != nil {
+					sb.RunShadow("flatten", f, passes.Flatten)
+				} else {
+					passes.Flatten(f)
+				}
 			}
 		}
 	default:
@@ -234,14 +345,25 @@ func OptimizeContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, er
 		return nil, err
 	}
 	if !cfg.SkipCleanup && cfg.Opt != OptNone {
-		passes.Standard().Run(m)
+		runStandard(m, sb)
 	}
 	if err := m.Verify(); err != nil {
 		return nil, fmt.Errorf("rolag: after %s: %w", cfg.Opt, err)
 	}
 	res.SizeAfter = profit.Module(m)
 	res.BinaryAfter = binary.Module(m)
+	if sb != nil {
+		res.Degraded = sb.Report()
+	}
 	return res, nil
+}
+
+func runStandard(m *ir.Module, sb *passes.Sandbox) {
+	if sb != nil {
+		passes.Standard().RunSandboxed(m, sb)
+	} else {
+		passes.Standard().Run(m)
+	}
 }
 
 // CheckEquiv verifies behavioural equivalence of one function across two
