@@ -1,12 +1,14 @@
 # Build/test entry points. `make ci` is the tier-1 gate plus the race
-# detector over the whole tree, a short differential-fuzzing smoke, and
-# the fault-injection chaos smoke; `make bench` regenerates the
-# machine-readable service perf record (results/BENCH_service.json).
+# detector over the whole tree, a short differential-fuzzing smoke, the
+# fault-injection chaos smoke, and the core-optimizer benchmark smoke;
+# `make bench` regenerates the machine-readable service perf record
+# (results/BENCH_service.json) and `make bench-core` the optimizer one
+# (results/BENCH_core.json).
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke chaos-smoke ci bench serve clean
+.PHONY: all build vet test race fuzz-smoke chaos-smoke bench-smoke ci bench bench-core serve clean
 
 all: build
 
@@ -38,10 +40,24 @@ chaos-smoke:
 	$(GO) test -race ./internal/fuzzgen -run '^TestChaos' -short -v
 	$(GO) run ./cmd/rolag-fuzz -chaos -n 60 -crashers $(or $(TMPDIR),/tmp)/rolag-chaos-crashers
 
-ci: vet build race fuzz-smoke chaos-smoke
+# One-iteration core benchmark gated against the committed baseline:
+# fails if the output JSON is malformed (the gate parses it) or if
+# ns-per-function regresses by more than 2x. The comparison is
+# normalized per corpus function, so the small smoke corpus is
+# comparable to the full committed baseline.
+bench-smoke:
+	$(GO) run ./cmd/rolag-bench -n 120 -iters 1 \
+		-out $(or $(TMPDIR),/tmp)/rolag-bench-smoke.json \
+		-check results/BENCH_core.json -max-slowdown 2
+
+ci: vet build race fuzz-smoke chaos-smoke bench-smoke
 
 bench:
 	$(GO) run ./cmd/experiments -run bench
+
+# Full core-optimizer benchmark; regenerates the committed baseline.
+bench-core:
+	$(GO) run ./cmd/rolag-bench -n 300 -iters 5 -out results/BENCH_core.json
 
 serve:
 	$(GO) run ./cmd/rolagd

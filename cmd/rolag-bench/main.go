@@ -1,0 +1,143 @@
+// Command rolag-bench is the reproducible core-optimizer benchmark
+// harness: it compiles a synthesized corpus N times and reports
+// wall-clock (p50/p99), per-phase RoLAG timings (seed, align, schedule,
+// codegen — the same timers behind rolagd's rolagd_phase_seconds), and
+// allocation counts, as JSON.
+//
+// Usage:
+//
+//	rolag-bench [-corpus angha|tsvc] [-n 300] [-seed 20220402]
+//	            [-iters 5] [-parallel N] [-out results/BENCH_core.json]
+//	            [-cpuprofile f] [-memprofile f]
+//	            [-check baseline.json] [-max-slowdown 2]
+//
+// With -check, the run is compared against a committed baseline: the
+// harness exits non-zero when ns-per-function regresses by more than
+// -max-slowdown×. The comparison is normalized per corpus function, so
+// a smoke run with a small -n can be gated against a full baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+
+	"rolag/internal/experiments"
+)
+
+func main() {
+	corpus := flag.String("corpus", "angha", "workload: angha or tsvc")
+	n := flag.Int("n", 300, "angha corpus size (ignored for tsvc)")
+	seed := flag.Int64("seed", 20220402, "angha corpus seed")
+	iters := flag.Int("iters", 5, "full-corpus compilation iterations")
+	parallel := flag.Int("parallel", 0, "rolag.Config.Parallelism per unit (0 = serial)")
+	out := flag.String("out", "", "write the result JSON here (default stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured iterations")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run")
+	check := flag.String("check", "", "baseline JSON to gate against (exit 1 on regression)")
+	maxSlowdown := flag.Float64("max-slowdown", 2, "allowed ns-per-function ratio vs the -check baseline")
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	res, err := experiments.RunCoreBench(experiments.CoreBenchConfig{
+		Corpus:      *corpus,
+		N:           *n,
+		Seed:        *seed,
+		Iterations:  *iters,
+		Parallelism: *parallel,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else {
+		if dir := filepath.Dir(*out); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rolag-bench: %s corpus, %d functions x %d iterations: "+
+			"p50 %.3fs, p99 %.3fs, %.0f ns/function, %d allocs/iteration -> %s\n",
+			res.Config.Corpus, res.Functions, res.Config.Iterations,
+			res.WallP50Seconds, res.WallP99Seconds, res.NsPerFunction,
+			res.AllocsPerIteration, *out)
+	}
+
+	if *check != "" {
+		if err := gate(res, *check, *maxSlowdown); err != nil {
+			fmt.Fprintf(os.Stderr, "rolag-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// gate compares the run against a committed baseline, normalized per
+// corpus function so differently sized runs stay comparable.
+func gate(res *experiments.CoreBench, baselinePath string, maxSlowdown float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base experiments.CoreBench
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	if base.Schema != res.Schema {
+		return fmt.Errorf("baseline schema %q != run schema %q", base.Schema, res.Schema)
+	}
+	if base.Config.Corpus != res.Config.Corpus {
+		return fmt.Errorf("baseline corpus %q != run corpus %q", base.Config.Corpus, res.Config.Corpus)
+	}
+	if base.NsPerFunction <= 0 {
+		return fmt.Errorf("baseline %s has no ns_per_function", baselinePath)
+	}
+	ratio := res.NsPerFunction / base.NsPerFunction
+	fmt.Fprintf(os.Stderr, "rolag-bench: %.0f ns/function vs baseline %.0f (ratio %.2fx, limit %.2fx)\n",
+		res.NsPerFunction, base.NsPerFunction, ratio, maxSlowdown)
+	if ratio > maxSlowdown {
+		return fmt.Errorf("regression: %.2fx slower than baseline (limit %.2fx)", ratio, maxSlowdown)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rolag-bench: %v\n", err)
+	os.Exit(1)
+}

@@ -6,7 +6,7 @@
 //	rolagd [-addr :8723] [-workers N] [-cache N] [-max-inflight N]
 //	       [-request-timeout 30s] [-shutdown-timeout 10s]
 //	       [-pass-budget 10s] [-breaker-threshold 5] [-breaker-cooldown 30s]
-//	       [-fail-hard]
+//	       [-fail-hard] [-func-parallel N] [-phase-timing=false]
 //
 // Endpoints:
 //
@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	rolagcore "rolag/internal/rolag"
 	"rolag/internal/rolagdapi"
 	"rolag/internal/service"
 )
@@ -207,8 +208,11 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive pass failures that open its breaker (0 = default)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default)")
 	failHard := flag.Bool("fail-hard", false, "disable the fail-soft sandbox: a broken pass fails the whole job")
+	funcParallel := flag.Int("func-parallel", 0, "functions optimized concurrently within one job (0/1 = serial, negative = GOMAXPROCS); output is byte-identical")
+	phaseTiming := flag.Bool("phase-timing", true, "record per-phase RoLAG timings (exported as rolagd_phase_seconds)")
 	flag.Parse()
 
+	rolagcore.EnablePhaseTiming(*phaseTiming)
 	engine := service.New(service.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -218,6 +222,7 @@ func main() {
 		PassBudget:       *passBudget,
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
+		FuncParallelism:  *funcParallel,
 	})
 	d := &daemon{engine: engine, requestCap: *requestTimeout}
 	srv := &http.Server{Addr: *addr, Handler: d.mux()}

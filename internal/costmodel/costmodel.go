@@ -48,7 +48,24 @@ func Binary() *Model {
 }
 
 // Instr returns the estimated byte size of one instruction.
+//
+// Pricing a gep needs the function's def-use chains (to decide whether
+// it folds into its users' addressing modes); this entry point computes
+// them on demand, which is O(function size). Callers pricing many
+// instructions of one function should use InstrUsers, Func, FuncUsers,
+// Block, or Module, which compute the chains once.
 func (m *Model) Instr(in *ir.Instr) int {
+	var users map[ir.Value][]*ir.Instr
+	if in.Op == ir.OpGEP && in.Parent != nil && in.Parent.Parent != nil {
+		users = in.Parent.Parent.Users()
+	}
+	return m.InstrUsers(in, users)
+}
+
+// InstrUsers is Instr with the enclosing function's def-use chains
+// supplied by the caller (as returned by ir.Func.Users, or nil when the
+// instruction is detached). It never recomputes them.
+func (m *Model) InstrUsers(in *ir.Instr, users map[ir.Value][]*ir.Instr) int {
 	switch {
 	case in.Op == ir.OpPhi:
 		// Phis lower to register copies on edges; the TTI-style model
@@ -70,7 +87,7 @@ func (m *Model) Instr(in *ir.Instr) int {
 	case in.Op == ir.OpGEP:
 		// Address arithmetic usually folds into the addressing mode of
 		// the memory access that uses it; a standalone lea otherwise.
-		if gepFoldable(in, m.BinaryMode) {
+		if gepFoldable(in, m.BinaryMode, users) {
 			return 0
 		}
 		return 4
@@ -125,21 +142,21 @@ func (m *Model) Instr(in *ir.Instr) int {
 // has at most a base + one index (reg+reg*scale+disp addressing). The
 // measurement model additionally requires a single user: multi-use
 // address computations are typically materialized once.
-func gepFoldable(in *ir.Instr, binaryMode bool) bool {
+func gepFoldable(in *ir.Instr, binaryMode bool, users map[ir.Value][]*ir.Instr) bool {
 	if in.NumOperands() > 3 {
 		return false
 	}
 	if in.Parent == nil || in.Parent.Parent == nil {
 		return false
 	}
-	users := in.Parent.Parent.Users()[in]
-	if len(users) == 0 {
+	us := users[in]
+	if len(us) == 0 {
 		return false
 	}
-	if binaryMode && len(users) > 1 {
+	if binaryMode && len(us) > 1 {
 		return false
 	}
-	for _, u := range users {
+	for _, u := range us {
 		if u.Op != ir.OpLoad && u.Op != ir.OpStore {
 			return false
 		}
@@ -179,11 +196,20 @@ func immBytes(v int64) int {
 	return 4
 }
 
-// Block returns the estimated size of all instructions in the block.
+// Block returns the estimated size of all instructions in the block,
+// computing the enclosing function's def-use chains once.
 func (m *Model) Block(b *ir.Block) int {
+	var users map[ir.Value][]*ir.Instr
+	if b.Parent != nil {
+		users = b.Parent.Users()
+	}
+	return m.blockUsers(b, users)
+}
+
+func (m *Model) blockUsers(b *ir.Block, users map[ir.Value][]*ir.Instr) int {
 	n := 0
 	for _, in := range b.Instrs {
-		n += m.Instr(in)
+		n += m.InstrUsers(in, users)
 	}
 	return n
 }
@@ -195,10 +221,20 @@ func (m *Model) Func(f *ir.Func) int {
 	if f.IsDecl() {
 		return 0
 	}
+	return m.FuncUsers(f, f.Users())
+}
+
+// FuncUsers is Func with the def-use chains supplied by the caller —
+// the entry point for pricing a function repeatedly against a cached
+// analysis (see internal/analysis.FuncInfo).
+func (m *Model) FuncUsers(f *ir.Func, users map[ir.Value][]*ir.Instr) int {
+	if f.IsDecl() {
+		return 0
+	}
 	const prologue = 4
 	n := prologue
 	for i, b := range f.Blocks {
-		n += m.Block(b)
+		n += m.blockUsers(b, users)
 		if m.BinaryMode && i > 0 {
 			n += 2
 		}
@@ -213,7 +249,10 @@ func (m *Model) Func(f *ir.Func) int {
 func (m *Model) Module(mod *ir.Module) int {
 	n := 0
 	for _, f := range mod.Funcs {
-		n += m.Func(f)
+		if f.IsDecl() {
+			continue
+		}
+		n += m.FuncUsers(f, f.Users())
 	}
 	for _, g := range mod.Globals {
 		if g.ReadOnly {

@@ -1,0 +1,276 @@
+package experiments
+
+// The core benchmark harness behind cmd/rolag-bench: reproducible
+// wall-clock, per-phase, and allocation measurements of the RoLAG
+// optimizer hot path over the synthesized corpora. The per-phase
+// numbers come from the same process-wide timers
+// (rolag.EnablePhaseTiming) that feed rolagd's rolagd_phase_seconds
+// metrics, so the daemon and the harness always agree on phase
+// boundaries.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"rolag"
+	rolagcore "rolag/internal/rolag"
+	"rolag/internal/workloads/angha"
+	"rolag/internal/workloads/tsvc"
+)
+
+// CoreBenchConfig parameterizes one core-benchmark run.
+type CoreBenchConfig struct {
+	// Corpus selects the workload: "angha" (default) compiles N
+	// synthesized AnghaBench-style functions with OptRoLAG; "tsvc"
+	// compiles every TSVC kernel with the paper's unroll-8 + RoLAG
+	// methodology.
+	Corpus string `json:"corpus"`
+	// N is the angha corpus size (default 300; ignored for tsvc).
+	N int `json:"n"`
+	// Seed derives the angha corpus (default 20220402).
+	Seed int64 `json:"seed"`
+	// Iterations is how many times the whole corpus is compiled
+	// (default 5). Percentiles are taken across iterations.
+	Iterations int `json:"iterations"`
+	// Parallelism is passed to rolag.Config.Parallelism (0 = serial).
+	Parallelism int `json:"parallelism"`
+}
+
+func (cfg *CoreBenchConfig) defaults() {
+	if cfg.Corpus == "" {
+		cfg.Corpus = "angha"
+	}
+	if cfg.N == 0 {
+		cfg.N = 300
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 20220402
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 5
+	}
+}
+
+// CoreBenchIteration records one full-corpus compilation.
+type CoreBenchIteration struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	// PhaseSeconds is wall-clock per RoLAG phase for this iteration
+	// (seed/align/schedule/codegen), from rolag.PhaseTimings deltas.
+	PhaseSeconds map[string]float64 `json:"phase_seconds"`
+	// Allocs and AllocBytes are the Go heap allocations performed
+	// during the iteration (runtime.MemStats deltas; process-global, so
+	// run the harness without concurrent load).
+	Allocs     uint64 `json:"allocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+}
+
+// CoreBenchPhase summarizes one RoLAG phase across iterations.
+type CoreBenchPhase struct {
+	Phase string `json:"phase"`
+	// Count is the total number of phase executions across the run.
+	Count uint64 `json:"count"`
+	// P50Seconds and P99Seconds are percentiles of the per-iteration
+	// phase totals. With few iterations p99 degrades to the maximum;
+	// the iterations array preserves the raw data.
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	SumSeconds float64 `json:"sum_seconds"`
+}
+
+// CoreBenchMachine identifies the measurement environment.
+type CoreBenchMachine struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CoreBench is the harness result, serialized to results/BENCH_core.json.
+type CoreBench struct {
+	Schema      string           `json:"schema"`
+	GeneratedAt string           `json:"generated_at"`
+	Machine     CoreBenchMachine `json:"machine"`
+	Config      CoreBenchConfig  `json:"config"`
+	Methodology string           `json:"methodology"`
+
+	// Corpus accounting, so runs are comparable only when they measured
+	// the same work.
+	Functions   int `json:"functions"`
+	LoopsRolled int `json:"loops_rolled_per_iteration"`
+
+	WallP50Seconds  float64 `json:"wall_p50_seconds"`
+	WallP99Seconds  float64 `json:"wall_p99_seconds"`
+	WallMeanSeconds float64 `json:"wall_mean_seconds"`
+	// NsPerFunction normalizes wall-clock by corpus size; the
+	// regression gate compares this, so baselines with different N stay
+	// comparable.
+	NsPerFunction      float64 `json:"ns_per_function"`
+	AllocsPerIteration uint64  `json:"allocs_per_iteration"`
+	BytesPerIteration  uint64  `json:"bytes_per_iteration"`
+
+	Phases     []CoreBenchPhase     `json:"phases"`
+	Iterations []CoreBenchIteration `json:"iterations"`
+}
+
+// coreBenchUnit is one translation unit of the benchmark workload.
+type coreBenchUnit struct {
+	name string
+	src  string
+	cfg  rolag.Config
+}
+
+func coreBenchUnits(cfg *CoreBenchConfig) ([]coreBenchUnit, error) {
+	switch cfg.Corpus {
+	case "angha":
+		funcs := angha.Generate(cfg.N, cfg.Seed)
+		units := make([]coreBenchUnit, len(funcs))
+		for i, fn := range funcs {
+			units[i] = coreBenchUnit{
+				name: fn.Name,
+				src:  fn.Src,
+				cfg:  rolag.Config{Name: fn.Name, Opt: rolag.OptRoLAG, Parallelism: cfg.Parallelism},
+			}
+		}
+		return units, nil
+	case "tsvc":
+		var units []coreBenchUnit
+		for _, kr := range tsvc.Kernels() {
+			units = append(units, coreBenchUnit{
+				name: kr.Name,
+				src:  kr.Src,
+				cfg: rolag.Config{
+					Name: kr.Name, Unroll: 8, Opt: rolag.OptRoLAG,
+					Flatten: true, Parallelism: cfg.Parallelism,
+				},
+			})
+		}
+		return units, nil
+	default:
+		return nil, fmt.Errorf("corebench: unknown corpus %q (want angha or tsvc)", cfg.Corpus)
+	}
+}
+
+// RunCoreBench compiles the configured corpus Iterations times and
+// aggregates wall-clock, per-phase, and allocation statistics. Phase
+// timing is enabled for the duration of the run and restored after.
+func RunCoreBench(cfg CoreBenchConfig) (*CoreBench, error) {
+	cfg.defaults()
+	units, err := coreBenchUnits(&cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	wasOn := rolagcore.PhaseTimingEnabled()
+	rolagcore.EnablePhaseTiming(true)
+	defer rolagcore.EnablePhaseTiming(wasOn)
+
+	out := &CoreBench{
+		Schema:      "rolag-bench/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Machine: CoreBenchMachine{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Config:    cfg,
+		Functions: len(units),
+		Methodology: "Each iteration compiles the full corpus through rolag.Build " +
+			"(frontend + canonicalization + RoLAG + cleanup) in one goroutine; " +
+			"wall-clock is per iteration, phase times are rolag.PhaseTimings deltas, " +
+			"allocations are runtime.MemStats deltas after a forced GC. " +
+			"Percentiles are across iterations; p99 degrades to the maximum for small runs.",
+	}
+
+	var phaseCounts [rolagcore.NumPhases]uint64
+	perPhase := make([][]float64, rolagcore.NumPhases)
+	var walls []float64
+	for it := 0; it < cfg.Iterations; it++ {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		rolagcore.ResetPhaseTimings()
+
+		rolled := 0
+		start := time.Now()
+		for _, u := range units {
+			res, err := rolag.Build(u.src, u.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("corebench %s: %w", u.name, err)
+			}
+			if res.Stats != nil {
+				rolled += res.Stats.LoopsRolled
+			}
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		out.LoopsRolled = rolled
+
+		timings := rolagcore.PhaseTimings()
+		iter := CoreBenchIteration{
+			WallSeconds:  wall.Seconds(),
+			PhaseSeconds: make(map[string]float64, rolagcore.NumPhases),
+			Allocs:       after.Mallocs - before.Mallocs,
+			AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+		}
+		for p := rolagcore.Phase(0); p < rolagcore.NumPhases; p++ {
+			sec := float64(timings[p].Nanos) / 1e9
+			iter.PhaseSeconds[p.String()] = sec
+			perPhase[p] = append(perPhase[p], sec)
+			phaseCounts[p] += timings[p].Count
+		}
+		out.Iterations = append(out.Iterations, iter)
+		walls = append(walls, wall.Seconds())
+	}
+
+	out.WallP50Seconds = percentile(walls, 0.50)
+	out.WallP99Seconds = percentile(walls, 0.99)
+	for _, w := range walls {
+		out.WallMeanSeconds += w
+	}
+	out.WallMeanSeconds /= float64(len(walls))
+	out.NsPerFunction = out.WallMeanSeconds * 1e9 / float64(len(units))
+	var allocs, bytes uint64
+	for _, it := range out.Iterations {
+		allocs += it.Allocs
+		bytes += it.AllocBytes
+	}
+	out.AllocsPerIteration = allocs / uint64(len(out.Iterations))
+	out.BytesPerIteration = bytes / uint64(len(out.Iterations))
+
+	for p := rolagcore.Phase(0); p < rolagcore.NumPhases; p++ {
+		ph := CoreBenchPhase{
+			Phase:      p.String(),
+			Count:      phaseCounts[p],
+			P50Seconds: percentile(perPhase[p], 0.50),
+			P99Seconds: percentile(perPhase[p], 0.99),
+		}
+		for _, s := range perPhase[p] {
+			ph.SumSeconds += s
+		}
+		out.Phases = append(out.Phases, ph)
+	}
+	return out, nil
+}
+
+// percentile returns the q-th percentile (0..1) of xs using
+// nearest-rank on a sorted copy; 0 for an empty slice.
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(q*float64(len(s))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

@@ -1,0 +1,121 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"rolag"
+	"rolag/internal/experiments"
+	"rolag/internal/workloads/angha"
+)
+
+// pinnedCorpusFunc returns fn_fieldcopy_0007 from the canonical seeded
+// corpus — the Linux-KVM struct-copy shape that tops the paper's
+// Fig. 15, and the heaviest single roll in the corpus prefix (136
+// instructions matched). Pinning one function keeps the allocation
+// budget below meaningful: the work per Build call never changes.
+func pinnedCorpusFunc(t testing.TB) angha.Function {
+	funcs := angha.Generate(8, 20220402)
+	fn := funcs[7]
+	if fn.Name != "fn_fieldcopy_0007" || fn.Family != angha.FamFieldCopy {
+		t.Fatalf("corpus drifted: funcs[7] = %s (%s), want fn_fieldcopy_0007 (field-copy); "+
+			"re-pin the function and re-measure the allocation budget", fn.Name, fn.Family)
+	}
+	return fn
+}
+
+// rollAllocBudget is the allocs-per-Build ceiling for the pinned
+// function. Measured at ~4.6k allocs/op after the analysis-cache and
+// allocation-lean work; the ceiling leaves ~2x headroom for legitimate
+// churn while still catching a return of the per-call map-rebuild
+// pattern (which costs several times more).
+const rollAllocBudget = 10000
+
+// TestRollAllocBudget is the tier-1 allocation regression gate on the
+// RoLAG hot path.
+func TestRollAllocBudget(t *testing.T) {
+	fn := pinnedCorpusFunc(t)
+	cfg := rolag.Config{Opt: rolag.OptRoLAG}
+	// Warm-up and sanity: the pinned function must actually roll,
+	// otherwise the budget would silently measure a no-op pipeline.
+	res, err := rolag.Build(fn.Src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil || res.Stats.LoopsRolled == 0 {
+		t.Fatalf("pinned function %s no longer rolls; stats: %+v", fn.Name, res.Stats)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := rolag.Build(fn.Src, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	if avg > rollAllocBudget {
+		t.Errorf("rolag.Build(%s): %.0f allocs/op, budget %d", fn.Name, avg, rollAllocBudget)
+	}
+}
+
+// BenchmarkRollAngha compiles a fixed slice of the canonical corpus
+// with RoLAG per iteration; allocs/op is the headline metric the
+// allocation-lean work targets.
+func BenchmarkRollAngha(b *testing.B) {
+	funcs := angha.Generate(60, 20220402)
+	cfg := rolag.Config{Opt: rolag.OptRoLAG}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, fn := range funcs {
+			if _, err := rolag.Build(fn.Src, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRollAnghaParallel is BenchmarkRollAngha with function-level
+// parallelism enabled (Parallelism = GOMAXPROCS); output is
+// byte-identical, so the delta is pure pipeline overhead or speedup.
+func BenchmarkRollAnghaParallel(b *testing.B) {
+	funcs := angha.Generate(60, 20220402)
+	cfg := rolag.Config{Opt: rolag.OptRoLAG, Parallelism: -1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, fn := range funcs {
+			if _, err := rolag.Build(fn.Src, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestCoreBenchSmoke runs the harness at minimum size and checks the
+// result is structurally sound — every phase present, percentiles
+// ordered, iteration data consistent with the summary.
+func TestCoreBenchSmoke(t *testing.T) {
+	res, err := experiments.RunCoreBench(experiments.CoreBenchConfig{N: 20, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != "rolag-bench/v1" {
+		t.Errorf("schema = %q", res.Schema)
+	}
+	if res.Functions != 20 || len(res.Iterations) != 2 {
+		t.Errorf("functions=%d iterations=%d, want 20 and 2", res.Functions, len(res.Iterations))
+	}
+	if res.LoopsRolled == 0 {
+		t.Error("corpus rolled nothing; the harness is measuring a no-op")
+	}
+	if res.WallP50Seconds <= 0 || res.WallP99Seconds < res.WallP50Seconds {
+		t.Errorf("bad wall percentiles: p50=%g p99=%g", res.WallP50Seconds, res.WallP99Seconds)
+	}
+	if res.NsPerFunction <= 0 || res.AllocsPerIteration == 0 {
+		t.Errorf("bad normalization: ns/func=%g allocs=%d", res.NsPerFunction, res.AllocsPerIteration)
+	}
+	want := map[string]bool{"seed": true, "align": true, "schedule": true, "codegen": true}
+	for _, ph := range res.Phases {
+		delete(want, ph.Phase)
+	}
+	if len(want) != 0 {
+		t.Errorf("phases missing from result: %v", want)
+	}
+}

@@ -278,6 +278,40 @@ func (m *Module) uniqueGlobalName(base string) string {
 	}
 }
 
+// GlobalsMark is a snapshot of a module's globals list and unique-name
+// counter, taken with MarkGlobals and restored with ResetGlobals.
+type GlobalsMark struct {
+	n       int
+	counter int
+}
+
+// MarkGlobals snapshots the globals state so a speculative
+// transformation can be rolled back without leaving a trace: restoring
+// the mark also restores the name counter, keeping subsequent
+// unique-name generation independent of abandoned attempts.
+func (m *Module) MarkGlobals() GlobalsMark {
+	return GlobalsMark{n: len(m.Globals), counter: m.globalCounter}
+}
+
+// ResetGlobals drops every global added since mark was taken and
+// restores the unique-name counter.
+func (m *Module) ResetGlobals(mark GlobalsMark) {
+	m.Globals = m.Globals[:mark.n]
+	m.globalCounter = mark.counter
+}
+
+// AdoptGlobal moves a global created in another module (a staging sink
+// used by the parallel pipeline) into m, renaming it to a fresh
+// m-unique name derived from base. Instructions referencing g through
+// its pointer stay valid; only the name changes. Adopting staged
+// globals in deterministic order replays the exact name sequence a
+// serial pipeline would have produced.
+func (m *Module) AdoptGlobal(g *Global, base string) {
+	g.Name = m.uniqueGlobalName(base)
+	g.Parent = m
+	m.Globals = append(m.Globals, g)
+}
+
 // FindFunc returns the function with the given name, or nil.
 func (m *Module) FindFunc(name string) *Func {
 	for _, f := range m.Funcs {

@@ -1,8 +1,8 @@
 package passes
 
 import (
-	"fmt"
-	"strings"
+	"math"
+	"strconv"
 
 	"rolag/internal/analysis"
 	"rolag/internal/ir"
@@ -21,13 +21,27 @@ func CSE(f *ir.Func) bool {
 	if f.IsDecl() {
 		return false
 	}
-	di := analysis.ComputeDom(f)
+	return cseDom(f, analysis.ComputeDom(f))
+}
+
+// CSEInfo is CSE reading the dominator tree from the cached analyses
+// instead of recomputing it; used by pipelines that carry an
+// analysis.Manager.
+func CSEInfo(f *ir.Func, fi *analysis.FuncInfo) bool {
+	if f.IsDecl() {
+		return false
+	}
+	return cseDom(f, fi.Dom())
+}
+
+func cseDom(f *ir.Func, di *analysis.DomInfo) bool {
 	changed := false
 
-	type scope struct {
-		table map[string]*ir.Instr
-		prev  map[string]*ir.Instr // shadowed entries (nil = not present)
-	}
+	// Value-numbering state shared across the walk: identity ids for
+	// named operands and one scratch buffer the keys are encoded into.
+	ids := make(map[ir.Value]uint32)
+	var buf []byte
+
 	var stack []map[string]*ir.Instr
 	lookup := func(k string) *ir.Instr {
 		for i := len(stack) - 1; i >= 0; i-- {
@@ -37,7 +51,6 @@ func CSE(f *ir.Func) bool {
 		}
 		return nil
 	}
-	_ = scope{}
 
 	var visit func(b *ir.Block)
 	visit = func(b *ir.Block) {
@@ -45,10 +58,12 @@ func CSE(f *ir.Func) bool {
 		stack = append(stack, local)
 		for i := 0; i < len(b.Instrs); i++ {
 			in := b.Instrs[i]
-			k, ok := cseKey(in)
+			kb, ok := cseKey(in, ids, buf[:0])
+			buf = kb
 			if !ok {
 				continue
 			}
+			k := string(kb)
 			if prev := lookup(k); prev != nil {
 				f.ReplaceAllUses(in, prev)
 				b.Remove(in)
@@ -110,28 +125,51 @@ func loadCSE(f *ir.Func) bool {
 	return changed
 }
 
-// cseKey returns a structural hash key for pure instructions.
-func cseKey(in *ir.Instr) (string, bool) {
+// cseKey appends a structural key for pure instruction in to buf and
+// reports whether the instruction is CSE-able. Constants encode by
+// exact content (so structurally equal constants collide, as they
+// must); every other operand encodes by a dense identity id from ids.
+// The encoding uses strconv appends into the caller's scratch buffer —
+// no fmt, no intermediate strings.
+func cseKey(in *ir.Instr, ids map[ir.Value]uint32, buf []byte) ([]byte, bool) {
 	switch {
 	case in.Op.IsBinary(), in.Op.IsCast(),
 		in.Op == ir.OpGEP, in.Op == ir.OpICmp, in.Op == ir.OpFCmp,
 		in.Op == ir.OpSelect:
 	default:
-		return "", false
+		return buf, false
 	}
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d|%s|%d|", in.Op, in.Typ, in.Pred)
+	buf = strconv.AppendUint(buf, uint64(in.Op), 10)
+	buf = append(buf, '|')
+	buf = append(buf, in.Typ.String()...)
+	buf = append(buf, '|')
+	buf = strconv.AppendUint(buf, uint64(in.Pred), 10)
+	buf = append(buf, '|')
 	for _, op := range in.Operands {
 		switch c := op.(type) {
 		case *ir.IntConst:
-			fmt.Fprintf(&sb, "i%s:%d;", c.Typ, c.Val)
+			buf = append(buf, 'i')
+			buf = strconv.AppendInt(buf, int64(c.Typ.Bits), 10)
+			buf = append(buf, ':')
+			buf = strconv.AppendInt(buf, c.Val, 10)
 		case *ir.FloatConst:
-			fmt.Fprintf(&sb, "f%s:%x;", c.Typ, c.Val)
+			buf = append(buf, 'f')
+			buf = strconv.AppendInt(buf, int64(c.Typ.Bits), 10)
+			buf = append(buf, ':')
+			buf = strconv.AppendUint(buf, math.Float64bits(c.Val), 16)
 		case *ir.NullConst:
-			fmt.Fprintf(&sb, "null%s;", c.Typ)
+			buf = append(buf, 'n')
+			buf = append(buf, c.Typ.String()...)
 		default:
-			fmt.Fprintf(&sb, "%p;", op)
+			id, ok := ids[op]
+			if !ok {
+				id = uint32(len(ids))
+				ids[op] = id
+			}
+			buf = append(buf, 'v')
+			buf = strconv.AppendUint(buf, uint64(id), 10)
 		}
+		buf = append(buf, ';')
 	}
-	return sb.String(), true
+	return buf, true
 }

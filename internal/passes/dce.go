@@ -3,40 +3,87 @@ package passes
 import "rolag/internal/ir"
 
 // DCE removes instructions whose results are unused and that have no
-// side effects, iterating to a fixed point. It returns true if anything
-// was removed.
+// side effects. A single use-count map is built up front and
+// decremented as instructions die, driving a worklist to the unique
+// liveness fixpoint — the def-use chains are never recomputed, unlike a
+// sweep-until-stable loop. Returns true if anything was removed.
 func DCE(f *ir.Func) bool {
 	if f.IsDecl() {
 		return false
 	}
-	removedAny := false
-	for {
-		users := f.Users()
-		removed := false
-		for _, b := range f.Blocks {
-			for i := len(b.Instrs) - 1; i >= 0; i-- {
-				in := b.Instrs[i]
-				if in.IsTerminator() || in.MayWriteMemory() {
+	// Distinct-user counts, matching ir.Func.Users semantics: an
+	// instruction using v through several operand slots counts as one
+	// user of v. Operand lists are tiny, so a quadratic scan beats a
+	// dedup map.
+	useCount := make(map[ir.Value]int, f.NumInstrs())
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			ops := in.Operands
+		count:
+			for i, op := range ops {
+				if op == nil {
 					continue
 				}
-				if in.Op == ir.OpAlloca {
-					// Dead allocas (no users) can go too.
-					if len(users[in]) == 0 {
-						b.Remove(in)
-						removed = true
+				for _, prev := range ops[:i] {
+					if prev == op {
+						continue count
 					}
-					continue
 				}
-				if len(users[in]) == 0 {
-					b.Remove(in)
-					removed = true
-				}
+				useCount[op]++
 			}
 		}
-		if !removed {
-			break
-		}
-		removedAny = true
 	}
-	return removedAny
+
+	removable := func(in *ir.Instr) bool {
+		return !in.IsTerminator() && !in.MayWriteMemory()
+	}
+
+	var work []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if removable(in) && useCount[in] == 0 {
+				work = append(work, in)
+			}
+		}
+	}
+	removed := make(map[*ir.Instr]bool)
+	for len(work) > 0 {
+		in := work[len(work)-1]
+		work = work[:len(work)-1]
+		if removed[in] || useCount[in] != 0 {
+			continue
+		}
+		removed[in] = true
+		ops := in.Operands
+	release:
+		for i, op := range ops {
+			if op == nil {
+				continue
+			}
+			for _, prev := range ops[:i] {
+				if prev == op {
+					continue release
+				}
+			}
+			useCount[op]--
+			if d, ok := op.(*ir.Instr); ok && useCount[op] == 0 && removable(d) && !removed[d] {
+				work = append(work, d)
+			}
+		}
+	}
+	if len(removed) == 0 {
+		return false
+	}
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if removed[in] {
+				in.Parent = nil
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return true
 }

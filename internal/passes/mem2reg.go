@@ -37,9 +37,14 @@ func Mem2Reg(f *ir.Func) bool {
 				}
 			}
 		}
+		// Seed the worklist in block order, not map order: phi creation
+		// order feeds UniqueName, so a map-ordered seed would make the
+		// output names differ run to run.
 		work := make([]*ir.Block, 0, len(defBlocks))
-		for b := range defBlocks {
-			work = append(work, b)
+		for _, b := range f.Blocks {
+			if defBlocks[b] {
+				work = append(work, b)
+			}
 		}
 		placed := make(map[*ir.Block]bool)
 		for len(work) > 0 {

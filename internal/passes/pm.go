@@ -1,12 +1,23 @@
 package passes
 
-import "rolag/internal/ir"
+import (
+	"rolag/internal/analysis"
+	"rolag/internal/ir"
+)
 
 // FuncPass transforms one function and reports whether it changed
 // anything.
 type FuncPass struct {
 	Name string
 	Run  func(*ir.Func) bool
+	// RunInfo, if set, is used instead of Run by pipelines that carry an
+	// analysis cache: the pass may read cached analyses from the
+	// FuncInfo and must report whether it changed the function (the
+	// pipeline invalidates the cache on change). Passes running under
+	// the fail-soft sandbox always use Run — the sandbox rewrites
+	// instruction pointers every pass, so cached analyses cannot
+	// survive it.
+	RunInfo func(*ir.Func, *analysis.FuncInfo) bool
 }
 
 // Pipeline is an ordered list of function passes applied to every
@@ -27,7 +38,7 @@ func Standard() *Pipeline {
 		{Name: "constfold", Run: ConstFold},
 		{Name: "simplify", Run: Simplify},
 		{Name: "ifconvert", Run: IfConvert},
-		{Name: "cse", Run: CSE},
+		{Name: "cse", Run: CSE, RunInfo: CSEInfo},
 		{Name: "licm", Run: LICM},
 		{Name: "constfold", Run: ConstFold},
 		{Name: "dce", Run: DCE},
@@ -37,12 +48,24 @@ func Standard() *Pipeline {
 }
 
 // RunFunc applies the pipeline to one function, returning whether any
-// pass changed it.
+// pass changed it. Analyses are cached across passes through a private
+// analysis.Manager and invalidated whenever a pass reports a change.
 func (p *Pipeline) RunFunc(f *ir.Func) bool {
+	return p.runFunc(f, analysis.NewManager())
+}
+
+func (p *Pipeline) runFunc(f *ir.Func, am *analysis.Manager) bool {
 	changed := false
 	for _, ps := range p.Passes {
-		if ps.Run(f) {
+		var c bool
+		if ps.RunInfo != nil {
+			c = ps.RunInfo(f, am.Info(f))
+		} else {
+			c = ps.Run(f)
+		}
+		if c {
 			changed = true
+			am.Invalidate(f)
 		}
 		if p.Verify {
 			if err := f.Verify(); err != nil {
@@ -55,12 +78,13 @@ func (p *Pipeline) RunFunc(f *ir.Func) bool {
 
 // Run applies the pipeline to every function in the module.
 func (p *Pipeline) Run(m *ir.Module) bool {
+	am := analysis.NewManager()
 	changed := false
 	for _, f := range m.Funcs {
 		if f.IsDecl() {
 			continue
 		}
-		if p.RunFunc(f) {
+		if p.runFunc(f, am) {
 			changed = true
 		}
 	}
@@ -79,10 +103,21 @@ func (p *Pipeline) RunSandboxed(m *ir.Module, sb *Sandbox) bool {
 		if f.IsDecl() {
 			continue
 		}
-		for _, ps := range p.Passes {
-			if c, ok := sb.RunShadow(ps.Name, f, ps.Run); ok && c {
-				changed = true
-			}
+		if p.RunFuncSandboxed(f, sb) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// RunFuncSandboxed applies the pipeline to one function under the
+// fail-soft sandbox. The parallel pipeline calls it with a private
+// per-function sandbox; serial callers share one.
+func (p *Pipeline) RunFuncSandboxed(f *ir.Func, sb *Sandbox) bool {
+	changed := false
+	for _, ps := range p.Passes {
+		if c, ok := sb.RunShadow(ps.Name, f, ps.Run); ok && c {
+			changed = true
 		}
 	}
 	return changed

@@ -137,6 +137,17 @@ func (s *Sandbox) Report() *Degraded {
 	return &s.report
 }
 
+// Absorb appends other's degradation report to s's and clears other.
+// The parallel pipeline gives every concurrently-optimized function a
+// private sandbox (a Sandbox is not safe for concurrent use) and then
+// absorbs them into the job's sandbox in function order, so the
+// aggregate report is deterministic and matches what a serial run over
+// the same outcomes would have recorded.
+func (s *Sandbox) Absorb(other *Sandbox) {
+	s.report.Skips = append(s.report.Skips, other.report.Skips...)
+	other.report.Skips = nil
+}
+
 // RunShadow executes a module-pure pass against a shadow copy of f and
 // commits the shadow only if the pass returns within budget, does not
 // panic, and leaves the function verifier-clean. It returns (changed,
@@ -187,24 +198,30 @@ func (s *Sandbox) RunShadow(pass string, f *ir.Func, run func(*ir.Func) bool) (c
 }
 
 // RunInPlace executes a pass that may append globals to f's module
-// (RoLAG). It snapshots the body and the module's globals length, runs
+// (RoLAG). It snapshots the body and marks the module's globals, runs
 // the pass in the calling goroutine with panic recovery, applies the
 // budget after the fact (a stalled pass delays this one compilation but
 // is still rolled back), verifies, and on any failure restores the
-// snapshot and truncates the appended globals. Global NAMES generated
-// by a committed execution are identical to the fail-hard path because
-// the pass runs against the real module. Returns (changed, ok) as
-// RunShadow.
+// snapshot and the globals mark. Global NAMES generated by a committed
+// execution are identical to the fail-hard path because the pass runs
+// against the real module. Returns (changed, ok) as RunShadow.
 func (s *Sandbox) RunInPlace(pass string, f *ir.Func, run func(*ir.Func) bool) (changed, ok bool) {
+	return s.RunInPlaceIn(pass, f, f.Parent, run)
+}
+
+// RunInPlaceIn is RunInPlace with the module that receives appended
+// globals made explicit: the parallel pipeline stages each function's
+// globals in a private sink module (see rolag.RollFuncInto), so the
+// rollback mark must be taken on the sink rather than on f.Parent.
+func (s *Sandbox) RunInPlaceIn(pass string, f *ir.Func, sink *ir.Module, run func(*ir.Func) bool) (changed, ok bool) {
 	if f.IsDecl() {
 		return false, true
 	}
 	if !s.allow(pass, f) {
 		return false, false
 	}
-	m := f.Parent
 	snapshot := ir.ShadowFunc(f)
-	nGlobals := len(m.Globals)
+	gmark := sink.MarkGlobals()
 	start := time.Now()
 	changed, skip := s.exec(pass, f, run)
 	if skip == nil {
@@ -222,7 +239,7 @@ func (s *Sandbox) RunInPlace(pass string, f *ir.Func, run func(*ir.Func) bool) (
 	}
 	if skip != nil {
 		f.AdoptBody(snapshot)
-		m.Globals = m.Globals[:nGlobals]
+		sink.ResetGlobals(gmark)
 		s.fail(pass, *skip)
 		return false, false
 	}

@@ -10,12 +10,20 @@ import (
 // new exit block receives the post-loop code, the extracted external
 // values and b's original terminator.
 func GenerateLoop(f *ir.Func, b *ir.Block, g *Graph, sched *Schedule, opts *Options) {
-	lanes := g.Root.Lanes()
-	mod := f.Parent
-
 	// Users are needed to find external uses of matched instructions;
 	// compute before any mutation.
-	users := f.Users()
+	generateLoopInto(f, b, g, sched, opts, f.Users(), f.Parent)
+}
+
+// generateLoopInto is GenerateLoop with the pre-mutation def-use chains
+// supplied by the caller (from the analysis cache) and an explicit sink
+// module for the constant-table globals codegen creates. The parallel
+// pipeline passes a private staging module as sink so concurrent
+// functions never touch the shared module; the serial path passes
+// f.Parent.
+func generateLoopInto(f *ir.Func, b *ir.Block, g *Graph, sched *Schedule, opts *Options, users map[ir.Value][]*ir.Instr, sink *ir.Module) {
+	lanes := g.Root.Lanes()
+	mod := sink
 
 	// Create the loop and exit blocks right after b.
 	loopB := &ir.Block{Name: f.UniqueName("roll.loop"), Parent: f}
@@ -199,6 +207,13 @@ func (cg *codegen) genMismatch(n *Node) ir.Value {
 		}
 		glob := cg.mod.NewGlobal("roll.cdata", arr.Typ, arr)
 		glob.ReadOnly = true
+		// When cg.mod is a parallel staging sink rather than the real
+		// module, claim the real module as parent immediately: the
+		// verifier checks operand ownership against f.Parent, and the
+		// sandbox verifies the function before the staged global is
+		// adopted. Adoption only renames and re-lists; it restores the
+		// same parent. A no-op in the serial pipeline (cg.mod == f.Parent).
+		glob.Parent = cg.f.Parent
 		p := cg.loop.GEP(glob, ir.ConstInt(ir.I64, 0), cg.iv)
 		return cg.loop.Load(p)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"rolag/internal/analysis"
 	"rolag/internal/ir"
 )
 
@@ -87,11 +88,18 @@ type Graph struct {
 
 // NodeCounts tallies the node kinds in the graph (Fig. 16 / Fig. 19).
 func (g *Graph) NodeCounts() map[NodeKind]int {
-	m := make(map[NodeKind]int)
-	for _, n := range g.Nodes {
-		m[n.Kind]++
-	}
+	m := make(map[NodeKind]int, 4)
+	g.AddNodeCounts(m)
 	return m
+}
+
+// AddNodeCounts accumulates the graph's node-kind tallies into dst, so
+// callers aggregating many graphs (the stats collector, rolagd's
+// per-request counts) reuse one map instead of allocating per graph.
+func (g *Graph) AddNodeCounts(dst map[NodeKind]int) {
+	for _, n := range g.Nodes {
+		dst[n.Kind]++
+	}
 }
 
 // String renders the graph for debugging.
@@ -152,15 +160,24 @@ type graphBuilder struct {
 	memo    map[string]*Node
 	claimed map[*ir.Instr]laneRef
 	nodes   []*Node
+	// intern assigns the dense value ids behind memoization keys; it is
+	// shared across all graph builds of a function (via the analysis
+	// cache) so ids — and their map entries — are reused.
+	intern *analysis.Interner
+	// keyBuf is the scratch buffer groupKey encodes into; reused across
+	// calls, so steady-state key construction allocates only the final
+	// string.
+	keyBuf []byte
 }
 
-func newGraphBuilder(opts *Options, b *ir.Block) *graphBuilder {
+func newGraphBuilder(opts *Options, b *ir.Block, intern *analysis.Interner) *graphBuilder {
 	gb := &graphBuilder{
 		opts:    opts,
 		block:   b,
 		inBlock: make(map[*ir.Instr]bool, len(b.Instrs)),
 		memo:    make(map[string]*Node),
 		claimed: make(map[*ir.Instr]laneRef),
+		intern:  intern,
 	}
 	for _, in := range b.Instrs {
 		gb.inBlock[in] = true
@@ -176,17 +193,12 @@ func (gb *graphBuilder) addNode(n *Node) *Node {
 // groupKey identifies a lane group for memoization. Instructions and
 // other named values key by identity; constants key by type and value so
 // that structurally equal constant groups (e.g. the index sequence 0..n
-// appearing under several parents) share one node.
-func groupKey(vals []ir.Value) string {
-	var sb strings.Builder
-	for _, v := range vals {
-		if c, ok := v.(ir.Const); ok {
-			fmt.Fprintf(&sb, "c:%s:%s;", c.Type(), c.Ident())
-			continue
-		}
-		fmt.Fprintf(&sb, "%p;", v)
-	}
-	return sb.String()
+// appearing under several parents) share one node. The key is the
+// hash-consed id sequence of the lanes — four bytes per lane — rather
+// than a formatted string.
+func (gb *graphBuilder) groupKey(vals []ir.Value) string {
+	gb.keyBuf = gb.intern.AppendKey(gb.keyBuf[:0], vals)
+	return string(gb.keyBuf)
 }
 
 // build classifies a lane group and returns its node. parent is the
@@ -228,7 +240,7 @@ func (gb *graphBuilder) build(vals []ir.Value, parent *Node) (*Node, error) {
 		}
 	}
 
-	key := groupKey(vals)
+	key := gb.groupKey(vals)
 	if n, ok := gb.memo[key]; ok {
 		return n, nil
 	}
@@ -293,33 +305,39 @@ func (gb *graphBuilder) classify(vals []ir.Value) (*Node, error) {
 	return gb.mismatch(vals)
 }
 
-// tryIntSeq recognizes S0..Sn,step sequences of integer constants.
+// tryIntSeq recognizes S0..Sn,step sequences of integer constants. It
+// validates the lanes in one pass without an intermediate constant
+// slice — this runs on every unmemoized leaf group, so the only
+// allocation on the hit path is the node's own lane copy.
 func (gb *graphBuilder) tryIntSeq(vals []ir.Value) *Node {
 	if !gb.opts.EnableIntSeq || len(vals) < 2 {
 		return nil
 	}
-	consts := make([]*ir.IntConst, len(vals))
-	for i, v := range vals {
-		c, ok := v.(*ir.IntConst)
-		if !ok {
-			return nil
-		}
-		consts[i] = c
+	c0, ok := vals[0].(*ir.IntConst)
+	if !ok {
+		return nil
 	}
-	typ := consts[0].Typ
-	step := consts[1].Val - consts[0].Val
+	c1, ok := vals[1].(*ir.IntConst)
+	if !ok {
+		return nil
+	}
+	typ := c0.Typ
+	step := c1.Val - c0.Val
 	if step == 0 {
 		return nil // identical would have caught equal lanes
 	}
-	for i := 1; i < len(consts); i++ {
-		if consts[i].Typ != typ || consts[i].Val-consts[i-1].Val != step {
+	prev := c0.Val
+	for _, v := range vals[1:] {
+		c, ok := v.(*ir.IntConst)
+		if !ok || c.Typ != typ || c.Val-prev != step {
 			return nil
 		}
+		prev = c.Val
 	}
 	return gb.addNode(&Node{
 		Kind:   KindIntSeq,
-		Vals:   toValues(consts),
-		Start:  consts[0].Val,
+		Vals:   append([]ir.Value(nil), vals...),
+		Start:  c0.Val,
 		Step:   step,
 		SeqTyp: typ,
 	})
@@ -487,13 +505,19 @@ func (gb *graphBuilder) makeMatch(insts []*ir.Instr) (*Node, error) {
 		return nil, err
 	}
 	gb.addNode(n)
+	// One backing array for all operand groups; each group is a view.
+	// The views stay alive only through node Vals copies, so the shared
+	// backing is safe.
 	numOps := len(insts[0].Operands)
+	lanes := len(insts)
+	flat := make([]ir.Value, numOps*lanes)
 	groups := make([][]ir.Value, numOps)
 	for oi := 0; oi < numOps; oi++ {
-		groups[oi] = make([]ir.Value, len(insts))
+		g := flat[oi*lanes : (oi+1)*lanes : (oi+1)*lanes]
 		for k, in := range insts {
-			groups[oi][k] = in.Operand(oi)
+			g[k] = in.Operand(oi)
 		}
+		groups[oi] = g
 	}
 	if gb.opts.EnableCommutative && insts[0].Op.IsCommutative() && numOps == 2 {
 		reorderCommutative(groups[0], groups[1])
@@ -730,10 +754,3 @@ func (gb *graphBuilder) mismatch(vals []ir.Value) (*Node, error) {
 	return gb.addNode(&Node{Kind: KindMismatch, Vals: append([]ir.Value(nil), vals...)}), nil
 }
 
-func toValues[T ir.Value](xs []T) []ir.Value {
-	out := make([]ir.Value, len(xs))
-	for i, x := range xs {
-		out[i] = x
-	}
-	return out
-}

@@ -4,18 +4,21 @@ import (
 	"fmt"
 	"strings"
 
+	"rolag/internal/analysis"
 	"rolag/internal/ir"
 )
 
 // RollModule runs RoLAG on every function of the module and returns the
-// accumulated statistics.
+// accumulated statistics. Analyses are cached across blocks and roll
+// attempts through one analysis.Manager.
 func RollModule(m *ir.Module, opts *Options) *Stats {
 	if opts == nil {
 		opts = DefaultOptions()
 	}
+	am := analysis.NewManager()
 	stats := NewStats()
 	for _, f := range m.Funcs {
-		stats.Add(RollFunc(f, opts))
+		stats.Add(RollFuncInto(f, opts, am, m))
 	}
 	return stats
 }
@@ -23,8 +26,27 @@ func RollModule(m *ir.Module, opts *Options) *Stats {
 // RollFunc runs RoLAG on every basic block of f (the main procedure of
 // Fig. 5). Newly generated loop blocks are not re-processed.
 func RollFunc(f *ir.Func, opts *Options) *Stats {
+	return RollFuncInto(f, opts, nil, nil)
+}
+
+// RollFuncInto is RollFunc with the analysis cache and the global sink
+// made explicit. am carries cached per-function analyses (nil for a
+// private cache). sink is the module that receives the constant-table
+// globals codegen creates (nil for f.Parent); the parallel pipeline
+// passes a private staging module per function and later adopts the
+// staged globals into the real module in deterministic function order,
+// replaying the serial name sequence. Cost decisions compare before
+// and after deltas, so pricing rodata against the sink instead of the
+// full module changes nothing.
+func RollFuncInto(f *ir.Func, opts *Options, am *analysis.Manager, sink *ir.Module) *Stats {
 	if opts == nil {
 		opts = DefaultOptions()
+	}
+	if am == nil {
+		am = analysis.NewManager()
+	}
+	if sink == nil {
+		sink = f.Parent
 	}
 	stats := NewStats()
 	if f.IsDecl() {
@@ -49,7 +71,7 @@ func RollFunc(f *ir.Func, opts *Options) *Stats {
 		}
 		revisits[b.Name]++
 		stats.BlocksScanned++
-		rolled, loopBlock := rollBlockOnce(f, i, opts, stats)
+		rolled, loopBlock := rollBlockOnce(f, i, opts, stats, am, sink)
 		if rolled {
 			skip[loopBlock] = true
 			// Revisit the (now shorter) preheader for further seed
@@ -61,37 +83,69 @@ func RollFunc(f *ir.Func, opts *Options) *Stats {
 	return stats
 }
 
+// AdoptStagedGlobals moves every global staged in sink into m, in
+// staging order, renaming each one against m's namespace. The parallel
+// pipeline rolls functions concurrently into private sinks and then
+// adopts each sink in module function order; because uniqueGlobalName
+// numbering is driven purely by the order of requests for a base name,
+// this replays the exact name sequence the serial pipeline produces.
+func AdoptStagedGlobals(m, sink *ir.Module) {
+	for _, g := range sink.Globals {
+		m.AdoptGlobal(g, globalBase(g.Name))
+	}
+	sink.Globals = nil
+}
+
+// globalBase strips the ".N" uniquing suffix a staging sink may have
+// appended, recovering the base name codegen asked for.
+func globalBase(name string) string {
+	i := strings.LastIndexByte(name, '.')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
 // rollBlockOnce tries the seed groups of block f.Blocks[bi] in priority
 // order until one rolls profitably. It reports whether a roll happened
 // and the created loop block.
-func rollBlockOnce(f *ir.Func, bi int, opts *Options, stats *Stats) (bool, *ir.Block) {
+func rollBlockOnce(f *ir.Func, bi int, opts *Options, stats *Stats, am *analysis.Manager, sink *ir.Module) (bool, *ir.Block) {
 	failed := make(map[string]bool)
 	for {
 		b := f.Blocks[bi]
-		groups := CollectSeedGroups(b, opts)
-		stats.SeedGroups += countNew(groups, failed, b)
+		fi := am.Info(f)
+		t := phaseStart()
+		idx := fi.Index()
+		groups := collectSeedGroupsInfo(b, opts, fi)
+		stats.SeedGroups += countNew(groups, failed, b, idx)
 
 		var attempt []*SeedGroup
 		for _, g := range groups {
 			if opts.EnableJoint {
-				if joined := TryJoin(b, g, groups); joined != nil {
-					sig := signature(b, joined...)
+				if joined := tryJoinIdx(b, g, groups, idx); joined != nil {
+					sig := signature(b, idx, joined...)
 					if !failed[sig] {
 						attempt = joined
 						break
 					}
 				}
 			}
-			if !failed[signature(b, g)] {
+			if !failed[signature(b, idx, g)] {
 				attempt = []*SeedGroup{g}
 				break
 			}
 		}
+		phaseEnd(PhaseSeed, t)
 		if attempt == nil {
 			return false, nil
 		}
-		sig := signature(b, attempt...)
-		loopBlock, err := tryRoll(f, bi, opts, stats, attempt)
+		sig := signature(b, idx, attempt...)
+		loopBlock, err := tryRoll(f, bi, opts, stats, am, sink, attempt)
 		if err == nil {
 			return true, loopBlock
 		}
@@ -102,38 +156,51 @@ func rollBlockOnce(f *ir.Func, bi int, opts *Options, stats *Stats) (bool, *ir.B
 // tryRoll builds the alignment graph, runs the scheduling analysis,
 // generates the loop, and keeps it only if the cost model deems it
 // smaller (Fig. 5). On any failure the function body is restored.
-func tryRoll(f *ir.Func, bi int, opts *Options, stats *Stats, groups []*SeedGroup) (*ir.Block, error) {
+func tryRoll(f *ir.Func, bi int, opts *Options, stats *Stats, am *analysis.Manager, sink *ir.Module, groups []*SeedGroup) (*ir.Block, error) {
 	b := f.Blocks[bi]
-	graph, err := BuildGraph(b, opts, groups...)
+	fi := am.Info(f)
+
+	t := phaseStart()
+	graph, err := buildGraphInfo(b, opts, fi, groups...)
+	phaseEnd(PhaseAlign, t)
 	if err != nil {
 		return nil, err
 	}
 	stats.GraphsBuilt++
-	sched, err := AnalyzeScheduling(b, graph)
+
+	t = phaseStart()
+	sched, err := analyzeSchedulingIdx(b, graph, fi.Index())
+	phaseEnd(PhaseSchedule, t)
 	if err != nil {
 		stats.ScheduleFailed++
 		return nil, err
 	}
 
+	t = phaseStart()
 	snapshot := ir.CloneBlocks(f)
-	nGlobals := len(f.Parent.Globals)
-	costBefore := opts.Model.Func(f) + rodataSize(f.Parent)
+	gmark := sink.MarkGlobals()
+	costBefore := opts.Model.FuncUsers(f, fi.Users()) + rodataSize(sink)
 
-	GenerateLoop(f, b, graph, sched, opts)
+	generateLoopInto(f, b, graph, sched, opts, fi.Users(), sink)
+	// The body was rewritten; everything cached about f is stale.
+	am.Invalidate(f)
 
-	costAfter := opts.Model.Func(f) + rodataSize(f.Parent)
+	costAfter := opts.Model.FuncUsers(f, am.Info(f).Users()) + rodataSize(sink)
 	if !opts.AlwaysRoll && costAfter >= costBefore {
-		// Not profitable: restore the body and drop added globals.
+		// Not profitable: restore the body and drop added globals. The
+		// snapshot swaps in cloned instruction pointers, so the
+		// analyses must be invalidated again for the restored body.
 		f.Blocks = snapshot
-		f.Parent.Globals = f.Parent.Globals[:nGlobals]
+		sink.ResetGlobals(gmark)
+		am.Invalidate(f)
 		stats.NotProfitable++
+		phaseEnd(PhaseCodegen, t)
 		return nil, &errAbort{reason: fmt.Sprintf("not profitable (%d >= %d bytes)", costAfter, costBefore)}
 	}
 	stats.LoopsRolled++
 	stats.InstrsRolled += len(graph.Matched)
-	for kind, c := range graph.NodeCounts() {
-		stats.NodeCounts[kind] += c
-	}
+	graph.AddNodeCounts(stats.NodeCounts)
+	phaseEnd(PhaseCodegen, t)
 	return f.Blocks[bi+1], nil
 }
 
@@ -150,12 +217,11 @@ func rodataSize(m *ir.Module) int {
 }
 
 // signature identifies a (joint) seed-group attempt stably across body
-// snapshots: block name plus each seed's index within the block.
-func signature(b *ir.Block, groups ...*SeedGroup) string {
-	idx := make(map[*ir.Instr]int, len(b.Instrs))
-	for i, in := range b.Instrs {
-		idx[in] = i
-	}
+// snapshots: block name plus each seed's index within the block. idx
+// must map b's instructions to their position in b (a cached
+// analysis.FuncInfo.Index works: it records each instruction's position
+// within its own block).
+func signature(b *ir.Block, idx map[*ir.Instr]int, groups ...*SeedGroup) string {
 	var sb strings.Builder
 	sb.WriteString(b.Name)
 	for _, g := range groups {
@@ -167,10 +233,10 @@ func signature(b *ir.Block, groups ...*SeedGroup) string {
 	return sb.String()
 }
 
-func countNew(groups []*SeedGroup, failed map[string]bool, b *ir.Block) int {
+func countNew(groups []*SeedGroup, failed map[string]bool, b *ir.Block, idx map[*ir.Instr]int) int {
 	n := 0
 	for _, g := range groups {
-		if !failed[signature(b, g)] {
+		if !failed[signature(b, idx, g)] {
 			n++
 		}
 	}

@@ -26,6 +26,21 @@ type Schedule struct {
 // semantics, and computes where every other instruction of the block must
 // be placed. It returns nil when the rearrangement is illegal.
 func AnalyzeScheduling(b *ir.Block, g *Graph) (*Schedule, error) {
+	idx := make(map[*ir.Instr]int, len(b.Instrs))
+	for i, in := range b.Instrs {
+		idx[in] = i
+	}
+	return analyzeSchedulingIdx(b, g, idx)
+}
+
+// analyzeSchedulingIdx is AnalyzeScheduling with the block position
+// index supplied by the caller (typically a cached
+// analysis.FuncInfo.Index, which maps every instruction to its position
+// within its own block — for b's instructions that is the position in
+// b). The index serves both roles the analysis needs positions for:
+// locating conflicts relative to the candidate and verifying the
+// reordered memory-operation pairs.
+func analyzeSchedulingIdx(b *ir.Block, g *Graph, idx map[*ir.Instr]int) (*Schedule, error) {
 	emission := emissionOrder(g)
 
 	// Inputs: unmatched values inside the block that the rolled loop
@@ -118,10 +133,6 @@ func AnalyzeScheduling(b *ir.Block, g *Graph) (*Schedule, error) {
 			break
 		}
 	}
-	idx := make(map[*ir.Instr]int, len(b.Instrs))
-	for i, in := range b.Instrs {
-		idx[in] = i
-	}
 	// For an independent instruction with memory effects, the safe side
 	// depends on which matched memory operations it conflicts with: a
 	// conflict with a matched op *after* it forbids sinking (→ PRE), a
@@ -211,10 +222,6 @@ func AnalyzeScheduling(b *ir.Block, g *Graph) (*Schedule, error) {
 	// likewise POST memory ops sink below later iterations' ops, and
 	// matched memory ops are reordered iteration-major. Verify every
 	// reordered pair of conflicting memory operations (§IV.D).
-	origIdx := make(map[*ir.Instr]int, len(b.Instrs))
-	for i, in := range b.Instrs {
-		origIdx[in] = i
-	}
 	var newOrder []*ir.Instr
 	for _, in := range sched.Pre {
 		if in.HasMemoryEffect() {
@@ -238,16 +245,12 @@ func AnalyzeScheduling(b *ir.Block, g *Graph) (*Schedule, error) {
 			newOrder = append(newOrder, in)
 		}
 	}
-	newIdx := make(map[*ir.Instr]int, len(newOrder))
-	for i, in := range newOrder {
-		newIdx[in] = i
-	}
 	for i := 0; i < len(newOrder); i++ {
 		for j := i + 1; j < len(newOrder); j++ {
 			a, c := newOrder[i], newOrder[j]
 			// a precedes c in the new order; if c originally preceded a
 			// and they conflict, the roll is illegal.
-			if origIdx[c] < origIdx[a] && analysis.Conflict(a, c) {
+			if idx[c] < idx[a] && analysis.Conflict(a, c) {
 				return nil, &errAbort{reason: "memory operations would be reordered: " + a.String() + " / " + c.String()}
 			}
 		}

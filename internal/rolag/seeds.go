@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 
+	"rolag/internal/analysis"
 	"rolag/internal/ir"
 )
 
@@ -48,14 +49,18 @@ func (s *SeedGroup) Lanes() int {
 // ordered by descending lane count (bigger rolls first), breaking ties by
 // first-seed position.
 func CollectSeedGroups(b *ir.Block, opts *Options) []*SeedGroup {
+	return collectSeedGroupsInfo(b, opts, analysis.NewManager().Info(b.Parent))
+}
+
+// collectSeedGroupsInfo is CollectSeedGroups against cached analyses:
+// the position index and the function-wide def-use chains come from fi
+// instead of being rebuilt per call.
+func collectSeedGroupsInfo(b *ir.Block, opts *Options, fi *analysis.FuncInfo) []*SeedGroup {
 	minLanes := opts.MinLanes
 	if minLanes < 2 {
 		minLanes = 2
 	}
-	index := make(map[*ir.Instr]int, len(b.Instrs))
-	for i, in := range b.Instrs {
-		index[in] = i
-	}
+	index := fi.Index()
 
 	var groups []*SeedGroup
 
@@ -112,14 +117,14 @@ func CollectSeedGroups(b *ir.Block, opts *Options) []*SeedGroup {
 
 	// Reduction-tree roots (§IV.C5).
 	if opts.EnableReduction {
-		for _, red := range collectReductions(b, opts, minLanes) {
+		for _, red := range collectReductions(b, opts, minLanes, fi.Users()) {
 			groups = append(groups, red)
 		}
 	}
 	// Select-based min/max reduction chains (extension; the paper's
 	// future work).
 	if opts.EnableMinMaxReduction {
-		for _, red := range collectMinMaxReductions(b, minLanes) {
+		for _, red := range collectMinMaxReductions(b, minLanes, fi.Users()) {
 			groups = append(groups, red)
 		}
 	}
@@ -174,14 +179,13 @@ func baseObject(v ir.Value) ir.Value {
 // collectReductions finds reduction trees: maximal same-opcode trees of
 // associative binary operations whose internal nodes are used only inside
 // the tree. The leaves become the seed lanes.
-func collectReductions(b *ir.Block, opts *Options, minLanes int) []*SeedGroup {
-	// Uses must be counted function-wide, not per-block: an earlier roll
-	// in the same RollFunc invocation may have split the block, moving a
-	// user of an intermediate value (a terminator operand, a value live
-	// across the split) into a successor block. A block-local map would
-	// miss that use, claim the intermediate as tree-internal, and delete
-	// a value that is still referenced.
-	users := b.Parent.Users()
+func collectReductions(b *ir.Block, opts *Options, minLanes int, users map[ir.Value][]*ir.Instr) []*SeedGroup {
+	// users must be counted function-wide, not per-block: an earlier
+	// roll in the same RollFunc invocation may have split the block,
+	// moving a user of an intermediate value (a terminator operand, a
+	// value live across the split) into a successor block. A block-local
+	// map would miss that use, claim the intermediate as tree-internal,
+	// and delete a value that is still referenced.
 	assoc := func(op ir.Op) bool {
 		if op.IsAssociative() {
 			return true
@@ -268,12 +272,18 @@ func singleUser(users map[ir.Value][]*ir.Instr, v *ir.Instr) bool {
 // one joint group (§IV.C6). It returns the groups to roll together in
 // body order, or nil when g cannot be joined.
 func TryJoin(b *ir.Block, g *SeedGroup, others []*SeedGroup) []*SeedGroup {
-	if g.Kind == SeedReduction {
-		return nil
-	}
 	index := make(map[*ir.Instr]int, len(b.Instrs))
 	for i, in := range b.Instrs {
 		index[in] = i
+	}
+	return tryJoinIdx(b, g, others, index)
+}
+
+// tryJoinIdx is TryJoin with the block position index supplied by the
+// caller (typically a cached analysis.FuncInfo.Index).
+func tryJoinIdx(b *ir.Block, g *SeedGroup, others []*SeedGroup, index map[*ir.Instr]int) []*SeedGroup {
+	if g.Kind == SeedReduction {
+		return nil
 	}
 	joined := []*SeedGroup{g}
 	for _, o := range others {
@@ -322,7 +332,19 @@ func interleaved(gs []*SeedGroup, o *SeedGroup, index map[*ir.Instr]int) bool {
 // joint rolling, several alternating groups). It returns nil with an
 // error when the group cannot be aligned.
 func BuildGraph(b *ir.Block, opts *Options, groups ...*SeedGroup) (*Graph, error) {
-	gb := newGraphBuilder(opts, b)
+	return buildGraphIntern(b, opts, analysis.NewInterner(), groups...)
+}
+
+// buildGraphInfo is BuildGraph with the function's cached analyses: the
+// value interner persists across graph builds of the same function, so
+// memoization keys are reused integer ids instead of freshly formatted
+// strings.
+func buildGraphInfo(b *ir.Block, opts *Options, fi *analysis.FuncInfo, groups ...*SeedGroup) (*Graph, error) {
+	return buildGraphIntern(b, opts, fi.Interner(), groups...)
+}
+
+func buildGraphIntern(b *ir.Block, opts *Options, intern *analysis.Interner, groups ...*SeedGroup) (*Graph, error) {
+	gb := newGraphBuilder(opts, b, intern)
 	var roots []*Node
 	for _, g := range groups {
 		var root *Node
@@ -450,10 +472,9 @@ func oddFirstLeaf(leaves []ir.Value, b *ir.Block) bool {
 // rooted at the last select. The candidates become the lanes and the
 // chain's entry value seeds the accumulator. This implements the
 // min/max reductions the paper lists as future work (§V.C).
-func collectMinMaxReductions(b *ir.Block, minLanes int) []*SeedGroup {
-	// Function-wide for the same reason as collectReductions: chain
-	// values may have users in blocks created by earlier rolls.
-	users := b.Parent.Users()
+func collectMinMaxReductions(b *ir.Block, minLanes int, users map[ir.Value][]*ir.Instr) []*SeedGroup {
+	// users is function-wide for the same reason as collectReductions:
+	// chain values may have users in blocks created by earlier rolls.
 	var out []*SeedGroup
 	claimed := make(map[*ir.Instr]bool)
 	for i := len(b.Instrs) - 1; i >= 0; i-- {

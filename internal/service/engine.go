@@ -67,6 +67,14 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker refuses a pass before
 	// admitting a half-open probe (0 = DefaultBreakerCooldown).
 	BreakerCooldown time.Duration
+	// FuncParallelism is passed through to rolag.Config.Parallelism for
+	// every job: how many functions of one module each pipeline stage
+	// optimizes concurrently (0 or 1 = serial, negative = GOMAXPROCS).
+	// Output is byte-identical for any value. Jobs are already spread
+	// across Workers, so this mainly helps modules with many functions
+	// on lightly loaded engines; the per-pass circuit breakers are safe
+	// to share across the extra goroutines.
+	FuncParallelism int
 }
 
 // Request is one compilation job: one translation unit (typically a
@@ -401,6 +409,7 @@ func (e *Engine) runJob(j *job) (res jobResult) {
 	}
 	start := time.Now()
 	cfg := j.req.Config
+	cfg.Parallelism = e.cfg.FuncParallelism
 	if !e.cfg.DisableFailSoft {
 		cfg.FailSoft = true
 		cfg.PassBudget = e.cfg.PassBudget

@@ -20,7 +20,10 @@ import (
 // fail-soft knobs (FailSoft, PassBudget, Guard) are excluded too: the
 // engine sets them itself on every job, and a degraded result is never
 // stored, so the cache only ever holds outputs equal to what the
-// fail-hard pipeline would produce for the same key.
+// fail-hard pipeline would produce for the same key. Config.Parallelism
+// is engine-set as well, and the parallel pipeline's output is
+// byte-identical to serial by contract, so it cannot split the key
+// space either.
 // Options.Model is canonicalized by value (nil means the default
 // profitability model), so the fresh-but-identical *Model pointers that
 // rolag.DefaultOptions returns on every call all map to the same key.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rolag/internal/fuzzgen"
+	rolagcore "rolag/internal/rolag"
 )
 
 // latencyBounds are the upper bounds (seconds) of the compile-latency
@@ -102,10 +103,56 @@ type MetricsSnapshot struct {
 	LatencySumSeconds float64  `json:"latency_sum_seconds"`
 	LatencyBuckets    []Bucket `json:"latency_buckets"`
 
+	// Phases mirrors the process-wide RoLAG per-phase wall-clock timers
+	// (rolag.PhaseTimings) — the exact timers cmd/rolag-bench reads, so
+	// the daemon's rolagd_phase_seconds series and the benchmark harness
+	// always agree on phase boundaries. Empty unless phase timing is
+	// enabled (rolagd -phase-timing, on by default).
+	Phases []PhaseStat `json:"phases,omitempty"`
+
 	// Fuzz mirrors the process-wide differential-fuzzing counters
 	// (internal/fuzzgen): oracle executions, skips, and failures by
 	// class. They advance whenever fuzzing runs in this process.
 	Fuzz fuzzgen.Counters `json:"fuzz"`
+}
+
+// PhaseStat is the accumulated timing of one RoLAG pipeline phase.
+type PhaseStat struct {
+	// Phase is the metric label: seed, align, schedule, or codegen.
+	Phase string `json:"phase"`
+	// Count is how many times the phase executed.
+	Count int64 `json:"count"`
+	// SumSeconds is the total wall-clock spent in the phase.
+	SumSeconds float64 `json:"sum_seconds"`
+	// Buckets is the cumulative latency histogram (last bucket +Inf).
+	Buckets []Bucket `json:"buckets"`
+}
+
+// phaseStats converts a rolag.PhaseTimings snapshot into cumulative
+// Prometheus-style histogram stats, or nil when nothing was recorded.
+func phaseStats() []PhaseStat {
+	if !rolagcore.PhaseTimingEnabled() {
+		return nil
+	}
+	timings := rolagcore.PhaseTimings()
+	out := make([]PhaseStat, 0, len(timings))
+	for p, t := range timings {
+		st := PhaseStat{
+			Phase:      rolagcore.Phase(p).String(),
+			Count:      int64(t.Count),
+			SumSeconds: float64(t.Nanos) / 1e9,
+		}
+		var cum int64
+		for i, ub := range rolagcore.PhaseBounds {
+			cum += int64(t.Buckets[i])
+			st.Buckets = append(st.Buckets, Bucket{LE: ub, Count: cum})
+		}
+		// Durations above the last bound count only toward Count, so the
+		// +Inf bucket is the total.
+		st.Buckets = append(st.Buckets, Bucket{LE: inf, Count: st.Count})
+		out = append(out, st)
+	}
+	return out
 }
 
 // HitRate returns the fraction of requests served from the cache or a
@@ -132,6 +179,7 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		Shed:              m.shed.Load(),
 		LatencyCount:      m.latencyCount.Load(),
 		LatencySumSeconds: float64(m.latencyNanos.Load()) / 1e9,
+		Phases:            phaseStats(),
 		Fuzz:              fuzzgen.Snapshot(),
 	}
 	m.skipMu.Lock()
@@ -217,6 +265,22 @@ func (s *MetricsSnapshot) WritePrometheus(w io.Writer) {
 	counter("rolagd_fuzz_fail_equiv_total", "Fuzz failures: interpreter-observable miscompiles.", s.Fuzz.FailEquiv)
 	counter("rolagd_fuzz_fail_cost_total", "Fuzz failures: dishonest cost-model reports.", s.Fuzz.FailCost)
 	counter("rolagd_fuzz_fail_panic_total", "Fuzz failures: panics in any stage.", s.Fuzz.FailPanic)
+
+	if len(s.Phases) > 0 {
+		fmt.Fprintf(w, "# HELP rolagd_phase_seconds Wall-clock of RoLAG pipeline phases.\n")
+		fmt.Fprintf(w, "# TYPE rolagd_phase_seconds histogram\n")
+		for _, ph := range s.Phases {
+			for _, b := range ph.Buckets {
+				if b.LE >= inf {
+					fmt.Fprintf(w, "rolagd_phase_seconds_bucket{phase=%q,le=\"+Inf\"} %d\n", ph.Phase, b.Count)
+				} else {
+					fmt.Fprintf(w, "rolagd_phase_seconds_bucket{phase=%q,le=\"%g\"} %d\n", ph.Phase, b.LE, b.Count)
+				}
+			}
+			fmt.Fprintf(w, "rolagd_phase_seconds_sum{phase=%q} %g\n", ph.Phase, ph.SumSeconds)
+			fmt.Fprintf(w, "rolagd_phase_seconds_count{phase=%q} %d\n", ph.Phase, ph.Count)
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP rolagd_compile_seconds Latency of fresh compilations.\n")
 	fmt.Fprintf(w, "# TYPE rolagd_compile_seconds histogram\n")

@@ -13,6 +13,9 @@ package rolag
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"rolag/internal/cc"
@@ -112,8 +115,31 @@ type Config struct {
 	PassBudget time.Duration
 	// Guard, when set with FailSoft, is consulted before and notified
 	// after every sandboxed pass execution; the service engine passes
-	// its per-pass circuit breakers here.
+	// its per-pass circuit breakers here. With Parallelism > 1 the Guard
+	// is consulted from several goroutines at once, so implementations
+	// must be safe for concurrent use (the engine's breakers are).
 	Guard Guard
+	// Parallelism caps how many functions each pipeline stage optimizes
+	// concurrently: 0 or 1 runs serially, n > 1 uses up to n workers,
+	// and a negative value uses GOMAXPROCS. Every stage is
+	// function-local — RoLAG's constant-table globals are staged in
+	// per-function sink modules and spliced into the real module in
+	// function order, replaying the serial name sequence — so the output
+	// module is byte-identical for every Parallelism value, and
+	// fail-soft degradation reports merge in function order.
+	Parallelism int
+}
+
+// workers resolves Parallelism to a concrete worker count.
+func (cfg Config) workers() int {
+	switch {
+	case cfg.Parallelism < 0:
+		return runtime.GOMAXPROCS(0)
+	case cfg.Parallelism <= 1:
+		return 1
+	default:
+		return cfg.Parallelism
+	}
 }
 
 // Result is the outcome of one compilation.
@@ -204,7 +230,9 @@ func BuildContext(ctx context.Context, src string, cfg Config) (*Result, error) 
 		return nil, fmt.Errorf("rolag: internal error: %w", err)
 	}
 	sb := cfg.sandbox()
-	passes.Standard().RunSandboxed(m, sb)
+	if err := runStandard(ctx, m, cfg, sb); err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -251,21 +279,26 @@ func optimizeContext(ctx context.Context, m *ir.Module, cfg Config, sb *passes.S
 	if cfg.CloneInput {
 		m = ir.CloneModule(m)
 	}
+	workers := cfg.workers()
 	if cfg.Unroll >= 2 {
-		for _, f := range m.Funcs {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			if sb != nil {
+		subs, pick := stageSandboxes(cfg, sb, len(m.Funcs), workers)
+		err := forEachFunc(ctx, m, workers, func(i int, f *ir.Func) {
+			if s := pick(i); s != nil {
 				k := cfg.Unroll
-				sb.RunShadow("unroll", f, func(sf *ir.Func) bool {
+				s.RunShadow("unroll", f, func(sf *ir.Func) bool {
 					return unroll.UnrollAll(sf, k) > 0
 				})
 			} else {
 				unroll.UnrollAll(f, cfg.Unroll)
 			}
+		})
+		absorbAll(sb, subs)
+		if err != nil {
+			return nil, err
 		}
-		runStandard(m, sb)
+		if err := runStandard(ctx, m, cfg, sb); err != nil {
+			return nil, err
+		}
 		if sb == nil {
 			if err := m.Verify(); err != nil {
 				return nil, fmt.Errorf("rolag: after unroll: %w", err)
@@ -285,24 +318,30 @@ func optimizeContext(ctx context.Context, m *ir.Module, cfg Config, sb *passes.S
 	switch cfg.Opt {
 	case OptNone:
 	case OptLLVMReroll:
-		for _, f := range m.Funcs {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			if sb != nil {
-				// n is fresh per iteration and only read when the runner
+		rerolled := make([]int, len(m.Funcs))
+		subs, pick := stageSandboxes(cfg, sb, len(m.Funcs), workers)
+		err := forEachFunc(ctx, m, workers, func(i int, f *ir.Func) {
+			if s := pick(i); s != nil {
+				// n is fresh per function and only read when the runner
 				// committed, so an abandoned (timed-out) goroutine writing
 				// it later races with nothing.
 				var n int
-				if _, ok := sb.RunShadow("reroll", f, func(sf *ir.Func) bool {
+				if _, ok := s.RunShadow("reroll", f, func(sf *ir.Func) bool {
 					n = reroll.RerollFunc(sf)
 					return n > 0
 				}); ok {
-					res.Rerolled += n
+					rerolled[i] = n
 				}
 			} else {
-				res.Rerolled += reroll.RerollFunc(f)
+				rerolled[i] = reroll.RerollFunc(f)
 			}
+		})
+		absorbAll(sb, subs)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range rerolled {
+			res.Rerolled += n
 		}
 	case OptRoLAG:
 		opts := cfg.Options
@@ -310,32 +349,62 @@ func optimizeContext(ctx context.Context, m *ir.Module, cfg Config, sb *passes.S
 			opts = rl.DefaultOptions()
 		}
 		res.Stats = rl.NewStats()
-		for _, f := range m.Funcs {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+		// Parallel workers stage their constant-table globals in private
+		// sink modules; the sinks are adopted into m in function order
+		// below, replaying the serial global-name sequence.
+		stats := make([]*rl.Stats, len(m.Funcs))
+		var sinks []*ir.Module
+		if workers > 1 {
+			sinks = make([]*ir.Module, len(m.Funcs))
+		}
+		subs, pick := stageSandboxes(cfg, sb, len(m.Funcs), workers)
+		err := forEachFunc(ctx, m, workers, func(i int, f *ir.Func) {
+			sink := m
+			if sinks != nil {
+				sink = ir.NewModule(m.Name + ".stage")
+				sinks[i] = sink
 			}
-			if sb != nil {
-				// RoLAG appends constant-table globals to the module, so it
-				// runs in place (same goroutine) behind a snapshot rather
-				// than on an abandonable shadow; see Sandbox.RunInPlace.
+			if s := pick(i); s != nil {
+				// RoLAG appends constant-table globals, so it runs in place
+				// (same goroutine) behind a snapshot rather than on an
+				// abandonable shadow; see Sandbox.RunInPlaceIn.
 				var st *rl.Stats
-				if _, ok := sb.RunInPlace("rolag", f, func(sf *ir.Func) bool {
-					st = rl.RollFunc(sf, opts)
+				if _, ok := s.RunInPlaceIn("rolag", f, sink, func(sf *ir.Func) bool {
+					st = rl.RollFuncInto(sf, opts, nil, sink)
 					return st.LoopsRolled > 0
 				}); ok && st != nil {
-					res.Stats.Add(st)
+					stats[i] = st
 				}
 			} else {
-				res.Stats.Add(rl.RollFunc(f, opts))
+				stats[i] = rl.RollFuncInto(f, opts, nil, sink)
+			}
+		})
+		for _, sink := range sinks {
+			if sink != nil {
+				rl.AdoptStagedGlobals(m, sink)
+			}
+		}
+		absorbAll(sb, subs)
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range stats {
+			if st != nil {
+				res.Stats.Add(st)
 			}
 		}
 		if cfg.Flatten {
-			for _, f := range m.Funcs {
-				if sb != nil {
-					sb.RunShadow("flatten", f, passes.Flatten)
+			fsubs, fpick := stageSandboxes(cfg, sb, len(m.Funcs), workers)
+			err := forEachFunc(ctx, m, workers, func(i int, f *ir.Func) {
+				if s := fpick(i); s != nil {
+					s.RunShadow("flatten", f, passes.Flatten)
 				} else {
 					passes.Flatten(f)
 				}
+			})
+			absorbAll(sb, fsubs)
+			if err != nil {
+				return nil, err
 			}
 		}
 	default:
@@ -345,7 +414,9 @@ func optimizeContext(ctx context.Context, m *ir.Module, cfg Config, sb *passes.S
 		return nil, err
 	}
 	if !cfg.SkipCleanup && cfg.Opt != OptNone {
-		runStandard(m, sb)
+		if err := runStandard(ctx, m, cfg, sb); err != nil {
+			return nil, err
+		}
 	}
 	if err := m.Verify(); err != nil {
 		return nil, fmt.Errorf("rolag: after %s: %w", cfg.Opt, err)
@@ -358,11 +429,126 @@ func optimizeContext(ctx context.Context, m *ir.Module, cfg Config, sb *passes.S
 	return res, nil
 }
 
-func runStandard(m *ir.Module, sb *passes.Sandbox) {
-	if sb != nil {
-		passes.Standard().RunSandboxed(m, sb)
-	} else {
-		passes.Standard().Run(m)
+// runStandard runs the canonicalization pipeline over the module,
+// sandboxed when sb is set and across cfg.workers() functions at a time
+// when parallelism is enabled.
+func runStandard(ctx context.Context, m *ir.Module, cfg Config, sb *passes.Sandbox) error {
+	p := passes.Standard()
+	workers := cfg.workers()
+	if workers <= 1 {
+		if sb != nil {
+			p.RunSandboxed(m, sb)
+		} else {
+			p.Run(m)
+		}
+		return nil
+	}
+	subs, pick := stageSandboxes(cfg, sb, len(m.Funcs), workers)
+	err := forEachFunc(ctx, m, workers, func(i int, f *ir.Func) {
+		if s := pick(i); s != nil {
+			p.RunFuncSandboxed(f, s)
+		} else {
+			p.RunFunc(f)
+		}
+	})
+	absorbAll(sb, subs)
+	return err
+}
+
+// forEachFunc applies work to every defined function of m: in index
+// order on the calling goroutine when workers <= 1, otherwise across a
+// bounded worker pool. work must confine its effects to the function
+// itself plus caller state indexed by i — the module is shared. The
+// context is checked before each function. A panic in any worker is
+// re-raised on the caller (lowest function index wins), preserving the
+// fail-hard contract; the original stack is lost but the value is not.
+func forEachFunc(ctx context.Context, m *ir.Module, workers int, work func(i int, f *ir.Func)) error {
+	funcs := m.Funcs
+	if workers > len(funcs) {
+		workers = len(funcs)
+	}
+	if workers <= 1 {
+		for i, f := range funcs {
+			if f.IsDecl() {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			work(i, f)
+		}
+		return nil
+	}
+	errs := make([]error, len(funcs))
+	panics := make([]any, len(funcs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(funcs) {
+					return
+				}
+				f := funcs[i]
+				if f.IsDecl() {
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = r
+						}
+					}()
+					work(i, f)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, r := range panics {
+		if r != nil {
+			panic(r)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stageSandboxes hands out the sandbox each function of one pipeline
+// stage runs under. Fail-hard stages get nil; serial fail-soft stages
+// share sb; parallel fail-soft stages get one private sandbox per
+// function (a Sandbox is not safe for concurrent use), which absorbAll
+// merges back into sb in function order after the stage.
+func stageSandboxes(cfg Config, sb *passes.Sandbox, n, workers int) ([]*passes.Sandbox, func(i int) *passes.Sandbox) {
+	if sb == nil {
+		return nil, func(int) *passes.Sandbox { return nil }
+	}
+	if workers <= 1 {
+		return nil, func(int) *passes.Sandbox { return sb }
+	}
+	subs := make([]*passes.Sandbox, n)
+	for i := range subs {
+		subs[i] = cfg.sandbox()
+	}
+	return subs, func(i int) *passes.Sandbox { return subs[i] }
+}
+
+func absorbAll(sb *passes.Sandbox, subs []*passes.Sandbox) {
+	for _, sub := range subs {
+		if sub != nil {
+			sb.Absorb(sub)
+		}
 	}
 }
 
