@@ -8,7 +8,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke chaos-smoke bench-smoke ci bench bench-core serve clean
+.PHONY: all build vet test race fuzz-smoke chaos-smoke bench-smoke explain-smoke ci bench bench-core serve clean
 
 all: build
 
@@ -40,6 +40,18 @@ chaos-smoke:
 	$(GO) test -race ./internal/fuzzgen -run '^TestChaos' -short -v
 	$(GO) run ./cmd/rolag-fuzz -chaos -n 60 -crashers $(or $(TMPDIR),/tmp)/rolag-chaos-crashers
 
+# Observability smoke: run rolagc -remarks=json over every example C
+# program and validate each stream against the committed remark schema
+# (internal/obs/schematest/remarks.schema.json). A remark-format change
+# that breaks the schema contract fails here before it reaches users.
+explain-smoke:
+	$(GO) build -o $(or $(TMPDIR),/tmp)/rolagc-smoke ./cmd/rolagc
+	@set -e; for f in examples/c/*.c; do \
+		echo "explain-smoke: $$f"; \
+		$(or $(TMPDIR),/tmp)/rolagc-smoke -remarks json $$f 2>/dev/null \
+			| $(GO) run ./internal/obs/schematest/remarklint; \
+	done
+
 # One-iteration core benchmark gated against the committed baseline:
 # fails if the output JSON is malformed (the gate parses it) or if
 # ns-per-function regresses by more than 2x. The comparison is
@@ -50,7 +62,7 @@ bench-smoke:
 		-out $(or $(TMPDIR),/tmp)/rolag-bench-smoke.json \
 		-check results/BENCH_core.json -max-slowdown 2
 
-ci: vet build race fuzz-smoke chaos-smoke bench-smoke
+ci: vet build race fuzz-smoke chaos-smoke bench-smoke explain-smoke
 
 bench:
 	$(GO) run ./cmd/experiments -run bench

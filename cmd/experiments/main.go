@@ -6,7 +6,8 @@
 //	experiments [-out results] [-run all|angha|tsvc|table1|perf|bench] [-n 2000] [-serial]
 //
 // The experiment ids map to the paper as follows: "angha" produces
-// Fig. 15 and Fig. 16, "table1" produces Table I, "tsvc" produces
+// Fig. 15, Fig. 16 and a rejected-by-reason table built from the
+// optimizer's remarks, "table1" produces Table I, "tsvc" produces
 // Fig. 17, Fig. 18 and Fig. 19, and "perf" produces the §V.D overhead
 // summary. "bench" times the serial reference driver against the
 // concurrent service engine (cold and warm cache) and writes the
@@ -71,6 +72,9 @@ func main() {
 		}
 		if err := rep.Fig16(s); err != nil {
 			fail("fig16", err)
+		}
+		if err := rep.Rejections(s); err != nil {
+			fail("rejections", err)
 		}
 	}
 	if all || want["table1"] {

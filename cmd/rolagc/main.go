@@ -4,10 +4,19 @@
 //
 // Usage:
 //
-//	rolagc [-opt none|llvm|rolag] [-unroll N] [-emit] [-stats] [-ir] file.c
+//	rolagc [-opt none|llvm|rolag] [-unroll N] [-emit] [-stats] [-ir]
+//	       [-remarks json|yaml] [-explain func] file.c
 //
 // With no file argument, source is read from standard input. With -ir
 // the input is the project's textual IR instead of mini-C.
+//
+// Remarks: -remarks json (or yaml) records one remark per rolling
+// decision — seed grouping, per-node alignment outcomes, scheduling
+// rejections, cost-model verdicts, reroll attempts — and prints the
+// deterministic stream to standard output. -explain <func> (or
+// -explain all) renders the same remarks as a human-readable report
+// explaining why each candidate in that function was or was not
+// rolled. Both default -emit to false unless it was set explicitly.
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 
 	"rolag"
 	"rolag/internal/irparse"
+	"rolag/internal/obs"
 	"rolag/internal/passes"
 	rl "rolag/internal/rolag"
 )
@@ -33,7 +43,27 @@ func main() {
 	fastMath := flag.Bool("fast-math", false, "allow floating-point reassociation (reductions)")
 	irInput := flag.Bool("ir", false, "input is textual IR rather than mini-C")
 	flatten := flag.Bool("flatten", false, "flatten rerolled loop nests after RoLAG (§V.C cleanup)")
+	remarks := flag.String("remarks", "", "print optimization remarks to stdout: json or yaml")
+	explain := flag.String("explain", "", "print a human-readable remark report for this function (or \"all\")")
 	flag.Parse()
+
+	if *remarks != "" && *remarks != "json" && *remarks != "yaml" {
+		fmt.Fprintf(os.Stderr, "rolagc: unknown -remarks format %q (want json or yaml)\n", *remarks)
+		os.Exit(2)
+	}
+	// Remark output replaces the IR on stdout unless the user asked for
+	// both explicitly.
+	if *remarks != "" || *explain != "" {
+		emitSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "emit" {
+				emitSet = true
+			}
+		})
+		if !emitSet {
+			*emit = false
+		}
+	}
 
 	var src []byte
 	var err error
@@ -51,7 +81,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := rolag.Config{Name: "main", Unroll: *unroll, Flatten: *flatten}
+	cfg := rolag.Config{Name: "main", Unroll: *unroll, Flatten: *flatten,
+		Remarks: *remarks != "" || *explain != ""}
 	switch *opt {
 	case "none":
 		cfg.Opt = rolag.OptNone
@@ -89,6 +120,21 @@ func main() {
 	}
 	if *emit {
 		fmt.Print(res.Module)
+	}
+	switch *remarks {
+	case "json":
+		if err := obs.WriteJSON(os.Stdout, res.Remarks); err != nil {
+			fmt.Fprintf(os.Stderr, "rolagc: %v\n", err)
+			os.Exit(1)
+		}
+	case "yaml":
+		if err := obs.WriteYAML(os.Stdout, res.Remarks); err != nil {
+			fmt.Fprintf(os.Stderr, "rolagc: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *explain != "" {
+		obs.Explain(os.Stdout, res.Remarks, *explain)
 	}
 	fmt.Fprintf(os.Stderr, "size: %d -> %d bytes (%+.1f%%)\n",
 		res.BinaryBefore, res.BinaryAfter, -res.Reduction())

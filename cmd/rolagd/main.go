@@ -7,6 +7,7 @@
 //	       [-request-timeout 30s] [-shutdown-timeout 10s]
 //	       [-pass-budget 10s] [-breaker-threshold 5] [-breaker-cooldown 30s]
 //	       [-fail-hard] [-func-parallel N] [-phase-timing=false]
+//	       [-trace=false] [-trace-buf N] [-log text|json]
 //
 // Endpoints:
 //
@@ -15,6 +16,14 @@
 //	GET  /readyz       readiness; 503 while draining or while the rolag breaker is open
 //	GET  /metrics      Prometheus text exposition
 //	GET  /debug/vars   the same counters as expvar JSON
+//	GET  /debug/trace  span ring buffer as Chrome trace-event JSON (chrome://tracing, Perfetto)
+//	GET  /debug/pprof  Go runtime profiles
+//
+// Tracing: every request is assigned a trace ID (or adopts the caller's
+// X-Trace-Id header), echoed back in the X-Trace-Id response header,
+// attached to every structured log line, and used to label the request's
+// spans — HTTP handling, engine compile, sandboxed passes, pipeline
+// stages, and RoLAG phases — in the /debug/trace export.
 //
 // Overload: when more than -max-inflight requests are in flight the
 // daemon sheds with HTTP 429 and a Retry-After header instead of
@@ -33,14 +42,16 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync/atomic"
 	"syscall"
 	"time"
 
-	rolagcore "rolag/internal/rolag"
+	"rolag/internal/obs"
 	"rolag/internal/rolagdapi"
 	"rolag/internal/service"
 )
@@ -69,7 +80,17 @@ type daemon struct {
 	// requestCap bounds every compile deadline; a request's timeoutMs
 	// is clamped to it (0 = no cap and timeoutMs is used as given).
 	requestCap time.Duration
-	draining   atomic.Bool
+	// log receives one structured line per request, tagged with the
+	// request's trace ID; nil falls back to slog.Default().
+	log      *slog.Logger
+	draining atomic.Bool
+}
+
+func (d *daemon) logger() *slog.Logger {
+	if d.log != nil {
+		return d.log
+	}
+	return slog.Default()
 }
 
 // beginDrain flips /readyz to 503. Called when shutdown starts, before
@@ -143,12 +164,54 @@ func (d *daemon) handleCompile(w http.ResponseWriter, r *http.Request) {
 		out.Degraded = true
 		out.DegradedPasses = resp.Degraded.Passes()
 	}
+	out.Remarks = resp.Remarks
 	writeJSON(w, http.StatusOK, out)
 }
 
-// mux builds the daemon's routes. Split from main so tests can drive
-// the full HTTP surface in-process.
-func (d *daemon) mux() *http.ServeMux {
+// statusWriter captures the response status for the request log line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// traced wraps the route mux with per-request tracing: it adopts or
+// mints the X-Trace-Id, threads an obs.TraceContext through the request
+// context (so engine, sandbox, and RoLAG spans land on this request's
+// trace), records the HTTP handling itself as a span, and emits one
+// structured log line per request. Compiles log at Info, probes
+// (health/metrics/debug) at Debug.
+func (d *daemon) traced(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(r.Header.Get("X-Trace-Id"))
+		w.Header().Set("X-Trace-Id", tr.ID)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		span := obs.Now()
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		obs.EndSpan(tr, "http:"+r.URL.Path, span, r.Method)
+
+		level := slog.LevelDebug
+		if r.URL.Path == "/v1/compile" {
+			level = slog.LevelInfo
+		}
+		d.logger().Log(r.Context(), level, "request",
+			"trace", tr.ID,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"elapsed", time.Since(start),
+		)
+	})
+}
+
+// mux builds the daemon's routes behind the tracing middleware. Split
+// from main so tests can drive the full HTTP surface in-process.
+func (d *daemon) mux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", d.handleCompile)
 
@@ -193,7 +256,23 @@ func (d *daemon) mux() *http.ServeMux {
 	}
 	mux.Handle("GET /debug/vars", expvar.Handler())
 
-	return mux
+	// The span ring buffer as Chrome trace-event JSON; load it in
+	// chrome://tracing or https://ui.perfetto.dev.
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteChromeTrace(w)
+	})
+
+	// Runtime profiling. The default mux registers these as a side
+	// effect of importing net/http/pprof; rolagd builds its own mux, so
+	// wire them explicitly.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
+	return d.traced(mux)
 }
 
 func main() {
@@ -210,9 +289,27 @@ func main() {
 	failHard := flag.Bool("fail-hard", false, "disable the fail-soft sandbox: a broken pass fails the whole job")
 	funcParallel := flag.Int("func-parallel", 0, "functions optimized concurrently within one job (0/1 = serial, negative = GOMAXPROCS); output is byte-identical")
 	phaseTiming := flag.Bool("phase-timing", true, "record per-phase RoLAG timings (exported as rolagd_phase_seconds)")
+	trace := flag.Bool("trace", true, "record per-request spans (exported at /debug/trace)")
+	traceBuf := flag.Int("trace-buf", obs.DefaultTraceCapacity, "span ring-buffer capacity (oldest spans are overwritten)")
+	logFormat := flag.String("log", "text", "structured log format: text or json")
 	flag.Parse()
 
-	rolagcore.EnablePhaseTiming(*phaseTiming)
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "rolagd: unknown -log format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
+
+	obs.EnableSpanStats(*phaseTiming)
+	obs.SetTraceCapacity(*traceBuf)
+	obs.EnableTracing(*trace)
 	engine := service.New(service.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -224,7 +321,7 @@ func main() {
 		BreakerCooldown:  *breakerCooldown,
 		FuncParallelism:  *funcParallel,
 	})
-	d := &daemon{engine: engine, requestCap: *requestTimeout}
+	d := &daemon{engine: engine, requestCap: *requestTimeout, log: logger}
 	srv := &http.Server{Addr: *addr, Handler: d.mux()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -232,25 +329,26 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "rolagd: listening on %s (%d workers)\n", *addr, engine.Workers())
+	logger.Info("listening", "addr", *addr, "workers", engine.Workers(),
+		"trace", *trace, "phase_timing", *phaseTiming)
 
 	select {
 	case err := <-errCh:
-		fmt.Fprintf(os.Stderr, "rolagd: %v\n", err)
+		logger.Error("serve failed", "err", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
 
 	d.beginDrain()
-	fmt.Fprintf(os.Stderr, "rolagd: draining (up to %s)...\n", *shutdownTimeout)
+	logger.Info("draining", "timeout", *shutdownTimeout)
 	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
-		fmt.Fprintf(os.Stderr, "rolagd: http shutdown: %v\n", err)
+		logger.Error("http shutdown", "err", err)
 	}
 	if err := engine.Close(sctx); err != nil {
-		fmt.Fprintf(os.Stderr, "rolagd: engine drain: %v\n", err)
+		logger.Error("engine drain", "err", err)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "rolagd: drained cleanly")
+	logger.Info("drained cleanly")
 }

@@ -1,0 +1,173 @@
+package main
+
+// Tests for the request-tracing middleware and the observability
+// surface of the daemon: X-Trace-Id minting/echo, the /debug/trace
+// Chrome export, remarks over the wire, and the remark metrics series.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+
+	"rolag/internal/obs"
+	"rolag/internal/service"
+)
+
+// tracingOn enables span recording for one test and restores the
+// default-off state afterwards.
+func tracingOn(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		obs.EnableTracing(false)
+		obs.SetTraceCapacity(0)
+	})
+	obs.SetTraceCapacity(0)
+	obs.EnableTracing(true)
+}
+
+func TestTraceIDEcho(t *testing.T) {
+	srv := newTestServer(t)
+
+	// An incoming X-Trace-Id is adopted and echoed verbatim.
+	req, err := http.NewRequest("GET", srv.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Trace-Id", "cafe0000deadbeef")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Trace-Id"); got != "cafe0000deadbeef" {
+		t.Errorf("echoed trace ID = %q, want the incoming one", got)
+	}
+
+	// Without one, the middleware mints a 16-hex-char ID.
+	resp2, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	minted := resp2.Header.Get("X-Trace-Id")
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(minted) {
+		t.Errorf("minted trace ID = %q, want 16 hex chars", minted)
+	}
+}
+
+func TestDebugTraceExport(t *testing.T) {
+	tracingOn(t)
+	srv := newTestServer(t)
+
+	body := fmt.Sprintf(`{"source": %q, "config": {"opt": "rolag"}}`, testSrc)
+	req, err := http.NewRequest("POST", srv.URL+"/v1/compile", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Trace-Id", "feedface00000001")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile: status %d", resp.StatusCode)
+	}
+
+	tresp, err := http.Get(srv.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace: status %d", tresp.StatusCode)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&chrome); err != nil {
+		t.Fatalf("/debug/trace is not valid Chrome trace JSON: %v", err)
+	}
+	// The request must show up as both the HTTP span and the engine
+	// span, correlated by the trace ID we sent.
+	want := map[string]bool{"http:/v1/compile": false, "engine:compile": false}
+	for _, ev := range chrome.TraceEvents {
+		if _, ok := want[ev.Name]; ok && ev.Args["trace"] == "feedface00000001" {
+			want[ev.Name] = true
+			if ev.Ph != "X" {
+				t.Errorf("span %s has phase %q, want X", ev.Name, ev.Ph)
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("no %s span with our trace ID in /debug/trace (%d events)", name, len(chrome.TraceEvents))
+		}
+	}
+}
+
+func TestCompileRemarksOverWire(t *testing.T) {
+	srv := newTestServer(t)
+	body := fmt.Sprintf(`{"source": %q, "config": {"opt": "rolag"}, "remarks": true}`, testSrc)
+
+	_, out := postCompile(t, srv, body)
+	if len(out.Remarks) == 0 {
+		t.Fatal("remarks requested but response carries none")
+	}
+	rolled := false
+	for _, rm := range out.Remarks {
+		if rm.Name == "rolled" && rm.Status == "passed" {
+			rolled = true
+			if rm.Func == "" || rm.Instr == "" {
+				t.Errorf("rolled remark lacks provenance: %+v", rm)
+			}
+		}
+	}
+	if !rolled {
+		t.Errorf("no rolled remark for a rolling source; remarks: %+v", out.Remarks)
+	}
+
+	// The second identical request is served from the cache and must
+	// still carry the remarks (they are part of the cache entry).
+	_, cached := postCompile(t, srv, body)
+	if len(cached.Remarks) != len(out.Remarks) {
+		t.Errorf("cached response has %d remarks, first had %d", len(cached.Remarks), len(out.Remarks))
+	}
+
+	// Without the flag the response must stay clean — remarks split the
+	// cache key, so the cached remarked entry must not leak over.
+	_, plain := postCompile(t, srv, fmt.Sprintf(`{"source": %q, "config": {"opt": "rolag"}}`, testSrc))
+	if len(plain.Remarks) != 0 {
+		t.Errorf("remarks not requested but response carries %d", len(plain.Remarks))
+	}
+}
+
+func TestRemarkMetricsSeries(t *testing.T) {
+	_, srv := newTestDaemon(t, service.Config{}, 0)
+	body := fmt.Sprintf(`{"source": %q, "config": {"opt": "rolag"}, "remarks": true}`, testSrc)
+	if resp, _ := postCompile(t, srv, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile: status %d", resp.StatusCode)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `rolagd_remarks_total{pass="rolag",reason="rolled"}`) {
+		t.Errorf("/metrics lacks the rolagd_remarks_total series for the roll we compiled:\n%s", data)
+	}
+}

@@ -1,0 +1,15 @@
+/* A hand-unrolled dot product: the accumulator makes every lane feed
+ * the next, so rolling needs RoLAG's reduction seeds. The remark
+ * stream records the reduction seed group and the rolled verdict. */
+int dotproduct(const int *a, const int *b) {
+	int acc = 0;
+	acc = acc + a[0] * b[0];
+	acc = acc + a[1] * b[1];
+	acc = acc + a[2] * b[2];
+	acc = acc + a[3] * b[3];
+	acc = acc + a[4] * b[4];
+	acc = acc + a[5] * b[5];
+	acc = acc + a[6] * b[6];
+	acc = acc + a[7] * b[7];
+	return acc;
+}

@@ -1,0 +1,15 @@
+/* A hand-unrolled field copy: eight isomorphic store lanes with affine
+ * offsets and strides. RoLAG's seed grouping finds the store sequence,
+ * alignment succeeds on every node, and the cost model accepts the
+ * roll — `rolagc -explain all examples/c/fieldcopy.c` shows the full
+ * passed decision chain. */
+void fieldcopy(int *dst, const int *src) {
+	dst[0] = src[0] * 3;
+	dst[1] = src[1] * 3;
+	dst[2] = src[2] * 3;
+	dst[3] = src[3] * 3;
+	dst[4] = src[4] * 3;
+	dst[5] = src[5] * 3;
+	dst[6] = src[6] * 3;
+	dst[7] = src[7] * 3;
+}

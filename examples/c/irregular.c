@@ -1,0 +1,11 @@
+/* Stores whose values follow no common shape: the lanes disagree
+ * structurally (different operators and operand mixes), so alignment
+ * degrades to mismatch nodes and the cost model rejects the roll —
+ * `rolagc -explain irregular examples/c/irregular.c` names the
+ * rejection and the seed instruction it anchors to. */
+void irregular(int *a, int x, int y) {
+	a[0] = x * 5;
+	a[1] = x + y;
+	a[2] = y ^ 12;
+	a[3] = x - 7;
+}

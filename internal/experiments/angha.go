@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"rolag"
+	"rolag/internal/obs"
 	rl "rolag/internal/rolag"
 	"rolag/internal/service"
 	"rolag/internal/workloads/angha"
@@ -48,6 +49,12 @@ type AnghaSummary struct {
 	// FamilyAffected maps generator family to affected count
 	// (diagnostic).
 	FamilyAffected map[string]int
+	// RejectedByReason tallies every rejected rolling decision across
+	// the corpus by its stable reason code (not-profitable,
+	// seeds-not-isomorphic, circular-dependence, ...), from the
+	// optimization remarks the RoLAG builds record. It explains the gap
+	// between candidates and Affected.
+	RejectedByReason []obs.ReasonCount
 }
 
 // AnghaConfig tunes the corpus run.
@@ -75,14 +82,20 @@ type anghaBuild struct {
 	rolled      int // RoLAG loops rolled
 	nodeCounts  map[rl.NodeKind]int
 	rerolled    int // LLVM baseline loops rerolled
+	// remarks is the RoLAG build's optimization-remark stream, for the
+	// rejected-by-reason aggregation.
+	remarks []rolag.Remark
 }
 
 // anghaConfigs returns the three per-function pipeline configurations of
-// the §V.A experiment, in aggregation order (base, RoLAG, LLVM).
+// the §V.A experiment, in aggregation order (base, RoLAG, LLVM). The
+// RoLAG build records remarks so the summary can break rejections down
+// by reason; the stream is deterministic, so it cannot perturb the
+// serial/engine/daemon parity.
 func anghaConfigs(name string) [3]rolag.Config {
 	return [3]rolag.Config{
 		{Name: name, Opt: rolag.OptNone},
-		{Name: name, Opt: rolag.OptRoLAG},
+		{Name: name, Opt: rolag.OptRoLAG, Remarks: true},
 		{Name: name, Opt: rolag.OptLLVMReroll},
 	}
 }
@@ -115,7 +128,7 @@ func RunAngha(cfg AnghaConfig) (*AnghaSummary, error) {
 				if err != nil {
 					return nil, fmt.Errorf("angha %s (%s): %w", fn.Name, bcfg.Opt, err)
 				}
-				builds[i][c] = anghaBuild{binaryAfter: res.BinaryAfter, rerolled: res.Rerolled}
+				builds[i][c] = anghaBuild{binaryAfter: res.BinaryAfter, rerolled: res.Rerolled, remarks: res.Remarks}
 				if res.Stats != nil {
 					builds[i][c].rolled = res.Stats.LoopsRolled
 					builds[i][c].nodeCounts = res.Stats.NodeCounts
@@ -141,7 +154,7 @@ func RunAngha(cfg AnghaConfig) (*AnghaSummary, error) {
 				if item.Err != nil {
 					return nil, fmt.Errorf("angha %s (%s): %w", fn.Name, reqs[3*i+c].Config.Opt, item.Err)
 				}
-				builds[i][c] = anghaBuild{binaryAfter: item.Resp.BinaryAfter, rerolled: item.Resp.Rerolled}
+				builds[i][c] = anghaBuild{binaryAfter: item.Resp.BinaryAfter, rerolled: item.Resp.Rerolled, remarks: item.Resp.Remarks}
 				if item.Resp.Stats != nil {
 					builds[i][c].rolled = item.Resp.Stats.LoopsRolled
 					builds[i][c].nodeCounts = item.Resp.Stats.NodeCounts
@@ -161,7 +174,9 @@ func aggregateAngha(funcs []angha.Function, builds [][3]anghaBuild) *AnghaSummar
 		NodeCounts:     make(map[rl.NodeKind]int),
 		FamilyAffected: make(map[string]int),
 	}
+	var remarks []rolag.Remark
 	for i, fn := range funcs {
+		remarks = append(remarks, builds[i][1].remarks...)
 		base, rg, lv := builds[i][0], builds[i][1], builds[i][2]
 		res := AnghaResult{
 			Name:      fn.Name,
@@ -196,5 +211,6 @@ func aggregateAngha(funcs []angha.Function, builds [][3]anghaBuild) *AnghaSummar
 		summary.MeanReduction /= float64(len(summary.Affected))
 		summary.BestReduction = summary.Affected[0].Red()
 	}
+	summary.RejectedByReason = obs.CountByReason(remarks)
 	return summary
 }

@@ -3,10 +3,11 @@ package experiments
 // The core benchmark harness behind cmd/rolag-bench: reproducible
 // wall-clock, per-phase, and allocation measurements of the RoLAG
 // optimizer hot path over the synthesized corpora. The per-phase
-// numbers come from the same process-wide timers
-// (rolag.EnablePhaseTiming) that feed rolagd's rolagd_phase_seconds
-// metrics, so the daemon and the harness always agree on phase
-// boundaries.
+// numbers come from the obs span-stat histograms (obs.SpanStats) that
+// also feed rolagd's rolagd_phase_seconds metrics, so the daemon and
+// the harness always agree on phase boundaries; the histograms are
+// plain atomics, so the harness stays correct under Parallelism > 1
+// and alongside concurrent load.
 
 import (
 	"fmt"
@@ -15,7 +16,7 @@ import (
 	"time"
 
 	"rolag"
-	rolagcore "rolag/internal/rolag"
+	"rolag/internal/obs"
 	"rolag/internal/workloads/angha"
 	"rolag/internal/workloads/tsvc"
 )
@@ -57,7 +58,7 @@ func (cfg *CoreBenchConfig) defaults() {
 type CoreBenchIteration struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	// PhaseSeconds is wall-clock per RoLAG phase for this iteration
-	// (seed/align/schedule/codegen), from rolag.PhaseTimings deltas.
+	// (seed/align/schedule/codegen), from obs.SpanStats deltas.
 	PhaseSeconds map[string]float64 `json:"phase_seconds"`
 	// Allocs and AllocBytes are the Go heap allocations performed
 	// during the iteration (runtime.MemStats deltas; process-global, so
@@ -163,9 +164,9 @@ func RunCoreBench(cfg CoreBenchConfig) (*CoreBench, error) {
 		return nil, err
 	}
 
-	wasOn := rolagcore.PhaseTimingEnabled()
-	rolagcore.EnablePhaseTiming(true)
-	defer rolagcore.EnablePhaseTiming(wasOn)
+	wasOn := obs.SpanStatsEnabled()
+	obs.EnableSpanStats(true)
+	defer obs.EnableSpanStats(wasOn)
 
 	out := &CoreBench{
 		Schema:      "rolag-bench/v1",
@@ -181,19 +182,21 @@ func RunCoreBench(cfg CoreBenchConfig) (*CoreBench, error) {
 		Functions: len(units),
 		Methodology: "Each iteration compiles the full corpus through rolag.Build " +
 			"(frontend + canonicalization + RoLAG + cleanup) in one goroutine; " +
-			"wall-clock is per iteration, phase times are rolag.PhaseTimings deltas, " +
+			"wall-clock is per iteration, phase times are obs.SpanStats deltas " +
+			"(atomic histograms, parallel-safe), " +
 			"allocations are runtime.MemStats deltas after a forced GC. " +
 			"Percentiles are across iterations; p99 degrades to the maximum for small runs.",
 	}
 
-	var phaseCounts [rolagcore.NumPhases]uint64
-	perPhase := make([][]float64, rolagcore.NumPhases)
+	phaseNames := phaseNameOrder()
+	phaseCounts := make([]uint64, len(phaseNames))
+	perPhase := make([][]float64, len(phaseNames))
 	var walls []float64
 	for it := 0; it < cfg.Iterations; it++ {
 		runtime.GC()
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
-		rolagcore.ResetPhaseTimings()
+		obs.ResetSpanStats()
 
 		rolled := 0
 		start := time.Now()
@@ -210,16 +213,16 @@ func RunCoreBench(cfg CoreBenchConfig) (*CoreBench, error) {
 		runtime.ReadMemStats(&after)
 		out.LoopsRolled = rolled
 
-		timings := rolagcore.PhaseTimings()
+		timings := phaseSnapshots(phaseNames)
 		iter := CoreBenchIteration{
 			WallSeconds:  wall.Seconds(),
-			PhaseSeconds: make(map[string]float64, rolagcore.NumPhases),
+			PhaseSeconds: make(map[string]float64, len(phaseNames)),
 			Allocs:       after.Mallocs - before.Mallocs,
 			AllocBytes:   after.TotalAlloc - before.TotalAlloc,
 		}
-		for p := rolagcore.Phase(0); p < rolagcore.NumPhases; p++ {
+		for p, name := range phaseNames {
 			sec := float64(timings[p].Nanos) / 1e9
-			iter.PhaseSeconds[p.String()] = sec
+			iter.PhaseSeconds[name] = sec
 			perPhase[p] = append(perPhase[p], sec)
 			phaseCounts[p] += timings[p].Count
 		}
@@ -242,9 +245,9 @@ func RunCoreBench(cfg CoreBenchConfig) (*CoreBench, error) {
 	out.AllocsPerIteration = allocs / uint64(len(out.Iterations))
 	out.BytesPerIteration = bytes / uint64(len(out.Iterations))
 
-	for p := rolagcore.Phase(0); p < rolagcore.NumPhases; p++ {
+	for p, name := range phaseNames {
 		ph := CoreBenchPhase{
-			Phase:      p.String(),
+			Phase:      name,
 			Count:      phaseCounts[p],
 			P50Seconds: percentile(perPhase[p], 0.50),
 			P99Seconds: percentile(perPhase[p], 0.99),
@@ -255,6 +258,31 @@ func RunCoreBench(cfg CoreBenchConfig) (*CoreBench, error) {
 		out.Phases = append(out.Phases, ph)
 	}
 	return out, nil
+}
+
+// phaseNameOrder returns the RoLAG phase labels in pipeline order —
+// the registration order of the obs span classes.
+func phaseNameOrder() []string {
+	names := make([]string, 0, 4)
+	for _, st := range obs.SpanStats() {
+		names = append(names, st.Name)
+	}
+	return names
+}
+
+// phaseSnapshots reads the current span stats for the named classes,
+// in the same order.
+func phaseSnapshots(names []string) []obs.SpanStat {
+	stats := obs.SpanStats()
+	byName := make(map[string]obs.SpanStat, len(stats))
+	for _, st := range stats {
+		byName[st.Name] = st
+	}
+	out := make([]obs.SpanStat, len(names))
+	for i, name := range names {
+		out[i] = byName[name]
+	}
+	return out
 }
 
 // percentile returns the q-th percentile (0..1) of xs using

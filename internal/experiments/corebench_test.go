@@ -52,6 +52,22 @@ func TestRollAllocBudget(t *testing.T) {
 	if avg > rollAllocBudget {
 		t.Errorf("rolag.Build(%s): %.0f allocs/op, budget %d", fn.Name, avg, rollAllocBudget)
 	}
+
+	// The same ceiling must hold with the remark machinery compiled in
+	// but disabled (the default): the disabled path is a handful of nil
+	// Recorder checks and must not allocate. Config.Remarks defaults to
+	// false, so this re-measure only documents the claim explicitly —
+	// if remarks ever leak allocations into the disabled hot path, both
+	// measurements blow the budget together.
+	cfg.Remarks = false
+	avgOff := testing.AllocsPerRun(10, func() {
+		if _, err := rolag.Build(fn.Src, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	if avgOff > rollAllocBudget {
+		t.Errorf("rolag.Build(%s) with remarks disabled: %.0f allocs/op, budget %d", fn.Name, avgOff, rollAllocBudget)
+	}
 }
 
 // BenchmarkRollAngha compiles a fixed slice of the canonical corpus

@@ -60,9 +60,10 @@ func runAnghaDaemon(ctx context.Context, baseURL string, funcs []angha.Function)
 				fn := funcs[j.fn]
 				bcfg := anghaConfigs(fn.Name)[j.cfg]
 				req := &rolagdapi.CompileRequest{
-					Source: fn.Src,
-					EmitIR: &noIR,
-					Config: rolagdapi.CompileConfig{Name: bcfg.Name, Opt: optWire(bcfg.Opt)},
+					Source:  fn.Src,
+					EmitIR:  &noIR,
+					Config:  rolagdapi.CompileConfig{Name: bcfg.Name, Opt: optWire(bcfg.Opt)},
+					Remarks: bcfg.Remarks,
 				}
 				resp, err := client.Compile(ctx, req)
 				if err != nil {
@@ -74,7 +75,7 @@ func runAnghaDaemon(ctx context.Context, baseURL string, funcs []angha.Function)
 						fn.Name, bcfg.Opt, resp.DegradedPasses))
 					return
 				}
-				b := anghaBuild{binaryAfter: resp.BinaryAfter, rerolled: resp.Rerolled, rolled: resp.LoopsRolled}
+				b := anghaBuild{binaryAfter: resp.BinaryAfter, rerolled: resp.Rerolled, rolled: resp.LoopsRolled, remarks: resp.Remarks}
 				if len(resp.NodeCounts) > 0 {
 					b.nodeCounts = rolagdapi.NodeCountsFromWire(resp.NodeCounts)
 				}

@@ -53,6 +53,7 @@ func fakeRolagd(t *testing.T, shedFirst int64) *httptest.Server {
 		out := rolagdapi.CompileResponse{
 			BinaryAfter: resp.BinaryAfter,
 			Rerolled:    resp.Rerolled,
+			Remarks:     resp.Remarks,
 		}
 		if resp.Stats != nil {
 			out.LoopsRolled = resp.Stats.LoopsRolled

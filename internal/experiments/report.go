@@ -102,6 +102,27 @@ func (r *Report) Fig16(s *AnghaSummary) error {
 		"fig16-angha-nodes.csv", s.NodeCounts)
 }
 
+// Rejections renders the rejected-by-reason breakdown built from the
+// corpus run's optimization remarks: every candidate RoLAG considered
+// and turned down, keyed by the stable reason code.
+func (r *Report) Rejections(s *AnghaSummary) error {
+	fmt.Fprintf(r.w(), "\n== Rejected rolling decisions by reason (AnghaBench, from remarks) ==\n")
+	if len(s.RejectedByReason) == 0 {
+		fmt.Fprintln(r.w(), "  (no rejections recorded)")
+		return nil
+	}
+	total := 0
+	for _, rc := range s.RejectedByReason {
+		total += rc.Count
+	}
+	var rows [][]string
+	for _, rc := range s.RejectedByReason {
+		fmt.Fprintf(r.w(), "  %-26s %6d (%5.1f%%)\n", rc.Reason, rc.Count, 100*float64(rc.Count)/float64(total))
+		rows = append(rows, []string{rc.Reason, fmt.Sprint(rc.Count)})
+	}
+	return r.writeCSV("angha-rejections.csv", []string{"reason", "count"}, rows)
+}
+
 // Table1 renders the MiBench/SPEC table.
 func (r *Report) Table1(rows []Table1Row) error {
 	fmt.Fprintf(r.w(), "\n== Table I: code reduction on full programs (MiBench, SPEC 2017) ==\n")

@@ -17,6 +17,7 @@ var counters struct {
 	cost     atomic.Int64
 	panics   atomic.Int64
 	degraded atomic.Int64
+	remark   atomic.Int64
 }
 
 // Counters is a point-in-time snapshot of the fuzzing counters.
@@ -38,6 +39,9 @@ type Counters struct {
 	// FailDegraded counts chaos-contract violations: the Degraded
 	// report disagreed with the fault-injection ground truth.
 	FailDegraded int64 `json:"fail_degraded"`
+	// FailRemark counts remark-honesty violations: the remark stream
+	// disagreed with the pipeline's actual rolling decisions.
+	FailRemark int64 `json:"fail_remark"`
 }
 
 // Snapshot returns the current fuzzing counters.
@@ -52,6 +56,7 @@ func Snapshot() Counters {
 		FailCost:     counters.cost.Load(),
 		FailPanic:    counters.panics.Load(),
 		FailDegraded: counters.degraded.Load(),
+		FailRemark:   counters.remark.Load(),
 	}
 }
 
@@ -70,5 +75,7 @@ func countFailure(class string) {
 		counters.panics.Add(1)
 	case ClassDegraded:
 		counters.degraded.Add(1)
+	case ClassRemark:
+		counters.remark.Add(1)
 	}
 }

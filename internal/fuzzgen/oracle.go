@@ -3,6 +3,7 @@ package fuzzgen
 import (
 	"fmt"
 	"runtime/debug"
+	"strings"
 
 	"rolag"
 	"rolag/internal/cc"
@@ -28,6 +29,10 @@ const (
 	ClassCost = "cost"
 	// ClassPanic: some stage panicked.
 	ClassPanic = "panic"
+	// ClassRemark: the optimization remarks disagree with what the
+	// pipeline actually did — a "rolled" remark without a rolled loop in
+	// the output, or vice versa.
+	ClassRemark = "remark"
 )
 
 // Failure describes one oracle-detected defect.
@@ -201,12 +206,19 @@ func (o *Oracle) Check(src string) (fail *Failure, exercised bool) {
 	}
 
 	// Fine-grained post-roll verification: re-run the default RoLAG
-	// variant without cleanup, then apply the cleanup pipeline one pass
-	// at a time with the verifier between, so breakage inside the
-	// cleanup sequence is attributed to the responsible pass.
-	res, err := rolag.Optimize(m, rolag.Config{Name: "fuzz", Opt: rolag.OptRoLAG, SkipCleanup: true, CloneInput: true})
+	// variant without cleanup (and with remarks on), then apply the
+	// cleanup pipeline one pass at a time with the verifier between, so
+	// breakage inside the cleanup sequence is attributed to the
+	// responsible pass.
+	res, err := rolag.Optimize(m, rolag.Config{Name: "fuzz", Opt: rolag.OptRoLAG, SkipCleanup: true, CloneInput: true, Remarks: true})
 	if err != nil {
 		return &Failure{Class: ClassVerify, Variant: "rolag-nocleanup", Detail: err.Error()}, true
+	}
+	// Remark honesty: a "rolled" remark exists iff the output actually
+	// contains a rolled loop. Cleanup is skipped, so every roll.loop
+	// block codegen created is still present to count.
+	if f := checkRemarks(res); f != nil {
+		return f, true
 	}
 	if f := runPipelineVerified(res.Module, "postroll"); f != nil {
 		return f, true
@@ -215,6 +227,37 @@ func (o *Oracle) Check(src string) (fail *Failure, exercised bool) {
 		return f, true
 	}
 	return nil, true
+}
+
+// checkRemarks asserts the remark stream is an honest record of the
+// compilation: the number of "rolled" remarks must equal both the
+// Stats.LoopsRolled claim and the number of roll.loop blocks codegen
+// left in the (cleanup-free) output module.
+func checkRemarks(res *rolag.Result) *Failure {
+	rolledRemarks := 0
+	for _, r := range res.Remarks {
+		if r.Pass == "rolag" && r.Name == "rolled" {
+			rolledRemarks++
+		}
+	}
+	claimed := 0
+	if res.Stats != nil {
+		claimed = res.Stats.LoopsRolled
+	}
+	loops := 0
+	for _, fn := range res.Module.Funcs {
+		for _, b := range fn.Blocks {
+			if strings.HasPrefix(b.Name, "roll.loop") {
+				loops++
+			}
+		}
+	}
+	if rolledRemarks != claimed || rolledRemarks != loops {
+		return &Failure{Class: ClassRemark, Variant: "rolag-nocleanup",
+			Detail: fmt.Sprintf("%d rolled remarks, Stats.LoopsRolled %d, %d roll.loop blocks in output",
+				rolledRemarks, claimed, loops)}
+	}
+	return nil
 }
 
 // runPipelineVerified applies the standard pipeline pass by pass,

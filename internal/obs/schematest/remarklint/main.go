@@ -1,0 +1,49 @@
+// Command remarklint validates remark JSON documents against the
+// committed remark schema (internal/obs/schematest/remarks.schema.json).
+// It reads each file argument — or standard input with no arguments —
+// and exits non-zero on the first violation. `make explain-smoke` runs
+// it over rolagc -remarks=json output for every example program, so a
+// remark-format change that breaks the schema contract fails CI.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"rolag/internal/obs/schematest"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "remarklint: %v\n", err)
+			os.Exit(1)
+		}
+		check("<stdin>", data)
+		return
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "remarklint: %v\n", err)
+			os.Exit(1)
+		}
+		check(path, data)
+	}
+}
+
+func check(name string, data []byte) {
+	if err := schematest.Validate(data); err != nil {
+		fmt.Fprintf(os.Stderr, "remarklint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	var remarks []json.RawMessage
+	if err := json.Unmarshal(data, &remarks); err != nil {
+		fmt.Fprintf(os.Stderr, "remarklint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: ok (%d remarks)\n", name, len(remarks))
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceContext identifies one traced request. The zero value is
+// inactive: spans ended under it record nothing. rolagd mints one per
+// HTTP request (honoring an incoming X-Trace-Id) and propagates it via
+// context through the engine into the pipeline.
+type TraceContext struct {
+	// ID is the request's trace identifier, echoed in logs, response
+	// headers, and trace-event args.
+	ID string
+	// tid is the Chrome trace "thread" lane; fresh per Fork so
+	// concurrent work renders on separate rows.
+	tid uint64
+}
+
+var tidCounter atomic.Uint64
+
+// NewTrace returns an active trace context with the given ID (a fresh
+// one is minted when empty).
+func NewTrace(id string) TraceContext {
+	if id == "" {
+		id = NewTraceID()
+	}
+	return TraceContext{ID: id, tid: tidCounter.Add(1)}
+}
+
+// NewTraceID mints a random 16-hex-character identifier.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to the monotone counter; uniqueness within the
+		// process is all the ring buffer needs.
+		return fmt.Sprintf("t%015x", tidCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Active reports whether spans under this context are recorded.
+func (t TraceContext) Active() bool { return t.tid != 0 }
+
+// Fork returns a context with the same ID but a fresh lane, so spans
+// from a concurrent worker render on their own row in the trace view.
+func (t TraceContext) Fork() TraceContext {
+	if !t.Active() {
+		return t
+	}
+	return TraceContext{ID: t.ID, tid: tidCounter.Add(1)}
+}
+
+type traceCtxKey struct{}
+
+// WithTrace attaches a trace context to ctx.
+func WithTrace(ctx context.Context, t TraceContext) context.Context {
+	if !t.Active() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFrom extracts the trace context from ctx (zero when absent).
+func TraceFrom(ctx context.Context) TraceContext {
+	t, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return t
+}
+
+// TraceEvent is one completed span in the ring buffer.
+type TraceEvent struct {
+	Name   string
+	Trace  string
+	TID    uint64
+	Start  time.Time
+	Dur    time.Duration
+	Detail string
+}
+
+// DefaultTraceCapacity is the ring-buffer size when none is set.
+const DefaultTraceCapacity = 16384
+
+// ring is the bounded in-process trace buffer: newest events overwrite
+// oldest. A mutex (not atomics) is fine here — the buffer is touched
+// only when tracing is enabled, which the one-load gate already
+// guards.
+var ring struct {
+	mu  sync.Mutex
+	buf []TraceEvent
+	n   int // total events ever added, for overwrite position
+}
+
+// EnableTracing turns trace-event recording on or off process-wide.
+func EnableTracing(on bool) { setGate(gateTrace, on) }
+
+// TracingEnabled reports whether tracing is on.
+func TracingEnabled() bool { return gates.Load()&gateTrace != 0 }
+
+// SetTraceCapacity resizes the ring buffer and clears it (0 restores
+// DefaultTraceCapacity).
+func SetTraceCapacity(n int) {
+	if n <= 0 {
+		n = DefaultTraceCapacity
+	}
+	ring.mu.Lock()
+	ring.buf = make([]TraceEvent, 0, n)
+	ring.n = 0
+	ring.mu.Unlock()
+}
+
+// ResetTrace drops every buffered event.
+func ResetTrace() {
+	ring.mu.Lock()
+	ring.buf = ring.buf[:0]
+	ring.n = 0
+	ring.mu.Unlock()
+}
+
+func addEvent(ev TraceEvent) {
+	ring.mu.Lock()
+	if cap(ring.buf) == 0 {
+		ring.buf = make([]TraceEvent, 0, DefaultTraceCapacity)
+	}
+	if len(ring.buf) < cap(ring.buf) {
+		ring.buf = append(ring.buf, ev)
+	} else {
+		ring.buf[ring.n%len(ring.buf)] = ev
+	}
+	ring.n++
+	ring.mu.Unlock()
+}
+
+// TraceEvents returns a copy of the buffered events sorted by start
+// time.
+func TraceEvents() []TraceEvent {
+	ring.mu.Lock()
+	out := append([]TraceEvent(nil), ring.buf...)
+	ring.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// processStart anchors exported timestamps; Chrome's trace viewer
+// wants microseconds from an arbitrary epoch.
+var processStart = time.Now()
+
+// chromeEvent is the Chrome trace-event wire format ("X" = complete
+// event; ts/dur in microseconds).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the buffered events as Chrome trace-event
+// JSON (load it in chrome://tracing or https://ui.perfetto.dev).
+func WriteChromeTrace(w io.Writer) error {
+	events := TraceEvents()
+	out := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: make([]chromeEvent, 0, len(events))}
+	for _, ev := range events {
+		args := map[string]string{"trace": ev.Trace}
+		if ev.Detail != "" {
+			args["detail"] = ev.Detail
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: ev.Name,
+			Cat:  "rolag",
+			Ph:   "X",
+			Ts:   float64(ev.Start.Sub(processStart).Nanoseconds()) / 1e3,
+			Dur:  float64(ev.Dur.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  ev.TID,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -8,6 +8,7 @@ import (
 
 	"rolag/internal/faultpoint"
 	"rolag/internal/ir"
+	"rolag/internal/obs"
 )
 
 // SkipReason classifies why the fail-soft sandbox rolled back or
@@ -117,6 +118,10 @@ type Sandbox struct {
 	// Guard, when set, is consulted before and notified after every
 	// execution (the service's circuit breakers).
 	Guard Guard
+	// Trace, when active and tracing is enabled, records every
+	// sandboxed pass execution as a "pass:<name>" span on the request's
+	// trace (rolagd's /debug/trace). The zero value records nothing.
+	Trace obs.TraceContext
 
 	report Degraded
 }
@@ -162,6 +167,8 @@ func (s *Sandbox) RunShadow(pass string, f *ir.Func, run func(*ir.Func) bool) (c
 	if !s.allow(pass, f) {
 		return false, false
 	}
+	span := obs.Now()
+	defer obs.EndSpan(s.Trace, "pass:"+pass, span, f.Name)
 	shadow := ir.ShadowFunc(f)
 	type result struct {
 		changed bool
@@ -220,6 +227,8 @@ func (s *Sandbox) RunInPlaceIn(pass string, f *ir.Func, sink *ir.Module, run fun
 	if !s.allow(pass, f) {
 		return false, false
 	}
+	span := obs.Now()
+	defer obs.EndSpan(s.Trace, "pass:"+pass, span, f.Name)
 	snapshot := ir.ShadowFunc(f)
 	gmark := sink.MarkGlobals()
 	start := time.Now()

@@ -19,15 +19,47 @@ import (
 
 	"rolag/internal/analysis"
 	"rolag/internal/ir"
+	"rolag/internal/obs"
 )
 
 // RerollFunc attempts to reroll every single-block loop in f, returning
 // the number of loops rerolled.
 func RerollFunc(f *ir.Func) int {
+	return RerollFuncObs(f, nil)
+}
+
+// RerollFuncObs is RerollFunc with optimization remarks: every loop
+// with an unrolled-looking induction step (>= 2) gets a "rerolled" or
+// "reroll-reject" remark naming the header block and the rejection
+// detail; step-1 loops are skipped silently, since there is nothing to
+// reroll and remarking every ordinary loop would be noise. A nil rec
+// collects nothing.
+func RerollFuncObs(f *ir.Func, rec *obs.Recorder) int {
 	n := 0
 	for _, l := range analysis.FindLoops(f) {
-		if err := RerollLoop(f, l); err == nil {
+		step := l.Step
+		err := RerollLoop(f, l)
+		if err == nil {
 			n++
+			if rec.On() {
+				rec.Add(obs.Remark{
+					Pass: "reroll", Name: "rerolled", Status: obs.StatusPassed,
+					Func: f.Name, Block: l.Header.Name,
+					Instr: "%" + l.IV.Name,
+					Lanes: int(step),
+				})
+			}
+			continue
+		}
+		if step >= 2 && rec.On() {
+			rec.Add(obs.Remark{
+				Pass: "reroll", Name: "reroll-reject", Status: obs.StatusMissed,
+				Func: f.Name, Block: l.Header.Name,
+				Instr:  "%" + l.IV.Name,
+				Reason: "no-reroll",
+				Detail: err.Error(),
+				Lanes:  int(step),
+			})
 		}
 	}
 	return n

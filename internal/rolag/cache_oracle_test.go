@@ -45,10 +45,10 @@ func TestCachedAnalysesMatchUncachedFuzz(t *testing.T) {
 		uam := analysis.NewUncachedManager()
 		var cRolled, uRolled int
 		for _, f := range cached.Funcs {
-			cRolled += rl.RollFuncInto(f, nil, cam, cached).LoopsRolled
+			cRolled += rl.RollFuncInto(f, nil, cam, cached, nil).LoopsRolled
 		}
 		for _, f := range uncached.Funcs {
-			uRolled += rl.RollFuncInto(f, nil, uam, uncached).LoopsRolled
+			uRolled += rl.RollFuncInto(f, nil, uam, uncached, nil).LoopsRolled
 		}
 		if cRolled != uRolled {
 			t.Errorf("seed %d: cached rolled %d loops, uncached %d", seed, cRolled, uRolled)

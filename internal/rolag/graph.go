@@ -143,7 +143,14 @@ func (g *Graph) String() string {
 }
 
 // errAbort is an internal sentinel: the candidate cannot be aligned.
-type errAbort struct{ reason string }
+// errAbort is the internal "this attempt cannot roll" sentinel. code
+// is a stable machine-readable slug (the remark Reason field and the
+// experiments' rejected-by-reason tables key on it); reason is the
+// human-readable explanation.
+type errAbort struct {
+	code   string
+	reason string
+}
 
 func (e *errAbort) Error() string { return "rolag: " + e.reason }
 
@@ -467,7 +474,7 @@ func (gb *graphBuilder) claim(n *Node, insts []*ir.Instr) error {
 		}
 		if prev, ok := gb.claimed[in]; ok {
 			if in.HasMemoryEffect() || in.Op == ir.OpCall {
-				return &errAbort{reason: fmt.Sprintf("instruction %%%s with side effects claimed by two nodes (lanes %d and %d)", in.Name, prev.lane, lane)}
+				return &errAbort{code: "side-effect-claimed-twice", reason: fmt.Sprintf("instruction %%%s with side effects claimed by two nodes (lanes %d and %d)", in.Name, prev.lane, lane)}
 			}
 			continue // shared pure instruction; first claim stands
 		}
@@ -738,19 +745,18 @@ func (gb *graphBuilder) tryNeutralBinOp(vals []ir.Value) (*Node, error) {
 // scalar type so they can live in an array.
 func (gb *graphBuilder) mismatch(vals []ir.Value) (*Node, error) {
 	if !gb.opts.EnableMismatch {
-		return nil, &errAbort{reason: "mismatching node with mismatch handling disabled"}
+		return nil, &errAbort{code: "mismatch-disabled", reason: "mismatching node with mismatch handling disabled"}
 	}
 	t := vals[0].Type()
 	for _, v := range vals[1:] {
 		if !v.Type().Equal(t) {
-			return nil, &errAbort{reason: "mismatching lanes with different types"}
+			return nil, &errAbort{code: "mismatch-type", reason: "mismatching lanes with different types"}
 		}
 	}
 	switch t.(type) {
 	case ir.IntType, ir.FloatType, ir.PointerType:
 	default:
-		return nil, &errAbort{reason: "mismatching lanes of non-scalar type"}
+		return nil, &errAbort{code: "mismatch-nonscalar", reason: "mismatching lanes of non-scalar type"}
 	}
 	return gb.addNode(&Node{Kind: KindMismatch, Vals: append([]ir.Value(nil), vals...)}), nil
 }
-

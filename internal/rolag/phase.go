@@ -1,14 +1,19 @@
 package rolag
 
 import (
-	"sync/atomic"
 	"time"
+
+	"rolag/internal/obs"
 )
 
-// Phase identifies one stage of the RoLAG pipeline for timing. The
-// same timers feed cmd/rolag-bench (per-phase p50/p99) and rolagd's
-// rolagd_phase_seconds metrics, so the two always agree on phase
-// boundaries.
+// Phase identifies one stage of the RoLAG pipeline for timing. Each
+// phase is a registered obs span class, so the same histograms feed
+// cmd/rolag-bench (per-phase p50/p99), rolagd's rolagd_phase_seconds
+// metrics, and — when tracing is on — per-request trace events; every
+// consumer agrees on phase boundaries by construction. Enable/reset/
+// snapshot live in internal/obs (EnableSpanStats, ResetSpanStats,
+// SpanStats); the accounting is safe under the parallel pipeline
+// because the obs counters are plain atomics.
 type Phase int
 
 // Pipeline phases, in execution order.
@@ -35,89 +40,21 @@ func (p Phase) String() string {
 	return "unknown"
 }
 
-// PhaseBounds are the histogram bucket upper bounds, in seconds. An
-// implicit +Inf bucket (== Count) follows the last bound.
-var PhaseBounds = []float64{100e-9, 1e-6, 10e-6, 100e-6, 1e-3, 10e-3, 100e-3, 1}
-
-const numPhaseBuckets = 8
-
-var phaseBoundNanos = [numPhaseBuckets]int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000}
-
-// PhaseSnapshot is the accumulated timing of one phase.
-type PhaseSnapshot struct {
-	Count uint64
-	Nanos uint64
-	// Buckets holds non-cumulative histogram counts per PhaseBounds
-	// entry; durations above the last bound count only toward Count.
-	Buckets [numPhaseBuckets]uint64
-}
-
-type phaseCounters struct {
-	count   atomic.Uint64
-	nanos   atomic.Uint64
-	buckets [numPhaseBuckets]atomic.Uint64
-}
-
-var (
-	// phaseTimingOn gates all timing with a single atomic load, the
-	// same pattern faultpoint uses: a disabled timer costs one branch.
-	phaseTimingOn atomic.Bool
-	phaseTimes    [NumPhases]phaseCounters
-)
-
-// EnablePhaseTiming turns per-phase wall-clock accounting on or off
-// process-wide. Disabled (the default), the hot path pays one atomic
-// load per phase. Safe for concurrent use.
-func EnablePhaseTiming(on bool) { phaseTimingOn.Store(on) }
-
-// PhaseTimingEnabled reports whether phase timing is on.
-func PhaseTimingEnabled() bool { return phaseTimingOn.Load() }
-
-// ResetPhaseTimings zeroes the accumulated counters.
-func ResetPhaseTimings() {
-	for p := range phaseTimes {
-		phaseTimes[p].count.Store(0)
-		phaseTimes[p].nanos.Store(0)
-		for i := range phaseTimes[p].buckets {
-			phaseTimes[p].buckets[i].Store(0)
-		}
+// phaseClasses registers the phases with obs at init time, in phase
+// order, so obs.SpanStats() lists them seed/align/schedule/codegen.
+var phaseClasses = func() [NumPhases]obs.SpanClass {
+	var cs [NumPhases]obs.SpanClass
+	for p := PhaseSeed; p < NumPhases; p++ {
+		cs[p] = obs.RegisterSpanClass(p.String())
 	}
-}
+	return cs
+}()
 
-// PhaseTimings returns a snapshot of the accumulated per-phase timings.
-func PhaseTimings() [NumPhases]PhaseSnapshot {
-	var out [NumPhases]PhaseSnapshot
-	for p := range phaseTimes {
-		out[p].Count = phaseTimes[p].count.Load()
-		out[p].Nanos = phaseTimes[p].nanos.Load()
-		for i := range phaseTimes[p].buckets {
-			out[p].Buckets[i] = phaseTimes[p].buckets[i].Load()
-		}
-	}
-	return out
-}
+// phaseStart returns the start time when span stats or tracing are
+// enabled and zero otherwise; pair with phaseEnd. Disabled, the pair
+// costs one atomic load each.
+func phaseStart() time.Time { return obs.Now() }
 
-// phaseStart returns the start time when timing is enabled and zero
-// otherwise; pair with phaseEnd.
-func phaseStart() time.Time {
-	if !phaseTimingOn.Load() {
-		return time.Time{}
-	}
-	return time.Now()
-}
-
-func phaseEnd(p Phase, start time.Time) {
-	if start.IsZero() {
-		return
-	}
-	d := time.Since(start).Nanoseconds()
-	c := &phaseTimes[p]
-	c.count.Add(1)
-	c.nanos.Add(uint64(d))
-	for i, bound := range phaseBoundNanos {
-		if d <= bound {
-			c.buckets[i].Add(1)
-			break
-		}
-	}
+func phaseEnd(rec *obs.Recorder, p Phase, start time.Time) {
+	phaseClasses[p].End(rec.TraceCtx(), start)
 }

@@ -6,6 +6,7 @@ import (
 
 	"rolag/internal/analysis"
 	"rolag/internal/ir"
+	"rolag/internal/obs"
 )
 
 // RollModule runs RoLAG on every function of the module and returns the
@@ -18,7 +19,7 @@ func RollModule(m *ir.Module, opts *Options) *Stats {
 	am := analysis.NewManager()
 	stats := NewStats()
 	for _, f := range m.Funcs {
-		stats.Add(RollFuncInto(f, opts, am, m))
+		stats.Add(RollFuncInto(f, opts, am, m, nil))
 	}
 	return stats
 }
@@ -26,19 +27,21 @@ func RollModule(m *ir.Module, opts *Options) *Stats {
 // RollFunc runs RoLAG on every basic block of f (the main procedure of
 // Fig. 5). Newly generated loop blocks are not re-processed.
 func RollFunc(f *ir.Func, opts *Options) *Stats {
-	return RollFuncInto(f, opts, nil, nil)
+	return RollFuncInto(f, opts, nil, nil, nil)
 }
 
-// RollFuncInto is RollFunc with the analysis cache and the global sink
-// made explicit. am carries cached per-function analyses (nil for a
-// private cache). sink is the module that receives the constant-table
-// globals codegen creates (nil for f.Parent); the parallel pipeline
-// passes a private staging module per function and later adopts the
-// staged globals into the real module in deterministic function order,
-// replaying the serial name sequence. Cost decisions compare before
-// and after deltas, so pricing rodata against the sink instead of the
-// full module changes nothing.
-func RollFuncInto(f *ir.Func, opts *Options, am *analysis.Manager, sink *ir.Module) *Stats {
+// RollFuncInto is RollFunc with the analysis cache, the global sink,
+// and the observability recorder made explicit. am carries cached
+// per-function analyses (nil for a private cache). sink is the module
+// that receives the constant-table globals codegen creates (nil for
+// f.Parent); the parallel pipeline passes a private staging module per
+// function and later adopts the staged globals into the real module in
+// deterministic function order, replaying the serial name sequence.
+// Cost decisions compare before and after deltas, so pricing rodata
+// against the sink instead of the full module changes nothing. rec
+// collects optimization remarks and carries the request trace; nil
+// disables both with zero added allocations on the hot path.
+func RollFuncInto(f *ir.Func, opts *Options, am *analysis.Manager, sink *ir.Module, rec *obs.Recorder) *Stats {
 	if opts == nil {
 		opts = DefaultOptions()
 	}
@@ -71,7 +74,7 @@ func RollFuncInto(f *ir.Func, opts *Options, am *analysis.Manager, sink *ir.Modu
 		}
 		revisits[b.Name]++
 		stats.BlocksScanned++
-		rolled, loopBlock := rollBlockOnce(f, i, opts, stats, am, sink)
+		rolled, loopBlock := rollBlockOnce(f, i, opts, stats, am, sink, rec)
 		if rolled {
 			skip[loopBlock] = true
 			// Revisit the (now shorter) preheader for further seed
@@ -114,7 +117,7 @@ func globalBase(name string) string {
 // rollBlockOnce tries the seed groups of block f.Blocks[bi] in priority
 // order until one rolls profitably. It reports whether a roll happened
 // and the created loop block.
-func rollBlockOnce(f *ir.Func, bi int, opts *Options, stats *Stats, am *analysis.Manager, sink *ir.Module) (bool, *ir.Block) {
+func rollBlockOnce(f *ir.Func, bi int, opts *Options, stats *Stats, am *analysis.Manager, sink *ir.Module, rec *obs.Recorder) (bool, *ir.Block) {
 	failed := make(map[string]bool)
 	for {
 		b := f.Blocks[bi]
@@ -140,12 +143,21 @@ func rollBlockOnce(f *ir.Func, bi int, opts *Options, stats *Stats, am *analysis
 				break
 			}
 		}
-		phaseEnd(PhaseSeed, t)
+		phaseEnd(rec, PhaseSeed, t)
 		if attempt == nil {
 			return false, nil
 		}
+		if rec.On() {
+			rec.Add(obs.Remark{
+				Pass: "rolag", Name: "seed", Status: obs.StatusAnalysis,
+				Func: f.Name, Block: b.Name,
+				Instr: instrRef(attempt[0].Instrs[0], idx),
+				Kind:  seedKindLabel(attempt),
+				Lanes: len(attempt[0].Instrs),
+			})
+		}
 		sig := signature(b, idx, attempt...)
-		loopBlock, err := tryRoll(f, bi, opts, stats, am, sink, attempt)
+		loopBlock, err := tryRoll(f, bi, opts, stats, am, sink, rec, attempt)
 		if err == nil {
 			return true, loopBlock
 		}
@@ -156,36 +168,54 @@ func rollBlockOnce(f *ir.Func, bi int, opts *Options, stats *Stats, am *analysis
 // tryRoll builds the alignment graph, runs the scheduling analysis,
 // generates the loop, and keeps it only if the cost model deems it
 // smaller (Fig. 5). On any failure the function body is restored.
-func tryRoll(f *ir.Func, bi int, opts *Options, stats *Stats, am *analysis.Manager, sink *ir.Module, groups []*SeedGroup) (*ir.Block, error) {
+func tryRoll(f *ir.Func, bi int, opts *Options, stats *Stats, am *analysis.Manager, sink *ir.Module, rec *obs.Recorder, groups []*SeedGroup) (*ir.Block, error) {
 	b := f.Blocks[bi]
 	fi := am.Info(f)
+	lanes := len(groups[0].Instrs)
 
 	t := phaseStart()
 	graph, err := buildGraphInfo(b, opts, fi, groups...)
-	phaseEnd(PhaseAlign, t)
+	phaseEnd(rec, PhaseAlign, t)
 	if err != nil {
+		if rec.On() {
+			rec.Add(missRemark("align-reject", f, b, groups, fi, lanes, err))
+		}
 		return nil, err
 	}
 	stats.GraphsBuilt++
+	if rec.On() {
+		emitAlignRemarks(rec, f, b, graph, fi)
+	}
 
 	t = phaseStart()
 	sched, err := analyzeSchedulingIdx(b, graph, fi.Index())
-	phaseEnd(PhaseSchedule, t)
+	phaseEnd(rec, PhaseSchedule, t)
 	if err != nil {
 		stats.ScheduleFailed++
+		if rec.On() {
+			rec.Add(missRemark("schedule-reject", f, b, groups, fi, lanes, err))
+		}
 		return nil, err
 	}
 
 	t = phaseStart()
 	snapshot := ir.CloneBlocks(f)
 	gmark := sink.MarkGlobals()
-	costBefore := opts.Model.FuncUsers(f, fi.Users()) + rodataSize(sink)
+	// Costs are function-local: the rodata term counts only the constant
+	// tables THIS roll adds (the delta over the pre-roll sink), not
+	// whatever the sink already holds. The serial pipeline sinks into the
+	// shared module while the parallel one uses private staging modules,
+	// so absolute sink sizes differ between the two — the delta is the
+	// same in both, which keeps the profit decision and the remark cost
+	// fields byte-identical across Parallelism values.
+	rodataBefore := rodataSize(sink)
+	costBefore := opts.Model.FuncUsers(f, fi.Users())
 
 	generateLoopInto(f, b, graph, sched, opts, fi.Users(), sink)
 	// The body was rewritten; everything cached about f is stale.
 	am.Invalidate(f)
 
-	costAfter := opts.Model.FuncUsers(f, am.Info(f).Users()) + rodataSize(sink)
+	costAfter := opts.Model.FuncUsers(f, am.Info(f).Users()) + rodataSize(sink) - rodataBefore
 	if !opts.AlwaysRoll && costAfter >= costBefore {
 		// Not profitable: restore the body and drop added globals. The
 		// snapshot swaps in cloned instruction pointers, so the
@@ -194,14 +224,112 @@ func tryRoll(f *ir.Func, bi int, opts *Options, stats *Stats, am *analysis.Manag
 		sink.ResetGlobals(gmark)
 		am.Invalidate(f)
 		stats.NotProfitable++
-		phaseEnd(PhaseCodegen, t)
-		return nil, &errAbort{reason: fmt.Sprintf("not profitable (%d >= %d bytes)", costAfter, costBefore)}
+		phaseEnd(rec, PhaseCodegen, t)
+		err := &errAbort{code: "not-profitable", reason: fmt.Sprintf("not profitable (%d >= %d bytes)", costAfter, costBefore)}
+		if rec.On() {
+			// fi predates the rewrite, so its index still locates the
+			// original seed instructions the remark points at.
+			rm := missRemark("not-profitable", f, b, groups, fi, lanes, err)
+			rm.CostBefore = costBefore
+			rm.CostAfter = costAfter
+			rm.DeltaBytes = costAfter - costBefore
+			rec.Add(rm)
+		}
+		return nil, err
 	}
 	stats.LoopsRolled++
 	stats.InstrsRolled += len(graph.Matched)
 	graph.AddNodeCounts(stats.NodeCounts)
-	phaseEnd(PhaseCodegen, t)
-	return f.Blocks[bi+1], nil
+	phaseEnd(rec, PhaseCodegen, t)
+	loopBlock := f.Blocks[bi+1]
+	if rec.On() {
+		rec.Add(obs.Remark{
+			Pass: "rolag", Name: "rolled", Status: obs.StatusPassed,
+			Func: f.Name, Block: b.Name,
+			Instr:      seedRef(groups, fi),
+			Kind:       seedKindLabel(groups),
+			Detail:     fmt.Sprintf("rolled %d matched instructions into loop %s", len(graph.Matched), loopBlock.Name),
+			Lanes:      lanes,
+			CostBefore: costBefore,
+			CostAfter:  costAfter,
+			DeltaBytes: costAfter - costBefore,
+		})
+	}
+	return loopBlock, nil
+}
+
+// seedKindLabel names the seed-group kind of an attempt; joint
+// attempts are prefixed so the taxonomy distinguishes them.
+func seedKindLabel(groups []*SeedGroup) string {
+	label := groups[0].Kind.String()
+	if len(groups) > 1 {
+		return "joint-" + label
+	}
+	return label
+}
+
+// instrRef renders a stable instruction reference for remark
+// provenance: the SSA name when the instruction produces a value,
+// otherwise its opcode and position within the block.
+func instrRef(in *ir.Instr, idx map[*ir.Instr]int) string {
+	if in.Name != "" {
+		return "%" + in.Name
+	}
+	return fmt.Sprintf("%s@%d", in.Op, idx[in])
+}
+
+// seedRef is instrRef on the first seed instruction of an attempt.
+// After codegen rewrote the block the original seed pointers are gone
+// from the index, so the position falls back to 0; the opcode and
+// block name still locate the decision.
+func seedRef(groups []*SeedGroup, fi *analysis.FuncInfo) string {
+	return instrRef(groups[0].Instrs[0], fi.Index())
+}
+
+// missRemark builds the common shape of a rejection remark from an
+// errAbort: the stable code lands in Reason, the human text in Detail,
+// and the first seed instruction anchors the provenance.
+func missRemark(name string, f *ir.Func, b *ir.Block, groups []*SeedGroup, fi *analysis.FuncInfo, lanes int, err error) obs.Remark {
+	rm := obs.Remark{
+		Pass: "rolag", Name: name, Status: obs.StatusMissed,
+		Func: f.Name, Block: b.Name,
+		Instr: seedRef(groups, fi),
+		Kind:  seedKindLabel(groups),
+		Lanes: lanes,
+	}
+	if ab, ok := err.(*errAbort); ok {
+		rm.Reason = ab.code
+		rm.Detail = ab.reason
+	} else if err != nil {
+		rm.Reason = name
+		rm.Detail = err.Error()
+	}
+	return rm
+}
+
+// emitAlignRemarks records one analysis remark per alignment-graph
+// node — the paper's per-node accept/mismatch record. Mismatch nodes
+// carry the lane type as the mismatch kind.
+func emitAlignRemarks(rec *obs.Recorder, f *ir.Func, b *ir.Block, graph *Graph, fi *analysis.FuncInfo) {
+	idx := fi.Index()
+	for _, n := range graph.Nodes {
+		rm := obs.Remark{
+			Pass: "rolag", Name: "align-node", Status: obs.StatusAnalysis,
+			Func: f.Name, Block: b.Name,
+			Kind:  n.Kind.String(),
+			Lanes: len(n.Vals),
+		}
+		for _, in := range n.Insts {
+			if in != nil {
+				rm.Instr = instrRef(in, idx)
+				break
+			}
+		}
+		if n.Kind == KindMismatch && len(n.Vals) > 0 && n.Vals[0] != nil {
+			rm.Detail = "mismatching lanes of type " + n.Vals[0].Type().String()
+		}
+		rec.Add(rm)
+	}
 }
 
 // rodataSize sums the read-only global data the cost model attributes to

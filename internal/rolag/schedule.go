@@ -96,7 +96,7 @@ func analyzeSchedulingIdx(b *ir.Block, g *Graph, idx map[*ir.Instr]int) (*Schedu
 	}
 	for in := range inputSet {
 		if !mark(in) {
-			return nil, &errAbort{reason: "circular dependence: a loop input depends on a matched instruction"}
+			return nil, &errAbort{code: "circular-dependence", reason: "circular dependence: a loop input depends on a matched instruction"}
 		}
 	}
 
@@ -172,7 +172,7 @@ func analyzeSchedulingIdx(b *ir.Block, g *Graph, idx map[*ir.Instr]int) (*Schedu
 		cb, ca := conflictSides(in)
 		switch {
 		case cb && ca:
-			return nil, &errAbort{reason: "independent memory operation conflicts with matched code on both sides"}
+			return nil, &errAbort{code: "memory-both-sides", reason: "independent memory operation conflicts with matched code on both sides"}
 		case ca:
 			pre[in] = true
 		case cb:
@@ -191,7 +191,7 @@ func analyzeSchedulingIdx(b *ir.Block, g *Graph, idx map[*ir.Instr]int) (*Schedu
 			for _, op := range in.Operands {
 				if d, ok := op.(*ir.Instr); ok && d.Parent == b && d.Op != ir.OpPhi && !pre[d] {
 					if _, m := g.Matched[d]; m {
-						return nil, &errAbort{reason: "circular dependence: pre-loop code depends on a matched instruction"}
+						return nil, &errAbort{code: "circular-dependence", reason: "circular dependence: pre-loop code depends on a matched instruction"}
 					}
 					pre[d] = true
 					changed = true
@@ -251,7 +251,7 @@ func analyzeSchedulingIdx(b *ir.Block, g *Graph, idx map[*ir.Instr]int) (*Schedu
 			// a precedes c in the new order; if c originally preceded a
 			// and they conflict, the roll is illegal.
 			if idx[c] < idx[a] && analysis.Conflict(a, c) {
-				return nil, &errAbort{reason: "memory operations would be reordered: " + a.String() + " / " + c.String()}
+				return nil, &errAbort{code: "memory-reorder", reason: "memory operations would be reordered: " + a.String() + " / " + c.String()}
 			}
 		}
 	}

@@ -18,6 +18,19 @@ const (
 	SeedReduction
 )
 
+// String returns the kind's remark label.
+func (k SeedKind) String() string {
+	switch k {
+	case SeedStores:
+		return "stores"
+	case SeedCalls:
+		return "calls"
+	case SeedReduction:
+		return "reduction"
+	}
+	return "unknown"
+}
+
 // SeedGroup is a set of instructions likely to lead to isomorphic code
 // (§IV.A): stores grouped by value type and base address, calls grouped
 // by callee, and reduction-tree roots.
@@ -355,7 +368,7 @@ func buildGraphIntern(b *ir.Block, opts *Options, intern *analysis.Interner, gro
 		default:
 			root, err = gb.makeMatch(g.Instrs)
 			if root == nil && err == nil {
-				err = &errAbort{reason: "seed instructions are not isomorphic"}
+				err = &errAbort{code: "seeds-not-isomorphic", reason: "seed instructions are not isomorphic"}
 			}
 		}
 		if err != nil {
@@ -400,10 +413,10 @@ func buildGraphIntern(b *ir.Block, opts *Options, intern *analysis.Interner, gro
 		for _, v := range inputs {
 			if d, ok := v.(*ir.Instr); ok {
 				if _, isClaimed := gb.claimed[d]; isClaimed {
-					return nil, &errAbort{reason: "loop input is also a matched instruction"}
+					return nil, &errAbort{code: "input-matched", reason: "loop input is also a matched instruction"}
 				}
 				if _, isRed := graph.Matched[d]; isRed {
-					return nil, &errAbort{reason: "loop input is inside a reduction tree"}
+					return nil, &errAbort{code: "input-in-reduction", reason: "loop input is inside a reduction tree"}
 				}
 			}
 		}

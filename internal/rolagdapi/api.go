@@ -38,6 +38,11 @@ type CompileRequest struct {
 	// milliseconds. The server clamps it to its own -request-timeout
 	// cap; zero means the server default applies.
 	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// Remarks asks the server to record optimization remarks — one
+	// entry per RoLAG/reroll decision — and return them in the
+	// response. The stream is deterministic for a given request, so it
+	// caches and deduplicates like any other output.
+	Remarks bool `json:"remarks,omitempty"`
 }
 
 // CompileResponse is the POST /v1/compile result.
@@ -62,6 +67,10 @@ type CompileResponse struct {
 	// the numeric rolag.NodeKind (JSON objects keyed by integers
 	// marshal with string keys natively). Present only for opt=rolag.
 	NodeCounts map[int]int `json:"nodeCounts,omitempty"`
+	// Remarks is the optimization-remark stream (only when the request
+	// set remarks). Absent, not empty, when no remarks were produced,
+	// so responses round-trip the engine result exactly.
+	Remarks []rolag.Remark `json:"remarks,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.
@@ -73,7 +82,7 @@ type ErrorResponse struct {
 func (cr *CompileRequest) ToService() (service.Request, error) {
 	req := service.Request{Source: cr.Source, IRInput: cr.IR}
 	req.EmitIR = cr.EmitIR == nil || *cr.EmitIR
-	cfg := rolag.Config{Name: cr.Config.Name, Unroll: cr.Config.Unroll, Flatten: cr.Config.Flatten}
+	cfg := rolag.Config{Name: cr.Config.Name, Unroll: cr.Config.Unroll, Flatten: cr.Config.Flatten, Remarks: cr.Remarks}
 	switch cr.Config.Opt {
 	case "none":
 		cfg.Opt = rolag.OptNone

@@ -23,6 +23,7 @@ import (
 	"rolag/internal/faultpoint"
 	"rolag/internal/ir"
 	"rolag/internal/irparse"
+	"rolag/internal/obs"
 	"rolag/internal/passes"
 	rl "rolag/internal/rolag"
 )
@@ -119,6 +120,11 @@ type Response struct {
 	// is shared (read-only) with single-flight followers of the same
 	// compilation; callers must not mutate it.
 	Degraded *rolag.Degraded
+	// Remarks is the optimization-remark stream (only when
+	// Request.Config.Remarks). Remark streams are deterministic, so
+	// cached and fresh results carry identical remarks; the slice is
+	// shared read-only with other hits of the same cache entry.
+	Remarks []rolag.Remark
 }
 
 // Reduction returns the relative binary-size reduction in percent.
@@ -146,6 +152,10 @@ type entry struct {
 	// are handed to single-flight followers but never stored in the
 	// cache: a transient pass failure must not poison the key.
 	degraded *rolag.Degraded
+	// remarks is the deterministic remark stream; safe to cache because
+	// Config.Remarks is part of the cache key and two compiles of the
+	// same key produce byte-identical remarks.
+	remarks []rolag.Remark
 }
 
 type job struct {
@@ -407,8 +417,11 @@ func (e *Engine) runJob(j *job) (res jobResult) {
 	case faultpoint.KindError:
 		return jobResult{err: errors.New("service: injected engine fault")}
 	}
+	tr := obs.TraceFrom(j.ctx)
+	span := obs.Now()
 	start := time.Now()
 	cfg := j.req.Config
+	defer func() { obs.EndSpan(tr, "engine:compile", span, cfg.Name) }()
 	cfg.Parallelism = e.cfg.FuncParallelism
 	if !e.cfg.DisableFailSoft {
 		cfg.FailSoft = true
@@ -463,6 +476,7 @@ func (e *Engine) runJob(j *job) (res jobResult) {
 			e.metrics.skipPass(sk.Pass)
 		}
 	}
+	e.metrics.countRemarks(out.Remarks)
 	return jobResult{entry: &entry{
 		irText:       out.Module.String(),
 		sizeBefore:   out.SizeBefore,
@@ -472,6 +486,7 @@ func (e *Engine) runJob(j *job) (res jobResult) {
 		stats:        copyStats(out.Stats),
 		rerolled:     out.Rerolled,
 		degraded:     out.Degraded,
+		remarks:      out.Remarks,
 	}}
 }
 
@@ -523,6 +538,7 @@ func respFromEntry(en *entry, req *Request, hit bool) (*Response, error) {
 		Rerolled:     en.rerolled,
 		CacheHit:     hit,
 		Degraded:     en.degraded,
+		Remarks:      en.remarks,
 	}
 	if req.EmitIR {
 		resp.IR = en.irText

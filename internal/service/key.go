@@ -23,15 +23,19 @@ import (
 // fail-hard pipeline would produce for the same key. Config.Parallelism
 // is engine-set as well, and the parallel pipeline's output is
 // byte-identical to serial by contract, so it cannot split the key
-// space either.
+// space either. Config.Remarks IS part of the key: remarks travel in
+// the Response, so a remark-less cached result must not satisfy a
+// request that asked for them (and vice versa — remark streams are
+// deterministic, so a remarks=true entry answers every remarks=true
+// request exactly).
 // Options.Model is canonicalized by value (nil means the default
 // profitability model), so the fresh-but-identical *Model pointers that
 // rolag.DefaultOptions returns on every call all map to the same key.
 func cacheKey(req *Request) string {
 	h := sha256.New()
 	cfg := &req.Config
-	fmt.Fprintf(h, "v1|ir=%t|unroll=%d|opt=%d|flatten=%t|skipcleanup=%t|",
-		req.IRInput, cfg.Unroll, cfg.Opt, cfg.Flatten, cfg.SkipCleanup)
+	fmt.Fprintf(h, "v2|ir=%t|unroll=%d|opt=%d|flatten=%t|skipcleanup=%t|remarks=%t|",
+		req.IRInput, cfg.Unroll, cfg.Opt, cfg.Flatten, cfg.SkipCleanup, cfg.Remarks)
 	if cfg.Opt == rolag.OptRoLAG {
 		o := cfg.Options
 		if o == nil {

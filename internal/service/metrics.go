@@ -9,7 +9,7 @@ import (
 	"time"
 
 	"rolag/internal/fuzzgen"
-	rolagcore "rolag/internal/rolag"
+	"rolag/internal/obs"
 )
 
 // latencyBounds are the upper bounds (seconds) of the compile-latency
@@ -41,6 +41,40 @@ type metrics struct {
 	// path (bumped only when a pass actually degrades).
 	skipMu      sync.Mutex
 	passSkipped map[string]int64
+
+	// remarkMu guards remarkCounts; remarks are only produced when a
+	// request opts in, so this is off the default hot path too.
+	remarkMu     sync.Mutex
+	remarkCounts map[remarkKey]int64
+}
+
+// remarkKey labels one rolagd_remarks_total series.
+type remarkKey struct {
+	Pass   string
+	Reason string
+}
+
+// countRemarks folds one compilation's remark stream into the
+// rolagd_remarks_total{pass,reason} counters. Remarks without an
+// explicit rejection reason (rolled, seed, align-node, ...) are keyed
+// by their remark name so every decision the optimizer explains is
+// countable.
+func (m *metrics) countRemarks(remarks []obs.Remark) {
+	if len(remarks) == 0 {
+		return
+	}
+	m.remarkMu.Lock()
+	if m.remarkCounts == nil {
+		m.remarkCounts = make(map[remarkKey]int64)
+	}
+	for _, r := range remarks {
+		reason := r.Reason
+		if reason == "" {
+			reason = r.Name
+		}
+		m.remarkCounts[remarkKey{Pass: r.Pass, Reason: reason}]++
+	}
+	m.remarkMu.Unlock()
 }
 
 // skipPass counts one skipped pass execution under the fail-soft
@@ -103,12 +137,16 @@ type MetricsSnapshot struct {
 	LatencySumSeconds float64  `json:"latency_sum_seconds"`
 	LatencyBuckets    []Bucket `json:"latency_buckets"`
 
-	// Phases mirrors the process-wide RoLAG per-phase wall-clock timers
-	// (rolag.PhaseTimings) — the exact timers cmd/rolag-bench reads, so
+	// Phases mirrors the process-wide RoLAG per-phase span histograms
+	// (obs.SpanStats) — the exact histograms cmd/rolag-bench reads, so
 	// the daemon's rolagd_phase_seconds series and the benchmark harness
-	// always agree on phase boundaries. Empty unless phase timing is
+	// always agree on phase boundaries. Empty unless span stats are
 	// enabled (rolagd -phase-timing, on by default).
 	Phases []PhaseStat `json:"phases,omitempty"`
+
+	// Remarks is the per-(pass, reason) count of optimization remarks
+	// emitted by compilations that requested them.
+	Remarks []RemarkCount `json:"remarks,omitempty"`
 
 	// Fuzz mirrors the process-wide differential-fuzzing counters
 	// (internal/fuzzgen): oracle executions, skips, and failures by
@@ -128,22 +166,31 @@ type PhaseStat struct {
 	Buckets []Bucket `json:"buckets"`
 }
 
-// phaseStats converts a rolag.PhaseTimings snapshot into cumulative
-// Prometheus-style histogram stats, or nil when nothing was recorded.
+// RemarkCount is one rolagd_remarks_total series: how many remarks a
+// given pass emitted for a given reason (the remark name, for remarks
+// that are not rejections).
+type RemarkCount struct {
+	Pass   string `json:"pass"`
+	Reason string `json:"reason"`
+	Count  int64  `json:"count"`
+}
+
+// phaseStats converts an obs.SpanStats snapshot into cumulative
+// Prometheus-style histogram stats, or nil when stats are disabled.
 func phaseStats() []PhaseStat {
-	if !rolagcore.PhaseTimingEnabled() {
+	if !obs.SpanStatsEnabled() {
 		return nil
 	}
-	timings := rolagcore.PhaseTimings()
-	out := make([]PhaseStat, 0, len(timings))
-	for p, t := range timings {
+	stats := obs.SpanStats()
+	out := make([]PhaseStat, 0, len(stats))
+	for _, t := range stats {
 		st := PhaseStat{
-			Phase:      rolagcore.Phase(p).String(),
+			Phase:      t.Name,
 			Count:      int64(t.Count),
 			SumSeconds: float64(t.Nanos) / 1e9,
 		}
 		var cum int64
-		for i, ub := range rolagcore.PhaseBounds {
+		for i, ub := range obs.SpanBounds {
 			cum += int64(t.Buckets[i])
 			st.Buckets = append(st.Buckets, Bucket{LE: ub, Count: cum})
 		}
@@ -190,6 +237,17 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		}
 	}
 	m.skipMu.Unlock()
+	m.remarkMu.Lock()
+	for k, v := range m.remarkCounts {
+		s.Remarks = append(s.Remarks, RemarkCount{Pass: k.Pass, Reason: k.Reason, Count: v})
+	}
+	m.remarkMu.Unlock()
+	sort.Slice(s.Remarks, func(i, j int) bool {
+		if s.Remarks[i].Pass != s.Remarks[j].Pass {
+			return s.Remarks[i].Pass < s.Remarks[j].Pass
+		}
+		return s.Remarks[i].Reason < s.Remarks[j].Reason
+	})
 	var cum int64
 	for i := range m.latencyBuckets {
 		cum += m.latencyBuckets[i].Load()
@@ -265,6 +323,15 @@ func (s *MetricsSnapshot) WritePrometheus(w io.Writer) {
 	counter("rolagd_fuzz_fail_equiv_total", "Fuzz failures: interpreter-observable miscompiles.", s.Fuzz.FailEquiv)
 	counter("rolagd_fuzz_fail_cost_total", "Fuzz failures: dishonest cost-model reports.", s.Fuzz.FailCost)
 	counter("rolagd_fuzz_fail_panic_total", "Fuzz failures: panics in any stage.", s.Fuzz.FailPanic)
+	counter("rolagd_fuzz_fail_remark_total", "Fuzz failures: remark streams that misreport rolling decisions.", s.Fuzz.FailRemark)
+
+	if len(s.Remarks) > 0 {
+		fmt.Fprintf(w, "# HELP rolagd_remarks_total Optimization remarks emitted, by pass and reason.\n")
+		fmt.Fprintf(w, "# TYPE rolagd_remarks_total counter\n")
+		for _, r := range s.Remarks {
+			fmt.Fprintf(w, "rolagd_remarks_total{pass=%q,reason=%q} %d\n", r.Pass, r.Reason, r.Count)
+		}
+	}
 
 	if len(s.Phases) > 0 {
 		fmt.Fprintf(w, "# HELP rolagd_phase_seconds Wall-clock of RoLAG pipeline phases.\n")

@@ -6,17 +6,17 @@ import (
 	"testing"
 
 	"rolag"
-	rolagcore "rolag/internal/rolag"
+	"rolag/internal/obs"
 )
 
-// TestPhaseMetrics drives RoLAG compilations with phase timing enabled
+// TestPhaseMetrics drives RoLAG compilations with span stats enabled
 // and function-level parallelism on, then checks that the per-phase
-// timers surface in the snapshot and in the Prometheus exposition with
-// cumulative buckets.
+// histograms surface in the snapshot and in the Prometheus exposition
+// with cumulative buckets.
 func TestPhaseMetrics(t *testing.T) {
-	rolagcore.EnablePhaseTiming(true)
-	defer rolagcore.EnablePhaseTiming(false)
-	rolagcore.ResetPhaseTimings()
+	obs.EnableSpanStats(true)
+	defer obs.EnableSpanStats(false)
+	obs.ResetSpanStats()
 
 	e := New(Config{FuncParallelism: 4})
 	defer e.Close(context.Background())
@@ -31,8 +31,8 @@ func TestPhaseMetrics(t *testing.T) {
 	}
 
 	s := e.Metrics()
-	if len(s.Phases) != int(rolagcore.NumPhases) {
-		t.Fatalf("snapshot has %d phases, want %d", len(s.Phases), rolagcore.NumPhases)
+	if len(s.Phases) < 4 {
+		t.Fatalf("snapshot has %d phases, want at least the 4 RoLAG phases", len(s.Phases))
 	}
 	byName := make(map[string]PhaseStat)
 	for _, ph := range s.Phases {
@@ -43,8 +43,8 @@ func TestPhaseMetrics(t *testing.T) {
 		t.Fatalf("seed phase not recorded: %+v", s.Phases)
 	}
 	for _, ph := range s.Phases {
-		if len(ph.Buckets) != len(rolagcore.PhaseBounds)+1 {
-			t.Fatalf("phase %s has %d buckets, want %d", ph.Phase, len(ph.Buckets), len(rolagcore.PhaseBounds)+1)
+		if len(ph.Buckets) != len(obs.SpanBounds)+1 {
+			t.Fatalf("phase %s has %d buckets, want %d", ph.Phase, len(ph.Buckets), len(obs.SpanBounds)+1)
 		}
 		var prev int64
 		for _, b := range ph.Buckets {
@@ -73,7 +73,7 @@ func TestPhaseMetrics(t *testing.T) {
 	}
 
 	// Disabled timing must drop the series from fresh snapshots.
-	rolagcore.EnablePhaseTiming(false)
+	obs.EnableSpanStats(false)
 	if s := e.Metrics(); len(s.Phases) != 0 {
 		t.Errorf("phases present with timing disabled: %+v", s.Phases)
 	}

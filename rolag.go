@@ -22,11 +22,18 @@ import (
 	"rolag/internal/costmodel"
 	"rolag/internal/interp"
 	"rolag/internal/ir"
+	"rolag/internal/obs"
 	"rolag/internal/passes"
 	"rolag/internal/reroll"
 	rl "rolag/internal/rolag"
 	"rolag/internal/unroll"
 )
+
+// Remark re-exports one structured optimization remark (see
+// internal/obs): a typed record of a rolling decision with
+// function/block/instruction provenance. Collected when
+// Config.Remarks is set.
+type Remark = obs.Remark
 
 // Optimization selects the loop-(re)rolling technique to apply.
 type Optimization int
@@ -119,6 +126,16 @@ type Config struct {
 	// is consulted from several goroutines at once, so implementations
 	// must be safe for concurrent use (the engine's breakers are).
 	Guard Guard
+	// Remarks collects structured optimization remarks: every rolling
+	// decision (seed selection, per-node alignment, scheduling
+	// rejection, cost verdict, reroll outcome) lands in Result.Remarks
+	// with function/block/instruction provenance. The stream is
+	// deterministic — byte-identical across runs and across Parallelism
+	// values (per-function collectors merge in function order) — and
+	// under FailSoft remarks from rolled-back executions are discarded
+	// with the execution, so a "rolled" remark exists iff the roll is in
+	// the output. Off (the default) the hot path pays nil checks only.
+	Remarks bool
 	// Parallelism caps how many functions each pipeline stage optimizes
 	// concurrently: 0 or 1 runs serially, n > 1 uses up to n workers,
 	// and a negative value uses GOMAXPROCS. Every stage is
@@ -163,6 +180,9 @@ type Result struct {
 	// took effect (or Config.FailSoft was off), otherwise the list of
 	// pass executions that were rolled back and skipped.
 	Degraded *Degraded
+	// Remarks holds the optimization remarks in deterministic emission
+	// order (nil unless Config.Remarks).
+	Remarks []Remark
 }
 
 // Reduction returns the relative binary-size reduction in percent
@@ -229,7 +249,7 @@ func BuildContext(ctx context.Context, src string, cfg Config) (*Result, error) 
 	if err := m.Verify(); err != nil {
 		return nil, fmt.Errorf("rolag: internal error: %w", err)
 	}
-	sb := cfg.sandbox()
+	sb := cfg.sandbox(obs.TraceFrom(ctx))
 	if err := runStandard(ctx, m, cfg, sb); err != nil {
 		return nil, err
 	}
@@ -239,8 +259,10 @@ func BuildContext(ctx context.Context, src string, cfg Config) (*Result, error) 
 	return optimizeContext(ctx, m, cfg, sb)
 }
 
-func (cfg Config) sandbox() *passes.Sandbox {
-	return &passes.Sandbox{Budget: cfg.PassBudget, Guard: cfg.Guard}
+// sandbox builds one fail-soft sandbox; tr lets sandboxed pass
+// executions show up as spans on the request's trace.
+func (cfg Config) sandbox(tr obs.TraceContext) *passes.Sandbox {
+	return &passes.Sandbox{Budget: cfg.PassBudget, Guard: cfg.Guard, Trace: tr}
 }
 
 // Optimize applies the configured unrolling and rolling technique to a
@@ -264,7 +286,7 @@ func Optimize(m *ir.Module, cfg Config) (*Result, error) {
 func OptimizeContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) {
 	var sb *passes.Sandbox
 	if cfg.FailSoft {
-		sb = cfg.sandbox()
+		sb = cfg.sandbox(obs.TraceFrom(ctx))
 	}
 	return optimizeContext(ctx, m, cfg, sb)
 }
@@ -280,8 +302,10 @@ func optimizeContext(ctx context.Context, m *ir.Module, cfg Config, sb *passes.S
 		m = ir.CloneModule(m)
 	}
 	workers := cfg.workers()
+	tr := obs.TraceFrom(ctx)
 	if cfg.Unroll >= 2 {
-		subs, pick := stageSandboxes(cfg, sb, len(m.Funcs), workers)
+		st := obs.Now()
+		subs, pick := stageSandboxes(cfg, sb, tr, len(m.Funcs), workers)
 		err := forEachFunc(ctx, m, workers, func(i int, f *ir.Func) {
 			if s := pick(i); s != nil {
 				k := cfg.Unroll
@@ -293,6 +317,7 @@ func optimizeContext(ctx context.Context, m *ir.Module, cfg Config, sb *passes.S
 			}
 		})
 		absorbAll(sb, subs)
+		obs.EndSpan(tr, "stage:unroll", st, m.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -315,35 +340,76 @@ func optimizeContext(ctx context.Context, m *ir.Module, cfg Config, sb *passes.S
 		SizeBefore:   profit.Module(m),
 		BinaryBefore: binary.Module(m),
 	}
+	// Per-function remark collectors; merged into res.Remarks in
+	// function order after each stage, so the stream is byte-identical
+	// for every Parallelism value. Under fail-soft, a function's
+	// collector is kept only when its execution committed — remarks
+	// from rolled-back attempts vanish with the rollback.
+	var recs []*obs.Collector
+	if cfg.Remarks {
+		recs = make([]*obs.Collector, len(m.Funcs))
+	}
+	// newRec hands the per-function recorder to the optimizer; it stays
+	// nil — zero hot-path allocations — unless remarks or tracing are on.
+	newRec := func() (*obs.Collector, *obs.Recorder) {
+		if recs == nil && !tr.Active() {
+			return nil, nil
+		}
+		var c *obs.Collector
+		if recs != nil {
+			c = &obs.Collector{}
+		}
+		return c, &obs.Recorder{Remarks: c, Trace: tr}
+	}
+	mergeRemarks := func() {
+		for i, c := range recs {
+			if c != nil {
+				res.Remarks = append(res.Remarks, c.Remarks()...)
+				recs[i] = nil
+			}
+		}
+	}
 	switch cfg.Opt {
 	case OptNone:
 	case OptLLVMReroll:
+		st := obs.Now()
 		rerolled := make([]int, len(m.Funcs))
-		subs, pick := stageSandboxes(cfg, sb, len(m.Funcs), workers)
+		subs, pick := stageSandboxes(cfg, sb, tr, len(m.Funcs), workers)
 		err := forEachFunc(ctx, m, workers, func(i int, f *ir.Func) {
+			c, rec := newRec()
 			if s := pick(i); s != nil {
 				// n is fresh per function and only read when the runner
 				// committed, so an abandoned (timed-out) goroutine writing
-				// it later races with nothing.
+				// it later races with nothing; the same holds for the
+				// private collector c.
 				var n int
 				if _, ok := s.RunShadow("reroll", f, func(sf *ir.Func) bool {
-					n = reroll.RerollFunc(sf)
+					n = reroll.RerollFuncObs(sf, rec)
 					return n > 0
 				}); ok {
 					rerolled[i] = n
+					if recs != nil {
+						recs[i] = c
+					}
 				}
 			} else {
-				rerolled[i] = reroll.RerollFunc(f)
+				rerolled[i] = reroll.RerollFuncObs(f, rec)
+				if recs != nil {
+					recs[i] = c
+				}
 			}
 		})
 		absorbAll(sb, subs)
+		obs.EndSpan(tr, "stage:reroll", st, m.Name)
 		if err != nil {
 			return nil, err
 		}
 		for _, n := range rerolled {
 			res.Rerolled += n
 		}
+		mergeRemarks()
 	case OptRoLAG:
+		spanStart := obs.Now()
 		opts := cfg.Options
 		if opts == nil {
 			opts = rl.DefaultOptions()
@@ -357,26 +423,33 @@ func optimizeContext(ctx context.Context, m *ir.Module, cfg Config, sb *passes.S
 		if workers > 1 {
 			sinks = make([]*ir.Module, len(m.Funcs))
 		}
-		subs, pick := stageSandboxes(cfg, sb, len(m.Funcs), workers)
+		subs, pick := stageSandboxes(cfg, sb, tr, len(m.Funcs), workers)
 		err := forEachFunc(ctx, m, workers, func(i int, f *ir.Func) {
 			sink := m
 			if sinks != nil {
 				sink = ir.NewModule(m.Name + ".stage")
 				sinks[i] = sink
 			}
+			c, rec := newRec()
 			if s := pick(i); s != nil {
 				// RoLAG appends constant-table globals, so it runs in place
 				// (same goroutine) behind a snapshot rather than on an
 				// abandonable shadow; see Sandbox.RunInPlaceIn.
 				var st *rl.Stats
 				if _, ok := s.RunInPlaceIn("rolag", f, sink, func(sf *ir.Func) bool {
-					st = rl.RollFuncInto(sf, opts, nil, sink)
+					st = rl.RollFuncInto(sf, opts, nil, sink, rec)
 					return st.LoopsRolled > 0
 				}); ok && st != nil {
 					stats[i] = st
+					if recs != nil {
+						recs[i] = c
+					}
 				}
 			} else {
-				stats[i] = rl.RollFuncInto(f, opts, nil, sink)
+				stats[i] = rl.RollFuncInto(f, opts, nil, sink, rec)
+				if recs != nil {
+					recs[i] = c
+				}
 			}
 		})
 		for _, sink := range sinks {
@@ -385,6 +458,7 @@ func optimizeContext(ctx context.Context, m *ir.Module, cfg Config, sb *passes.S
 			}
 		}
 		absorbAll(sb, subs)
+		obs.EndSpan(tr, "stage:rolag", spanStart, m.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -393,8 +467,10 @@ func optimizeContext(ctx context.Context, m *ir.Module, cfg Config, sb *passes.S
 				res.Stats.Add(st)
 			}
 		}
+		mergeRemarks()
 		if cfg.Flatten {
-			fsubs, fpick := stageSandboxes(cfg, sb, len(m.Funcs), workers)
+			fst := obs.Now()
+			fsubs, fpick := stageSandboxes(cfg, sb, tr, len(m.Funcs), workers)
 			err := forEachFunc(ctx, m, workers, func(i int, f *ir.Func) {
 				if s := fpick(i); s != nil {
 					s.RunShadow("flatten", f, passes.Flatten)
@@ -403,6 +479,7 @@ func optimizeContext(ctx context.Context, m *ir.Module, cfg Config, sb *passes.S
 				}
 			})
 			absorbAll(sb, fsubs)
+			obs.EndSpan(tr, "stage:flatten", fst, m.Name)
 			if err != nil {
 				return nil, err
 			}
@@ -414,9 +491,11 @@ func optimizeContext(ctx context.Context, m *ir.Module, cfg Config, sb *passes.S
 		return nil, err
 	}
 	if !cfg.SkipCleanup && cfg.Opt != OptNone {
+		st := obs.Now()
 		if err := runStandard(ctx, m, cfg, sb); err != nil {
 			return nil, err
 		}
+		obs.EndSpan(tr, "stage:cleanup", st, m.Name)
 	}
 	if err := m.Verify(); err != nil {
 		return nil, fmt.Errorf("rolag: after %s: %w", cfg.Opt, err)
@@ -435,6 +514,7 @@ func optimizeContext(ctx context.Context, m *ir.Module, cfg Config, sb *passes.S
 func runStandard(ctx context.Context, m *ir.Module, cfg Config, sb *passes.Sandbox) error {
 	p := passes.Standard()
 	workers := cfg.workers()
+	tr := obs.TraceFrom(ctx)
 	if workers <= 1 {
 		if sb != nil {
 			p.RunSandboxed(m, sb)
@@ -443,7 +523,7 @@ func runStandard(ctx context.Context, m *ir.Module, cfg Config, sb *passes.Sandb
 		}
 		return nil
 	}
-	subs, pick := stageSandboxes(cfg, sb, len(m.Funcs), workers)
+	subs, pick := stageSandboxes(cfg, sb, tr, len(m.Funcs), workers)
 	err := forEachFunc(ctx, m, workers, func(i int, f *ir.Func) {
 		if s := pick(i); s != nil {
 			p.RunFuncSandboxed(f, s)
@@ -530,7 +610,7 @@ func forEachFunc(ctx context.Context, m *ir.Module, workers int, work func(i int
 // share sb; parallel fail-soft stages get one private sandbox per
 // function (a Sandbox is not safe for concurrent use), which absorbAll
 // merges back into sb in function order after the stage.
-func stageSandboxes(cfg Config, sb *passes.Sandbox, n, workers int) ([]*passes.Sandbox, func(i int) *passes.Sandbox) {
+func stageSandboxes(cfg Config, sb *passes.Sandbox, tr obs.TraceContext, n, workers int) ([]*passes.Sandbox, func(i int) *passes.Sandbox) {
 	if sb == nil {
 		return nil, func(int) *passes.Sandbox { return nil }
 	}
@@ -539,7 +619,7 @@ func stageSandboxes(cfg Config, sb *passes.Sandbox, n, workers int) ([]*passes.S
 	}
 	subs := make([]*passes.Sandbox, n)
 	for i := range subs {
-		subs[i] = cfg.sandbox()
+		subs[i] = cfg.sandbox(tr)
 	}
 	return subs, func(i int) *passes.Sandbox { return subs[i] }
 }
