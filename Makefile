@@ -1,14 +1,16 @@
 # Build/test entry points. `make ci` is the tier-1 gate plus the race
 # detector over the whole tree, a short differential-fuzzing smoke, the
-# fault-injection chaos smoke, and the core-optimizer benchmark smoke;
-# `make bench` regenerates the machine-readable service perf record
-# (results/BENCH_service.json) and `make bench-core` the optimizer one
-# (results/BENCH_core.json).
+# fault-injection chaos smoke, the core-optimizer benchmark smoke, and
+# the cluster smoke (3 shards + router under a zipfian burst); `make
+# bench` regenerates the machine-readable service perf record
+# (results/BENCH_service.json), `make bench-core` the optimizer one
+# (results/BENCH_core.json), and `make bench-cluster` the cluster one
+# (results/BENCH_cluster.json).
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke chaos-smoke bench-smoke explain-smoke ci bench bench-core serve clean
+.PHONY: all build vet test race fuzz-smoke chaos-smoke bench-smoke explain-smoke cluster-smoke ci bench bench-core bench-cluster serve clean
 
 all: build
 
@@ -62,7 +64,18 @@ bench-smoke:
 		-out $(or $(TMPDIR),/tmp)/rolag-bench-smoke.json \
 		-check results/BENCH_core.json -max-slowdown 2
 
-ci: vet build race fuzz-smoke chaos-smoke bench-smoke explain-smoke
+# Cluster smoke: spawn a local 3-shard cluster plus router and push a
+# 500-request zipfian burst through it (a quarter of it shard-direct, so
+# the fetch-on-miss peer cache tier is exercised). Fails on any byte
+# difference from the serial reference, on zero peer-cache hits, or on a
+# >5x p99/throughput regression vs the committed cluster baseline.
+cluster-smoke:
+	$(GO) run ./cmd/rolag-loadgen -shards 3 -requests 500 -n 120 -rate 400 \
+		-require-peer-hits \
+		-out $(or $(TMPDIR),/tmp)/rolag-cluster-smoke.json \
+		-check results/BENCH_cluster.json -max-slowdown 5
+
+ci: vet build race fuzz-smoke chaos-smoke bench-smoke explain-smoke cluster-smoke
 
 bench:
 	$(GO) run ./cmd/experiments -run bench
@@ -70,6 +83,10 @@ bench:
 # Full core-optimizer benchmark; regenerates the committed baseline.
 bench-core:
 	$(GO) run ./cmd/rolag-bench -n 300 -iters 5 -out results/BENCH_core.json
+
+# Full cluster benchmark; regenerates the committed baseline.
+bench-cluster:
+	$(GO) run ./cmd/rolag-loadgen -out results/BENCH_cluster.json
 
 serve:
 	$(GO) run ./cmd/rolagd

@@ -1,0 +1,385 @@
+// Command rolag-loadgen is the reproducible cluster benchmark: it
+// spawns a local N-shard rolagd cluster plus a rolag-router on loopback
+// ports, drives open-loop zipfian traffic from the synthesized
+// AnghaBench corpus at a configurable arrival rate, and reports request
+// latency (p50/p99), aggregate functions/sec, and the cluster-wide
+// cache hit rate — taken from the daemons' own /v1/cachestats, not from
+// client-side bookkeeping — as JSON.
+//
+// Usage:
+//
+//	rolag-loadgen [-shards 3] [-workers 2] [-n 400] [-seed 20220402]
+//	              [-requests 2000] [-rate 200] [-zipf-s 1.2]
+//	              [-direct-frac 0.25] [-timeout 30s]
+//	              [-out results/BENCH_cluster.json]
+//	              [-require-peer-hits]
+//	              [-check baseline.json] [-max-slowdown 3] [-hit-rate-slack 0.2]
+//
+// Traffic shape: arrivals are Poisson at -rate requests/sec (open loop:
+// a slow cluster does not slow the generator down, so overload shows up
+// as latency, exactly as in production). Keys are drawn zipfian over the
+// corpus, so a popular head repeats while a long tail stays cold. A
+// -direct-frac fraction of requests bypasses the router and hits a
+// round-robin shard directly, the way clients behind a dumb L4 balancer
+// would — those requests exercise the fetch-on-miss peer cache tier
+// (the non-owner asks the key's home shard before compiling).
+//
+// Every non-degraded response is compared byte-for-byte against a
+// serial reference daemon compiled from the same corpus; any mismatch
+// fails the run. -require-peer-hits additionally fails the run when the
+// fleet reports zero peer-cache hits. With -check, p99 latency,
+// functions/sec, and the cluster hit rate are gated against a committed
+// baseline.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rolag/internal/cluster"
+	"rolag/internal/daemon"
+	"rolag/internal/rolagdapi"
+	"rolag/internal/service"
+	"rolag/internal/workloads/angha"
+)
+
+// Schema identifies the BENCH_cluster.json layout; bump on breaking
+// changes so -check refuses to compare across layouts.
+const Schema = "rolag/cluster-bench/v1"
+
+// Result is the machine-readable record written to -out.
+type Result struct {
+	Schema string `json:"schema"`
+	Config struct {
+		Shards     int     `json:"shards"`
+		Workers    int     `json:"workers"`
+		CorpusN    int     `json:"corpus_n"`
+		Seed       int64   `json:"seed"`
+		Requests   int     `json:"requests"`
+		Rate       float64 `json:"rate_per_sec"`
+		ZipfS      float64 `json:"zipf_s"`
+		DirectFrac float64 `json:"direct_frac"`
+	} `json:"config"`
+	WallSeconds        float64 `json:"wall_seconds"`
+	Completed          int64   `json:"completed"`
+	Errors             int64   `json:"errors"`
+	Degraded           int64   `json:"degraded"`
+	Failovers          int64   `json:"failovers"`
+	FunctionsPerSecond float64 `json:"functions_per_second"`
+	Latency            struct {
+		P50Ms float64 `json:"p50_ms"`
+		P90Ms float64 `json:"p90_ms"`
+		P99Ms float64 `json:"p99_ms"`
+		MaxMs float64 `json:"max_ms"`
+	} `json:"latency"`
+	// Cluster mirrors the router's /v1/cachestats aggregate — the hit
+	// rate the daemons themselves report, not one inferred client-side.
+	Cluster rolagdapi.CacheStats `json:"cluster"`
+	HitRate float64              `json:"hit_rate"`
+	Parity  struct {
+		Checked    int64 `json:"checked"`
+		Mismatched int64 `json:"mismatched"`
+	} `json:"parity"`
+}
+
+func main() {
+	shards := flag.Int("shards", 3, "rolagd replicas to spawn")
+	workers := flag.Int("workers", 2, "engine workers per shard")
+	n := flag.Int("n", 400, "angha corpus size (distinct functions)")
+	seed := flag.Int64("seed", 20220402, "corpus and traffic seed")
+	requests := flag.Int("requests", 2000, "total requests to issue")
+	rate := flag.Float64("rate", 200, "open-loop Poisson arrival rate, requests/sec")
+	zipfS := flag.Float64("zipf-s", 1.2, "zipf exponent for key popularity (>1)")
+	directFrac := flag.Float64("direct-frac", 0.25, "fraction of requests sent to a round-robin shard instead of the router")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
+	out := flag.String("out", "", "write the result JSON here (default stdout)")
+	requirePeerHits := flag.Bool("require-peer-hits", false, "fail unless the fleet reports >0 peer-cache hits")
+	check := flag.String("check", "", "baseline JSON to gate against (exit 1 on regression)")
+	maxSlowdown := flag.Float64("max-slowdown", 3, "allowed p99 and functions/sec ratio vs the -check baseline")
+	hitRateSlack := flag.Float64("hit-rate-slack", 0.2, "allowed absolute hit-rate drop vs the -check baseline")
+	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+
+	res := &Result{Schema: Schema}
+	res.Config.Shards = *shards
+	res.Config.Workers = *workers
+	res.Config.CorpusN = *n
+	res.Config.Seed = *seed
+	res.Config.Requests = *requests
+	res.Config.Rate = *rate
+	res.Config.ZipfS = *zipfS
+	res.Config.DirectFrac = *directFrac
+
+	corpus := angha.Generate(*n, *seed)
+
+	// Serial reference: every distinct function through one standalone
+	// daemon — the byte-level ground truth the cluster must match.
+	refIR := serialReference(corpus, *workers, logger)
+
+	// Local cluster on loopback: listeners first (membership URLs must
+	// exist before any daemon is built), then daemons, then serve.
+	lns := make([]net.Listener, *shards)
+	peers := make(map[string]string, *shards)
+	names := make([]string, *shards)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		lns[i] = ln
+		names[i] = fmt.Sprintf("shard-%c", 'a'+i)
+		peers[names[i]] = "http://" + ln.Addr().String()
+	}
+	daemons := make([]*daemon.Daemon, *shards)
+	for i := range daemons {
+		daemons[i] = daemon.New(daemon.Config{
+			Engine:     service.Config{Workers: *workers},
+			RequestCap: *timeout,
+			Log:        logger,
+			ShardID:    names[i],
+			Peers:      peers,
+		})
+		srv := &http.Server{Handler: daemons[i].Handler()}
+		go srv.Serve(lns[i])
+	}
+	rt, err := cluster.New(cluster.Config{Shards: peers, Log: logger})
+	if err != nil {
+		fatal(err)
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	go (&http.Server{Handler: rt.Handler()}).Serve(rln)
+
+	routerClient := &rolagdapi.Client{BaseURL: "http://" + rln.Addr().String()}
+	shardClients := make([]*rolagdapi.Client, *shards)
+	for i, name := range names {
+		shardClients[i] = &rolagdapi.Client{BaseURL: peers[name]}
+	}
+
+	// Open-loop zipfian traffic. The pick/arrival streams are seeded so
+	// the request sequence is reproducible; timing of course is not.
+	zrng := rand.New(rand.NewSource(*seed + 1))
+	zipf := rand.NewZipf(zrng, *zipfS, 1, uint64(*n-1))
+	arng := rand.New(rand.NewSource(*seed + 2))
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		completed, errs, degraded, failovers, checked, mismatched atomic.Int64
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for i := 0; i < *requests; i++ {
+		// Poisson arrivals: exponential inter-arrival at the target rate.
+		time.Sleep(time.Duration(arng.ExpFloat64() / *rate * float64(time.Second)))
+		idx := int(zipf.Uint64())
+		c := routerClient
+		if zrng.Float64() < *directFrac {
+			c = shardClients[i%len(shardClients)]
+		}
+		wg.Add(1)
+		go func(idx int, c *rolagdapi.Client) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+			defer cancel()
+			t0 := time.Now()
+			resp, err := c.Compile(ctx, &rolagdapi.CompileRequest{Source: corpus[idx].Src})
+			lat := time.Since(t0).Seconds() * 1000
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			completed.Add(1)
+			mu.Lock()
+			latencies = append(latencies, lat)
+			mu.Unlock()
+			if resp.Degraded {
+				degraded.Add(1)
+				for _, p := range resp.DegradedPasses {
+					if p == cluster.FailoverPass {
+						failovers.Add(1)
+						break
+					}
+				}
+				return // degraded results are exempt from byte parity
+			}
+			checked.Add(1)
+			if resp.IR != refIR[idx] {
+				mismatched.Add(1)
+			}
+		}(idx, c)
+	}
+	wg.Wait()
+	res.WallSeconds = time.Since(start).Seconds()
+	res.Completed = completed.Load()
+	res.Errors = errs.Load()
+	res.Degraded = degraded.Load()
+	res.Failovers = failovers.Load()
+	res.Parity.Checked = checked.Load()
+	res.Parity.Mismatched = mismatched.Load()
+	if res.WallSeconds > 0 {
+		res.FunctionsPerSecond = float64(res.Completed) / res.WallSeconds
+	}
+	sort.Float64s(latencies)
+	res.Latency.P50Ms = pct(latencies, 50)
+	res.Latency.P90Ms = pct(latencies, 90)
+	res.Latency.P99Ms = pct(latencies, 99)
+	res.Latency.MaxMs = pct(latencies, 100)
+
+	// Cluster-wide counters straight from the daemons, via the router's
+	// /v1/cachestats aggregation.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	cs, err := routerClient.CacheStats(ctx)
+	cancel()
+	if err != nil {
+		fatal(fmt.Errorf("cachestats: %w", err))
+	}
+	res.Cluster = *cs
+	res.HitRate = cs.HitRate()
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else {
+		if dir := filepath.Dir(*out); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "rolag-loadgen: %d shards, %d/%d requests ok in %.1fs: "+
+		"p50 %.1fms p99 %.1fms, %.0f functions/sec, hit rate %.2f (peer hits %d, misses %d), "+
+		"%d degraded, parity %d/%d\n",
+		*shards, res.Completed, *requests, res.WallSeconds,
+		res.Latency.P50Ms, res.Latency.P99Ms, res.FunctionsPerSecond,
+		res.HitRate, cs.PeerHits, cs.PeerMisses,
+		res.Degraded, res.Parity.Checked-res.Parity.Mismatched, res.Parity.Checked)
+
+	failed := false
+	if res.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "rolag-loadgen: %d requests failed\n", res.Errors)
+		failed = true
+	}
+	if res.Parity.Mismatched > 0 {
+		fmt.Fprintf(os.Stderr, "rolag-loadgen: %d non-degraded responses differ from the serial reference\n", res.Parity.Mismatched)
+		failed = true
+	}
+	if *requirePeerHits && cs.PeerHits == 0 {
+		fmt.Fprintln(os.Stderr, "rolag-loadgen: fleet reports zero peer-cache hits (-require-peer-hits)")
+		failed = true
+	}
+	if *check != "" {
+		if err := gate(res, *check, *maxSlowdown, *hitRateSlack); err != nil {
+			fmt.Fprintf(os.Stderr, "rolag-loadgen: %v\n", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// serialReference compiles every corpus function once on a standalone
+// daemon over real HTTP — the same wire path the cluster serves.
+func serialReference(corpus []angha.Function, workers int, logger *slog.Logger) []string {
+	d := daemon.New(daemon.Config{
+		Engine:     service.Config{Workers: workers},
+		RequestCap: time.Minute,
+		Log:        logger,
+	})
+	defer d.Close(context.Background())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: d.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	c := &rolagdapi.Client{BaseURL: "http://" + ln.Addr().String()}
+
+	out := make([]string, len(corpus))
+	for i, fn := range corpus {
+		resp, err := c.Compile(context.Background(), &rolagdapi.CompileRequest{Source: fn.Src})
+		if err != nil {
+			fatal(fmt.Errorf("serial reference %s: %w", fn.Name, err))
+		}
+		out[i] = resp.IR
+	}
+	return out
+}
+
+// pct reads the p-th percentile from an ascending slice.
+func pct(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p / 100 * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// gate compares the run against a committed baseline: p99 latency and
+// functions/sec may move by at most maxSlowdown×, the daemon-reported
+// cluster hit rate by at most hitRateSlack absolute.
+func gate(res *Result, baselinePath string, maxSlowdown, hitRateSlack float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Result
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	if base.Schema != res.Schema {
+		return fmt.Errorf("baseline schema %q != run schema %q", base.Schema, res.Schema)
+	}
+	if base.Latency.P99Ms > 0 {
+		ratio := res.Latency.P99Ms / base.Latency.P99Ms
+		fmt.Fprintf(os.Stderr, "rolag-loadgen: p99 %.1fms vs baseline %.1fms (ratio %.2fx, limit %.2fx)\n",
+			res.Latency.P99Ms, base.Latency.P99Ms, ratio, maxSlowdown)
+		if ratio > maxSlowdown {
+			return fmt.Errorf("p99 regression: %.2fx over baseline (limit %.2fx)", ratio, maxSlowdown)
+		}
+	}
+	if base.FunctionsPerSecond > 0 {
+		ratio := base.FunctionsPerSecond / res.FunctionsPerSecond
+		fmt.Fprintf(os.Stderr, "rolag-loadgen: %.0f functions/sec vs baseline %.0f (ratio %.2fx, limit %.2fx)\n",
+			res.FunctionsPerSecond, base.FunctionsPerSecond, ratio, maxSlowdown)
+		if ratio > maxSlowdown {
+			return fmt.Errorf("throughput regression: %.2fx under baseline (limit %.2fx)", ratio, maxSlowdown)
+		}
+	}
+	if drop := base.HitRate - res.HitRate; drop > hitRateSlack {
+		return fmt.Errorf("hit-rate regression: %.2f vs baseline %.2f (slack %.2f)", res.HitRate, base.HitRate, hitRateSlack)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rolag-loadgen: %v\n", err)
+	os.Exit(1)
+}

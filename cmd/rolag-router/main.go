@@ -1,0 +1,99 @@
+// Command rolag-router fronts a fleet of rolagd shards with
+// consistent-hash routing (internal/cluster): every compile request is
+// forwarded to the shard that owns its content-addressed cache key, so
+// each shard's cache serves a disjoint slice of the keyspace and the
+// fleet behaves as one large cache.
+//
+// Usage:
+//
+//	rolag-router [-addr :8722] -shards a=http://h1:8723,b=http://h2:8723,...
+//	             [-vnodes 128] [-timeout 60s] [-log text|json]
+//
+// Endpoints:
+//
+//	POST /v1/compile    route one compile to the key's home shard
+//	POST /v1/batch      fan a batch across shards by key, results in input order
+//	GET  /v1/cachestats fleet-wide cache counters (aggregate + per shard)
+//	GET  /healthz       fleet readiness: ok / degraded / down per shard
+//	GET  /metrics       Prometheus text exposition (router_* series)
+//
+// When a home shard is unreachable or failing, the router retries the
+// request on the ring's next shard and marks the result degraded (the
+// "router:failover" marker in degradedPasses). Content addressing makes
+// any shard's answer for a key correct, so failover can change latency
+// and cache locality but never the bytes of a result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"rolag/internal/cluster"
+)
+
+// parseShards decodes "a=http://h1:8723,b=http://h2:8723" into a
+// shard-name → base-URL map.
+func parseShards(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-shards is required (name=url,...)")
+	}
+	out := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		name, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad -shards entry %q (want name=url)", part)
+		}
+		out[name] = strings.TrimSuffix(url, "/")
+	}
+	return out, nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8722", "listen address")
+	shardsFlag := flag.String("shards", "", "shard membership as name=url,... (same list the shards were started with)")
+	vnodes := flag.Int("vnodes", 0, "consistent-hash virtual nodes per shard (0 = default; must match the shards)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-upstream-request deadline")
+	logFormat := flag.String("log", "text", "structured log format: text or json")
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "rolag-router: unknown -log format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
+
+	shards, err := parseShards(*shardsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rolag-router: %v\n", err)
+		os.Exit(2)
+	}
+
+	rt, err := cluster.New(cluster.Config{
+		Shards:     shards,
+		VNodes:     *vnodes,
+		HTTPClient: &http.Client{Timeout: *timeout},
+		Log:        logger,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rolag-router: %v\n", err)
+		os.Exit(2)
+	}
+
+	logger.Info("routing", "addr", *addr, "shards", len(shards))
+	if err := http.ListenAndServe(*addr, rt.Handler()); err != nil {
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
+	}
+}

@@ -1,5 +1,6 @@
 // Command rolagd is the RoLAG compilation daemon: the concurrent
-// service engine (internal/service) behind an HTTP API.
+// service engine (internal/service) behind the HTTP surface of
+// internal/daemon.
 //
 // Usage:
 //
@@ -8,16 +9,29 @@
 //	       [-pass-budget 10s] [-breaker-threshold 5] [-breaker-cooldown 30s]
 //	       [-fail-hard] [-func-parallel N] [-phase-timing=false]
 //	       [-trace=false] [-trace-buf N] [-log text|json]
+//	       [-shard-id a -peers a=http://h1:8723,b=http://h2:8723,...]
+//	       [-vnodes 128] [-peer-timeout 250ms]
 //
 // Endpoints:
 //
-//	POST /v1/compile   compile one unit (JSON in, JSON out; see rolagdapi.CompileRequest)
-//	GET  /healthz      liveness plus a metrics summary (JSON); 200 while the process runs
-//	GET  /readyz       readiness; 503 while draining or while the rolag breaker is open
-//	GET  /metrics      Prometheus text exposition
-//	GET  /debug/vars   the same counters as expvar JSON
-//	GET  /debug/trace  span ring buffer as Chrome trace-event JSON (chrome://tracing, Perfetto)
-//	GET  /debug/pprof  Go runtime profiles
+//	POST /v1/compile    compile one unit (JSON in, JSON out; see rolagdapi.CompileRequest)
+//	POST /v1/batch      compile a whole module/corpus in one request, results in item order
+//	GET  /v1/cache/{key} export one cached result to a peer shard (404 on miss; never compiles)
+//	GET  /v1/cachestats cache hit/miss/size counters straight from the engine
+//	GET  /healthz       liveness plus a metrics summary (JSON); 200 while the process runs
+//	GET  /readyz        readiness; 503 while draining or while the rolag breaker is open
+//	GET  /metrics       Prometheus text exposition
+//	GET  /debug/vars    the same counters as expvar JSON
+//	GET  /debug/trace   span ring buffer as Chrome trace-event JSON (chrome://tracing, Perfetto)
+//	GET  /debug/pprof   Go runtime profiles
+//
+// Cluster mode: with -shard-id and -peers, this replica joins a
+// consistent-hash ring shared (by construction — every member computes
+// it from the same -peers list) with the other replicas and the
+// rolag-router. On a local cache miss for a key another shard owns,
+// the daemon asks that home shard's cache (GET /v1/cache/{key},
+// bounded by -peer-timeout) before compiling, so N replicas behave as
+// one logical cache. See README.md "Cluster mode".
 //
 // Tracing: every request is assigned a trace ID (or adopts the caller's
 // X-Trace-Id header), echoed back in the X-Trace-Id response header,
@@ -37,242 +51,36 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
-	"expvar"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
-	"sync/atomic"
+	"strings"
 	"syscall"
 	"time"
 
+	"rolag/internal/daemon"
 	"rolag/internal/obs"
-	"rolag/internal/rolagdapi"
 	"rolag/internal/service"
 )
 
-// Wire types live in internal/rolagdapi so the daemon, its client, and
-// the experiment drivers share one protocol definition.
-type (
-	CompileRequest  = rolagdapi.CompileRequest
-	CompileResponse = rolagdapi.CompileResponse
-)
-
-// shedRetryAfter is the Retry-After hint (seconds) on 429 replies:
-// compiles are fast, so shed load can come back almost immediately.
-const shedRetryAfter = 1
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-// daemon wires the engine to the HTTP surface and carries the drain
-// flag that splits liveness from readiness.
-type daemon struct {
-	engine *service.Engine
-	// requestCap bounds every compile deadline; a request's timeoutMs
-	// is clamped to it (0 = no cap and timeoutMs is used as given).
-	requestCap time.Duration
-	// log receives one structured line per request, tagged with the
-	// request's trace ID; nil falls back to slog.Default().
-	log      *slog.Logger
-	draining atomic.Bool
-}
-
-func (d *daemon) logger() *slog.Logger {
-	if d.log != nil {
-		return d.log
+// parsePeers decodes "a=http://h1:8723,b=http://h2:8723" into a
+// shard-name → base-URL map.
+func parsePeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
 	}
-	return slog.Default()
-}
-
-// beginDrain flips /readyz to 503. Called when shutdown starts, before
-// the listener closes, so load balancers stop routing here first.
-func (d *daemon) beginDrain() { d.draining.Store(true) }
-
-// effectiveTimeout resolves a request's timeoutMs against the server
-// cap: the smaller of the two wins, and with no cap the request value
-// is used as-is.
-func effectiveTimeout(requestMs int, cap time.Duration) time.Duration {
-	reqTO := time.Duration(requestMs) * time.Millisecond
-	switch {
-	case reqTO <= 0:
-		return cap
-	case cap > 0 && reqTO > cap:
-		return cap
-	default:
-		return reqTO
-	}
-}
-
-func (d *daemon) handleCompile(w http.ResponseWriter, r *http.Request) {
-	var cr CompileRequest
-	if err := json.NewDecoder(r.Body).Decode(&cr); err != nil {
-		writeJSON(w, http.StatusBadRequest, rolagdapi.ErrorResponse{Error: "bad request body: " + err.Error()})
-		return
-	}
-	req, err := cr.ToService()
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, rolagdapi.ErrorResponse{Error: err.Error()})
-		return
-	}
-	ctx := r.Context()
-	if to := effectiveTimeout(cr.TimeoutMs, d.requestCap); to > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, to)
-		defer cancel()
-	}
-	start := time.Now()
-	resp, err := d.engine.Compile(ctx, req)
-	if err != nil {
-		status := http.StatusUnprocessableEntity
-		switch {
-		case errors.Is(err, service.ErrOverloaded):
-			w.Header().Set("Retry-After", fmt.Sprint(shedRetryAfter))
-			status = http.StatusTooManyRequests
-		case errors.Is(err, service.ErrClosed), errors.Is(err, service.ErrDraining):
-			status = http.StatusServiceUnavailable
-		case errors.Is(err, context.DeadlineExceeded):
-			status = http.StatusGatewayTimeout
+	out := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		name, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want name=url)", part)
 		}
-		writeJSON(w, status, rolagdapi.ErrorResponse{Error: err.Error()})
-		return
+		out[name] = strings.TrimSuffix(url, "/")
 	}
-	out := CompileResponse{
-		IR:           resp.IR,
-		SizeBefore:   resp.SizeBefore,
-		SizeAfter:    resp.SizeAfter,
-		BinaryBefore: resp.BinaryBefore,
-		BinaryAfter:  resp.BinaryAfter,
-		Reduction:    resp.Reduction(),
-		Rerolled:     resp.Rerolled,
-		CacheHit:     resp.CacheHit,
-		ElapsedMs:    float64(time.Since(start)) / float64(time.Millisecond),
-	}
-	if resp.Stats != nil {
-		out.LoopsRolled = resp.Stats.LoopsRolled
-		out.NodeCounts = rolagdapi.NodeCountsToWire(resp.Stats.NodeCounts)
-	}
-	if resp.Degraded != nil {
-		out.Degraded = true
-		out.DegradedPasses = resp.Degraded.Passes()
-	}
-	out.Remarks = resp.Remarks
-	writeJSON(w, http.StatusOK, out)
-}
-
-// statusWriter captures the response status for the request log line.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-}
-
-func (w *statusWriter) WriteHeader(status int) {
-	w.status = status
-	w.ResponseWriter.WriteHeader(status)
-}
-
-// traced wraps the route mux with per-request tracing: it adopts or
-// mints the X-Trace-Id, threads an obs.TraceContext through the request
-// context (so engine, sandbox, and RoLAG spans land on this request's
-// trace), records the HTTP handling itself as a span, and emits one
-// structured log line per request. Compiles log at Info, probes
-// (health/metrics/debug) at Debug.
-func (d *daemon) traced(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		tr := obs.NewTrace(r.Header.Get("X-Trace-Id"))
-		w.Header().Set("X-Trace-Id", tr.ID)
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		span := obs.Now()
-		start := time.Now()
-		next.ServeHTTP(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
-		obs.EndSpan(tr, "http:"+r.URL.Path, span, r.Method)
-
-		level := slog.LevelDebug
-		if r.URL.Path == "/v1/compile" {
-			level = slog.LevelInfo
-		}
-		d.logger().Log(r.Context(), level, "request",
-			"trace", tr.ID,
-			"method", r.Method,
-			"path", r.URL.Path,
-			"status", sw.status,
-			"elapsed", time.Since(start),
-		)
-	})
-}
-
-// mux builds the daemon's routes behind the tracing middleware. Split
-// from main so tests can drive the full HTTP surface in-process.
-func (d *daemon) mux() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/compile", d.handleCompile)
-
-	// Liveness: the process is up and serving HTTP. Stays 200 through a
-	// graceful drain so orchestrators don't kill a draining instance.
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":   "ok",
-			"draining": d.draining.Load(),
-			"metrics":  d.engine.Metrics(),
-		})
-	})
-
-	// Readiness: whether new traffic should be routed here. 503 while
-	// draining or while the core optimization is breaker-dark (served
-	// results would silently skip RoLAG).
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		status := http.StatusOK
-		state := "ready"
-		switch {
-		case d.draining.Load():
-			status, state = http.StatusServiceUnavailable, "draining"
-		case d.engine.Dark():
-			status, state = http.StatusServiceUnavailable, "breaker-dark"
-		}
-		writeJSON(w, status, map[string]any{
-			"status":   state,
-			"breakers": d.engine.Breakers(),
-		})
-	})
-
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		s := d.engine.Metrics()
-		s.WritePrometheus(w)
-	})
-
-	// expvar.Publish panics on duplicate names; tests build several muxes.
-	if expvar.Get("rolagd") == nil {
-		e := d.engine
-		expvar.Publish("rolagd", expvar.Func(func() any { return e.Metrics() }))
-	}
-	mux.Handle("GET /debug/vars", expvar.Handler())
-
-	// The span ring buffer as Chrome trace-event JSON; load it in
-	// chrome://tracing or https://ui.perfetto.dev.
-	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		obs.WriteChromeTrace(w)
-	})
-
-	// Runtime profiling. The default mux registers these as a side
-	// effect of importing net/http/pprof; rolagd builds its own mux, so
-	// wire them explicitly.
-	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-
-	return d.traced(mux)
+	return out, nil
 }
 
 func main() {
@@ -292,6 +100,10 @@ func main() {
 	trace := flag.Bool("trace", true, "record per-request spans (exported at /debug/trace)")
 	traceBuf := flag.Int("trace-buf", obs.DefaultTraceCapacity, "span ring-buffer capacity (oldest spans are overwritten)")
 	logFormat := flag.String("log", "text", "structured log format: text or json")
+	shardID := flag.String("shard-id", "", "this replica's name on the cluster ring (empty = standalone)")
+	peersFlag := flag.String("peers", "", "cluster membership as name=url,... (must include -shard-id; identical on every member)")
+	vnodes := flag.Int("vnodes", 0, "consistent-hash virtual nodes per shard (0 = default)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "fetch-on-miss peer cache lookup deadline (0 = built-in default)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -307,29 +119,49 @@ func main() {
 	logger := slog.New(handler)
 	slog.SetDefault(logger)
 
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rolagd: %v\n", err)
+		os.Exit(2)
+	}
+	if *shardID != "" {
+		if _, ok := peers[*shardID]; !ok {
+			fmt.Fprintf(os.Stderr, "rolagd: -shard-id %q is not in -peers\n", *shardID)
+			os.Exit(2)
+		}
+	}
+
 	obs.EnableSpanStats(*phaseTiming)
 	obs.SetTraceCapacity(*traceBuf)
 	obs.EnableTracing(*trace)
-	engine := service.New(service.Config{
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		CacheEntries:     *cache,
-		MaxInFlight:      *maxInFlight,
-		DisableFailSoft:  *failHard,
-		PassBudget:       *passBudget,
-		BreakerThreshold: *breakerThreshold,
-		BreakerCooldown:  *breakerCooldown,
-		FuncParallelism:  *funcParallel,
+	d := daemon.New(daemon.Config{
+		Engine: service.Config{
+			Workers:          *workers,
+			QueueDepth:       *queue,
+			CacheEntries:     *cache,
+			MaxInFlight:      *maxInFlight,
+			DisableFailSoft:  *failHard,
+			PassBudget:       *passBudget,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+			FuncParallelism:  *funcParallel,
+		},
+		RequestCap:  *requestTimeout,
+		Log:         logger,
+		ShardID:     *shardID,
+		Peers:       peers,
+		VNodes:      *vnodes,
+		PeerTimeout: *peerTimeout,
 	})
-	d := &daemon{engine: engine, requestCap: *requestTimeout, log: logger}
-	srv := &http.Server{Addr: *addr, Handler: d.mux()}
+	srv := &http.Server{Addr: *addr, Handler: d.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	logger.Info("listening", "addr", *addr, "workers", engine.Workers(),
+	logger.Info("listening", "addr", *addr, "workers", d.Engine().Workers(),
+		"shard", *shardID, "peers", len(peers),
 		"trace", *trace, "phase_timing", *phaseTiming)
 
 	select {
@@ -339,14 +171,14 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	d.beginDrain()
+	d.BeginDrain()
 	logger.Info("draining", "timeout", *shutdownTimeout)
 	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
 		logger.Error("http shutdown", "err", err)
 	}
-	if err := engine.Close(sctx); err != nil {
+	if err := d.Close(sctx); err != nil {
 		logger.Error("engine drain", "err", err)
 		os.Exit(1)
 	}

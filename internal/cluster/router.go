@@ -1,0 +1,523 @@
+// Package cluster is the rolagd cluster's routing layer: a
+// consistent-hash router that fronts N rolagd replicas.
+//
+// Every request is routed by the same SHA-256 content address the
+// engine's cache is indexed by (service.Key), so each shard owns a
+// stable slice of the keyspace and its local LRU cache concentrates
+// exactly the keys it will be asked for. Batches fan out across shards
+// by per-item key ownership and multiplex back in input order. When a
+// shard is unreachable the router retries the ring's next shard and
+// marks the result degraded — content-addressed keys make any shard's
+// answer for a key correct, so failover can never serve a wrong
+// result, only a less cache-warm one.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rolag/internal/cluster/ring"
+	"rolag/internal/obs"
+	"rolag/internal/rolagdapi"
+	"rolag/internal/service"
+)
+
+// FailoverPass is the pass name the router appends to a result's
+// degradedPasses when the home shard was unreachable and the ring's
+// next shard served the request instead. It shares the wire field with
+// the engine's fail-soft pass skips so existing degraded-aware clients
+// notice shard failover without learning a new field.
+const FailoverPass = "router:failover"
+
+// Config assembles a Router.
+type Config struct {
+	// Shards maps shard names to base URLs; the same membership every
+	// replica was started with (-peers), so router and shards agree on
+	// key ownership without coordination.
+	Shards map[string]string
+	// VNodes is the ring's virtual-node count per shard (0 = default).
+	VNodes int
+	// HTTPClient talks to the shards (nil = a client with Timeout 60s;
+	// per-request deadlines still come from the caller's context).
+	HTTPClient *http.Client
+	// Log receives one structured line per routed request; nil falls
+	// back to slog.Default().
+	Log *slog.Logger
+}
+
+// Router fronts the shard fleet. Create with New; the Handler serves
+// the same /v1 protocol as a single daemon, so clients move from one
+// rolagd to a cluster by changing a URL.
+type Router struct {
+	ring   *ring.Ring
+	shards map[string]string
+	httpc  *http.Client
+	log    *slog.Logger
+
+	requests  atomic.Int64
+	batches   atomic.Int64
+	items     atomic.Int64
+	failovers atomic.Int64
+	routed    map[string]*atomic.Int64 // per-shard; fixed at startup
+}
+
+// New builds a router over the given shard membership.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	rt := &Router{
+		ring:   ring.New(cfg.VNodes),
+		shards: cfg.Shards,
+		httpc:  cfg.HTTPClient,
+		log:    cfg.Log,
+		routed: make(map[string]*atomic.Int64, len(cfg.Shards)),
+	}
+	for name := range cfg.Shards {
+		rt.ring.Add(name)
+		rt.routed[name] = new(atomic.Int64)
+	}
+	if rt.httpc == nil {
+		rt.httpc = &http.Client{Timeout: 60 * time.Second}
+	}
+	return rt, nil
+}
+
+func (rt *Router) logger() *slog.Logger {
+	if rt.log != nil {
+		return rt.log
+	}
+	return slog.Default()
+}
+
+// Owner exposes ring ownership (used by tests and the loadgen's
+// parity reporting).
+func (rt *Router) Owner(key string) string { return rt.ring.Owner(key) }
+
+// forward posts body to one shard's path, forwarding the trace ID, and
+// returns the reply. retryable marks transport errors and statuses
+// that justify trying the next shard: 5xx (shard broken or draining)
+// and 429 (shard saturated — its keyspace neighbor may have capacity).
+func (rt *Router) forward(r *http.Request, shard, path string, body []byte) (status int, reply []byte, retryable bool, err error) {
+	base, ok := rt.shards[shard]
+	if !ok {
+		return 0, nil, true, fmt.Errorf("cluster: unknown shard %q", shard)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tr := obs.TraceFrom(r.Context()); tr.Active() {
+		req.Header.Set("X-Trace-Id", tr.ID)
+	}
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		return 0, nil, r.Context().Err() == nil, err
+	}
+	defer resp.Body.Close()
+	reply, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, true, err
+	}
+	retryable = resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+	if retryable {
+		err = fmt.Errorf("cluster: shard %s: HTTP %d", shard, resp.StatusCode)
+	}
+	return resp.StatusCode, reply, retryable, err
+}
+
+// handleCompile routes one compile to the key's home shard, failing
+// over around the ring when it is unreachable. A failed-over result is
+// marked degraded (FailoverPass) before it is returned.
+func (rt *Router) handleCompile(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, rolagdapi.ErrorResponse{Error: "reading body: " + err.Error()})
+		return
+	}
+	var cr rolagdapi.CompileRequest
+	if err := json.Unmarshal(body, &cr); err != nil {
+		writeJSON(w, http.StatusBadRequest, rolagdapi.ErrorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	sreq, err := cr.ToService()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, rolagdapi.ErrorResponse{Error: err.Error()})
+		return
+	}
+	key := service.Key(&sreq)
+
+	var lastErr error
+	for i, shard := range rt.ring.Successors(key, rt.ring.Len()) {
+		status, reply, retryable, err := rt.forward(r, shard, "/v1/compile", body)
+		if err != nil && retryable {
+			rt.logger().Warn("shard failed, trying next", "shard", shard, "key", key[:16], "err", err)
+			lastErr = err
+			continue
+		}
+		if err != nil && status == 0 {
+			writeJSON(w, http.StatusBadGateway, rolagdapi.ErrorResponse{Error: err.Error()})
+			return
+		}
+		rt.routed[shard].Add(1)
+		if i > 0 && status == http.StatusOK {
+			rt.failovers.Add(1)
+			reply = markFailedOver(reply)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		w.Write(reply)
+		return
+	}
+	writeJSON(w, http.StatusBadGateway, rolagdapi.ErrorResponse{Error: fmt.Sprintf("cluster: all shards failed: %v", lastErr)})
+}
+
+// markFailedOver rewrites a shard's CompileResponse to record that the
+// home shard did not serve it: degraded=true plus the FailoverPass
+// marker. The compiled payload is untouched — content addressing makes
+// it byte-identical regardless of which shard compiled it.
+func markFailedOver(reply []byte) []byte {
+	var out rolagdapi.CompileResponse
+	if err := json.Unmarshal(reply, &out); err != nil {
+		return reply
+	}
+	out.Degraded = true
+	out.DegradedPasses = append(out.DegradedPasses, FailoverPass)
+	marked, err := json.Marshal(out)
+	if err != nil {
+		return reply
+	}
+	return marked
+}
+
+// shardBatch is one shard's slice of a routed batch.
+type shardBatch struct {
+	shard string
+	// idx maps positions in items back to the caller's item order.
+	idx   []int
+	items []rolagdapi.CompileRequest
+}
+
+// handleBatch fans a batch out across shards by key ownership and
+// multiplexes per-item results back in input order. When a shard's
+// whole sub-batch fails the items are re-grouped onto each item's next
+// ring successor (skipping shards already seen failing) and the
+// recovered results are marked degraded/failed-over.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	rt.batches.Add(1)
+	var br rolagdapi.BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&br); err != nil {
+		writeJSON(w, http.StatusBadRequest, rolagdapi.ErrorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(br.Items) == 0 {
+		writeJSON(w, http.StatusBadRequest, rolagdapi.ErrorResponse{Error: "batch has no items"})
+		return
+	}
+	rt.items.Add(int64(len(br.Items)))
+	start := time.Now()
+
+	out := rolagdapi.BatchResponse{Items: make([]rolagdapi.BatchItemResult, len(br.Items))}
+
+	// Items that fail config mapping are answered by the router itself;
+	// the rest are grouped by their home shard. Successor lists are
+	// computed once per item and consumed left to right as shards fail.
+	succ := make([][]string, len(br.Items))
+	groups := make(map[string]*shardBatch)
+	for i := range br.Items {
+		sreq, err := br.Items[i].ToService()
+		if err != nil {
+			out.Items[i].Error = err.Error()
+			continue
+		}
+		key := service.Key(&sreq)
+		succ[i] = rt.ring.Successors(key, rt.ring.Len())
+		addToGroup(groups, succ[i][0], i, &br.Items[i])
+	}
+
+	down := make(map[string]bool)
+	for round := 0; len(groups) > 0 && round < rt.ring.Len(); round++ {
+		failed := rt.runGroups(r, groups, br.TimeoutMs, &out, round > 0)
+		// Re-group every item of each failed shard onto its next live
+		// successor; items with no successors left get a terminal error.
+		groups = make(map[string]*shardBatch)
+		for _, g := range failed {
+			down[g.shard] = true
+			rt.logger().Warn("shard sub-batch failed, re-routing", "shard", g.shard, "items", len(g.idx))
+			for j, i := range g.idx {
+				next := nextShard(succ[i], down)
+				if next == "" {
+					out.Items[i].Error = fmt.Sprintf("cluster: no live shard for item %d", i)
+					continue
+				}
+				addToGroup(groups, next, i, &g.items[j])
+			}
+		}
+	}
+	for _, g := range groups { // rounds exhausted with shards still failing
+		for _, i := range g.idx {
+			out.Items[i].Error = "cluster: all shards failed"
+		}
+	}
+
+	out.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, out)
+}
+
+func addToGroup(groups map[string]*shardBatch, shard string, i int, item *rolagdapi.CompileRequest) {
+	g := groups[shard]
+	if g == nil {
+		g = &shardBatch{shard: shard}
+		groups[shard] = g
+	}
+	g.idx = append(g.idx, i)
+	g.items = append(g.items, *item)
+}
+
+// nextShard returns the first successor not known to be down.
+func nextShard(succ []string, down map[string]bool) string {
+	for _, s := range succ {
+		if !down[s] {
+			return s
+		}
+	}
+	return ""
+}
+
+// runGroups posts every group's sub-batch concurrently, writes
+// successful item results into out (marking them failed-over when this
+// is a retry round), and returns the groups whose shard failed
+// entirely.
+func (rt *Router) runGroups(r *http.Request, groups map[string]*shardBatch, timeoutMs int, out *rolagdapi.BatchResponse, failover bool) []*shardBatch {
+	var (
+		mu     sync.Mutex
+		failed []*shardBatch
+		wg     sync.WaitGroup
+	)
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g *shardBatch) {
+			defer wg.Done()
+			body, err := json.Marshal(rolagdapi.BatchRequest{Items: g.items, TimeoutMs: timeoutMs})
+			if err == nil {
+				var status int
+				var reply []byte
+				status, reply, _, err = rt.forward(r, g.shard, "/v1/batch", body)
+				if err == nil && status == http.StatusOK {
+					var sub rolagdapi.BatchResponse
+					if err = json.Unmarshal(reply, &sub); err == nil && len(sub.Items) == len(g.idx) {
+						rt.routed[g.shard].Add(int64(len(g.idx)))
+						if failover {
+							rt.failovers.Add(int64(len(g.idx)))
+						}
+						// Item results are index-aligned with the sub-batch by
+						// the daemon's contract; no lock needed — each item
+						// index is owned by exactly one group per round.
+						for j, i := range g.idx {
+							out.Items[i] = sub.Items[j]
+							if failover {
+								out.Items[i].FailedOver = true
+								out.Items[i].Degraded = true
+								out.Items[i].DegradedPasses = append(out.Items[i].DegradedPasses, FailoverPass)
+							}
+						}
+						return
+					}
+					if err == nil {
+						err = fmt.Errorf("cluster: shard %s returned %d items for %d", g.shard, len(sub.Items), len(g.idx))
+					}
+				} else if err == nil {
+					err = fmt.Errorf("cluster: shard %s: HTTP %d", g.shard, status)
+				}
+			}
+			rt.logger().Warn("sub-batch failed", "shard", g.shard, "err", err)
+			mu.Lock()
+			failed = append(failed, g)
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	return failed
+}
+
+// handleCacheStats aggregates every shard's /v1/cachestats into one
+// cluster-wide view: the top-level counters are field-wise sums, the
+// per-shard breakdown rides along in Shards. Unreachable shards are
+// reported with only their name so a partial cluster is visible, not
+// silently smaller.
+func (rt *Router) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	names := rt.ring.Shards()
+	per := make([]rolagdapi.CacheStats, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			per[i].Shard = name
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, rt.shards[name]+"/v1/cachestats", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.httpc.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			var cs rolagdapi.CacheStats
+			if json.NewDecoder(resp.Body).Decode(&cs) == nil {
+				cs.Shard = name
+				per[i] = cs
+			}
+		}(i, name)
+	}
+	wg.Wait()
+	total := rolagdapi.CacheStats{Shards: per}
+	for i := range per {
+		total.Add(&per[i])
+	}
+	writeJSON(w, http.StatusOK, total)
+}
+
+// handleHealth probes every shard's /readyz and reports the fleet.
+// The router itself is healthy while it can serve; a dark shard makes
+// the fleet "degraded", not down — failover covers its keyspace.
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	names := rt.ring.Shards()
+	states := make(map[string]string, len(names))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	ready := 0
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			state := "unreachable"
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, rt.shards[name]+"/readyz", nil)
+			if err == nil {
+				if resp, err := rt.httpc.Do(req); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						state = "ready"
+					} else {
+						state = fmt.Sprintf("not-ready (%d)", resp.StatusCode)
+					}
+				}
+			}
+			mu.Lock()
+			states[name] = state
+			if state == "ready" {
+				ready++
+			}
+			mu.Unlock()
+		}(name)
+	}
+	wg.Wait()
+	status := "ok"
+	if ready < len(names) {
+		status = "degraded"
+	}
+	if ready == 0 {
+		status = "down"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": status,
+		"ready":  ready,
+		"shards": states,
+	})
+}
+
+// writeMetrics renders the router counters in Prometheus text format.
+func (rt *Router) writeMetrics(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("router_requests_total", "Single-compile requests routed.", rt.requests.Load())
+	counter("router_batch_requests_total", "Batch requests fanned out.", rt.batches.Load())
+	counter("router_batch_items_total", "Batch items multiplexed.", rt.items.Load())
+	counter("router_failover_total", "Requests or items served by a non-home shard after failover.", rt.failovers.Load())
+	fmt.Fprintf(w, "# HELP router_routed_total Requests and batch items routed, by shard.\n")
+	fmt.Fprintf(w, "# TYPE router_routed_total counter\n")
+	names := make([]string, 0, len(rt.routed))
+	for name := range rt.routed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "router_routed_total{shard=%q} %d\n", name, rt.routed[name].Load())
+	}
+	fmt.Fprintf(w, "# HELP router_shards Shards on the consistent-hash ring.\n")
+	fmt.Fprintf(w, "# TYPE router_shards gauge\nrouter_shards %d\n", rt.ring.Len())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// statusWriter captures the response status for the request log line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// traced mints or adopts the X-Trace-Id exactly like the daemon does,
+// so one trace ID follows a request router → shard → engine → passes
+// and the shard's /debug/trace export shows router-originated spans
+// under the caller's ID.
+func (rt *Router) traced(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(r.Header.Get("X-Trace-Id"))
+		w.Header().Set("X-Trace-Id", tr.ID)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		span := obs.Now()
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		obs.EndSpan(tr, "router:"+r.URL.Path, span, r.Method)
+
+		level := slog.LevelDebug
+		if r.URL.Path == "/v1/compile" || r.URL.Path == "/v1/batch" {
+			level = slog.LevelInfo
+		}
+		rt.logger().Log(r.Context(), level, "routed",
+			"trace", tr.ID,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"elapsed", time.Since(start),
+		)
+	})
+}
+
+// Handler builds the router's routes behind the tracing middleware.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", rt.handleCompile)
+	mux.HandleFunc("POST /v1/batch", rt.handleBatch)
+	mux.HandleFunc("GET /v1/cachestats", rt.handleCacheStats)
+	mux.HandleFunc("GET /healthz", rt.handleHealth)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		rt.writeMetrics(w)
+	})
+	return rt.traced(mux)
+}

@@ -1,0 +1,452 @@
+package cluster
+
+// End-to-end tests of the routing layer over real in-process shards:
+// key-stable routing, byte-for-byte parity with serial compiles
+// (single and batch, including remark streams and degraded flags),
+// failover through an induced shard failure, trace propagation, and
+// cluster-wide cache-stat aggregation.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rolag/internal/daemon"
+	"rolag/internal/rolagdapi"
+	"rolag/internal/service"
+)
+
+// testCluster is a 3-shard cluster plus router, all in-process over
+// real HTTP. kill(i) makes shard i unreachable (connection refused).
+type testCluster struct {
+	router  *Router
+	rsrv    *httptest.Server
+	daemons []*daemon.Daemon
+	shards  []*httptest.Server
+	headers []http.Header // last request headers seen per shard (compile/batch only)
+	mu      sync.Mutex
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		daemons: make([]*daemon.Daemon, n),
+		shards:  make([]*httptest.Server, n),
+		headers: make([]http.Header, n),
+	}
+	peers := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		i := i
+		tc.shards[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasPrefix(r.URL.Path, "/v1/compile") || strings.HasPrefix(r.URL.Path, "/v1/batch") {
+				tc.mu.Lock()
+				tc.headers[i] = r.Header.Clone()
+				tc.mu.Unlock()
+			}
+			tc.daemons[i].Handler().ServeHTTP(w, r)
+		}))
+		t.Cleanup(tc.shards[i].Close)
+		peers[shardName(i)] = tc.shards[i].URL
+	}
+	for i := 0; i < n; i++ {
+		d := daemon.New(daemon.Config{
+			Engine:     service.Config{Workers: 2},
+			RequestCap: 10 * time.Second,
+			ShardID:    shardName(i),
+			Peers:      peers,
+		})
+		t.Cleanup(func() { d.Close(context.Background()) })
+		tc.daemons[i] = d
+	}
+	rt, err := New(Config{Shards: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.router = rt
+	tc.rsrv = httptest.NewServer(rt.Handler())
+	t.Cleanup(tc.rsrv.Close)
+	return tc
+}
+
+func shardName(i int) string { return fmt.Sprintf("shard-%c", 'a'+i) }
+
+// kill makes shard i unreachable.
+func (tc *testCluster) kill(i int) { tc.shards[i].Close() }
+
+// src returns a rollable function source, distinct per i.
+func src(i int) string {
+	return fmt.Sprintf(
+		"void f%d(int *a) {\n  a[0] = a[0] + %d;\n  a[1] = a[1] + %d;\n  a[2] = a[2] + %d;\n  a[3] = a[3] + %d;\n}",
+		i, i+1, i+1, i+1, i+1)
+}
+
+// keyOf computes the request's routing key the same way the router
+// does.
+func keyOf(t *testing.T, cr rolagdapi.CompileRequest) string {
+	t.Helper()
+	sreq, err := cr.ToService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return service.Key(&sreq)
+}
+
+// serialReference compiles items on a fresh standalone daemon, giving
+// the byte-level ground truth a cluster run must match.
+func serialReference(t *testing.T, items []rolagdapi.CompileRequest) []rolagdapi.CompileResponse {
+	t.Helper()
+	d := daemon.New(daemon.Config{Engine: service.Config{Workers: 2}, RequestCap: 10 * time.Second})
+	t.Cleanup(func() { d.Close(context.Background()) })
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+	c := &rolagdapi.Client{BaseURL: srv.URL}
+	out := make([]rolagdapi.CompileResponse, len(items))
+	for i, it := range items {
+		resp, err := c.Compile(context.Background(), &it)
+		if err != nil {
+			t.Fatalf("serial reference item %d: %v", i, err)
+		}
+		out[i] = *resp
+	}
+	return out
+}
+
+func TestRouterCompileParityAndKeyAffinity(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	c := &rolagdapi.Client{BaseURL: tc.rsrv.URL}
+
+	var items []rolagdapi.CompileRequest
+	for i := 0; i < 9; i++ {
+		items = append(items, rolagdapi.CompileRequest{Source: src(i), Remarks: true})
+	}
+	want := serialReference(t, items)
+
+	for i, it := range items {
+		got, err := c.Compile(context.Background(), &it)
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if got.IR != want[i].IR {
+			t.Errorf("item %d IR differs from serial", i)
+		}
+		if len(got.Remarks) != len(want[i].Remarks) {
+			t.Errorf("item %d remarks differ: %d vs %d", i, len(got.Remarks), len(want[i].Remarks))
+		}
+		if got.Degraded {
+			t.Errorf("item %d degraded on a healthy cluster", i)
+		}
+		if got.CacheHit {
+			t.Errorf("item %d: first compile reported a cache hit", i)
+		}
+	}
+
+	// Identical requests land on the same shard and hit its cache.
+	for i, it := range items {
+		got, err := c.Compile(context.Background(), &it)
+		if err != nil {
+			t.Fatalf("repeat item %d: %v", i, err)
+		}
+		if !got.CacheHit {
+			t.Errorf("repeat item %d missed the cache — key routing is not stable", i)
+		}
+	}
+
+	// Each shard only compiled the keys it owns.
+	var compiles int64
+	for _, d := range tc.daemons {
+		m := d.Engine().Metrics()
+		compiles += m.Compiles
+		if m.PeerHits+m.PeerMisses != 0 {
+			t.Errorf("shard %s consulted a peer under pure router traffic: %+v", d.ShardID(), m)
+		}
+	}
+	if compiles != int64(len(items)) {
+		t.Errorf("cluster compiled %d times for %d distinct keys", compiles, len(items))
+	}
+}
+
+func TestRouterBatchParity(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	c := &rolagdapi.Client{BaseURL: tc.rsrv.URL}
+
+	var items []rolagdapi.CompileRequest
+	for i := 0; i < 12; i++ {
+		items = append(items, rolagdapi.CompileRequest{Source: src(i), Remarks: true})
+	}
+	want := serialReference(t, items)
+
+	got, err := c.CompileBatch(context.Background(), &rolagdapi.BatchRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != len(items) {
+		t.Fatalf("batch returned %d items for %d", len(got.Items), len(items))
+	}
+	shardsSeen := map[string]bool{}
+	for i, item := range got.Items {
+		if item.Error != "" {
+			t.Fatalf("item %d failed: %s", i, item.Error)
+		}
+		if item.IR != want[i].IR {
+			t.Errorf("item %d IR differs from serial", i)
+		}
+		if len(item.Remarks) != len(want[i].Remarks) {
+			t.Errorf("item %d remarks differ", i)
+		}
+		if item.Degraded != want[i].Degraded || item.FailedOver {
+			t.Errorf("item %d flags differ: degraded=%v failedOver=%v", i, item.Degraded, item.FailedOver)
+		}
+		if item.Shard == "" {
+			t.Errorf("item %d lacks shard attribution", i)
+		}
+		shardsSeen[item.Shard] = true
+		// The serving shard is the key's ring owner.
+		if owner := tc.router.Owner(keyOf(t, items[i])); item.Shard != owner {
+			t.Errorf("item %d served by %s, ring owner is %s", i, item.Shard, owner)
+		}
+	}
+	if len(shardsSeen) < 2 {
+		t.Errorf("12-item batch used %d shards; fan-out is not spreading", len(shardsSeen))
+	}
+}
+
+// TestRouterBatchShardFailure induces one shard failure mid-cluster:
+// the batch must still return every item, re-routed items must be
+// marked failed-over/degraded with the FailoverPass marker, and their
+// IR must equal the serial compile byte-for-byte ("degraded, never
+// wrong").
+func TestRouterBatchShardFailure(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	c := &rolagdapi.Client{BaseURL: tc.rsrv.URL}
+
+	var items []rolagdapi.CompileRequest
+	for i := 0; i < 12; i++ {
+		items = append(items, rolagdapi.CompileRequest{Source: src(i), Remarks: true})
+	}
+	want := serialReference(t, items)
+
+	// Kill the shard that owns item 0's key; remember which items it
+	// owned so we can assert they (and only they) failed over.
+	deadName := tc.router.Owner(keyOf(t, items[0]))
+	owned := map[int]bool{}
+	for i := range items {
+		if tc.router.Owner(keyOf(t, items[i])) == deadName {
+			owned[i] = true
+		}
+	}
+	for i := range tc.daemons {
+		if tc.daemons[i].ShardID() == deadName {
+			tc.kill(i)
+		}
+	}
+
+	got, err := c.CompileBatch(context.Background(), &rolagdapi.BatchRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failovers := 0
+	for i, item := range got.Items {
+		if item.Error != "" {
+			t.Fatalf("item %d failed despite live successors: %s", i, item.Error)
+		}
+		if item.IR != want[i].IR {
+			t.Errorf("item %d IR differs after failover — failover must never be wrong", i)
+		}
+		if owned[i] {
+			failovers++
+			if !item.FailedOver || !item.Degraded {
+				t.Errorf("re-routed item %d not marked failed-over/degraded: %+v", i, item)
+			}
+			marked := false
+			for _, p := range item.DegradedPasses {
+				if p == FailoverPass {
+					marked = true
+				}
+			}
+			if !marked {
+				t.Errorf("re-routed item %d missing %q in degradedPasses: %v", i, FailoverPass, item.DegradedPasses)
+			}
+			if item.Shard == deadName {
+				t.Errorf("item %d claims the dead shard served it", i)
+			}
+		} else if item.FailedOver || item.Degraded {
+			t.Errorf("item %d owned by a live shard marked degraded: %+v", i, item)
+		}
+	}
+	if failovers == 0 {
+		t.Fatal("the dead shard owned no items; test needs a bigger batch")
+	}
+	if got := tc.router.failovers.Load(); got != int64(failovers) {
+		t.Errorf("router_failover_total = %d, want %d", got, failovers)
+	}
+}
+
+// TestRouterCompileShardFailure is the single-compile flavor: the
+// request fails over to the ring's next shard and comes back marked
+// degraded with the failover pass.
+func TestRouterCompileShardFailure(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	c := &rolagdapi.Client{BaseURL: tc.rsrv.URL}
+
+	cr := rolagdapi.CompileRequest{Source: src(0)}
+	want := serialReference(t, []rolagdapi.CompileRequest{cr})[0]
+	deadName := tc.router.Owner(keyOf(t, cr))
+	for i := range tc.daemons {
+		if tc.daemons[i].ShardID() == deadName {
+			tc.kill(i)
+		}
+	}
+	got, err := c.Compile(context.Background(), &cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IR != want.IR {
+		t.Error("failover result differs from serial compile")
+	}
+	if !got.Degraded {
+		t.Error("failover result not marked degraded")
+	}
+	found := false
+	for _, p := range got.DegradedPasses {
+		if p == FailoverPass {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("degradedPasses = %v, want to contain %q", got.DegradedPasses, FailoverPass)
+	}
+}
+
+func TestRouterTracePropagation(t *testing.T) {
+	tc := newTestCluster(t, 3)
+
+	cr := rolagdapi.CompileRequest{Source: src(0)}
+	body, _ := json.Marshal(cr)
+	req, err := http.NewRequest("POST", tc.rsrv.URL+"/v1/compile", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Trace-Id", "0123456789abcdef")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Trace-Id"); got != "0123456789abcdef" {
+		t.Errorf("router echoed trace ID %q, want the caller's", got)
+	}
+
+	// The serving shard must have received the same trace ID.
+	owner := tc.router.Owner(keyOf(t, cr))
+	for i := range tc.daemons {
+		if tc.daemons[i].ShardID() != owner {
+			continue
+		}
+		tc.mu.Lock()
+		h := tc.headers[i]
+		tc.mu.Unlock()
+		if h == nil {
+			t.Fatal("owning shard saw no compile request")
+		}
+		if got := h.Get("X-Trace-Id"); got != "0123456789abcdef" {
+			t.Errorf("shard received trace ID %q, want the caller's", got)
+		}
+	}
+}
+
+func TestRouterCacheStatsAggregation(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	c := &rolagdapi.Client{BaseURL: tc.rsrv.URL}
+
+	var items []rolagdapi.CompileRequest
+	for i := 0; i < 6; i++ {
+		items = append(items, rolagdapi.CompileRequest{Source: src(i)})
+	}
+	// Compile everything twice: 6 misses then 6 hits, spread over the
+	// fleet.
+	for round := 0; round < 2; round++ {
+		if _, err := c.CompileBatch(context.Background(), &rolagdapi.BatchRequest{Items: items}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cs, err := c.CacheStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Shards) != 3 {
+		t.Fatalf("aggregate lists %d shards, want 3", len(cs.Shards))
+	}
+	if cs.Requests != 12 || cs.CacheMisses != 6 || cs.CacheHits != 6 {
+		t.Errorf("aggregate = %+v, want 12 requests, 6 misses, 6 hits", cs)
+	}
+	var sum rolagdapi.CacheStats
+	for i := range cs.Shards {
+		sum.Add(&cs.Shards[i])
+	}
+	if sum.Requests != cs.Requests || sum.CacheHits != cs.CacheHits {
+		t.Errorf("per-shard breakdown (%+v) does not sum to the aggregate (%+v)", sum, cs)
+	}
+	if got := cs.HitRate(); got != 0.5 {
+		t.Errorf("cluster hit rate = %g, want 0.5", got)
+	}
+}
+
+func TestRouterMetricsText(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	c := &rolagdapi.Client{BaseURL: tc.rsrv.URL}
+	if _, err := c.Compile(context.Background(), &rolagdapi.CompileRequest{Source: src(0)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(tc.rsrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	text := string(raw)
+	for _, want := range []string{
+		"router_requests_total 1", "router_failover_total 0",
+		"router_routed_total{shard=", "router_shards 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("router metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRouterHealthz(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	get := func() (string, int) {
+		resp, err := http.Get(tc.rsrv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Status string            `json:"status"`
+			Ready  int               `json:"ready"`
+			Shards map[string]string `json:"shards"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Status, out.Ready
+	}
+	if status, ready := get(); status != "ok" || ready != 3 {
+		t.Errorf("healthy fleet: status=%s ready=%d, want ok/3", status, ready)
+	}
+	tc.kill(1)
+	if status, ready := get(); status != "degraded" || ready != 2 {
+		t.Errorf("one dead shard: status=%s ready=%d, want degraded/2", status, ready)
+	}
+}

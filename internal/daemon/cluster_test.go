@@ -1,0 +1,347 @@
+package daemon
+
+// Tests for the cluster surface of the daemon: the peer cache export
+// endpoint, fetch-on-miss peer caching between two shards, the batch
+// endpoint's parity with serial compiles, and /v1/cachestats.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rolag/internal/rolagdapi"
+	"rolag/internal/service"
+)
+
+// testCluster spawns n in-process shards that know each other as
+// peers, returning the daemons and their base URLs by shard name.
+func testCluster(t *testing.T, n int) ([]*Daemon, map[string]string) {
+	t.Helper()
+	// Membership (name → URL) must exist before the daemons, so
+	// allocate the listeners first and start the servers against
+	// placeholder handlers that delegate once the daemon exists.
+	daemons := make([]*Daemon, n)
+	peers := make(map[string]string, n)
+	servers := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		i := i
+		servers[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			daemons[i].Handler().ServeHTTP(w, r)
+		}))
+		t.Cleanup(servers[i].Close)
+		peers[shardName(i)] = servers[i].URL
+	}
+	for i := 0; i < n; i++ {
+		d := New(Config{
+			Engine:     service.Config{Workers: 2},
+			RequestCap: 10 * time.Second,
+			ShardID:    shardName(i),
+			Peers:      peers,
+		})
+		t.Cleanup(func() { d.Close(context.Background()) })
+		daemons[i] = d
+	}
+	return daemons, peers
+}
+
+func shardName(i int) string { return fmt.Sprintf("shard-%c", 'a'+i) }
+
+func TestCacheExportEndpoint(t *testing.T) {
+	_, srv := newTestDaemon(t, service.Config{}, 10*time.Second)
+
+	resp, err := http.Get(srv.URL + "/v1/cache/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("uncached key: status %d, want 404", resp.StatusCode)
+	}
+
+	// Compile once, then export by the response's cache key.
+	cr := rolagdapi.CompileRequest{Source: testSrc}
+	sreq, err := cr.ToService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := service.Key(&sreq)
+	body, _ := json.Marshal(cr)
+	if resp, _ := postCompile(t, srv, string(body)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile: status %d", resp.StatusCode)
+	}
+	eresp, err := http.Get(srv.URL + "/v1/cache/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	if eresp.StatusCode != http.StatusOK {
+		t.Fatalf("cached key: status %d, want 200", eresp.StatusCode)
+	}
+	var ce service.CacheEntry
+	if err := json.NewDecoder(eresp.Body).Decode(&ce); err != nil {
+		t.Fatal(err)
+	}
+	if ce.IR == "" || ce.BinaryAfter == 0 {
+		t.Fatalf("exported entry incomplete: %+v", ce)
+	}
+}
+
+// TestPeerCacheFetchOnMiss is the coherence core: a key compiled on
+// its home shard is served byte-identically by every other shard via
+// one peer fetch, with the hit/miss counters advancing on the right
+// side.
+func TestPeerCacheFetchOnMiss(t *testing.T) {
+	daemons, peers := testCluster(t, 2)
+
+	// Find a source whose key is homed on shard 0 so the test is
+	// deterministic about who compiles and who peer-fetches.
+	var cr rolagdapi.CompileRequest
+	var key string
+	for i := 0; ; i++ {
+		cr = rolagdapi.CompileRequest{Source: fmt.Sprintf(
+			"void f%d(int *a) {\n  a[0] = a[0] + 1;\n  a[1] = a[1] + 1;\n  a[2] = a[2] + 1;\n  a[3] = a[3] + 1;\n}", i)}
+		sreq, err := cr.ToService()
+		if err != nil {
+			t.Fatal(err)
+		}
+		key = service.Key(&sreq)
+		if daemons[0].ring.Owner(key) == daemons[0].shardID {
+			break
+		}
+	}
+
+	body, _ := json.Marshal(cr)
+	post := func(url string) rolagdapi.CompileResponse {
+		t.Helper()
+		resp, err := http.Post(url+"/v1/compile", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var out rolagdapi.CompileResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	home := post(peers[shardName(0)])
+	if home.CacheHit {
+		t.Fatal("first compile on the home shard reported a cache hit")
+	}
+	// The other shard misses locally, fetches from the home shard, and
+	// must neither compile nor differ by a byte.
+	other := post(peers[shardName(1)])
+	if !other.CacheHit {
+		t.Error("peer-fetched result not reported as a cache hit")
+	}
+	if other.IR != home.IR || other.BinaryAfter != home.BinaryAfter {
+		t.Error("peer-fetched result differs from the home shard's")
+	}
+	m := daemons[1].Engine().Metrics()
+	if m.PeerHits != 1 {
+		t.Errorf("shard-b peer hits = %d, want 1", m.PeerHits)
+	}
+	if m.Compiles != 0 {
+		t.Errorf("shard-b compiled %d times, want 0 (peer cache should have answered)", m.Compiles)
+	}
+	// The entry is now in shard-b's local cache: a repeat request must
+	// not fetch again.
+	post(peers[shardName(1)])
+	if m := daemons[1].Engine().Metrics(); m.PeerHits != 1 {
+		t.Errorf("repeat request peer-fetched again: peer hits = %d", m.PeerHits)
+	}
+
+	// A key homed here but never compiled: peer fetch must not even be
+	// attempted (the miss is ours to compile).
+	m0 := daemons[0].Engine().Metrics()
+	if m0.PeerHits+m0.PeerMisses != 0 {
+		t.Errorf("home shard consulted a peer for its own key: %+v", m0)
+	}
+}
+
+// TestPeerCacheMissCompilesLocally pins the degrade path: when the
+// home shard doesn't have the key either, the fetching shard counts a
+// peer miss and compiles locally.
+func TestPeerCacheMissCompilesLocally(t *testing.T) {
+	daemons, peers := testCluster(t, 2)
+
+	var cr rolagdapi.CompileRequest
+	for i := 0; ; i++ {
+		cr = rolagdapi.CompileRequest{Source: fmt.Sprintf("void g%d() {}", i)}
+		sreq, err := cr.ToService()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if daemons[0].ring.Owner(service.Key(&sreq)) == shardName(0) {
+			break
+		}
+	}
+	body, _ := json.Marshal(cr)
+	resp, err := http.Post(peers[shardName(1)]+"/v1/compile", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	m := daemons[1].Engine().Metrics()
+	if m.PeerMisses != 1 || m.PeerHits != 0 {
+		t.Errorf("peer counters = hits %d misses %d, want 0/1", m.PeerHits, m.PeerMisses)
+	}
+	if m.Compiles != 1 {
+		t.Errorf("compiles = %d, want 1 (local compile after peer miss)", m.Compiles)
+	}
+}
+
+// TestBatchEndpointParity: a batch of K functions equals K serial
+// compiles byte-for-byte — IR, sizes, and remark streams.
+func TestBatchEndpointParity(t *testing.T) {
+	_, srv := newTestDaemon(t, service.Config{}, 10*time.Second)
+
+	var items []rolagdapi.CompileRequest
+	for i := 0; i < 6; i++ {
+		items = append(items, rolagdapi.CompileRequest{
+			Source: fmt.Sprintf(
+				"void f%d(int *a) {\n  a[0] = a[0] + %d;\n  a[1] = a[1] + %d;\n  a[2] = a[2] + %d;\n  a[3] = a[3] + %d;\n}",
+				i, i+1, i+1, i+1, i+1),
+			Remarks: true,
+		})
+	}
+
+	// Serial reference, against a fresh daemon so nothing is cached.
+	_, refSrv := newTestDaemon(t, service.Config{}, 10*time.Second)
+	var want []rolagdapi.CompileResponse
+	for _, it := range items {
+		b, _ := json.Marshal(it)
+		resp, out := postCompile(t, refSrv, string(b))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("serial reference: status %d", resp.StatusCode)
+		}
+		want = append(want, out)
+	}
+
+	bb, _ := json.Marshal(rolagdapi.BatchRequest{Items: items})
+	resp, err := http.Post(srv.URL+"/v1/batch", "application/json", strings.NewReader(string(bb)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d", resp.StatusCode)
+	}
+	var out rolagdapi.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != len(items) {
+		t.Fatalf("batch returned %d items, want %d", len(out.Items), len(items))
+	}
+	for i, item := range out.Items {
+		if item.Error != "" {
+			t.Fatalf("item %d failed: %s", i, item.Error)
+		}
+		if item.IR != want[i].IR {
+			t.Errorf("item %d IR differs from serial compile", i)
+		}
+		if item.BinaryAfter != want[i].BinaryAfter || item.LoopsRolled != want[i].LoopsRolled {
+			t.Errorf("item %d sizes differ: batch %d/%d, serial %d/%d",
+				i, item.BinaryAfter, item.LoopsRolled, want[i].BinaryAfter, want[i].LoopsRolled)
+		}
+		if len(item.Remarks) != len(want[i].Remarks) {
+			t.Errorf("item %d remark count differs: %d vs %d", i, len(item.Remarks), len(want[i].Remarks))
+		}
+		if item.Degraded != want[i].Degraded {
+			t.Errorf("item %d degraded flag differs", i)
+		}
+	}
+}
+
+func TestBatchEndpointPerItemErrors(t *testing.T) {
+	_, srv := newTestDaemon(t, service.Config{}, 10*time.Second)
+	bb, _ := json.Marshal(rolagdapi.BatchRequest{Items: []rolagdapi.CompileRequest{
+		{Source: "void ok() {}"},
+		{Source: "int broken( {"},
+		{Source: "void ok2() {}", Config: rolagdapi.CompileConfig{Opt: "wat"}},
+	}})
+	resp, err := http.Post(srv.URL+"/v1/batch", "application/json", strings.NewReader(string(bb)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out rolagdapi.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Items[0].Error != "" || out.Items[0].IR == "" {
+		t.Errorf("good item failed: %+v", out.Items[0])
+	}
+	if out.Items[1].Error == "" {
+		t.Error("parse-error item did not report an error")
+	}
+	if out.Items[2].Error == "" || !strings.Contains(out.Items[2].Error, "unknown opt") {
+		t.Errorf("bad-config item error = %q, want unknown opt", out.Items[2].Error)
+	}
+
+	// An empty batch is a request error, not an empty success.
+	r2, err := http.Post(srv.URL+"/v1/batch", "application/json", strings.NewReader(`{"items":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", r2.StatusCode)
+	}
+}
+
+func TestCacheStatsEndpoint(t *testing.T) {
+	_, srv := newTestDaemon(t, service.Config{}, 10*time.Second)
+	body, _ := json.Marshal(map[string]any{"source": testSrc})
+	postCompile(t, srv, string(body))
+	postCompile(t, srv, string(body))
+
+	resp, err := http.Get(srv.URL + "/v1/cachestats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cs rolagdapi.CacheStats
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Requests != 2 || cs.CacheMisses != 1 || cs.CacheHits != 1 || cs.CacheEntries != 1 {
+		t.Errorf("cachestats = %+v, want 2 requests, 1 miss, 1 hit, 1 entry", cs)
+	}
+	if got := cs.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %g, want 0.5", got)
+	}
+}
+
+// TestPeerMetricsSeries checks the new Prometheus series are exported.
+func TestPeerMetricsSeries(t *testing.T) {
+	_, srv := newTestDaemon(t, service.Config{}, 10*time.Second)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rolagd_peer_cache_hit_total", "rolagd_peer_cache_miss_total"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,447 @@
+// Package daemon is the rolagd HTTP surface as a library: the service
+// engine behind the /v1 API, health/readiness probes, Prometheus
+// metrics, request tracing, and — when given a shard identity — the
+// cluster endpoints (peer cache export, batch compile, cache stats).
+//
+// cmd/rolagd is a thin flag-parsing wrapper around this package;
+// cmd/rolag-router and cmd/rolag-loadgen embed it to spawn real
+// in-process shards for tests and benchmarks, so the daemon every test
+// drives is byte-for-byte the daemon production runs.
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"rolag/internal/cluster/ring"
+	"rolag/internal/obs"
+	"rolag/internal/rolagdapi"
+	"rolag/internal/service"
+)
+
+// shedRetryAfter is the Retry-After hint (seconds) on 429 replies:
+// compiles are fast, so shed load can come back almost immediately.
+const shedRetryAfter = 1
+
+// DefaultPeerTimeout bounds one fetch-on-miss peer cache lookup. A
+// peer lookup is only worth a small fraction of a fresh compile
+// (~2.5 ms/function); past that the shard compiles locally instead of
+// waiting on a slow or partitioned peer.
+const DefaultPeerTimeout = 250 * time.Millisecond
+
+// Config assembles a daemon.
+type Config struct {
+	// Engine sizes the compilation engine. Config.PeerFetch is
+	// overwritten when the daemon is clustered (ShardID set); set the
+	// hook here only for standalone daemons that want a custom tier.
+	Engine service.Config
+	// RequestCap bounds every compile deadline; a request's timeoutMs
+	// is clamped to it (0 = no cap and timeoutMs is used as given).
+	RequestCap time.Duration
+	// Log receives one structured line per request, tagged with the
+	// request's trace ID; nil falls back to slog.Default().
+	Log *slog.Logger
+
+	// ShardID names this replica on the cluster's consistent-hash
+	// ring. Empty = standalone daemon (no peer cache tier).
+	ShardID string
+	// Peers maps every shard name (including ShardID) to its base URL.
+	// All replicas and the router must share this map — ring ownership
+	// is computed independently by each from the same membership.
+	Peers map[string]string
+	// VNodes is the ring's virtual-node count per shard (0 = default).
+	VNodes int
+	// PeerTimeout bounds one peer cache fetch (0 = DefaultPeerTimeout).
+	PeerTimeout time.Duration
+}
+
+// Daemon wires the engine to the HTTP surface and carries the drain
+// flag that splits liveness from readiness.
+type Daemon struct {
+	engine     *service.Engine
+	requestCap time.Duration
+	log        *slog.Logger
+
+	shardID     string
+	peers       map[string]string
+	ring        *ring.Ring
+	peerTimeout time.Duration
+	peerClient  *http.Client
+
+	draining atomic.Bool
+}
+
+// New builds the engine and its HTTP surface. When cfg.ShardID is set
+// the engine's cache misses consult the key's home shard first
+// (fetch-on-miss peer caching) before compiling.
+func New(cfg Config) *Daemon {
+	d := &Daemon{
+		requestCap:  cfg.RequestCap,
+		log:         cfg.Log,
+		shardID:     cfg.ShardID,
+		peers:       cfg.Peers,
+		peerTimeout: cfg.PeerTimeout,
+	}
+	if d.peerTimeout <= 0 {
+		d.peerTimeout = DefaultPeerTimeout
+	}
+	ecfg := cfg.Engine
+	if cfg.ShardID != "" && len(cfg.Peers) > 1 {
+		d.ring = ring.New(cfg.VNodes)
+		for name := range cfg.Peers {
+			d.ring.Add(name)
+		}
+		d.peerClient = &http.Client{Timeout: d.peerTimeout}
+		ecfg.PeerFetch = d.peerFetch
+	}
+	d.engine = service.New(ecfg)
+	return d
+}
+
+// Engine exposes the underlying compilation engine (metrics, close).
+func (d *Daemon) Engine() *service.Engine { return d.engine }
+
+// ShardID returns the daemon's cluster identity ("" when standalone).
+func (d *Daemon) ShardID() string { return d.shardID }
+
+// Close drains the engine; see service.Engine.Close.
+func (d *Daemon) Close(ctx context.Context) error { return d.engine.Close(ctx) }
+
+func (d *Daemon) logger() *slog.Logger {
+	if d.log != nil {
+		return d.log
+	}
+	return slog.Default()
+}
+
+// BeginDrain flips /readyz to 503. Called when shutdown starts, before
+// the listener closes, so load balancers stop routing here first.
+func (d *Daemon) BeginDrain() { d.draining.Store(true) }
+
+// peerFetch is the engine's fetch-on-miss hook: when this shard is not
+// the key's home, ask the home shard's cache before compiling. It only
+// ever reads the peer's cache (GET /v1/cache/{key} never compiles), so
+// lookups cannot recurse across the cluster. Any failure — peer down,
+// timeout, 404 — degrades silently to a local compile.
+func (d *Daemon) peerFetch(ctx context.Context, key string) (*service.CacheEntry, bool) {
+	home := d.ring.Owner(key)
+	if home == d.shardID || home == "" {
+		return nil, false
+	}
+	base, ok := d.peers[home]
+	if !ok {
+		return nil, false
+	}
+	fctx, cancel := context.WithTimeout(ctx, d.peerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodGet, base+"/v1/cache/"+key, nil)
+	if err != nil {
+		return nil, false
+	}
+	if tr := obs.TraceFrom(ctx); tr.Active() {
+		req.Header.Set("X-Trace-Id", tr.ID)
+	}
+	resp, err := d.peerClient.Do(req)
+	if err != nil {
+		return nil, true
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, true
+	}
+	var ce service.CacheEntry
+	if err := json.NewDecoder(resp.Body).Decode(&ce); err != nil {
+		return nil, true
+	}
+	return &ce, true
+}
+
+// effectiveTimeout resolves a request's timeoutMs against the server
+// cap: the smaller of the two wins, and with no cap the request value
+// is used as-is.
+func effectiveTimeout(requestMs int, cap time.Duration) time.Duration {
+	reqTO := time.Duration(requestMs) * time.Millisecond
+	switch {
+	case reqTO <= 0:
+		return cap
+	case cap > 0 && reqTO > cap:
+		return cap
+	default:
+		return reqTO
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// errorStatus maps an engine error onto its HTTP status and stamps
+// overload headers.
+func errorStatus(w http.ResponseWriter, err error) int {
+	switch {
+	case errors.Is(err, service.ErrOverloaded):
+		w.Header().Set("Retry-After", fmt.Sprint(shedRetryAfter))
+		return http.StatusTooManyRequests
+	case errors.Is(err, service.ErrClosed), errors.Is(err, service.ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
+// toWire maps an engine response onto the shared wire type.
+func toWire(resp *service.Response, elapsed time.Duration) rolagdapi.CompileResponse {
+	out := rolagdapi.CompileResponse{
+		IR:           resp.IR,
+		SizeBefore:   resp.SizeBefore,
+		SizeAfter:    resp.SizeAfter,
+		BinaryBefore: resp.BinaryBefore,
+		BinaryAfter:  resp.BinaryAfter,
+		Reduction:    resp.Reduction(),
+		Rerolled:     resp.Rerolled,
+		CacheHit:     resp.CacheHit,
+		ElapsedMs:    float64(elapsed) / float64(time.Millisecond),
+	}
+	if resp.Stats != nil {
+		out.LoopsRolled = resp.Stats.LoopsRolled
+		out.NodeCounts = rolagdapi.NodeCountsToWire(resp.Stats.NodeCounts)
+	}
+	if resp.Degraded != nil {
+		out.Degraded = true
+		out.DegradedPasses = resp.Degraded.Passes()
+	}
+	out.Remarks = resp.Remarks
+	return out
+}
+
+func (d *Daemon) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var cr rolagdapi.CompileRequest
+	if err := json.NewDecoder(r.Body).Decode(&cr); err != nil {
+		writeJSON(w, http.StatusBadRequest, rolagdapi.ErrorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	req, err := cr.ToService()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, rolagdapi.ErrorResponse{Error: err.Error()})
+		return
+	}
+	ctx := r.Context()
+	if to := effectiveTimeout(cr.TimeoutMs, d.requestCap); to > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, to)
+		defer cancel()
+	}
+	start := time.Now()
+	resp, err := d.engine.Compile(ctx, req)
+	if err != nil {
+		writeJSON(w, errorStatus(w, err), rolagdapi.ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, toWire(resp, time.Since(start)))
+}
+
+// handleBatch compiles a whole module/corpus in one request, fanning
+// the items out over the worker pool and returning results in item
+// order. Per-item failures land in the item's error field; the batch
+// itself only fails on malformed JSON or an empty item list.
+func (d *Daemon) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var br rolagdapi.BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&br); err != nil {
+		writeJSON(w, http.StatusBadRequest, rolagdapi.ErrorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(br.Items) == 0 {
+		writeJSON(w, http.StatusBadRequest, rolagdapi.ErrorResponse{Error: "batch has no items"})
+		return
+	}
+	start := time.Now()
+	out := rolagdapi.BatchResponse{
+		Items: make([]rolagdapi.BatchItemResult, len(br.Items)),
+		Shard: d.shardID,
+	}
+	// Items whose config fails to map are reported per-item without
+	// aborting the batch; the rest compile through the engine.
+	reqs := make([]service.Request, 0, len(br.Items))
+	idx := make([]int, 0, len(br.Items))
+	for i := range br.Items {
+		req, err := br.Items[i].ToService()
+		if err != nil {
+			out.Items[i].Error = err.Error()
+			continue
+		}
+		reqs = append(reqs, req)
+		idx = append(idx, i)
+	}
+	ctx := r.Context()
+	if to := effectiveTimeout(br.TimeoutMs, d.requestCap); to > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, to)
+		defer cancel()
+	}
+	items := d.engine.CompileBatch(ctx, reqs)
+	for j, item := range items {
+		i := idx[j]
+		if item.Err != nil {
+			out.Items[i].Error = item.Err.Error()
+			continue
+		}
+		out.Items[i].CompileResponse = toWire(item.Resp, 0)
+		out.Items[i].Shard = d.shardID
+	}
+	out.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCacheExport serves one cache entry to a peer shard (or any
+// curious client). It reads only the local cache — a miss is a plain
+// 404, never a compile — which is what makes the peer tier safe: no
+// fan-out, no recursion, no way for a cold cluster to stampede itself.
+func (d *Daemon) handleCacheExport(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	ce, ok := d.engine.ExportCached(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, rolagdapi.ErrorResponse{Error: "key not cached"})
+		return
+	}
+	writeJSON(w, http.StatusOK, ce)
+}
+
+// CacheStats snapshots the daemon's cache counters in wire form.
+func (d *Daemon) CacheStats() rolagdapi.CacheStats {
+	s := d.engine.Metrics()
+	return rolagdapi.CacheStats{
+		Shard:        d.shardID,
+		Requests:     s.Requests,
+		CacheHits:    s.CacheHits,
+		DedupHits:    s.DedupHits,
+		CacheMisses:  s.CacheMisses,
+		PeerHits:     s.PeerHits,
+		PeerMisses:   s.PeerMisses,
+		Compiles:     s.Compiles,
+		CacheEntries: s.CacheEntries,
+	}
+}
+
+// statusWriter captures the response status for the request log line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// traced wraps the route mux with per-request tracing: it adopts or
+// mints the X-Trace-Id, threads an obs.TraceContext through the request
+// context (so engine, sandbox, and RoLAG spans land on this request's
+// trace), records the HTTP handling itself as a span, and emits one
+// structured log line per request. Compiles log at Info, probes
+// (health/metrics/debug) at Debug.
+func (d *Daemon) traced(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(r.Header.Get("X-Trace-Id"))
+		w.Header().Set("X-Trace-Id", tr.ID)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		span := obs.Now()
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		obs.EndSpan(tr, "http:"+r.URL.Path, span, r.Method)
+
+		level := slog.LevelDebug
+		if r.URL.Path == "/v1/compile" || r.URL.Path == "/v1/batch" {
+			level = slog.LevelInfo
+		}
+		d.logger().Log(r.Context(), level, "request",
+			"trace", tr.ID,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"elapsed", time.Since(start),
+		)
+	})
+}
+
+// Handler builds the daemon's routes behind the tracing middleware.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", d.handleCompile)
+	mux.HandleFunc("POST /v1/batch", d.handleBatch)
+	mux.HandleFunc("GET /v1/cache/{key}", d.handleCacheExport)
+	mux.HandleFunc("GET /v1/cachestats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.CacheStats())
+	})
+
+	// Liveness: the process is up and serving HTTP. Stays 200 through a
+	// graceful drain so orchestrators don't kill a draining instance.
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"shard":    d.shardID,
+			"draining": d.draining.Load(),
+			"metrics":  d.engine.Metrics(),
+		})
+	})
+
+	// Readiness: whether new traffic should be routed here. 503 while
+	// draining or while the core optimization is breaker-dark (served
+	// results would silently skip RoLAG).
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		status := http.StatusOK
+		state := "ready"
+		switch {
+		case d.draining.Load():
+			status, state = http.StatusServiceUnavailable, "draining"
+		case d.engine.Dark():
+			status, state = http.StatusServiceUnavailable, "breaker-dark"
+		}
+		writeJSON(w, status, map[string]any{
+			"status":   state,
+			"breakers": d.engine.Breakers(),
+		})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s := d.engine.Metrics()
+		s.WritePrometheus(w)
+	})
+
+	// expvar.Publish panics on duplicate names; tests and the loadgen
+	// build several daemons per process.
+	if expvar.Get("rolagd") == nil {
+		e := d.engine
+		expvar.Publish("rolagd", expvar.Func(func() any { return e.Metrics() }))
+	}
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	// The span ring buffer as Chrome trace-event JSON; load it in
+	// chrome://tracing or https://ui.perfetto.dev.
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteChromeTrace(w)
+	})
+
+	// Runtime profiling. The default mux registers these as a side
+	// effect of importing net/http/pprof; rolagd builds its own mux, so
+	// wire them explicitly.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
+	return d.traced(mux)
+}

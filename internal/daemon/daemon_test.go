@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"context"
@@ -16,18 +16,20 @@ import (
 	"time"
 
 	"rolag/internal/faultpoint"
+	"rolag/internal/rolagdapi"
 	"rolag/internal/service"
 )
 
-func newTestDaemon(t *testing.T, cfg service.Config, requestCap time.Duration) (*daemon, *httptest.Server) {
+type CompileResponse = rolagdapi.CompileResponse
+
+func newTestDaemon(t *testing.T, cfg service.Config, requestCap time.Duration) (*Daemon, *httptest.Server) {
 	t.Helper()
 	if cfg.Workers == 0 {
 		cfg.Workers = 2
 	}
-	engine := service.New(cfg)
-	t.Cleanup(func() { engine.Close(context.Background()) })
-	d := &daemon{engine: engine, requestCap: requestCap}
-	srv := httptest.NewServer(d.mux())
+	d := New(Config{Engine: cfg, RequestCap: requestCap})
+	t.Cleanup(func() { d.Close(context.Background()) })
+	srv := httptest.NewServer(d.Handler())
 	t.Cleanup(srv.Close)
 	return d, srv
 }
@@ -282,7 +284,7 @@ func TestReadyzDrainOnSIGTERM(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("SIGTERM never delivered")
 	}
-	d.beginDrain()
+	d.BeginDrain()
 
 	if got := get("/readyz"); got != http.StatusServiceUnavailable {
 		t.Errorf("/readyz during drain: %d, want 503", got)

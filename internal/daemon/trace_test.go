@@ -1,4 +1,4 @@
-package main
+package daemon
 
 // Tests for the request-tracing middleware and the observability
 // surface of the daemon: X-Trace-Id minting/echo, the /debug/trace

@@ -78,6 +78,89 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// BatchRequest is the POST /v1/batch body: one whole module/corpus
+// compiled in a single round trip. The daemon fans the items out over
+// its worker pool; the router additionally fans them out across shards
+// by cache-key ownership. Results always come back in item order.
+type BatchRequest struct {
+	Items []CompileRequest `json:"items"`
+	// TimeoutMs bounds each item's compile (clamped by the server's
+	// -request-timeout cap, like CompileRequest.TimeoutMs). Items carry
+	// no per-item timeout inside a batch; the batch-level value wins.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// BatchItemResult is one per-function result inside a BatchResponse.
+// Exactly one of Error and the embedded CompileResponse payload is
+// meaningful: when Error is non-empty the item failed and the other
+// fields are zero.
+type BatchItemResult struct {
+	CompileResponse
+	// Error is the item's failure, if any. Batches never fail as a
+	// whole on item errors.
+	Error string `json:"error,omitempty"`
+	// Shard is the shard that served this item (router responses only).
+	Shard string `json:"shard,omitempty"`
+	// FailedOver reports that the item's home shard was unreachable and
+	// the router re-routed it to the ring's next shard. Failed-over
+	// items are also marked Degraded so existing clients notice without
+	// learning a new field; the output is still byte-identical to a
+	// serial compile — only the serving shard changed.
+	FailedOver bool `json:"failedOver,omitempty"`
+}
+
+// BatchResponse is the POST /v1/batch result. Items is index-aligned
+// with the request's Items.
+type BatchResponse struct {
+	Items []BatchItemResult `json:"items"`
+	// Shard identifies the responding daemon (empty from the router,
+	// which multiplexes many shards; per-item attribution is in
+	// BatchItemResult.Shard).
+	Shard     string  `json:"shard,omitempty"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// CacheStats is the GET /v1/cachestats body: the daemon's own cache
+// counters, so cluster-wide hit rates can be computed from the source
+// of truth instead of inferred client-side. From the router the same
+// endpoint returns the field-wise sum over all shards plus the
+// per-shard breakdown.
+type CacheStats struct {
+	Shard        string `json:"shard,omitempty"`
+	Requests     int64  `json:"requests"`
+	CacheHits    int64  `json:"cacheHits"`
+	DedupHits    int64  `json:"dedupHits"`
+	CacheMisses  int64  `json:"cacheMisses"`
+	PeerHits     int64  `json:"peerHits"`
+	PeerMisses   int64  `json:"peerMisses"`
+	Compiles     int64  `json:"compiles"`
+	CacheEntries int    `json:"cacheEntries"`
+	// Shards is the per-shard breakdown (router responses only).
+	Shards []CacheStats `json:"shards,omitempty"`
+}
+
+// HitRate returns the fraction of requests answered without a fresh
+// compilation: local cache hits, single-flight dedup hits, and entries
+// fetched from the key's home shard all count.
+func (s *CacheStats) HitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.CacheHits+s.DedupHits+s.PeerHits) / float64(s.Requests)
+}
+
+// Add accumulates other into s (used by the router's aggregation).
+func (s *CacheStats) Add(other *CacheStats) {
+	s.Requests += other.Requests
+	s.CacheHits += other.CacheHits
+	s.DedupHits += other.DedupHits
+	s.CacheMisses += other.CacheMisses
+	s.PeerHits += other.PeerHits
+	s.PeerMisses += other.PeerMisses
+	s.Compiles += other.Compiles
+	s.CacheEntries += other.CacheEntries
+}
+
 // ToService maps the wire request onto an engine request.
 func (cr *CompileRequest) ToService() (service.Request, error) {
 	req := service.Request{Source: cr.Source, IRInput: cr.IR}

@@ -19,17 +19,19 @@ const (
 	DefaultMaxDelay    = 3 * time.Second
 )
 
-// Client talks to a rolagd instance with jittered exponential backoff.
-// Retryable outcomes are transport errors, HTTP 429 (load shed — the
-// server's Retry-After is honored as the minimum wait) and HTTP 503
-// (draining or not ready). Everything else returns immediately. The
-// zero BaseURL-only value is ready to use.
+// Client talks to a rolagd instance (or a rolag-router, which serves
+// the same protocol) with jittered exponential backoff. Retryable
+// outcomes are transport errors, HTTP 429 (load shed) and HTTP 503
+// (draining or not ready); a Retry-After header on either — seconds or
+// HTTP-date form — is honored as the minimum wait before the next
+// attempt. Everything else returns immediately. The zero BaseURL-only
+// value is ready to use.
 type Client struct {
-	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8723".
+	// BaseURL is the daemon or router root, e.g. "http://127.0.0.1:8723".
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
-	// MaxAttempts bounds tries per Compile call (0 = DefaultMaxAttempts).
+	// MaxAttempts bounds tries per call (0 = DefaultMaxAttempts).
 	MaxAttempts int
 	// BaseDelay/MaxDelay shape the backoff: the wait before attempt n
 	// is drawn uniformly from (0, min(MaxDelay, BaseDelay·2ⁿ)] ("full
@@ -43,8 +45,8 @@ type Client struct {
 type HTTPError struct {
 	Status  int
 	Message string
-	// RetryAfter is the server's Retry-After hint (429 replies), zero
-	// when absent.
+	// RetryAfter is the server's Retry-After hint (429 and 503
+	// replies), zero when absent.
 	RetryAfter time.Duration
 }
 
@@ -52,12 +54,84 @@ func (e *HTTPError) Error() string {
 	return fmt.Sprintf("rolagd: HTTP %d: %s", e.Status, e.Message)
 }
 
+// parseRetryAfter decodes a Retry-After header value: either delta
+// seconds or an HTTP-date (RFC 7231 §7.1.3). Zero when absent or
+// malformed; dates in the past clamp to zero.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 // Compile posts one request, retrying shed/unavailable replies with
 // backoff until ctx expires or MaxAttempts is reached.
 func (c *Client) Compile(ctx context.Context, req *CompileRequest) (*CompileResponse, error) {
-	body, err := json.Marshal(req)
+	var out CompileResponse
+	if err := c.postRetry(ctx, "/v1/compile", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CompileBatch posts one batch, retrying whole-batch shed/unavailable
+// replies with the same backoff as Compile. Per-item failures do not
+// trigger retries — they come back in the items' Error fields.
+func (c *Client) CompileBatch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
+	var out BatchResponse
+	if err := c.postRetry(ctx, "/v1/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CacheStats fetches the server's cache counters (daemon: its own;
+// router: the cluster-wide aggregate). No retries: stats probes are
+// cheap and callers poll them.
+func (c *Client) CacheStats(ctx context.Context) (*CacheStats, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/cachestats", nil)
 	if err != nil {
 		return nil, err
+	}
+	hresp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return nil, readHTTPError(hresp)
+	}
+	var out CacheStats
+	if err := json.NewDecoder(hresp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("rolagd: decoding cachestats: %w", err)
+	}
+	return &out, nil
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// postRetry marshals req, posts it to path, and decodes a 200 reply
+// into out, retrying retryable failures with full-jitter backoff.
+func (c *Client) postRetry(ctx context.Context, path string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
 	}
 	attempts := c.MaxAttempts
 	if attempts <= 0 {
@@ -67,49 +141,58 @@ func (c *Client) Compile(ctx context.Context, req *CompileRequest) (*CompileResp
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			if err := sleepCtx(ctx, c.backoff(attempt, lastErr)); err != nil {
-				return nil, err
+				return err
 			}
 		}
-		resp, retry, err := c.post(ctx, body)
+		retry, err := c.post(ctx, path, body, out)
 		if err == nil {
-			return resp, nil
+			return nil
 		}
 		if !retry {
-			return nil, err
+			return err
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("rolagd: giving up after %d attempts: %w", attempts, lastErr)
+	return fmt.Errorf("rolagd: giving up after %d attempts: %w", attempts, lastErr)
 }
 
 // post runs one attempt. retry reports whether the failure is worth
 // another try.
-func (c *Client) post(ctx context.Context, body []byte) (resp *CompileResponse, retry bool, err error) {
+func (c *Client) post(ctx context.Context, path string, body []byte, out any) (retry bool, err error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.BaseURL+"/v1/compile", bytes.NewReader(body))
+		c.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, false, err
+		return false, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
-	hc := c.HTTPClient
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	hresp, err := hc.Do(hreq)
+	hresp, err := c.httpClient().Do(hreq)
 	if err != nil {
 		// Transport errors (connection refused, reset) are retryable;
 		// context expiry is surfaced as-is by the next sleepCtx.
-		return nil, ctx.Err() == nil, err
+		return ctx.Err() == nil, err
 	}
 	defer hresp.Body.Close()
 	if hresp.StatusCode == http.StatusOK {
-		var out CompileResponse
-		if err := json.NewDecoder(hresp.Body).Decode(&out); err != nil {
-			return nil, false, fmt.Errorf("rolagd: decoding response: %w", err)
+		if err := json.NewDecoder(hresp.Body).Decode(out); err != nil {
+			return false, fmt.Errorf("rolagd: decoding response: %w", err)
 		}
-		return &out, false, nil
+		return false, nil
 	}
-	herr := &HTTPError{Status: hresp.StatusCode}
+	herr := readHTTPError(hresp)
+	switch hresp.StatusCode {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return true, herr
+	}
+	return false, herr
+}
+
+// readHTTPError drains a non-2xx reply into an HTTPError, capturing
+// the Retry-After hint when present.
+func readHTTPError(hresp *http.Response) *HTTPError {
+	herr := &HTTPError{
+		Status:     hresp.StatusCode,
+		RetryAfter: parseRetryAfter(hresp.Header.Get("Retry-After")),
+	}
 	var eresp ErrorResponse
 	raw, _ := io.ReadAll(io.LimitReader(hresp.Body, 4096))
 	if json.Unmarshal(raw, &eresp) == nil && eresp.Error != "" {
@@ -117,16 +200,7 @@ func (c *Client) post(ctx context.Context, body []byte) (resp *CompileResponse, 
 	} else {
 		herr.Message = string(raw)
 	}
-	switch hresp.StatusCode {
-	case http.StatusTooManyRequests:
-		if ra, err := strconv.Atoi(hresp.Header.Get("Retry-After")); err == nil && ra > 0 {
-			herr.RetryAfter = time.Duration(ra) * time.Second
-		}
-		return nil, true, herr
-	case http.StatusServiceUnavailable:
-		return nil, true, herr
-	}
-	return nil, false, herr
+	return herr
 }
 
 // backoff computes the full-jitter wait before the given attempt,

@@ -61,6 +61,81 @@ func TestClientRetriesShedThenSucceeds(t *testing.T) {
 	}
 }
 
+// TestClientHonorsRetryAfterOn503 pins the satellite fix: a draining
+// replica's 503 Retry-After is a floor on the next attempt, exactly
+// like a shed 429's — previously only the client's own jittered
+// backoff applied to 503s.
+func TestClientHonorsRetryAfterOn503(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(ErrorResponse{Error: "draining"})
+			return
+		}
+		json.NewEncoder(w).Encode(CompileResponse{IR: "ok"})
+	}))
+	t.Cleanup(srv.Close)
+
+	start := time.Now()
+	resp, err := fastClient(srv.URL).Compile(context.Background(), &CompileRequest{Source: "int f() { return 1; }"})
+	if err != nil || resp.IR != "ok" {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("503 Retry-After ignored: finished in %v", elapsed)
+	}
+}
+
+// TestClientHonorsRetryAfterHTTPDate pins the second half of the fix:
+// the HTTP-date form of Retry-After (RFC 7231 §7.1.3) is honored too,
+// not just delta-seconds.
+func TestClientHonorsRetryAfterHTTPDate(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(ErrorResponse{Error: "shed"})
+			return
+		}
+		json.NewEncoder(w).Encode(CompileResponse{IR: "ok"})
+	}))
+	t.Cleanup(srv.Close)
+
+	start := time.Now()
+	resp, err := fastClient(srv.URL).Compile(context.Background(), &CompileRequest{Source: "int f() { return 1; }"})
+	if err != nil || resp.IR != "ok" {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	// http.TimeFormat has whole-second resolution, so the parsed floor
+	// can round down to just under 1s; half a second splits "honored"
+	// from the millisecond jitter backoff unambiguously.
+	if elapsed := time.Since(start); elapsed < 500*time.Millisecond {
+		t.Fatalf("HTTP-date Retry-After ignored: finished in %v", elapsed)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in       string
+		min, max time.Duration
+	}{
+		{"", 0, 0},
+		{"7", 7 * time.Second, 7 * time.Second},
+		{"-3", 0, 0},
+		{"garbage", 0, 0},
+		{time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat), 25 * time.Second, 30 * time.Second},
+		{time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat), 0, 0}, // past date clamps to zero
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got < c.min || got > c.max {
+			t.Errorf("parseRetryAfter(%q) = %v, want in [%v, %v]", c.in, got, c.min, c.max)
+		}
+	}
+}
+
 func TestClientTerminalErrorNotRetried(t *testing.T) {
 	srv, n := replySeq(t, http.StatusUnprocessableEntity)
 	resp, err := fastClient(srv.URL).Compile(context.Background(), &CompileRequest{Source: "bogus"})

@@ -76,6 +76,16 @@ type Config struct {
 	// on lightly loaded engines; the per-pass circuit breakers are safe
 	// to share across the extra goroutines.
 	FuncParallelism int
+	// PeerFetch, when set, is consulted on every local cache miss
+	// before compiling: the cluster layer uses it to ask the key's home
+	// shard for the entry (fetch-on-miss peer caching). It returns the
+	// fetched entry (nil = the peer doesn't have it or the fetch
+	// failed) and whether a peer was actually asked — the hook returns
+	// (nil, false) immediately for keys this shard owns itself, and
+	// only attempted lookups count toward the peer hit/miss metrics.
+	// The hook runs inside the key's single-flight slot, so concurrent
+	// requests for one key trigger at most one peer fetch.
+	PeerFetch func(ctx context.Context, key string) (ce *CacheEntry, attempted bool)
 }
 
 // Request is one compilation job: one translation unit (typically a
@@ -294,8 +304,20 @@ func (e *Engine) Compile(ctx context.Context, req Request) (*Response, error) {
 		}
 	}
 
+	var peerHit bool
 	en, err, leader := e.flights.do(ctx, key, func() (*entry, error) {
 		e.metrics.cacheMisses.Add(1)
+		if e.cfg.PeerFetch != nil {
+			if ce, attempted := e.cfg.PeerFetch(ctx, key); ce != nil {
+				e.metrics.peerHits.Add(1)
+				peerHit = true
+				pe := entryFromWire(ce)
+				e.cache.put(key, pe)
+				return pe, nil
+			} else if attempted {
+				e.metrics.peerMisses.Add(1)
+			}
+		}
 		en, err := e.dispatch(ctx, &req)
 		if err != nil {
 			return nil, err
@@ -316,7 +338,11 @@ func (e *Engine) Compile(ctx context.Context, req Request) (*Response, error) {
 	if !leader {
 		e.metrics.dedupHits.Add(1)
 	}
-	return respFromEntry(en, &req, !leader)
+	// A peer-cache hit is a cache hit from the caller's point of view:
+	// the result came from the cluster's logical cache, not a compile.
+	// peerHit is per-call and only written when this caller led the
+	// flight (do runs fn synchronously on the leader's goroutine).
+	return respFromEntry(en, &req, !leader || peerHit)
 }
 
 // BatchItem pairs one CompileBatch response with its error.

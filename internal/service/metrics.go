@@ -32,6 +32,8 @@ type metrics struct {
 	loopsRolled atomic.Int64
 	degraded    atomic.Int64
 	shed        atomic.Int64
+	peerHits    atomic.Int64
+	peerMisses  atomic.Int64
 
 	latencyBuckets [len(latencyBounds) + 1]atomic.Int64
 	latencyCount   atomic.Int64
@@ -125,6 +127,11 @@ type MetricsSnapshot struct {
 	LoopsRolled  int64 `json:"loops_rolled"`
 	CacheEntries int   `json:"cache_entries"`
 	Workers      int   `json:"workers"`
+
+	// Peer-cache instrumentation: fetch-on-miss lookups against the
+	// key's home shard (only counted when a peer was actually asked).
+	PeerHits   int64 `json:"peer_hits"`
+	PeerMisses int64 `json:"peer_misses"`
 
 	// Fail-soft and overload instrumentation.
 	Degraded     int64            `json:"degraded"`
@@ -222,6 +229,8 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		Errors:            m.errors.Load(),
 		Panics:            m.panics.Load(),
 		LoopsRolled:       m.loopsRolled.Load(),
+		PeerHits:          m.peerHits.Load(),
+		PeerMisses:        m.peerMisses.Load(),
 		Degraded:          m.degraded.Load(),
 		Shed:              m.shed.Load(),
 		LatencyCount:      m.latencyCount.Load(),
@@ -277,6 +286,8 @@ func (s *MetricsSnapshot) WritePrometheus(w io.Writer) {
 	counter("rolagd_errors_total", "Requests that failed.", s.Errors)
 	counter("rolagd_panics_total", "Compilations that panicked and were converted to errors.", s.Panics)
 	counter("rolagd_loops_rolled_total", "Loops rolled across fresh compilations.", s.LoopsRolled)
+	counter("rolagd_peer_cache_hit_total", "Cache misses answered by the key's home shard.", s.PeerHits)
+	counter("rolagd_peer_cache_miss_total", "Peer-cache lookups the home shard could not answer.", s.PeerMisses)
 	counter("rolagd_degraded_total", "Compilations that completed fail-soft with passes skipped.", s.Degraded)
 	counter("rolagd_breaker_open_total", "Circuit-breaker open transitions (incl. re-arms after failed probes).", s.BreakerOpens)
 	counter("rolagd_shed_total", "Requests shed by admission control.", s.Shed)
