@@ -1,7 +1,8 @@
 # Build/test entry points. `make ci` is the tier-1 gate plus the race
 # detector over the whole tree, a short differential-fuzzing smoke, the
-# fault-injection chaos smoke, the core-optimizer benchmark smoke, and
-# the cluster smoke (3 shards + router under a zipfian burst); `make
+# fault-injection chaos smoke, the core-optimizer benchmark smoke, the
+# assembly-backend smoke, the cost-model calibration gate, and the
+# cluster smoke (3 shards + router under a zipfian burst); `make
 # bench` regenerates the machine-readable service perf record
 # (results/BENCH_service.json), `make bench-core` the optimizer one
 # (results/BENCH_core.json), and `make bench-cluster` the cluster one
@@ -10,7 +11,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke chaos-smoke bench-smoke explain-smoke cluster-smoke ci bench bench-core bench-cluster serve clean
+.PHONY: all build vet test race fuzz-smoke chaos-smoke bench-smoke explain-smoke asm-smoke calib-check cluster-smoke ci calib bench bench-core bench-cluster serve clean
 
 all: build
 
@@ -54,6 +55,42 @@ explain-smoke:
 			| $(GO) run ./internal/obs/schematest/remarklint; \
 	done
 
+# Assembly-backend smoke: compile every example straight-line and
+# rolled through `rolagc -emit asm`, require nonzero measured .text
+# bytes, and require the measured size delta to agree in sign with the
+# binary cost model's claimed direction (the calibration gate's sign
+# contract, re-checked on the real examples).
+asm-smoke:
+	$(GO) build -o $(or $(TMPDIR),/tmp)/rolagc-smoke ./cmd/rolagc
+	@set -e; for f in examples/c/*.c; do \
+		echo "asm-smoke: $$f"; \
+		none=$$($(or $(TMPDIR),/tmp)/rolagc-smoke -opt none -emit asm $$f 2>&1 >/dev/null); \
+		roll=$$($(or $(TMPDIR),/tmp)/rolagc-smoke -opt rolag -emit asm $$f 2>&1 >/dev/null); \
+		mn=$$(printf '%s\n' "$$none" | sed -n 's/^text: \([0-9]*\) bytes.*/\1/p'); \
+		mr=$$(printf '%s\n' "$$roll" | sed -n 's/^text: \([0-9]*\) bytes.*/\1/p'); \
+		est=$$(printf '%s\n' "$$roll" | sed -n 's/^size: \([0-9]*\) -> \([0-9]*\) bytes.*/\1 \2/p'); \
+		echo "$$mn $$mr $$est" | awk -v f=$$f '{ \
+			if (NF != 4) { printf "asm-smoke: %s: missing measurements (%s)\n", f, $$0; exit 1 } \
+			if ($$1 <= 0 || $$2 <= 0) { printf "asm-smoke: %s: empty .text\n", f; exit 1 } \
+			md = $$2 - $$1; ed = $$4 - $$3; \
+			ms = (md > 0) - (md < 0); es = (ed > 0) - (ed < 0); \
+			if (ms != es) { printf "asm-smoke: %s: measured %+d bytes but model claims %+d\n", f, md, ed; exit 1 } \
+		}'; \
+	done
+
+# Cost-model calibration gate: compile a 200-function corpus both
+# straight-line and rolled through the assembly backend, and fail if
+# the binary cost model drifts past its error gates (MAPE > 15% or
+# rolled-vs-straight sign agreement < 95%). The report goes to a
+# scratch dir; `make calib` regenerates the committed
+# results/CALIB_costmodel.json from the full 400-function corpus.
+calib-check:
+	$(GO) run ./cmd/experiments -run calib -check -calibn 200 \
+		-out $(or $(TMPDIR),/tmp)/rolag-calib-check
+
+calib:
+	$(GO) run ./cmd/experiments -run calib -check
+
 # One-iteration core benchmark gated against the committed baseline:
 # fails if the output JSON is malformed (the gate parses it) or if
 # ns-per-function regresses by more than 2x. The comparison is
@@ -75,7 +112,7 @@ cluster-smoke:
 		-out $(or $(TMPDIR),/tmp)/rolag-cluster-smoke.json \
 		-check results/BENCH_cluster.json -max-slowdown 5
 
-ci: vet build race fuzz-smoke chaos-smoke bench-smoke explain-smoke cluster-smoke
+ci: vet build race fuzz-smoke chaos-smoke bench-smoke explain-smoke asm-smoke calib-check cluster-smoke
 
 bench:
 	$(GO) run ./cmd/experiments -run bench

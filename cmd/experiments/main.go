@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-out results] [-run all|angha|tsvc|table1|perf|bench] [-n 2000] [-serial]
+//	experiments [-out results] [-run all|angha|tsvc|table1|perf|bench|calib] [-n 2000] [-serial]
 //
 // The experiment ids map to the paper as follows: "angha" produces
 // Fig. 15, Fig. 16 and a rejected-by-reason table built from the
@@ -17,6 +17,13 @@
 // (internal/service) by default; -serial restores the one-at-a-time
 // facade driver, and -daemon http://host:port offloads the angha corpus
 // to a running rolagd through the retrying HTTP client.
+//
+// "calib" compiles the corpus straight-line and rolled through the
+// x86-64 backend, compares the measured object bytes against the
+// binary cost model, and writes CALIB_costmodel.json; with -check it
+// fails unless the model stays inside its error gates (MAPE and
+// rolled-vs-straight sign agreement), which `make ci` relies on to
+// catch cost-model drift.
 package main
 
 import (
@@ -26,19 +33,22 @@ import (
 	"os"
 	"strings"
 
+	"rolag/internal/backend/calib"
 	"rolag/internal/experiments"
 	"rolag/internal/service"
 )
 
 func main() {
 	out := flag.String("out", "results", "directory for CSV output (empty = none)")
-	run := flag.String("run", "all", "comma-separated experiments: angha,tsvc,table1,perf,bench or all")
+	run := flag.String("run", "all", "comma-separated experiments: angha,tsvc,table1,perf,bench,calib or all")
 	n := flag.Int("n", 2000, "AnghaBench corpus size")
 	seed := flag.Int64("seed", 0, "AnghaBench corpus seed (0 = default)")
 	benchN := flag.Int("benchn", 600, "corpus size for the service benchmark")
 	workers := flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 	serial := flag.Bool("serial", false, "use the serial reference driver instead of the engine")
 	daemon := flag.String("daemon", "", "base URL of a running rolagd; the angha corpus compiles remotely through it")
+	calibN := flag.Int("calibn", 400, "corpus size for the cost-model calibration")
+	check := flag.Bool("check", false, "fail if the calibration misses its regression gate (MAPE, sign agreement)")
 	flag.Parse()
 
 	want := make(map[string]bool)
@@ -113,6 +123,22 @@ func main() {
 			if err := rep.Perf(s); err != nil {
 				fail("perf", err)
 			}
+		}
+	}
+	if all || want["calib"] {
+		fmt.Println("calibrating the binary cost model against the assembly backend...")
+		c, err := calib.Run(calib.Config{N: *calibN, Seed: *seed})
+		if err != nil {
+			fail("calib", err)
+		}
+		if err := rep.Calib(c); err != nil {
+			fail("calib report", err)
+		}
+		if *check {
+			if err := c.Check(); err != nil {
+				fail("calib gate", err)
+			}
+			fmt.Println("calibration gate passed")
 		}
 	}
 	if all || want["bench"] {

@@ -4,11 +4,19 @@
 //
 // Usage:
 //
-//	rolagc [-opt none|llvm|rolag] [-unroll N] [-emit] [-stats] [-ir]
-//	       [-remarks json|yaml] [-explain func] file.c
+//	rolagc [-opt none|llvm|rolag] [-unroll N] [-emit ir|asm|bytes|none]
+//	       [-stats] [-ir] [-remarks json|yaml] [-explain func] file.c
 //
 // With no file argument, source is read from standard input. With -ir
 // the input is the project's textual IR instead of mini-C.
+//
+// -emit selects what lands on stdout: "ir" (default) prints the final
+// IR, "asm" the x86-64 assembly emitted by internal/backend, "bytes" a
+// per-function hex dump of the encoded machine code, and "none"
+// nothing. -emit=true and -emit=false keep their historical boolean
+// meaning (ir / none). With -emit asm|bytes or -stats, a
+// "text: N bytes, rodata: N bytes" line with measured (not estimated)
+// sizes is printed to standard error.
 //
 // Remarks: -remarks json (or yaml) records one remark per rolling
 // decision — seed grouping, per-node alignment outcomes, scheduling
@@ -27,16 +35,38 @@ import (
 	"sort"
 
 	"rolag"
+	"rolag/internal/backend"
 	"rolag/internal/irparse"
 	"rolag/internal/obs"
 	"rolag/internal/passes"
 	rl "rolag/internal/rolag"
 )
 
+// emitFlag is the -emit mode: ir, asm, bytes or none. The historical
+// boolean spellings -emit=true and -emit=false still parse (ir / none).
+type emitFlag struct{ mode string }
+
+func (e *emitFlag) String() string { return e.mode }
+
+func (e *emitFlag) Set(v string) error {
+	switch v {
+	case "true":
+		e.mode = "ir"
+	case "false":
+		e.mode = "none"
+	case "ir", "asm", "bytes", "none":
+		e.mode = v
+	default:
+		return fmt.Errorf("want ir, asm, bytes or none")
+	}
+	return nil
+}
+
 func main() {
 	opt := flag.String("opt", "rolag", "optimization: none, llvm (rerolling baseline) or rolag")
 	unroll := flag.Int("unroll", 0, "force-unroll inner loops by this factor first (0 = off)")
-	emit := flag.Bool("emit", true, "print the final IR")
+	emit := &emitFlag{mode: "ir"}
+	flag.Var(emit, "emit", "print the final ir, its asm, its machine-code bytes, or none")
 	stats := flag.Bool("stats", false, "print RoLAG statistics")
 	noSpecial := flag.Bool("no-special-nodes", false, "disable RoLAG's special nodes (Fig. 19 ablation)")
 	alwaysRoll := flag.Bool("always-roll", false, "skip the profitability analysis")
@@ -61,7 +91,7 @@ func main() {
 			}
 		})
 		if !emitSet {
-			*emit = false
+			emit.mode = "none"
 		}
 	}
 
@@ -118,8 +148,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rolagc: %v\n", err)
 		os.Exit(1)
 	}
-	if *emit {
+	// Lower through the assembly backend when the output mode or the
+	// statistics need measured bytes.
+	var lowered *backend.Result
+	if emit.mode == "asm" || emit.mode == "bytes" || *stats {
+		lowered, err = backend.Compile(res.Module, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rolagc: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	switch emit.mode {
+	case "ir":
 		fmt.Print(res.Module)
+	case "asm":
+		fmt.Print(lowered.Asm())
+	case "bytes":
+		for _, name := range lowered.Code.FuncOrder {
+			fc := lowered.Code.Funcs[name]
+			fmt.Printf("%s: %d bytes\n", name, fc.Size())
+			for off := 0; off < len(fc.Bytes); off += 16 {
+				end := off + 16
+				if end > len(fc.Bytes) {
+					end = len(fc.Bytes)
+				}
+				fmt.Printf("  %04x: % x\n", off, fc.Bytes[off:end])
+			}
+		}
 	}
 	switch *remarks {
 	case "json":
@@ -138,6 +193,15 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "size: %d -> %d bytes (%+.1f%%)\n",
 		res.BinaryBefore, res.BinaryAfter, -res.Reduction())
+	if lowered != nil {
+		fmt.Fprintf(os.Stderr, "text: %d bytes, rodata: %d bytes\n",
+			lowered.Code.Text, lowered.Code.Rodata)
+		if *stats {
+			for _, name := range lowered.Code.FuncOrder {
+				fmt.Fprintf(os.Stderr, "  text %-16s %d bytes\n", name, lowered.Code.FuncSize(name))
+			}
+		}
+	}
 	if res.Stats != nil && *stats {
 		fmt.Fprintf(os.Stderr, "rolag: blocks=%d seeds=%d graphs=%d rolled=%d scheduleFailed=%d notProfitable=%d\n",
 			res.Stats.BlocksScanned, res.Stats.SeedGroups, res.Stats.GraphsBuilt,

@@ -1,0 +1,125 @@
+package backend_test
+
+import (
+	"bytes"
+	"debug/elf"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"rolag"
+	"rolag/internal/backend"
+)
+
+func buildExample(t *testing.T, path string, opt rolag.Optimization) *rolag.Result {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rolag.Config{Name: filepath.Base(path), Opt: opt}
+	if opt == rolag.OptRoLAG {
+		cfg.Options = rolag.DefaultOptions()
+	}
+	res, err := rolag.Build(string(src), cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return res
+}
+
+func examplePaths(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "c", "*.c"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no examples found: %v", err)
+	}
+	return paths
+}
+
+// TestLowerExamples lowers every example under both pipelines and
+// checks the encoder produces a nonzero, deterministic .text.
+func TestLowerExamples(t *testing.T) {
+	for _, path := range examplePaths(t) {
+		for _, opt := range []rolag.Optimization{rolag.OptNone, rolag.OptRoLAG} {
+			res := buildExample(t, path, opt)
+			r, err := backend.Compile(res.Module, nil)
+			if err != nil {
+				t.Fatalf("%s opt=%v: %v", path, opt, err)
+			}
+			if r.Code.Text == 0 {
+				t.Errorf("%s opt=%v: empty .text", path, opt)
+			}
+			asm := r.Asm()
+			if asm == "" {
+				t.Errorf("%s opt=%v: empty asm", path, opt)
+			}
+			// Determinism: a second compile of the same module must be
+			// byte-identical.
+			r2, err := backend.Compile(res.Module, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range r.Code.FuncOrder {
+				if !bytes.Equal(r.Code.Funcs[name].Bytes, r2.Code.Funcs[name].Bytes) {
+					t.Errorf("%s opt=%v: non-deterministic encoding for %s", path, opt, name)
+				}
+			}
+			if r.Asm() != asm {
+				t.Errorf("%s opt=%v: non-deterministic asm", path, opt)
+			}
+		}
+	}
+}
+
+// TestAssemblerAgreement assembles the printed assembly with the system
+// assembler (when present) and checks the built-in encoder agrees on
+// the total .text size, function by function via symbol sizes.
+func TestAssemblerAgreement(t *testing.T) {
+	as, err := exec.LookPath("as")
+	if err != nil {
+		t.Skip("no system assembler in PATH")
+	}
+	for _, path := range examplePaths(t) {
+		for _, opt := range []rolag.Optimization{rolag.OptNone, rolag.OptRoLAG} {
+			res := buildExample(t, path, opt)
+			r, err := backend.Compile(res.Module, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			obj := filepath.Join(t.TempDir(), "out.o")
+			cmd := exec.Command(as, "--64", "-o", obj, "--", "-")
+			cmd.Stdin = bytes.NewReader([]byte(r.Asm()))
+			if outb, err := cmd.CombinedOutput(); err != nil {
+				t.Fatalf("%s opt=%v: as failed: %v\n%s\nasm:\n%s", path, opt, err, outb, r.Asm())
+			}
+			ef, err := elf.Open(obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			syms, err := ef.Symbols()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sym := range syms {
+				if elf.ST_TYPE(sym.Info) != elf.STT_FUNC {
+					continue
+				}
+				if got := r.Code.FuncSize(sym.Name); got != int64(sym.Size) {
+					t.Errorf("%s opt=%v: %s: encoder says %d bytes, assembler says %d",
+						path, opt, sym.Name, got, sym.Size)
+				}
+			}
+			text := ef.Section(".text")
+			if text == nil {
+				t.Fatalf("%s opt=%v: no .text section", path, opt)
+			}
+			if int64(text.Size) != r.Code.Text {
+				t.Errorf("%s opt=%v: .text size: encoder %d, assembler %d",
+					path, opt, r.Code.Text, text.Size)
+			}
+			ef.Close()
+		}
+	}
+}

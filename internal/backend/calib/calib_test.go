@@ -1,0 +1,62 @@
+package calib
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunSmall runs a reduced corpus and sanity-checks the aggregates.
+func TestRunSmall(t *testing.T) {
+	r, err := Run(Config{N: 60, Worst: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Functions != 60 {
+		t.Errorf("Functions = %d, want 60", r.Functions)
+	}
+	if r.MAPE <= 0 || r.MAPE >= 1 {
+		t.Errorf("MAPE = %v, want a small positive fraction", r.MAPE)
+	}
+	if r.SignAgreement <= 0.5 || r.SignAgreement > 1 {
+		t.Errorf("SignAgreement = %v out of range", r.SignAgreement)
+	}
+	if r.Changed == 0 {
+		t.Error("no function changed under RoLAG; corpus is not exercising rolling")
+	}
+	if len(r.Worst) != 5 {
+		t.Errorf("Worst has %d entries, want 5", len(r.Worst))
+	}
+	if len(r.FamilyMAPE) == 0 {
+		t.Error("no family breakdown")
+	}
+
+	// Determinism: the whole pipeline from generator to encoder must
+	// reproduce the report bit-for-bit.
+	r2, err := Run(Config{N: 60, Worst: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(r)
+	b2, _ := json.Marshal(r2)
+	if string(b1) != string(b2) {
+		t.Errorf("calibration is not deterministic:\n%s\n%s", b1, b2)
+	}
+}
+
+// TestCheckGate exercises the regression gate on synthetic reports.
+func TestCheckGate(t *testing.T) {
+	good := &Report{Functions: MinFunctions, MAPE: MaxMAPE, SignAgreement: MinSignAgreement}
+	if err := good.Check(); err != nil {
+		t.Errorf("boundary report rejected: %v", err)
+	}
+	cases := []*Report{
+		{Functions: MinFunctions - 1, MAPE: 0.01, SignAgreement: 1},
+		{Functions: MinFunctions, MAPE: MaxMAPE + 0.01, SignAgreement: 1},
+		{Functions: MinFunctions, MAPE: 0.01, SignAgreement: MinSignAgreement - 0.01},
+	}
+	for i, c := range cases {
+		if err := c.Check(); err == nil {
+			t.Errorf("case %d: bad report passed the gate", i)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package encode
+
+import (
+	"fmt"
+
+	"rolag/internal/backend/mach"
+)
+
+// FuncCode is the encoded body of one function.
+type FuncCode struct {
+	Bytes []byte
+	// BlockOffsets[i] is the byte offset of block i's first instruction.
+	BlockOffsets []int64
+}
+
+// Size returns the encoded length in bytes.
+func (fc *FuncCode) Size() int64 { return int64(len(fc.Bytes)) }
+
+// branch relaxation state for one jmp/jcc instruction.
+type branchSite struct {
+	block, idx int // position in the function
+	inst       *mach.Inst
+	long       bool // rel32 form
+}
+
+func branchLen(in *mach.Inst, long bool) int64 {
+	if long {
+		if in.Op == mach.OJcc {
+			return 6 // 0F 8x rel32
+		}
+		return 5 // E9 rel32
+	}
+	return 2 // EB/7x rel8
+}
+
+// Func encodes one function, relaxing every jmp/jcc to its rel8 form
+// when the displacement fits — the same iterate-to-fixpoint policy GNU
+// as applies, so lengths agree with a system assembler. All other
+// instructions are encoded once up front.
+func Func(f *mach.Func) (*FuncCode, error) {
+	type slot struct {
+		bytes  []byte      // fixed encoding, nil for branches
+		branch *branchSite // non-nil for jmp/jcc
+	}
+	var blocks [][]slot
+	var branches []*branchSite
+	for bi, blk := range f.Blocks {
+		var row []slot
+		for ii, in := range blk.Insts {
+			if in.Op == mach.OJmp || in.Op == mach.OJcc {
+				bs := &branchSite{block: bi, idx: ii, inst: in}
+				branches = append(branches, bs)
+				row = append(row, slot{branch: bs})
+				continue
+			}
+			b, err := Inst(in)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s[%d]: %w", f.Name, blk.Name, ii, err)
+			}
+			row = append(row, slot{bytes: b})
+		}
+		blocks = append(blocks, row)
+	}
+
+	offsets := make([]int64, len(f.Blocks)+1)
+	layout := func() {
+		var off int64
+		for bi, row := range blocks {
+			offsets[bi] = off
+			for _, s := range row {
+				if s.branch != nil {
+					off += branchLen(s.branch.inst, s.branch.long)
+				} else {
+					off += int64(len(s.bytes))
+				}
+			}
+		}
+		offsets[len(blocks)] = off
+	}
+
+	// Start with every branch short and grow until stable. Growth is
+	// monotone, so the loop terminates in at most len(branches) passes.
+	for {
+		layout()
+		changed := false
+		var off int64
+		for bi, row := range blocks {
+			off = offsets[bi]
+			for _, s := range row {
+				if s.branch == nil {
+					off += int64(len(s.bytes))
+					continue
+				}
+				n := branchLen(s.branch.inst, s.branch.long)
+				off += n
+				if !s.branch.long {
+					rel := offsets[s.branch.inst.Target] - off
+					if !fitsInt8(rel) {
+						s.branch.long = true
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Final emission with resolved displacements.
+	fc := &FuncCode{BlockOffsets: offsets[:len(f.Blocks)]}
+	var out []byte
+	for _, row := range blocks {
+		for _, s := range row {
+			if s.branch == nil {
+				out = append(out, s.bytes...)
+				continue
+			}
+			in := s.branch.inst
+			end := int64(len(out)) + branchLen(in, s.branch.long)
+			rel := offsets[in.Target] - end
+			if s.branch.long {
+				if in.Op == mach.OJcc {
+					out = append(out, 0x0F, 0x80+byte(in.Cond))
+				} else {
+					out = append(out, 0xE9)
+				}
+				out = append(out, byte(rel), byte(rel>>8), byte(rel>>16), byte(rel>>24))
+			} else {
+				if in.Op == mach.OJcc {
+					out = append(out, 0x70+byte(in.Cond))
+				} else {
+					out = append(out, 0xEB)
+				}
+				out = append(out, byte(rel))
+			}
+		}
+	}
+	fc.Bytes = out
+	return fc, nil
+}
+
+// ModuleCode holds encoded sizes for a whole module.
+type ModuleCode struct {
+	// Funcs maps function name to encoded code; FuncOrder preserves
+	// module order for deterministic iteration.
+	Funcs     map[string]*FuncCode
+	FuncOrder []string
+	// Text is the total .text size (functions packed back to back, no
+	// inter-function padding — matching the printed assembly, which
+	// emits no alignment directives).
+	Text int64
+	// Rodata is the .rodata section size with per-symbol alignment.
+	Rodata int64
+}
+
+// FuncSize returns the encoded size of the named function (0 if absent).
+func (mc *ModuleCode) FuncSize(name string) int64 {
+	if fc, ok := mc.Funcs[name]; ok {
+		return fc.Size()
+	}
+	return 0
+}
+
+// Module encodes every function and sizes the rodata section.
+func Module(m *mach.Module) (*ModuleCode, error) {
+	mc := &ModuleCode{Funcs: make(map[string]*FuncCode, len(m.Funcs))}
+	for _, f := range m.Funcs {
+		fc, err := Func(f)
+		if err != nil {
+			return nil, err
+		}
+		mc.Funcs[f.Name] = fc
+		mc.FuncOrder = append(mc.FuncOrder, f.Name)
+		mc.Text += fc.Size()
+	}
+	mc.Rodata = m.RodataSize()
+	return mc, nil
+}

@@ -1,0 +1,95 @@
+package backend
+
+import "rolag/internal/backend/mach"
+
+// Frame layout (no frame pointer; %rbp is an ordinary callee-saved
+// register here):
+//
+//	rsp + 0 .. MaxOutArgs          outgoing stack arguments
+//	rsp + MaxOutArgs ..            alloca + spill slots, each aligned
+//	rsp + FrameSize                end of the `sub $n, %rsp` area
+//	[pushed callee-saved regs]     8 bytes each
+//	[return address]
+//	[incoming stack arguments]     KIncoming slot i at +8*i above that
+//
+// For functions that make calls, FrameSize is padded so %rsp stays
+// 16-byte aligned at every call site (at entry %rsp ≡ 8 mod 16).
+func finalizeFrame(f *mach.Func) {
+	// Slot offsets relative to rsp, after the out-args area.
+	off := f.MaxOutArgs
+	slotOff := make([]int64, len(f.AllocaSlots))
+	for i, s := range f.AllocaSlots {
+		a := s.Align
+		if a <= 0 {
+			a = 8
+		}
+		off = (off + a - 1) &^ (a - 1)
+		slotOff[i] = off
+		off += s.Size
+	}
+	frame := (off + 7) &^ 7
+
+	hasCalls := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			if in.Op == mach.OCall {
+				hasCalls = true
+			}
+		}
+	}
+	pushed := int64(len(f.SavedRegs)) * 8
+	if hasCalls {
+		// After `push`es and `sub`, %rsp must be 16-aligned:
+		// entry rsp ≡ 8 (mod 16), so 8 + pushed + frame ≡ 0 (mod 16).
+		for (8+pushed+frame)%16 != 0 {
+			frame += 8
+		}
+	}
+	f.FrameSize = frame
+
+	// Rewrite the pseudo operands.
+	resolve := func(o *mach.Operand) {
+		switch o.Kind {
+		case mach.KFrame:
+			*o = mach.MemOp(mach.RSP, slotOff[o.Index]+o.Imm)
+		case mach.KIncoming:
+			*o = mach.MemOp(mach.RSP, frame+pushed+8+8*int64(o.Index))
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			resolve(&in.Src)
+			resolve(&in.Dst)
+		}
+	}
+
+	// Prologue: pushes then the frame sub, ahead of the parameter
+	// moves already sitting in block 0.
+	var pro []*mach.Inst
+	for _, r := range f.SavedRegs {
+		pro = append(pro, &mach.Inst{Op: mach.OPush, Src: mach.RegOp(r)})
+	}
+	if frame > 0 {
+		pro = append(pro, &mach.Inst{Op: mach.OSub, Sz: 8, Src: mach.ImmOp(frame), Dst: mach.RegOp(mach.RSP)})
+	}
+	if len(pro) > 0 {
+		f.Blocks[0].Insts = append(pro, f.Blocks[0].Insts...)
+	}
+
+	// Epilogue before every ret: undo the sub, pop in reverse order.
+	for _, b := range f.Blocks {
+		var out []*mach.Inst
+		for _, in := range b.Insts {
+			if in.Op == mach.ORet {
+				if frame > 0 {
+					out = append(out, &mach.Inst{Op: mach.OAdd, Sz: 8, Src: mach.ImmOp(frame), Dst: mach.RegOp(mach.RSP)})
+				}
+				for i := len(f.SavedRegs) - 1; i >= 0; i-- {
+					out = append(out, &mach.Inst{Op: mach.OPop, Dst: mach.RegOp(f.SavedRegs[i])})
+				}
+			}
+			out = append(out, in)
+		}
+		b.Insts = out
+	}
+}

@@ -110,7 +110,26 @@ func (m *Model) InstrUsers(in *ir.Instr, users map[ir.Value][]*ir.Instr) int {
 		}
 		return n
 	case in.Op == ir.OpCall:
-		return m.CallBytes
+		if !m.BinaryMode {
+			return m.CallBytes
+		}
+		// Measurement mode counts the ABI staging around the call,
+		// calibrated against the assembly backend (see
+		// internal/backend/calib): each argument reaches its SysV slot
+		// with a reg-reg mov (3 bytes) or a mov-imm32 (5 bytes), and a
+		// used result moves out of the return register (3 bytes).
+		n := m.CallBytes
+		for _, a := range in.Operands {
+			if _, ok := a.(*ir.IntConst); ok {
+				n += 5
+			} else {
+				n += 3
+			}
+		}
+		if _, void := in.Typ.(ir.VoidType); !void && len(users[in]) > 0 {
+			n += 3
+		}
+		return n
 	case in.Op == ir.OpBr:
 		return m.BranchBytes
 	case in.Op == ir.OpCondBr:
@@ -233,11 +252,26 @@ func (m *Model) FuncUsers(f *ir.Func, users map[ir.Value][]*ir.Instr) int {
 	}
 	const prologue = 4
 	n := prologue
+	hasCalls := false
 	for i, b := range f.Blocks {
 		n += m.blockUsers(b, users)
 		if m.BinaryMode && i > 0 {
 			n += 2
 		}
+		if m.BinaryMode && !hasCalls {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall {
+					hasCalls = true
+					break
+				}
+			}
+		}
+	}
+	// Non-leaf functions keep live values in callee-saved registers
+	// across calls; the backend's push/pop pairs around them are real
+	// bytes the leaf case never pays (calibrated: ~3 saved registers).
+	if hasCalls {
+		n += 12
 	}
 	return n
 }
@@ -254,12 +288,22 @@ func (m *Model) Module(mod *ir.Module) int {
 		}
 		n += m.FuncUsers(f, f.Users())
 	}
+	// Mirror the backend's .rodata layout: symbols are emitted in
+	// module order, each aligned to its type's natural alignment, so
+	// inter-symbol padding is part of the measured section size and
+	// must be part of the estimate (a bare sum of element sizes
+	// under-counts whenever a wider symbol follows a narrower one).
+	ro := 0
 	for _, g := range mod.Globals {
-		if g.ReadOnly {
-			n += g.Elem.Size()
+		if !g.ReadOnly {
+			continue
 		}
+		if a := g.Elem.Align(); a > 1 {
+			ro = (ro + a - 1) &^ (a - 1)
+		}
+		ro += g.Elem.Size()
 	}
-	return n
+	return n + ro
 }
 
 // Values returns the estimated size of an arbitrary set of instructions;

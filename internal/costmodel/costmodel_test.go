@@ -1,8 +1,11 @@
 package costmodel_test
 
 import (
+	"strings"
 	"testing"
 
+	"rolag"
+	"rolag/internal/backend"
 	"rolag/internal/cc"
 	"rolag/internal/costmodel"
 	"rolag/internal/ir"
@@ -122,5 +125,70 @@ func TestImmediateWidthMatters(t *testing.T) {
 	model := costmodel.Default()
 	if model.Module(imm32) <= model.Module(imm8) {
 		t.Error("a 32-bit immediate store should cost more than an 8-bit one")
+	}
+}
+
+// TestRodataAgreesWithBackendOnJumpTable pins the .rodata accounting
+// against the assembly backend on the roll.cdata case: rolling two
+// mismatch-constant store sequences plants an i32 jump table followed
+// by an i64 one, so the section layout needs inter-symbol alignment
+// padding. The model's rodata term and the encoder's measured section
+// size must agree byte for byte.
+func TestRodataAgreesWithBackendOnJumpTable(t *testing.T) {
+	src := `
+void f(int *a, long *b) {
+	a[0] = 1009; a[1] = 5021; a[2] = 2003; a[3] = 9049; a[4] = 4001;
+	b[0] = 8087; b[1] = 3023; b[2] = 7039; b[3] = 6011; b[4] = 1097;
+}`
+	m, err := rolag.Compile(src, "jt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := rolag.DefaultOptions()
+	opts.AlwaysRoll = true
+	res, err := rolag.Optimize(m, rolag.Config{Opt: rolag.OptRoLAG, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdata := 0
+	for _, g := range res.Module.Globals {
+		if strings.HasPrefix(g.Name, "roll.cdata") && g.ReadOnly {
+			cdata++
+		}
+	}
+	if cdata < 2 {
+		t.Fatalf("want two roll.cdata jump tables, got %d:\n%s", cdata, res.Module)
+	}
+
+	br, err := backend.Compile(res.Module, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Code.Rodata == 0 {
+		t.Fatal("backend measured no rodata")
+	}
+	// Isolate the model's rodata term: Module() is the per-function
+	// text estimate plus the rodata layout.
+	model := costmodel.Binary()
+	text := 0
+	for _, f := range res.Module.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		text += model.FuncUsers(f, f.Users())
+	}
+	ro := model.Module(res.Module) - text
+	if int64(ro) != br.Code.Rodata {
+		t.Errorf("rodata: model %d, backend measures %d", ro, br.Code.Rodata)
+	}
+	// The agreement must come from real alignment padding, not a happy
+	// sum: 5 ints (20 bytes) then an 8-aligned long table forces a
+	// 4-byte gap, so the section is strictly bigger than the elements.
+	raw := 0
+	for _, g := range res.Module.Globals {
+		raw += g.Elem.Size()
+	}
+	if br.Code.Rodata <= int64(raw) {
+		t.Errorf("no alignment padding: section %d bytes, elements %d", br.Code.Rodata, raw)
 	}
 }

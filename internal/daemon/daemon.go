@@ -222,6 +222,8 @@ func toWire(resp *service.Response, elapsed time.Duration) rolagdapi.CompileResp
 		out.DegradedPasses = resp.Degraded.Passes()
 	}
 	out.Remarks = resp.Remarks
+	out.Asm = resp.Asm
+	out.TextBytes = resp.TextBytes
 	return out
 }
 

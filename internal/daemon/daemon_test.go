@@ -96,6 +96,38 @@ func TestCompileEndpoint(t *testing.T) {
 	}
 }
 
+// TestCompileFormatAsm posts format=asm and checks the assembly and
+// measured .text size come back on the wire, plus the emit counter.
+func TestCompileFormatAsm(t *testing.T) {
+	srv := newTestServer(t)
+	body, _ := json.Marshal(map[string]any{"source": testSrc, "format": "asm"})
+	resp, out := postCompile(t, srv, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Asm == "" || !strings.Contains(out.Asm, "f:") {
+		t.Errorf("missing assembly in response: %q", out.Asm)
+	}
+	if out.TextBytes <= 0 {
+		t.Errorf("textBytes = %d, want > 0", out.TextBytes)
+	}
+
+	badBody, _ := json.Marshal(map[string]any{"source": testSrc, "format": "elf"})
+	if resp, _ := postCompile(t, srv, string(badBody)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown format: status %d, want 400", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mb, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(mb), `rolagd_emit_total{format="asm"} 1`) {
+		t.Errorf("metrics missing asm emit counter:\n%s", mb)
+	}
+}
+
 func TestCompileEndpointErrors(t *testing.T) {
 	srv := newTestServer(t)
 

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"rolag/internal/backend/calib"
 	rl "rolag/internal/rolag"
 )
 
@@ -231,6 +232,38 @@ func (r *Report) ServiceBench(b *ServiceBench) error {
 		return err
 	}
 	return os.WriteFile(filepath.Join(r.Dir, "BENCH_service.json"), append(data, '\n'), 0o644)
+}
+
+// Calib renders the cost-model calibration summary and writes the
+// machine-readable CALIB_costmodel.json that pins the model's error
+// bars against the assembly backend across PRs.
+func (r *Report) Calib(c *calib.Report) error {
+	fmt.Fprintf(r.w(), "\n== Cost-model calibration vs assembly backend (%d functions, seed %d) ==\n",
+		c.Functions, c.Seed)
+	fmt.Fprintf(r.w(), "MAPE:            %.2f%%  (gate: <= %.0f%%)\n", 100*c.MAPE, 100*calib.MaxMAPE)
+	fmt.Fprintf(r.w(), "sign agreement:  %.2f%%  (gate: >= %.0f%%, %d disagreements)\n",
+		100*c.SignAgreement, 100*calib.MinSignAgreement, c.Disagreements)
+	fmt.Fprintf(r.w(), "changed by RoLAG: %d functions, measured mean delta %.1f bytes (model: %.1f)\n",
+		c.Changed, c.MeanMeasuredDelta, c.MeanEstimatedDelta)
+	fams := make([]string, 0, len(c.FamilyMAPE))
+	for fam := range c.FamilyMAPE {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		fmt.Fprintf(r.w(), "  family %-12s MAPE %.2f%%\n", fam, 100*c.FamilyMAPE[fam])
+	}
+	if r.Dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(r.Dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(r.Dir, "CALIB_costmodel.json"), append(data, '\n'), 0o644)
 }
 
 // Perf renders the §V.D runtime overhead summary.

@@ -18,6 +18,7 @@ var counters struct {
 	panics   atomic.Int64
 	degraded atomic.Int64
 	remark   atomic.Int64
+	backend  atomic.Int64
 }
 
 // Counters is a point-in-time snapshot of the fuzzing counters.
@@ -42,6 +43,9 @@ type Counters struct {
 	// FailRemark counts remark-honesty violations: the remark stream
 	// disagreed with the pipeline's actual rolling decisions.
 	FailRemark int64 `json:"fail_remark"`
+	// FailBackend counts x86-64 backend violations: a pipeline output
+	// failed to lower or encode, or encoding was nondeterministic.
+	FailBackend int64 `json:"fail_backend"`
 }
 
 // Snapshot returns the current fuzzing counters.
@@ -57,6 +61,7 @@ func Snapshot() Counters {
 		FailPanic:    counters.panics.Load(),
 		FailDegraded: counters.degraded.Load(),
 		FailRemark:   counters.remark.Load(),
+		FailBackend:  counters.backend.Load(),
 	}
 }
 
@@ -77,5 +82,7 @@ func countFailure(class string) {
 		counters.degraded.Add(1)
 	case ClassRemark:
 		counters.remark.Add(1)
+	case ClassBackend:
+		counters.backend.Add(1)
 	}
 }

@@ -1,11 +1,13 @@
 package fuzzgen
 
 import (
+	"bytes"
 	"fmt"
 	"runtime/debug"
 	"strings"
 
 	"rolag"
+	"rolag/internal/backend"
 	"rolag/internal/cc"
 	"rolag/internal/costmodel"
 	"rolag/internal/interp"
@@ -33,6 +35,11 @@ const (
 	// pipeline actually did — a "rolled" remark without a rolled loop in
 	// the output, or vice versa.
 	ClassRemark = "remark"
+	// ClassBackend: the x86-64 backend rejected a module the pipeline
+	// produced, or encoding the same module twice yielded different
+	// bytes. Determinism here is what lets the serial and parallel
+	// service pipelines report identical per-function byte counts.
+	ClassBackend = "backend"
 )
 
 // Failure describes one oracle-detected defect.
@@ -200,6 +207,9 @@ func (o *Oracle) Check(src string) (fail *Failure, exercised bool) {
 		if f := o.checkCost(v, m, res); f != nil {
 			return f, true
 		}
+		if f := checkBackend(v.Name, res.Module); f != nil {
+			return f, true
+		}
 		if f := o.checkEquiv(v.Name, m, res.Module, base, h); f != nil {
 			return f, true
 		}
@@ -223,10 +233,48 @@ func (o *Oracle) Check(src string) (fail *Failure, exercised bool) {
 	if f := runPipelineVerified(res.Module, "postroll"); f != nil {
 		return f, true
 	}
+	if f := checkBackend("rolag-stepwise", res.Module); f != nil {
+		return f, true
+	}
 	if f := o.checkEquiv("rolag-stepwise", m, res.Module, base, h); f != nil {
 		return f, true
 	}
 	return nil, true
+}
+
+// checkBackend asserts every pipeline output lowers and encodes through
+// the x86-64 backend, and that two independent backend runs over the
+// same module produce byte-identical machine code. The engine's serial
+// and parallel pipelines both hand their output modules to this
+// backend, so per-module determinism is exactly the contract that makes
+// their reported byte counts interchangeable.
+func checkBackend(variant string, m *ir.Module) *Failure {
+	r1, err := backend.Compile(m, nil)
+	if err != nil {
+		return &Failure{Class: ClassBackend, Variant: variant, Detail: err.Error()}
+	}
+	r2, err := backend.Compile(m, nil)
+	if err != nil {
+		return &Failure{Class: ClassBackend, Variant: variant,
+			Detail: fmt.Sprintf("second compile of the same module failed: %v", err)}
+	}
+	if r1.Code.Text != r2.Code.Text || r1.Code.Rodata != r2.Code.Rodata {
+		return &Failure{Class: ClassBackend, Variant: variant,
+			Detail: fmt.Sprintf("nondeterministic section sizes: text %d vs %d, rodata %d vs %d",
+				r1.Code.Text, r2.Code.Text, r1.Code.Rodata, r2.Code.Rodata)}
+	}
+	for name, fc := range r1.Code.Funcs {
+		fc2 := r2.Code.Funcs[name]
+		if fc2 == nil {
+			return &Failure{Class: ClassBackend, Variant: variant,
+				Detail: fmt.Sprintf("@%s encoded once but not twice", name)}
+		}
+		if !bytes.Equal(fc.Bytes, fc2.Bytes) {
+			return &Failure{Class: ClassBackend, Variant: variant,
+				Detail: fmt.Sprintf("@%s: nondeterministic encoding (%d vs %d bytes)", name, len(fc.Bytes), len(fc2.Bytes))}
+		}
+	}
+	return nil
 }
 
 // checkRemarks asserts the remark stream is an honest record of the

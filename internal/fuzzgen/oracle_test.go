@@ -131,6 +131,35 @@ func TestCheckCostCatchesDishonestResult(t *testing.T) {
 	}
 }
 
+func TestCheckBackendCleanAndCounted(t *testing.T) {
+	// Every generated program's pipeline outputs must lower and encode
+	// deterministically; checkBackend also runs inside Oracle.Check, so
+	// the clean-corpus test exercises it end to end. Here, pin the
+	// direct contract plus the failure counter.
+	src := Generate(7, 30)
+	m, err := rolag.Compile(src, "be")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rolag.Optimize(m, rolag.Config{Opt: rolag.OptRoLAG, CloneInput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail := checkBackend("rolag", res.Module); fail != nil {
+		t.Fatalf("clean module flagged: %v", fail)
+	}
+
+	before := Snapshot()
+	countFailure(ClassBackend)
+	after := Snapshot()
+	if after.FailBackend != before.FailBackend+1 {
+		t.Errorf("FailBackend = %d, want %d", after.FailBackend, before.FailBackend+1)
+	}
+	if after.Failures != before.Failures+1 {
+		t.Errorf("Failures = %d, want %d", after.Failures, before.Failures+1)
+	}
+}
+
 func TestCountersAdvance(t *testing.T) {
 	before := Snapshot()
 	o := &Oracle{Seeds: 1, SkipCompileErrors: true}

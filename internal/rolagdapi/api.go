@@ -43,6 +43,11 @@ type CompileRequest struct {
 	// response. The stream is deterministic for a given request, so it
 	// caches and deduplicates like any other output.
 	Remarks bool `json:"remarks,omitempty"`
+	// Format asks for an additional lowered output: "asm" lowers the
+	// optimized module through the x86-64 backend and returns the
+	// assembly text and measured .text size in the response. Empty
+	// means no lowering. Like Remarks, the format joins the cache key.
+	Format string `json:"format,omitempty"`
 }
 
 // CompileResponse is the POST /v1/compile result.
@@ -71,6 +76,13 @@ type CompileResponse struct {
 	// set remarks). Absent, not empty, when no remarks were produced,
 	// so responses round-trip the engine result exactly.
 	Remarks []rolag.Remark `json:"remarks,omitempty"`
+	// Asm is the x86-64 assembly of the optimized module and TextBytes
+	// the measured size of its encoded .text section (only when the
+	// request set format=asm). TextBytes is counted from real
+	// instruction encodings, unlike binaryAfter which is the cost
+	// model's estimate.
+	Asm       string `json:"asm,omitempty"`
+	TextBytes int64  `json:"textBytes,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.
@@ -165,6 +177,13 @@ func (s *CacheStats) Add(other *CacheStats) {
 func (cr *CompileRequest) ToService() (service.Request, error) {
 	req := service.Request{Source: cr.Source, IRInput: cr.IR}
 	req.EmitIR = cr.EmitIR == nil || *cr.EmitIR
+	switch cr.Format {
+	case "":
+	case service.FormatAsm:
+		req.Format = service.FormatAsm
+	default:
+		return req, fmt.Errorf("unknown format %q (want %q or empty)", cr.Format, service.FormatAsm)
+	}
 	cfg := rolag.Config{Name: cr.Config.Name, Unroll: cr.Config.Unroll, Flatten: cr.Config.Flatten, Remarks: cr.Remarks}
 	switch cr.Config.Opt {
 	case "none":

@@ -69,6 +69,13 @@ func parseRetryAfter(v string) time.Duration {
 	}
 	if at, err := http.ParseTime(v); err == nil {
 		if d := time.Until(at); d > 0 {
+			// HTTP-dates have whole-second resolution, so the server's
+			// intended deadline lies anywhere in [at, at+1s). Round up:
+			// waiting a fraction too long is honoring the hint, waiting
+			// a fraction too little is hammering a shedding server.
+			if r := d % time.Second; r != 0 {
+				d += time.Second - r
+			}
 			return d
 		}
 	}

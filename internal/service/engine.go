@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"rolag"
+	"rolag/internal/backend"
 	"rolag/internal/faultpoint"
 	"rolag/internal/ir"
 	"rolag/internal/irparse"
@@ -103,7 +104,17 @@ type Request struct {
 	// NeedModule asks for a caller-owned deep clone of the final module
 	// in Response.Module.
 	NeedModule bool
+	// Format selects an additional lowered output: "" (none) or
+	// FormatAsm, which lowers the optimized module through
+	// internal/backend and returns the x86-64 assembly plus the
+	// measured .text size in Response.Asm/Response.TextBytes. Format is
+	// part of the cache key — an asm-bearing entry only answers
+	// requests that asked for asm.
+	Format string
 }
+
+// FormatAsm asks for x86-64 assembly and measured .text bytes.
+const FormatAsm = "asm"
 
 // Response is the outcome of one compilation job. All fields are owned
 // by the caller; nothing aliases the engine's cache.
@@ -135,6 +146,14 @@ type Response struct {
 	// cached and fresh results carry identical remarks; the slice is
 	// shared read-only with other hits of the same cache entry.
 	Remarks []rolag.Remark
+	// Asm is the x86-64 assembly of the optimized module (only when
+	// Request.Format == FormatAsm).
+	Asm string
+	// TextBytes is the measured size of the encoded .text section
+	// (only when Request.Format == FormatAsm). Unlike BinaryAfter,
+	// which is the cost model's estimate, this is counted from actual
+	// instruction encodings.
+	TextBytes int64
 }
 
 // Reduction returns the relative binary-size reduction in percent.
@@ -166,6 +185,11 @@ type entry struct {
 	// Config.Remarks is part of the cache key and two compiles of the
 	// same key produce byte-identical remarks.
 	remarks []rolag.Remark
+	// asm/textBytes carry the backend lowering (only for FormatAsm
+	// keys; Format is part of the cache key, so entries without asm
+	// never answer a request that wants it).
+	asm       string
+	textBytes int64
 }
 
 type job struct {
@@ -283,6 +307,16 @@ func (e *Engine) Compile(ctx context.Context, req Request) (*Response, error) {
 	if req.Source == "" {
 		e.metrics.errors.Add(1)
 		return nil, errors.New("service: empty source")
+	}
+	if req.Format != "" && req.Format != FormatAsm {
+		e.metrics.errors.Add(1)
+		return nil, fmt.Errorf("service: unknown format %q (want %q or empty)", req.Format, FormatAsm)
+	}
+	if req.EmitIR {
+		e.metrics.emitIR.Add(1)
+	}
+	if req.Format == FormatAsm {
+		e.metrics.emitAsm.Add(1)
 	}
 
 	if e.cache == nil {
@@ -503,6 +537,19 @@ func (e *Engine) runJob(j *job) (res jobResult) {
 		}
 	}
 	e.metrics.countRemarks(out.Remarks)
+	var asm string
+	var textBytes int64
+	if j.req.Format == FormatAsm {
+		// Lower through the assembly backend under the request trace,
+		// so lower/encode spans show up in end-to-end traces next to
+		// the optimizer phases.
+		r, berr := backend.Compile(out.Module, &obs.Recorder{Trace: tr})
+		if berr != nil {
+			return jobResult{err: fmt.Errorf("service: lower to asm: %w", berr)}
+		}
+		asm = r.Asm()
+		textBytes = r.Code.Text
+	}
 	return jobResult{entry: &entry{
 		irText:       out.Module.String(),
 		sizeBefore:   out.SizeBefore,
@@ -513,6 +560,8 @@ func (e *Engine) runJob(j *job) (res jobResult) {
 		rerolled:     out.Rerolled,
 		degraded:     out.Degraded,
 		remarks:      out.Remarks,
+		asm:          asm,
+		textBytes:    textBytes,
 	}}
 }
 
@@ -565,6 +614,8 @@ func respFromEntry(en *entry, req *Request, hit bool) (*Response, error) {
 		CacheHit:     hit,
 		Degraded:     en.degraded,
 		Remarks:      en.remarks,
+		Asm:          en.asm,
+		TextBytes:    en.textBytes,
 	}
 	if req.EmitIR {
 		resp.IR = en.irText

@@ -192,6 +192,75 @@ func TestCacheKey(t *testing.T) {
 	if cacheKey(&base) == cacheKey(&irIn) {
 		t.Error("IRInput must change the cache key")
 	}
+
+	asm := base
+	asm.Format = FormatAsm
+	if cacheKey(&base) == cacheKey(&asm) {
+		t.Error("Format must change the cache key")
+	}
+}
+
+// TestEngineFormatAsm exercises the format=asm path: the response
+// carries assembly text and a measured .text size, both survive a
+// cache hit, and a format-less request for the same source does not
+// see them.
+func TestEngineFormatAsm(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close(context.Background())
+
+	req := Request{
+		Source: "int sum4(int *a) { return a[0] + a[1] + a[2] + a[3]; }",
+		Config: rolag.Config{Opt: rolag.OptRoLAG},
+		Format: FormatAsm,
+	}
+	resp, err := e.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Asm == "" {
+		t.Error("format=asm response missing assembly")
+	}
+	if !strings.Contains(resp.Asm, "sum4:") {
+		t.Errorf("assembly lacks the function label:\n%s", resp.Asm)
+	}
+	if resp.TextBytes <= 0 {
+		t.Errorf("measured .text size = %d, want > 0", resp.TextBytes)
+	}
+
+	hit, err := e.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit {
+		t.Error("identical asm request missed the cache")
+	}
+	if hit.Asm != resp.Asm || hit.TextBytes != resp.TextBytes {
+		t.Error("cached asm result differs from the fresh one")
+	}
+
+	plain := req
+	plain.Format = ""
+	presp, err := e.Compile(context.Background(), plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if presp.CacheHit {
+		t.Error("format-less request hit the asm entry: formats share a key")
+	}
+	if presp.Asm != "" || presp.TextBytes != 0 {
+		t.Errorf("format-less response carries asm: %q, %d", presp.Asm, presp.TextBytes)
+	}
+
+	bad := req
+	bad.Format = "elf"
+	if _, err := e.Compile(context.Background(), bad); err == nil {
+		t.Error("unknown format accepted")
+	}
+
+	m := e.Metrics()
+	if m.EmitAsm != 2 {
+		t.Errorf("EmitAsm = %d, want 2 (two accepted asm requests)", m.EmitAsm)
+	}
 }
 
 // TestEngineImmutableCache mutates a returned module and re-requests the

@@ -31,11 +31,14 @@ import (
 // Options.Model is canonicalized by value (nil means the default
 // profitability model), so the fresh-but-identical *Model pointers that
 // rolag.DefaultOptions returns on every call all map to the same key.
+// Request.Format IS part of the key for the same reason Remarks is:
+// the lowered assembly travels in the entry, so an asm-less cached
+// result must not satisfy a request that asked for asm.
 func cacheKey(req *Request) string {
 	h := sha256.New()
 	cfg := &req.Config
-	fmt.Fprintf(h, "v2|ir=%t|unroll=%d|opt=%d|flatten=%t|skipcleanup=%t|remarks=%t|",
-		req.IRInput, cfg.Unroll, cfg.Opt, cfg.Flatten, cfg.SkipCleanup, cfg.Remarks)
+	fmt.Fprintf(h, "v3|ir=%t|unroll=%d|opt=%d|flatten=%t|skipcleanup=%t|remarks=%t|format=%s|",
+		req.IRInput, cfg.Unroll, cfg.Opt, cfg.Flatten, cfg.SkipCleanup, cfg.Remarks, req.Format)
 	if cfg.Opt == rolag.OptRoLAG {
 		o := cfg.Options
 		if o == nil {

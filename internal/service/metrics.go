@@ -34,6 +34,8 @@ type metrics struct {
 	shed        atomic.Int64
 	peerHits    atomic.Int64
 	peerMisses  atomic.Int64
+	emitIR      atomic.Int64
+	emitAsm     atomic.Int64
 
 	latencyBuckets [len(latencyBounds) + 1]atomic.Int64
 	latencyCount   atomic.Int64
@@ -133,6 +135,12 @@ type MetricsSnapshot struct {
 	PeerHits   int64 `json:"peer_hits"`
 	PeerMisses int64 `json:"peer_misses"`
 
+	// Emit counters: requests by requested output, the
+	// rolagd_emit_total{format} series. A request asking for both IR
+	// and assembly counts once under each label.
+	EmitIR  int64 `json:"emit_ir"`
+	EmitAsm int64 `json:"emit_asm"`
+
 	// Fail-soft and overload instrumentation.
 	Degraded     int64            `json:"degraded"`
 	Shed         int64            `json:"shed"`
@@ -231,6 +239,8 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		LoopsRolled:       m.loopsRolled.Load(),
 		PeerHits:          m.peerHits.Load(),
 		PeerMisses:        m.peerMisses.Load(),
+		EmitIR:            m.emitIR.Load(),
+		EmitAsm:           m.emitAsm.Load(),
 		Degraded:          m.degraded.Load(),
 		Shed:              m.shed.Load(),
 		LatencyCount:      m.latencyCount.Load(),
@@ -292,6 +302,11 @@ func (s *MetricsSnapshot) WritePrometheus(w io.Writer) {
 	counter("rolagd_breaker_open_total", "Circuit-breaker open transitions (incl. re-arms after failed probes).", s.BreakerOpens)
 	counter("rolagd_shed_total", "Requests shed by admission control.", s.Shed)
 
+	fmt.Fprintf(w, "# HELP rolagd_emit_total Requests by requested output format.\n")
+	fmt.Fprintf(w, "# TYPE rolagd_emit_total counter\n")
+	fmt.Fprintf(w, "rolagd_emit_total{format=\"ir\"} %d\n", s.EmitIR)
+	fmt.Fprintf(w, "rolagd_emit_total{format=\"asm\"} %d\n", s.EmitAsm)
+
 	if len(s.PassSkipped) > 0 {
 		fmt.Fprintf(w, "# HELP rolagd_pass_skipped_total Pass executions rolled back and skipped, by pass.\n")
 		fmt.Fprintf(w, "# TYPE rolagd_pass_skipped_total counter\n")
@@ -335,6 +350,7 @@ func (s *MetricsSnapshot) WritePrometheus(w io.Writer) {
 	counter("rolagd_fuzz_fail_cost_total", "Fuzz failures: dishonest cost-model reports.", s.Fuzz.FailCost)
 	counter("rolagd_fuzz_fail_panic_total", "Fuzz failures: panics in any stage.", s.Fuzz.FailPanic)
 	counter("rolagd_fuzz_fail_remark_total", "Fuzz failures: remark streams that misreport rolling decisions.", s.Fuzz.FailRemark)
+	counter("rolagd_fuzz_fail_backend_total", "Fuzz failures: backend lowering errors or nondeterministic encodings.", s.Fuzz.FailBackend)
 
 	if len(s.Remarks) > 0 {
 		fmt.Fprintf(w, "# HELP rolagd_remarks_total Optimization remarks emitted, by pass and reason.\n")

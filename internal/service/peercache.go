@@ -27,6 +27,11 @@ type CacheEntry struct {
 	Rerolled     int            `json:"rerolled,omitempty"`
 	Stats        *rolag.Stats   `json:"stats,omitempty"`
 	Remarks      []rolag.Remark `json:"remarks,omitempty"`
+	// Asm/TextBytes carry the backend lowering for FormatAsm keys.
+	// Format is part of the cache key, so a shard importing this entry
+	// serves it only to requests that asked for the same format.
+	Asm       string `json:"asm,omitempty"`
+	TextBytes int64  `json:"textBytes,omitempty"`
 }
 
 // ExportCached returns the wire form of the cache entry for key, or
@@ -50,6 +55,8 @@ func (e *Engine) ExportCached(key string) (*CacheEntry, bool) {
 		Rerolled:     en.rerolled,
 		Stats:        copyStats(en.stats),
 		Remarks:      en.remarks,
+		Asm:          en.asm,
+		TextBytes:    en.textBytes,
 	}, true
 }
 
@@ -73,5 +80,7 @@ func entryFromWire(ce *CacheEntry) *entry {
 		rerolled:     ce.Rerolled,
 		stats:        ce.Stats,
 		remarks:      ce.Remarks,
+		asm:          ce.Asm,
+		textBytes:    ce.TextBytes,
 	}
 }
