@@ -1,17 +1,19 @@
 # Build/test entry points. `make ci` is the tier-1 gate plus the race
 # detector over the whole tree, a short differential-fuzzing smoke, the
 # fault-injection chaos smoke, the core-optimizer benchmark smoke, the
-# assembly-backend smoke, the cost-model calibration gate, and the
-# cluster smoke (3 shards + router under a zipfian burst); `make
-# bench` regenerates the machine-readable service perf record
-# (results/BENCH_service.json), `make bench-core` the optimizer one
-# (results/BENCH_core.json), and `make bench-cluster` the cluster one
-# (results/BENCH_cluster.json).
+# assembly-backend smoke, the cost-model calibration gate, the cluster
+# smoke (3 shards + router under a zipfian burst), and the cluster
+# chaos smoke (faulty links + a shard crash-restarted from its cache
+# snapshot mid-burst); `make bench` regenerates the machine-readable
+# service perf record (results/BENCH_service.json), `make bench-core`
+# the optimizer one (results/BENCH_core.json), `make bench-cluster` the
+# cluster one (results/BENCH_cluster.json), and `make bench-chaos` the
+# survivability one (results/BENCH_chaos.json).
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke chaos-smoke bench-smoke explain-smoke asm-smoke calib-check cluster-smoke ci calib bench bench-core bench-cluster serve clean
+.PHONY: all build vet test race fuzz-smoke chaos-smoke bench-smoke explain-smoke asm-smoke calib-check cluster-smoke chaos-cluster-smoke ci calib bench bench-core bench-cluster bench-chaos serve clean
 
 all: build
 
@@ -112,7 +114,18 @@ cluster-smoke:
 		-out $(or $(TMPDIR),/tmp)/rolag-cluster-smoke.json \
 		-check results/BENCH_cluster.json -max-slowdown 5
 
-ci: vet build race fuzz-smoke chaos-smoke bench-smoke explain-smoke asm-smoke calib-check cluster-smoke
+# Cluster chaos smoke: the same local cluster with every router→shard
+# link running through armed fault injection (stall/refuse/blackhole)
+# and the shard owning the hottest key crashed un-drained mid-burst,
+# then restarted from its periodic cache snapshot. Gates: byte parity
+# on 100% of successful responses, availability >= 99%, and the
+# restarted shard serving snapshot-warm hits.
+chaos-cluster-smoke:
+	$(GO) run ./cmd/rolag-loadgen -chaos -shards 3 -requests 400 -n 120 \
+		-rate 200 -timeout 8s \
+		-out $(or $(TMPDIR),/tmp)/rolag-chaos-cluster-smoke.json
+
+ci: vet build race fuzz-smoke chaos-smoke bench-smoke explain-smoke asm-smoke calib-check cluster-smoke chaos-cluster-smoke
 
 bench:
 	$(GO) run ./cmd/experiments -run bench
@@ -124,6 +137,10 @@ bench-core:
 # Full cluster benchmark; regenerates the committed baseline.
 bench-cluster:
 	$(GO) run ./cmd/rolag-loadgen -out results/BENCH_cluster.json
+
+# Full chaos run; regenerates the committed survivability record.
+bench-chaos:
+	$(GO) run ./cmd/rolag-loadgen -chaos -timeout 8s -out results/BENCH_chaos.json
 
 serve:
 	$(GO) run ./cmd/rolagd

@@ -14,6 +14,9 @@
 //	              [-out results/BENCH_cluster.json]
 //	              [-require-peer-hits]
 //	              [-check baseline.json] [-max-slowdown 3] [-hit-rate-slack 0.2]
+//	              [-chaos [-chaos-net-prob 0.02] [-chaos-kill-frac 0.35]
+//	               [-chaos-restart-delay 600ms] [-chaos-snapshot-interval 250ms]
+//	               [-min-availability 0.99]]
 //
 // Traffic shape: arrivals are Poisson at -rate requests/sec (open loop:
 // a slow cluster does not slow the generator down, so overload shows up
@@ -109,7 +112,33 @@ func main() {
 	check := flag.String("check", "", "baseline JSON to gate against (exit 1 on regression)")
 	maxSlowdown := flag.Float64("max-slowdown", 3, "allowed p99 and functions/sec ratio vs the -check baseline")
 	hitRateSlack := flag.Float64("hit-rate-slack", 0.2, "allowed absolute hit-rate drop vs the -check baseline")
+	chaos := flag.Bool("chaos", false, "run the cluster chaos harness instead of the benchmark (see chaos.go)")
+	chaosNetProb := flag.Float64("chaos-net-prob", 0.02, "per-link fault probability (stall/refuse/blackhole) in -chaos")
+	chaosKillFrac := flag.Float64("chaos-kill-frac", 0.35, "fraction of the run after which the victim shard is crashed")
+	chaosRestartDelay := flag.Duration("chaos-restart-delay", 600*time.Millisecond, "victim downtime before restart")
+	chaosSnapInterval := flag.Duration("chaos-snapshot-interval", 250*time.Millisecond, "shard periodic snapshot cadence in -chaos")
+	minAvailability := flag.Float64("min-availability", 0.99, "chaos gate: completed/issued must reach this")
 	flag.Parse()
+
+	if *chaos {
+		runChaos(chaosConfig{
+			shards:          *shards,
+			workers:         *workers,
+			n:               *n,
+			requests:        *requests,
+			seed:            *seed,
+			rate:            *rate,
+			zipfS:           *zipfS,
+			netProb:         *chaosNetProb,
+			killFrac:        *chaosKillFrac,
+			restartDelay:    *chaosRestartDelay,
+			snapInterval:    *chaosSnapInterval,
+			minAvailability: *minAvailability,
+			timeout:         *timeout,
+			out:             *out,
+		})
+		return
+	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
 
@@ -180,8 +209,11 @@ func main() {
 	var (
 		mu        sync.Mutex
 		latencies []float64
-		completed, errs, degraded, failovers, checked, mismatched atomic.Int64
 		wg        sync.WaitGroup
+
+		completed, errs, degraded atomic.Int64
+		failovers, checked        atomic.Int64
+		mismatched                atomic.Int64
 	)
 	start := time.Now()
 	for i := 0; i < *requests; i++ {

@@ -8,6 +8,8 @@
 //
 //	rolag-router [-addr :8722] -shards a=http://h1:8723,b=http://h2:8723,...
 //	             [-vnodes 128] [-timeout 60s] [-log text|json]
+//	             [-probe-interval 1s] [-probe-timeout 500ms] [-down-after 3]
+//	             [-hedge] [-hedge-quantile 0.95] [-hedge-min 2ms] [-hedge-max 250ms]
 //
 // Endpoints:
 //
@@ -22,6 +24,15 @@
 // "router:failover" marker in degradedPasses). Content addressing makes
 // any shard's answer for a key correct, so failover can change latency
 // and cache locality but never the bytes of a result.
+//
+// A background prober additionally tracks every shard up/suspect/down
+// (router_shard_state): a shard that fails -down-after consecutive
+// probes or requests is routed around proactively, costing zero
+// connection attempts per request, and rejoins on its next successful
+// probe. With -hedge, a compile that the home shard has not answered
+// within an adaptive per-shard latency quantile is raced against the
+// key's next successor; the first answer wins (router_hedge_total) and
+// the loser is canceled.
 package main
 
 import (
@@ -59,6 +70,13 @@ func main() {
 	vnodes := flag.Int("vnodes", 0, "consistent-hash virtual nodes per shard (0 = default; must match the shards)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-upstream-request deadline")
 	logFormat := flag.String("log", "text", "structured log format: text or json")
+	probeInterval := flag.Duration("probe-interval", 0, "background shard health probe cadence (0 = default 1s; negative disables)")
+	probeTimeout := flag.Duration("probe-timeout", 0, "per-probe /readyz deadline (0 = default 500ms)")
+	downAfter := flag.Int("down-after", 0, "consecutive failures before a shard is routed around (0 = default 3)")
+	hedge := flag.Bool("hedge", false, "hedge slow compiles against the key's next ring successor")
+	hedgeQuantile := flag.Float64("hedge-quantile", 0, "per-shard latency quantile used as the hedge delay (0 = default 0.95)")
+	hedgeMin := flag.Duration("hedge-min", 0, "hedge delay floor (0 = default 2ms)")
+	hedgeMax := flag.Duration("hedge-max", 0, "hedge delay ceiling (0 = default 250ms)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -81,17 +99,24 @@ func main() {
 	}
 
 	rt, err := cluster.New(cluster.Config{
-		Shards:     shards,
-		VNodes:     *vnodes,
-		HTTPClient: &http.Client{Timeout: *timeout},
-		Log:        logger,
+		Shards:        shards,
+		VNodes:        *vnodes,
+		HTTPClient:    &http.Client{Timeout: *timeout},
+		Log:           logger,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		DownAfter:     *downAfter,
+		Hedge:         *hedge,
+		HedgeQuantile: *hedgeQuantile,
+		HedgeMinDelay: *hedgeMin,
+		HedgeMaxDelay: *hedgeMax,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rolag-router: %v\n", err)
 		os.Exit(2)
 	}
 
-	logger.Info("routing", "addr", *addr, "shards", len(shards))
+	logger.Info("routing", "addr", *addr, "shards", len(shards), "hedge", *hedge)
 	if err := http.ListenAndServe(*addr, rt.Handler()); err != nil {
 		logger.Error("serve failed", "err", err)
 		os.Exit(1)

@@ -11,6 +11,7 @@
 //	       [-trace=false] [-trace-buf N] [-log text|json]
 //	       [-shard-id a -peers a=http://h1:8723,b=http://h2:8723,...]
 //	       [-vnodes 128] [-peer-timeout 250ms]
+//	       [-snapshot /var/lib/rolagd/cache.snapshot] [-snapshot-interval 30s]
 //
 // Endpoints:
 //
@@ -18,6 +19,7 @@
 //	POST /v1/batch      compile a whole module/corpus in one request, results in item order
 //	GET  /v1/cache/{key} export one cached result to a peer shard (404 on miss; never compiles)
 //	GET  /v1/cachestats cache hit/miss/size counters straight from the engine
+//	POST /v1/snapshot   force a cache snapshot now (501 unless started with -snapshot)
 //	GET  /healthz       liveness plus a metrics summary (JSON); 200 while the process runs
 //	GET  /readyz        readiness; 503 while draining or while the rolag breaker is open
 //	GET  /metrics       Prometheus text exposition
@@ -32,6 +34,13 @@
 // the daemon asks that home shard's cache (GET /v1/cache/{key},
 // bounded by -peer-timeout) before compiling, so N replicas behave as
 // one logical cache. See README.md "Cluster mode".
+//
+// Warm restart: with -snapshot, the daemon writes its result cache to
+// the given file every -snapshot-interval and once more at drain time,
+// and loads it back on startup so a restarted replica begins warm. The
+// load is all-or-nothing: a truncated, tampered, or cache-key-stale
+// snapshot is rejected (rolagd_snapshot_rejected_total) and the daemon
+// starts cold instead of serving doubtful bytes.
 //
 // Tracing: every request is assigned a trace ID (or adopts the caller's
 // X-Trace-Id header), echoed back in the X-Trace-Id response header,
@@ -104,6 +113,8 @@ func main() {
 	peersFlag := flag.String("peers", "", "cluster membership as name=url,... (must include -shard-id; identical on every member)")
 	vnodes := flag.Int("vnodes", 0, "consistent-hash virtual nodes per shard (0 = default)")
 	peerTimeout := flag.Duration("peer-timeout", 0, "fetch-on-miss peer cache lookup deadline (0 = built-in default)")
+	snapshotPath := flag.String("snapshot", "", "cache snapshot file for warm restarts (empty = disabled)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "periodic snapshot cadence (0 = default 30s; negative = drain-time only)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -146,12 +157,14 @@ func main() {
 			BreakerCooldown:  *breakerCooldown,
 			FuncParallelism:  *funcParallel,
 		},
-		RequestCap:  *requestTimeout,
-		Log:         logger,
-		ShardID:     *shardID,
-		Peers:       peers,
-		VNodes:      *vnodes,
-		PeerTimeout: *peerTimeout,
+		RequestCap:       *requestTimeout,
+		Log:              logger,
+		ShardID:          *shardID,
+		Peers:            peers,
+		VNodes:           *vnodes,
+		PeerTimeout:      *peerTimeout,
+		SnapshotPath:     *snapshotPath,
+		SnapshotInterval: *snapshotInterval,
 	})
 	srv := &http.Server{Addr: *addr, Handler: d.Handler()}
 

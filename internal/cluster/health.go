@@ -1,0 +1,209 @@
+package cluster
+
+// Live membership health. The router keeps a per-shard up/suspect/down
+// state machine fed from two signals: a background prober that GETs
+// every shard's /readyz on a fixed cadence, and passive outcomes of
+// the requests it forwards anyway. Both feed the same transitions —
+// any success snaps the shard back to up; consecutive failures demote
+// it to suspect and, once they reach DownAfter, to down. Routing
+// treats only down as actionable (suspect shards keep their traffic;
+// one blip must not drain a warm cache), moving a down shard to the
+// back of every successor list so its keyspace fails over proactively
+// instead of per-request. A rejoined shard is re-promoted by its next
+// successful probe and repopulates warmth via the peer-cache tier and
+// its own warm-restart snapshot.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ShardState is one shard's tracked health. The zero value (ShardUp)
+// is deliberate: a shard starts trusted and must be observed failing
+// to lose traffic.
+type ShardState int32
+
+const (
+	ShardUp ShardState = iota
+	ShardSuspect
+	ShardDown
+)
+
+func (s ShardState) String() string {
+	switch s {
+	case ShardUp:
+		return "up"
+	case ShardSuspect:
+		return "suspect"
+	case ShardDown:
+		return "down"
+	}
+	return "unknown"
+}
+
+// Health-prober defaults.
+const (
+	DefaultProbeInterval = 1 * time.Second
+	DefaultProbeTimeout  = 500 * time.Millisecond
+	DefaultDownAfter     = 3
+)
+
+// healthSet tracks every shard's state machine.
+type healthSet struct {
+	downAfter int
+
+	mu     sync.Mutex
+	states map[string]*shardHealth
+}
+
+type shardHealth struct {
+	state ShardState
+	fails int // consecutive failures
+}
+
+func newHealthSet(shards []string, downAfter int) *healthSet {
+	if downAfter <= 0 {
+		downAfter = DefaultDownAfter
+	}
+	h := &healthSet{downAfter: downAfter, states: make(map[string]*shardHealth, len(shards))}
+	for _, s := range shards {
+		h.states[s] = &shardHealth{}
+	}
+	return h
+}
+
+// ok records a successful probe or forward. It returns the resulting
+// state and whether this observation changed it (so callers can log
+// transitions, not every heartbeat).
+func (h *healthSet) ok(shard string) (ShardState, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sh := h.states[shard]
+	if sh == nil {
+		return ShardUp, false
+	}
+	changed := sh.state != ShardUp
+	sh.state = ShardUp
+	sh.fails = 0
+	return sh.state, changed
+}
+
+// fail records a failed probe or forward.
+func (h *healthSet) fail(shard string) (ShardState, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sh := h.states[shard]
+	if sh == nil {
+		return ShardUp, false
+	}
+	sh.fails++
+	next := ShardSuspect
+	if sh.fails >= h.downAfter {
+		next = ShardDown
+	}
+	changed := sh.state != next
+	sh.state = next
+	return next, changed
+}
+
+func (h *healthSet) state(shard string) ShardState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if sh := h.states[shard]; sh != nil {
+		return sh.state
+	}
+	return ShardUp
+}
+
+// snapshot copies out every shard's state.
+func (h *healthSet) snapshot() map[string]ShardState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]ShardState, len(h.states))
+	for name, sh := range h.states {
+		out[name] = sh.state
+	}
+	return out
+}
+
+// probeLoop probes every shard's /readyz each interval until Close.
+func (rt *Router) probeLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.probeStop:
+			return
+		case <-t.C:
+			rt.probeAll()
+		}
+	}
+}
+
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for name, base := range rt.shards {
+		wg.Add(1)
+		go func(name, base string) {
+			defer wg.Done()
+			rt.recordProbe(name, rt.probeOne(base))
+		}(name, base)
+	}
+	wg.Wait()
+}
+
+// probeOne reports whether one shard answered /readyz with 200 within
+// the probe timeout. Probes ride the router's shard client, so in the
+// chaos harness they cross the same faulty links real requests do.
+func (rt *Router) probeOne(base string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func (rt *Router) recordProbe(shard string, up bool) {
+	if up {
+		if state, changed := rt.health.ok(shard); changed {
+			rt.logger().Info("shard recovered", "shard", shard, "state", state.String())
+		}
+		return
+	}
+	if state, changed := rt.health.fail(shard); changed {
+		rt.logger().Warn("shard probe failed", "shard", shard, "state", state.String())
+	}
+}
+
+// ShardStates exposes the tracked health map (loadgen, /healthz, and
+// the router_shard_state gauge).
+func (rt *Router) ShardStates() map[string]ShardState { return rt.health.snapshot() }
+
+// orderShards returns succ with down shards moved to the back, order
+// otherwise preserved: a proactively-detected failure costs zero
+// connection attempts for the keys it does not own. With every shard
+// down the original order comes back unchanged — routing of last
+// resort beats refusing to route.
+func (rt *Router) orderShards(succ []string) []string {
+	out := make([]string, 0, len(succ))
+	var down []string
+	for _, s := range succ {
+		if rt.health.state(s) == ShardDown {
+			down = append(down, s)
+		} else {
+			out = append(out, s)
+		}
+	}
+	return append(out, down...)
+}

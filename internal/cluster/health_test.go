@@ -1,0 +1,141 @@
+package cluster
+
+// Tests of the live-membership layer: the state machine itself, the
+// prober demoting a refusing shard to down, proactive routing around a
+// down shard (zero connection attempts at the corpse), and re-promotion
+// once the shard answers again.
+
+import (
+	"context"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"rolag/internal/rolagdapi"
+)
+
+func TestHealthStateMachine(t *testing.T) {
+	h := newHealthSet([]string{"a", "b"}, 3)
+	if got := h.state("a"); got != ShardUp {
+		t.Fatalf("fresh shard state %v, want up", got)
+	}
+	if st, changed := h.fail("a"); st != ShardSuspect || !changed {
+		t.Fatalf("first failure: %v changed=%v, want suspect/true", st, changed)
+	}
+	if st, changed := h.fail("a"); st != ShardSuspect || changed {
+		t.Fatalf("second failure: %v changed=%v, want suspect/false", st, changed)
+	}
+	if st, changed := h.fail("a"); st != ShardDown || !changed {
+		t.Fatalf("third failure: %v changed=%v, want down/true", st, changed)
+	}
+	// One success snaps all the way back to up and resets the streak.
+	if st, changed := h.ok("a"); st != ShardUp || !changed {
+		t.Fatalf("recovery: %v changed=%v, want up/true", st, changed)
+	}
+	if st, _ := h.fail("a"); st != ShardSuspect {
+		t.Fatalf("failure after recovery: %v, want suspect (streak reset)", st)
+	}
+	if got := h.state("b"); got != ShardUp {
+		t.Fatalf("bystander shard state %v, want up", got)
+	}
+	if st, changed := h.fail("unknown"); st != ShardUp || changed {
+		t.Fatalf("unknown shard: %v changed=%v, want up/false", st, changed)
+	}
+}
+
+// waitForState polls the router's tracked health until shard reaches
+// want or the deadline passes.
+func waitForState(t *testing.T, rt *Router, shard string, want ShardState) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if rt.ShardStates()[shard] == want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("shard %s never reached %v (now %v)", shard, want, rt.ShardStates()[shard])
+}
+
+func TestRouterProactiveFailoverAndRejoin(t *testing.T) {
+	tc := newTestClusterCfg(t, 3, func(cfg *Config) {
+		cfg.ProbeInterval = 25 * time.Millisecond
+		cfg.ProbeTimeout = 200 * time.Millisecond
+		cfg.DownAfter = 2
+	})
+	c := &rolagdapi.Client{BaseURL: tc.rsrv.URL}
+
+	cr := rolagdapi.CompileRequest{Source: src(0)}
+	home := tc.router.Owner(keyOf(t, cr))
+	idx := tc.shardIndex(t, home)
+
+	// Refuse everything on the home shard; the prober must demote it.
+	tc.refuse[idx].Store(true)
+	waitForState(t, tc.router, home, ShardDown)
+
+	// A compile for a key the down shard owns is routed around it
+	// proactively: served, marked degraded, and the corpse never sees a
+	// connection attempt.
+	before := tc.hits[idx].Load()
+	got, err := c.Compile(context.Background(), &cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Degraded {
+		t.Error("proactively re-routed compile not marked degraded")
+	}
+	found := false
+	for _, p := range got.DegradedPasses {
+		if p == FailoverPass {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("degradedPasses = %v, want to contain %q", got.DegradedPasses, FailoverPass)
+	}
+	if after := tc.hits[idx].Load(); after != before {
+		t.Errorf("down shard saw %d new compile attempts; proactive routing must skip it", after-before)
+	}
+
+	// The shard answers again: the next probe re-promotes it and its
+	// keyspace comes home, undegraded.
+	tc.refuse[idx].Store(false)
+	waitForState(t, tc.router, home, ShardUp)
+	got, err = c.Compile(context.Background(), &cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Degraded {
+		t.Error("compile after rejoin still degraded; keyspace did not come home")
+	}
+	if tc.hits[idx].Load() == before {
+		t.Error("rejoined shard saw no traffic")
+	}
+}
+
+func TestRouterMetricsHealthAndHedgeSeries(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	resp, err := tc.rsrv.Client().Get(tc.rsrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`router_hedge_total{outcome="primary"} 0`,
+		`router_hedge_total{outcome="hedge"} 0`,
+		`router_hedge_total{outcome="failed"} 0`,
+		`router_shard_state{shard="shard-a"} 0`,
+		`router_shard_state{shard="shard-b"} 0`,
+		`router_shard_state{shard="shard-c"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package cluster
+
+// Request hedging. Tail latency in the cluster is dominated by a few
+// slow links (a stalled shard, an injected partition, a GC pause), so
+// after waiting one adaptive delay the router launches a second copy of
+// a compile to the key's next ring successor and serves whichever
+// answer lands first. Content addressing is what makes this safe: both
+// shards compute the same bytes for the same key, so the race can only
+// change who answers, never what the answer is. The delay adapts per
+// shard — a high quantile of that shard's recently observed latencies —
+// so hedges fire on genuine stragglers instead of doubling every
+// request's load.
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Hedging defaults (Config can override quantile and clamps).
+const (
+	DefaultHedgeQuantile = 0.95
+	DefaultHedgeMinDelay = 2 * time.Millisecond
+	DefaultHedgeMaxDelay = 250 * time.Millisecond
+
+	// hedgeColdDelay is used until a shard has hedgeMinSamples observed
+	// latencies; before that a quantile of noise would misfire.
+	hedgeColdDelay  = 25 * time.Millisecond
+	hedgeWindowSize = 256
+	hedgeMinSamples = 16
+)
+
+// latWindow is a fixed-size ring of one shard's recent request
+// latencies; quantile() reads the straggler threshold out of it.
+type latWindow struct {
+	mu      sync.Mutex
+	samples [hedgeWindowSize]time.Duration
+	n       int // total ever recorded; min(n, len) are valid
+}
+
+func (w *latWindow) add(d time.Duration) {
+	w.mu.Lock()
+	w.samples[w.n%hedgeWindowSize] = d
+	w.n++
+	w.mu.Unlock()
+}
+
+// quantile returns the q-quantile of the window, or (0, false) while
+// the window has fewer than hedgeMinSamples samples.
+func (w *latWindow) quantile(q float64) (time.Duration, bool) {
+	w.mu.Lock()
+	n := w.n
+	if n > hedgeWindowSize {
+		n = hedgeWindowSize
+	}
+	if n < hedgeMinSamples {
+		w.mu.Unlock()
+		return 0, false
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, w.samples[:n])
+	w.mu.Unlock()
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	// Ceiling rank: overestimating the tail delays a hedge slightly,
+	// underestimating it doubles load on requests that were fine.
+	idx := int(math.Ceil(q * float64(n-1)))
+	return buf[idx], true
+}
+
+// hedgeDelay is how long to wait on shard before launching the hedge:
+// the shard's own high-quantile latency, clamped, or a fixed cold-start
+// delay before enough samples exist.
+func (rt *Router) hedgeDelay(shard string) time.Duration {
+	d := hedgeColdDelay
+	if w := rt.lat[shard]; w != nil {
+		if q, ok := w.quantile(rt.hedgeQuantile); ok {
+			d = q
+		}
+	}
+	if d < rt.hedgeMinDelay {
+		d = rt.hedgeMinDelay
+	}
+	if d > rt.hedgeMaxDelay {
+		d = rt.hedgeMaxDelay
+	}
+	return d
+}
+
+// forwardResult is one shard's answer to a forwarded request, tagged
+// with the shard that produced it so the caller can mark failover by
+// comparing against the key's home.
+type forwardResult struct {
+	shard     string
+	status    int
+	reply     []byte
+	retryable bool
+	err       error
+}
+
+// forwardHedged forwards to primary and, if no answer lands within the
+// adaptive delay, races a second copy against the key's next successor.
+// The first usable (non-retryable) answer wins and the loser's request
+// context is canceled. A retryable failure that arrives before the
+// hedge fires returns immediately — the caller's serial failover loop
+// is the right tool once the primary is known-bad, and it must not
+// count as a hedge outcome.
+func (rt *Router) forwardHedged(ctx context.Context, primary, secondary, path string, body []byte) forwardResult {
+	if !rt.hedge || secondary == "" || secondary == primary {
+		status, reply, retryable, err := rt.forwardCtx(ctx, primary, path, body)
+		return forwardResult{primary, status, reply, retryable, err}
+	}
+
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // the loser's round trip dies with the winner's return
+
+	// Buffered to the number of launches: a loser's send never blocks,
+	// so its goroutine exits even though nobody reads the result.
+	results := make(chan forwardResult, 2)
+	launch := func(shard string) {
+		status, reply, retryable, err := rt.forwardCtx(hctx, shard, path, body)
+		results <- forwardResult{shard, status, reply, retryable, err}
+	}
+	go launch(primary)
+
+	timer := time.NewTimer(rt.hedgeDelay(primary))
+	defer timer.Stop()
+
+	hedged := false
+	pending := 1
+	var lastFail forwardResult
+	for {
+		select {
+		case res := <-results:
+			pending--
+			if res.err == nil && !res.retryable {
+				if hedged {
+					if res.shard == primary {
+						rt.hedgePrimary.Add(1)
+					} else {
+						rt.hedgeWins.Add(1)
+					}
+				}
+				return res
+			}
+			if !hedged {
+				return res // pre-hedge failure: serial failover's turn
+			}
+			lastFail = res
+			if pending == 0 {
+				rt.hedgeFailed.Add(1)
+				return lastFail
+			}
+			// One of the racers failed; the other is still in flight.
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				pending++
+				go launch(secondary)
+			}
+		}
+	}
+}
+
+// HedgeTotals reports how hedged races resolved: primary won anyway,
+// the hedge won, or both sides failed. Races never launched (the
+// common case) are in none of the buckets.
+func (rt *Router) HedgeTotals() (primary, hedge, failed int64) {
+	return rt.hedgePrimary.Load(), rt.hedgeWins.Load(), rt.hedgeFailed.Load()
+}

@@ -14,6 +14,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -51,6 +52,28 @@ type Config struct {
 	// Log receives one structured line per routed request; nil falls
 	// back to slog.Default().
 	Log *slog.Logger
+
+	// ProbeInterval is the background health prober's cadence (0 =
+	// DefaultProbeInterval; negative disables the prober — passive
+	// request outcomes still drive the state machine).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /readyz probe (0 = DefaultProbeTimeout).
+	ProbeTimeout time.Duration
+	// DownAfter is how many consecutive failures demote a shard from
+	// suspect to down (0 = DefaultDownAfter).
+	DownAfter int
+
+	// Hedge enables tail-latency request hedging on /v1/compile: when
+	// the home shard has not answered within its adaptive delay, race a
+	// second copy against the key's next ring successor.
+	Hedge bool
+	// HedgeQuantile picks the latency quantile used as the hedge delay
+	// (0 = DefaultHedgeQuantile).
+	HedgeQuantile float64
+	// HedgeMinDelay / HedgeMaxDelay clamp the adaptive delay (0 =
+	// DefaultHedgeMinDelay / DefaultHedgeMaxDelay).
+	HedgeMinDelay time.Duration
+	HedgeMaxDelay time.Duration
 }
 
 // Router fronts the shard fleet. Create with New; the Handler serves
@@ -62,11 +85,25 @@ type Router struct {
 	httpc  *http.Client
 	log    *slog.Logger
 
-	requests  atomic.Int64
-	batches   atomic.Int64
-	items     atomic.Int64
-	failovers atomic.Int64
-	routed    map[string]*atomic.Int64 // per-shard; fixed at startup
+	health       *healthSet
+	probeTimeout time.Duration
+	probeStop    chan struct{}
+	closeOnce    sync.Once
+
+	hedge         bool
+	hedgeQuantile float64
+	hedgeMinDelay time.Duration
+	hedgeMaxDelay time.Duration
+	lat           map[string]*latWindow // per-shard; fixed at startup
+
+	requests     atomic.Int64
+	batches      atomic.Int64
+	items        atomic.Int64
+	failovers    atomic.Int64
+	hedgePrimary atomic.Int64
+	hedgeWins    atomic.Int64
+	hedgeFailed  atomic.Int64
+	routed       map[string]*atomic.Int64 // per-shard; fixed at startup
 }
 
 // New builds a router over the given shard membership.
@@ -75,20 +112,55 @@ func New(cfg Config) (*Router, error) {
 		return nil, fmt.Errorf("cluster: no shards configured")
 	}
 	rt := &Router{
-		ring:   ring.New(cfg.VNodes),
-		shards: cfg.Shards,
-		httpc:  cfg.HTTPClient,
-		log:    cfg.Log,
-		routed: make(map[string]*atomic.Int64, len(cfg.Shards)),
+		ring:          ring.New(cfg.VNodes),
+		shards:        cfg.Shards,
+		httpc:         cfg.HTTPClient,
+		log:           cfg.Log,
+		probeTimeout:  cfg.ProbeTimeout,
+		probeStop:     make(chan struct{}),
+		hedge:         cfg.Hedge,
+		hedgeQuantile: cfg.HedgeQuantile,
+		hedgeMinDelay: cfg.HedgeMinDelay,
+		hedgeMaxDelay: cfg.HedgeMaxDelay,
+		lat:           make(map[string]*latWindow, len(cfg.Shards)),
+		routed:        make(map[string]*atomic.Int64, len(cfg.Shards)),
 	}
+	names := make([]string, 0, len(cfg.Shards))
 	for name := range cfg.Shards {
 		rt.ring.Add(name)
 		rt.routed[name] = new(atomic.Int64)
+		rt.lat[name] = new(latWindow)
+		names = append(names, name)
 	}
+	rt.health = newHealthSet(names, cfg.DownAfter)
 	if rt.httpc == nil {
 		rt.httpc = &http.Client{Timeout: 60 * time.Second}
 	}
+	if rt.probeTimeout <= 0 {
+		rt.probeTimeout = DefaultProbeTimeout
+	}
+	if rt.hedgeQuantile <= 0 || rt.hedgeQuantile >= 1 {
+		rt.hedgeQuantile = DefaultHedgeQuantile
+	}
+	if rt.hedgeMinDelay <= 0 {
+		rt.hedgeMinDelay = DefaultHedgeMinDelay
+	}
+	if rt.hedgeMaxDelay <= 0 {
+		rt.hedgeMaxDelay = DefaultHedgeMaxDelay
+	}
+	if cfg.ProbeInterval >= 0 {
+		interval := cfg.ProbeInterval
+		if interval == 0 {
+			interval = DefaultProbeInterval
+		}
+		go rt.probeLoop(interval)
+	}
 	return rt, nil
+}
+
+// Close stops the background health prober. Safe to call twice.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() { close(rt.probeStop) })
 }
 
 func (rt *Router) logger() *slog.Logger {
@@ -102,26 +174,39 @@ func (rt *Router) logger() *slog.Logger {
 // parity reporting).
 func (rt *Router) Owner(key string) string { return rt.ring.Owner(key) }
 
-// forward posts body to one shard's path, forwarding the trace ID, and
-// returns the reply. retryable marks transport errors and statuses
+// forwardCtx posts body to one shard's path, forwarding the trace ID,
+// and returns the reply. retryable marks transport errors and statuses
 // that justify trying the next shard: 5xx (shard broken or draining)
 // and 429 (shard saturated — its keyspace neighbor may have capacity).
-func (rt *Router) forward(r *http.Request, shard, path string, body []byte) (status int, reply []byte, retryable bool, err error) {
+//
+// Every outcome also feeds the health state machine and the hedging
+// latency window: a served response is a success sample, a transport
+// error with a live context or a 5xx is a failure. A canceled context
+// records nothing — a hedge race's loser is not evidence about the
+// shard, only about the race.
+func (rt *Router) forwardCtx(ctx context.Context, shard, path string, body []byte) (status int, reply []byte, retryable bool, err error) {
 	base, ok := rt.shards[shard]
 	if !ok {
 		return 0, nil, true, fmt.Errorf("cluster: unknown shard %q", shard)
 	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, base+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if tr := obs.TraceFrom(r.Context()); tr.Active() {
+	if tr := obs.TraceFrom(ctx); tr.Active() {
 		req.Header.Set("X-Trace-Id", tr.ID)
 	}
+	start := time.Now()
 	resp, err := rt.httpc.Do(req)
 	if err != nil {
-		return 0, nil, r.Context().Err() == nil, err
+		if ctx.Err() == nil {
+			if state, changed := rt.health.fail(shard); changed {
+				rt.logger().Warn("shard unreachable", "shard", shard, "state", state.String())
+			}
+			return 0, nil, true, err
+		}
+		return 0, nil, false, err
 	}
 	defer resp.Body.Close()
 	reply, err = io.ReadAll(resp.Body)
@@ -129,6 +214,18 @@ func (rt *Router) forward(r *http.Request, shard, path string, body []byte) (sta
 		return 0, nil, true, err
 	}
 	retryable = resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+	if resp.StatusCode >= 500 {
+		if state, changed := rt.health.fail(shard); changed {
+			rt.logger().Warn("shard erroring", "shard", shard, "status", resp.StatusCode, "state", state.String())
+		}
+	} else {
+		// Any served response (including 429 — saturated, not dead) is
+		// proof of life and a latency sample for the hedge delay.
+		if state, changed := rt.health.ok(shard); changed {
+			rt.logger().Info("shard recovered", "shard", shard, "state", state.String())
+		}
+		rt.lat[shard].add(time.Since(start))
+	}
 	if retryable {
 		err = fmt.Errorf("cluster: shard %s: HTTP %d", shard, resp.StatusCode)
 	}
@@ -136,8 +233,12 @@ func (rt *Router) forward(r *http.Request, shard, path string, body []byte) (sta
 }
 
 // handleCompile routes one compile to the key's home shard, failing
-// over around the ring when it is unreachable. A failed-over result is
-// marked degraded (FailoverPass) before it is returned.
+// over around the ring when it is unreachable. Shards the health
+// tracker knows are down sort to the back of the walk, so a detected
+// outage costs zero connection attempts; with hedging enabled each
+// attempt may race the next shard in line. A result served by any
+// shard other than the ring home is marked degraded (FailoverPass)
+// before it is returned.
 func (rt *Router) handleCompile(w http.ResponseWriter, r *http.Request) {
 	rt.requests.Add(1)
 	body, err := io.ReadAll(r.Body)
@@ -157,25 +258,33 @@ func (rt *Router) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	key := service.Key(&sreq)
 
+	succ := rt.ring.Successors(key, rt.ring.Len())
+	home := succ[0]
+	order := rt.orderShards(succ)
 	var lastErr error
-	for i, shard := range rt.ring.Successors(key, rt.ring.Len()) {
-		status, reply, retryable, err := rt.forward(r, shard, "/v1/compile", body)
-		if err != nil && retryable {
-			rt.logger().Warn("shard failed, trying next", "shard", shard, "key", key[:16], "err", err)
-			lastErr = err
+	for i, shard := range order {
+		next := ""
+		if i+1 < len(order) {
+			next = order[i+1]
+		}
+		res := rt.forwardHedged(r.Context(), shard, next, "/v1/compile", body)
+		if res.err != nil && res.retryable {
+			rt.logger().Warn("shard failed, trying next", "shard", res.shard, "key", key[:16], "err", res.err)
+			lastErr = res.err
 			continue
 		}
-		if err != nil && status == 0 {
-			writeJSON(w, http.StatusBadGateway, rolagdapi.ErrorResponse{Error: err.Error()})
+		if res.err != nil && res.status == 0 {
+			writeJSON(w, http.StatusBadGateway, rolagdapi.ErrorResponse{Error: res.err.Error()})
 			return
 		}
-		rt.routed[shard].Add(1)
-		if i > 0 && status == http.StatusOK {
+		rt.routed[res.shard].Add(1)
+		reply := res.reply
+		if res.shard != home && res.status == http.StatusOK {
 			rt.failovers.Add(1)
 			reply = markFailedOver(reply)
 		}
 		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(status)
+		w.WriteHeader(res.status)
 		w.Write(reply)
 		return
 	}
@@ -230,9 +339,15 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	out := rolagdapi.BatchResponse{Items: make([]rolagdapi.BatchItemResult, len(br.Items))}
 
 	// Items that fail config mapping are answered by the router itself;
-	// the rest are grouped by their home shard. Successor lists are
-	// computed once per item and consumed left to right as shards fail.
+	// the rest are grouped by the first shard of their health-ordered
+	// successor list — normally the ring home, but a shard the tracker
+	// knows is down loses its groups up front instead of per-round.
+	// Failover marking compares the serving shard against the ring home
+	// (home[i]), so proactively re-routed items are still honestly
+	// degraded. Successor lists are computed once per item and consumed
+	// left to right as shards fail.
 	succ := make([][]string, len(br.Items))
+	home := make([]string, len(br.Items))
 	groups := make(map[string]*shardBatch)
 	for i := range br.Items {
 		sreq, err := br.Items[i].ToService()
@@ -242,12 +357,13 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		key := service.Key(&sreq)
 		succ[i] = rt.ring.Successors(key, rt.ring.Len())
-		addToGroup(groups, succ[i][0], i, &br.Items[i])
+		home[i] = succ[i][0]
+		addToGroup(groups, rt.orderShards(succ[i])[0], i, &br.Items[i])
 	}
 
 	down := make(map[string]bool)
 	for round := 0; len(groups) > 0 && round < rt.ring.Len(); round++ {
-		failed := rt.runGroups(r, groups, br.TimeoutMs, &out, round > 0)
+		failed := rt.runGroups(r, groups, br.TimeoutMs, &out, home)
 		// Re-group every item of each failed shard onto its next live
 		// successor; items with no successors left get a terminal error.
 		groups = make(map[string]*shardBatch)
@@ -295,10 +411,10 @@ func nextShard(succ []string, down map[string]bool) string {
 }
 
 // runGroups posts every group's sub-batch concurrently, writes
-// successful item results into out (marking them failed-over when this
-// is a retry round), and returns the groups whose shard failed
-// entirely.
-func (rt *Router) runGroups(r *http.Request, groups map[string]*shardBatch, timeoutMs int, out *rolagdapi.BatchResponse, failover bool) []*shardBatch {
+// successful item results into out (marking an item failed-over when
+// the shard that served it is not the item's ring home), and returns
+// the groups whose shard failed entirely.
+func (rt *Router) runGroups(r *http.Request, groups map[string]*shardBatch, timeoutMs int, out *rolagdapi.BatchResponse, home []string) []*shardBatch {
 	var (
 		mu     sync.Mutex
 		failed []*shardBatch
@@ -312,20 +428,18 @@ func (rt *Router) runGroups(r *http.Request, groups map[string]*shardBatch, time
 			if err == nil {
 				var status int
 				var reply []byte
-				status, reply, _, err = rt.forward(r, g.shard, "/v1/batch", body)
+				status, reply, _, err = rt.forwardCtx(r.Context(), g.shard, "/v1/batch", body)
 				if err == nil && status == http.StatusOK {
 					var sub rolagdapi.BatchResponse
 					if err = json.Unmarshal(reply, &sub); err == nil && len(sub.Items) == len(g.idx) {
 						rt.routed[g.shard].Add(int64(len(g.idx)))
-						if failover {
-							rt.failovers.Add(int64(len(g.idx)))
-						}
 						// Item results are index-aligned with the sub-batch by
 						// the daemon's contract; no lock needed — each item
 						// index is owned by exactly one group per round.
 						for j, i := range g.idx {
 							out.Items[i] = sub.Items[j]
-							if failover {
+							if g.shard != home[i] {
+								rt.failovers.Add(1)
 								out.Items[i].FailedOver = true
 								out.Items[i].Degraded = true
 								out.Items[i].DegradedPasses = append(out.Items[i].DegradedPasses, FailoverPass)
@@ -393,7 +507,9 @@ func (rt *Router) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 
 // handleHealth probes every shard's /readyz and reports the fleet.
 // The router itself is healthy while it can serve; a dark shard makes
-// the fleet "degraded", not down — failover covers its keyspace.
+// the fleet "degraded", not down — failover covers its keyspace. The
+// live probe results also feed the background health tracker, whose
+// current up/suspect/down view rides along in "tracked".
 func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 	names := rt.ring.Shards()
 	states := make(map[string]string, len(names))
@@ -417,6 +533,7 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 					}
 				}
 			}
+			rt.recordProbe(name, state == "ready")
 			mu.Lock()
 			states[name] = state
 			if state == "ready" {
@@ -433,10 +550,15 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if ready == 0 {
 		status = "down"
 	}
+	tracked := make(map[string]string, len(names))
+	for name, st := range rt.health.snapshot() {
+		tracked[name] = st.String()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": status,
-		"ready":  ready,
-		"shards": states,
+		"status":  status,
+		"ready":   ready,
+		"shards":  states,
+		"tracked": tracked,
 	})
 }
 
@@ -449,6 +571,11 @@ func (rt *Router) writeMetrics(w io.Writer) {
 	counter("router_batch_requests_total", "Batch requests fanned out.", rt.batches.Load())
 	counter("router_batch_items_total", "Batch items multiplexed.", rt.items.Load())
 	counter("router_failover_total", "Requests or items served by a non-home shard after failover.", rt.failovers.Load())
+	fmt.Fprintf(w, "# HELP router_hedge_total Hedged races by outcome (races never launched count in none).\n")
+	fmt.Fprintf(w, "# TYPE router_hedge_total counter\n")
+	fmt.Fprintf(w, "router_hedge_total{outcome=%q} %d\n", "primary", rt.hedgePrimary.Load())
+	fmt.Fprintf(w, "router_hedge_total{outcome=%q} %d\n", "hedge", rt.hedgeWins.Load())
+	fmt.Fprintf(w, "router_hedge_total{outcome=%q} %d\n", "failed", rt.hedgeFailed.Load())
 	fmt.Fprintf(w, "# HELP router_routed_total Requests and batch items routed, by shard.\n")
 	fmt.Fprintf(w, "# TYPE router_routed_total counter\n")
 	names := make([]string, 0, len(rt.routed))
@@ -458,6 +585,12 @@ func (rt *Router) writeMetrics(w io.Writer) {
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Fprintf(w, "router_routed_total{shard=%q} %d\n", name, rt.routed[name].Load())
+	}
+	fmt.Fprintf(w, "# HELP router_shard_state Tracked shard health (0=up, 1=suspect, 2=down).\n")
+	fmt.Fprintf(w, "# TYPE router_shard_state gauge\n")
+	tracked := rt.health.snapshot()
+	for _, name := range names {
+		fmt.Fprintf(w, "router_shard_state{shard=%q} %d\n", name, int(tracked[name]))
 	}
 	fmt.Fprintf(w, "# HELP router_shards Shards on the consistent-hash ring.\n")
 	fmt.Fprintf(w, "# TYPE router_shards gauge\nrouter_shards %d\n", rt.ring.Len())

@@ -15,6 +15,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -24,7 +25,8 @@ import (
 )
 
 // testCluster is a 3-shard cluster plus router, all in-process over
-// real HTTP. kill(i) makes shard i unreachable (connection refused).
+// real HTTP. kill(i) makes shard i unreachable (connection refused);
+// refuse/stall toggle softer failure modes per shard.
 type testCluster struct {
 	router  *Router
 	rsrv    *httptest.Server
@@ -32,19 +34,44 @@ type testCluster struct {
 	shards  []*httptest.Server
 	headers []http.Header // last request headers seen per shard (compile/batch only)
 	mu      sync.Mutex
+
+	refuse []atomic.Bool  // shard answers 503 to everything (incl. /readyz)
+	stall  []atomic.Int64 // ns to sleep before serving /v1/* (probes unaffected)
+	hits   []atomic.Int64 // POST /v1/compile attempts seen, refused or not
 }
 
 func newTestCluster(t *testing.T, n int) *testCluster {
+	return newTestClusterCfg(t, n, nil)
+}
+
+// newTestClusterCfg builds the cluster with a Config hook so tests can
+// turn on hedging or speed up the health prober.
+func newTestClusterCfg(t *testing.T, n int, mod func(*Config)) *testCluster {
 	t.Helper()
 	tc := &testCluster{
 		daemons: make([]*daemon.Daemon, n),
 		shards:  make([]*httptest.Server, n),
 		headers: make([]http.Header, n),
+		refuse:  make([]atomic.Bool, n),
+		stall:   make([]atomic.Int64, n),
+		hits:    make([]atomic.Int64, n),
 	}
 	peers := make(map[string]string, n)
 	for i := 0; i < n; i++ {
 		i := i
 		tc.shards[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/compile" {
+				tc.hits[i].Add(1)
+			}
+			if tc.refuse[i].Load() {
+				http.Error(w, "injected refusal", http.StatusServiceUnavailable)
+				return
+			}
+			if strings.HasPrefix(r.URL.Path, "/v1/") {
+				if ns := tc.stall[i].Load(); ns > 0 {
+					time.Sleep(time.Duration(ns))
+				}
+			}
 			if strings.HasPrefix(r.URL.Path, "/v1/compile") || strings.HasPrefix(r.URL.Path, "/v1/batch") {
 				tc.mu.Lock()
 				tc.headers[i] = r.Header.Clone()
@@ -65,14 +92,31 @@ func newTestCluster(t *testing.T, n int) *testCluster {
 		t.Cleanup(func() { d.Close(context.Background()) })
 		tc.daemons[i] = d
 	}
-	rt, err := New(Config{Shards: peers})
+	cfg := Config{Shards: peers}
+	if mod != nil {
+		mod(&cfg)
+	}
+	rt, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tc.router = rt
+	t.Cleanup(rt.Close)
 	tc.rsrv = httptest.NewServer(rt.Handler())
 	t.Cleanup(tc.rsrv.Close)
 	return tc
+}
+
+// shardIndex finds the test index of a shard by name.
+func (tc *testCluster) shardIndex(t *testing.T, name string) int {
+	t.Helper()
+	for i := range tc.daemons {
+		if tc.daemons[i].ShardID() == name {
+			return i
+		}
+	}
+	t.Fatalf("no shard named %s", name)
+	return -1
 }
 
 func shardName(i int) string { return fmt.Sprintf("shard-%c", 'a'+i) }

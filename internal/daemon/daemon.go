@@ -18,6 +18,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -36,6 +37,10 @@ const shedRetryAfter = 1
 // (~2.5 ms/function); past that the shard compiles locally instead of
 // waiting on a slow or partitioned peer.
 const DefaultPeerTimeout = 250 * time.Millisecond
+
+// DefaultSnapshotInterval is the periodic cache-snapshot cadence when
+// Config.SnapshotPath is set without an explicit interval.
+const DefaultSnapshotInterval = 30 * time.Second
 
 // Config assembles a daemon.
 type Config struct {
@@ -61,6 +66,17 @@ type Config struct {
 	VNodes int
 	// PeerTimeout bounds one peer cache fetch (0 = DefaultPeerTimeout).
 	PeerTimeout time.Duration
+
+	// SnapshotPath, when set, makes the warm cache survive restarts:
+	// the daemon loads the file at startup (a corrupt or stale snapshot
+	// is logged, counted, and ignored — the cache starts cold, the
+	// process never crashes), rewrites it every SnapshotInterval and on
+	// POST /v1/snapshot, and saves once more while draining in Close.
+	SnapshotPath string
+	// SnapshotInterval is the periodic save cadence
+	// (0 = DefaultSnapshotInterval; negative disables the ticker,
+	// leaving only drain-time and on-demand saves).
+	SnapshotInterval time.Duration
 }
 
 // Daemon wires the engine to the HTTP surface and carries the drain
@@ -75,6 +91,11 @@ type Daemon struct {
 	ring        *ring.Ring
 	peerTimeout time.Duration
 	peerClient  *http.Client
+
+	snapshotPath string
+	snapMu       sync.Mutex // serializes snapshot saves
+	snapStop     chan struct{}
+	snapOnce     sync.Once
 
 	draining atomic.Bool
 }
@@ -103,7 +124,53 @@ func New(cfg Config) *Daemon {
 		ecfg.PeerFetch = d.peerFetch
 	}
 	d.engine = service.New(ecfg)
+	if cfg.SnapshotPath != "" {
+		d.snapshotPath = cfg.SnapshotPath
+		if n, err := d.engine.LoadSnapshotFile(cfg.SnapshotPath); err != nil {
+			d.logger().Warn("cache snapshot rejected, starting cold",
+				"shard", d.shardID, "path", cfg.SnapshotPath, "err", err)
+		} else if n > 0 {
+			d.logger().Info("cache snapshot loaded",
+				"shard", d.shardID, "path", cfg.SnapshotPath, "entries", n)
+		}
+		d.snapStop = make(chan struct{})
+		interval := cfg.SnapshotInterval
+		if interval == 0 {
+			interval = DefaultSnapshotInterval
+		}
+		if interval > 0 {
+			go d.snapshotLoop(interval)
+		}
+	}
 	return d
+}
+
+// snapshotLoop periodically rewrites the snapshot until Close.
+func (d *Daemon) snapshotLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.snapStop:
+			return
+		case <-t.C:
+			if _, err := d.SaveSnapshotNow(); err != nil {
+				d.logger().Warn("periodic cache snapshot failed",
+					"shard", d.shardID, "err", err)
+			}
+		}
+	}
+}
+
+// SaveSnapshotNow writes the cache to SnapshotPath (atomically, via
+// temp file + rename) and returns the number of entries written.
+func (d *Daemon) SaveSnapshotNow() (int, error) {
+	if d.snapshotPath == "" {
+		return 0, errors.New("daemon: no snapshot path configured")
+	}
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+	return d.engine.SaveSnapshotFile(d.snapshotPath, d.shardID)
 }
 
 // Engine exposes the underlying compilation engine (metrics, close).
@@ -112,8 +179,34 @@ func (d *Daemon) Engine() *service.Engine { return d.engine }
 // ShardID returns the daemon's cluster identity ("" when standalone).
 func (d *Daemon) ShardID() string { return d.shardID }
 
-// Close drains the engine; see service.Engine.Close.
-func (d *Daemon) Close(ctx context.Context) error { return d.engine.Close(ctx) }
+// Close drains the engine (see service.Engine.Close) after stopping
+// the snapshot ticker and taking one final drain-time snapshot, so a
+// graceful restart always resumes from the freshest possible cache.
+func (d *Daemon) Close(ctx context.Context) error {
+	if d.snapStop != nil {
+		d.snapOnce.Do(func() { close(d.snapStop) })
+		if n, err := d.SaveSnapshotNow(); err != nil {
+			d.logger().Warn("drain-time cache snapshot failed", "shard", d.shardID, "err", err)
+		} else {
+			d.logger().Info("drain-time cache snapshot saved", "shard", d.shardID, "entries", n)
+		}
+	}
+	return d.engine.Close(ctx)
+}
+
+// Crash terminates the daemon the way a dead process would: the
+// snapshot ticker stops, in-flight work is abandoned, and — unlike
+// Close — no drain-time snapshot is written. After a Crash, warm
+// restart depends entirely on the last periodic snapshot, which is
+// exactly the property the chaos harness exists to prove.
+func (d *Daemon) Crash() {
+	if d.snapStop != nil {
+		d.snapOnce.Do(func() { close(d.snapStop) })
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d.engine.Close(ctx)
+}
 
 func (d *Daemon) logger() *slog.Logger {
 	if d.log != nil {
@@ -332,6 +425,12 @@ func (d *Daemon) CacheStats() rolagdapi.CacheStats {
 		PeerMisses:   s.PeerMisses,
 		Compiles:     s.Compiles,
 		CacheEntries: s.CacheEntries,
+
+		SnapshotSaves:    s.SnapshotSaves,
+		SnapshotLoads:    s.SnapshotLoads,
+		SnapshotRejected: s.SnapshotRejected,
+		SnapshotEntries:  s.SnapshotEntries,
+		SnapshotWarmHits: s.SnapshotWarmHits,
 	}
 }
 
@@ -384,6 +483,21 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/cache/{key}", d.handleCacheExport)
 	mux.HandleFunc("GET /v1/cachestats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.CacheStats())
+	})
+
+	// Force a cache snapshot save right now (operators, tests, and the
+	// chaos harness). 501 when the daemon runs without a snapshot path.
+	mux.HandleFunc("POST /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if d.snapshotPath == "" {
+			writeJSON(w, http.StatusNotImplemented, rolagdapi.ErrorResponse{Error: "snapshotting not configured (start with -snapshot)"})
+			return
+		}
+		n, err := d.SaveSnapshotNow()
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, rolagdapi.ErrorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"entries": n, "path": d.snapshotPath})
 	})
 
 	// Liveness: the process is up and serving HTTP. Stays 200 through a

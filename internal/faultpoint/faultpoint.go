@@ -41,6 +41,10 @@ const (
 	// KindCorrupt makes the visiting code corrupt its in-flight IR so
 	// the verifier (not the fault site) must catch the damage.
 	KindCorrupt
+	// KindDrop makes the visiting code black-hole the operation: at a
+	// network site the request is swallowed until its context expires,
+	// simulating a partition rather than a fast refusal.
+	KindDrop
 )
 
 func (k Kind) String() string {
@@ -55,6 +59,8 @@ func (k Kind) String() string {
 		return "error"
 	case KindCorrupt:
 		return "corrupt"
+	case KindDrop:
+		return "drop"
 	}
 	return "unknown"
 }
@@ -70,8 +76,10 @@ func ParseKind(s string) (Kind, error) {
 		return KindError, nil
 	case "corrupt":
 		return KindCorrupt, nil
+	case "drop":
+		return KindDrop, nil
 	}
-	return None, fmt.Errorf("faultpoint: unknown kind %q (want panic, stall, error or corrupt)", s)
+	return None, fmt.Errorf("faultpoint: unknown kind %q (want panic, stall, error, corrupt or drop)", s)
 }
 
 // Well-known non-pass sites. Pass sites are named "pass:<pass name>" by
@@ -110,6 +118,17 @@ type arm struct {
 	count int // <= 0: every visit
 }
 
+// siteProb is one prefix-scoped probabilistic arming (EnableSites):
+// unlike the global Enable it only fires at sites matching its prefix,
+// so a cluster chaos run can shape the network without also injecting
+// pipeline faults.
+type siteProb struct {
+	prefix string
+	prob   float64
+	kinds  []Kind
+	rng    *rand.Rand
+}
+
 var (
 	active atomic.Bool
 
@@ -118,6 +137,7 @@ var (
 	prob      float64
 	probKinds []Kind
 	rng       *rand.Rand
+	siteProbs []*siteProb
 	stall     time.Duration
 	firedN    uint64
 	firedBy   map[string]uint64
@@ -130,6 +150,7 @@ func resetLocked() {
 	prob = 0
 	probKinds = nil
 	rng = nil
+	siteProbs = nil
 	stall = DefaultStall
 	firedN = 0
 	firedBy = make(map[string]uint64)
@@ -147,6 +168,30 @@ func Enable(o Options) {
 		probKinds = []Kind{KindPanic, KindStall, KindError, KindCorrupt}
 	}
 	rng = rand.New(rand.NewSource(o.Seed))
+	if o.Stall > 0 {
+		stall = o.Stall
+	}
+	active.Store(true)
+}
+
+// EnableSites arms only the sites whose name starts with prefix
+// probabilistically per o, and activates the subsystem. Later prefixes
+// win on overlap; deterministic arms still take precedence at their
+// site, and the global Enable probability never applies to a site a
+// prefix covers. o.Stall, when set, adjusts the shared stall duration.
+func EnableSites(prefix string, o Options) {
+	mu.Lock()
+	defer mu.Unlock()
+	kinds := o.Kinds
+	if len(kinds) == 0 {
+		kinds = []Kind{KindPanic, KindStall, KindError, KindCorrupt}
+	}
+	siteProbs = append([]*siteProb{{
+		prefix: prefix,
+		prob:   o.Prob,
+		kinds:  kinds,
+		rng:    rand.New(rand.NewSource(o.Seed)),
+	}}, siteProbs...)
 	if o.Stall > 0 {
 		stall = o.Stall
 	}
@@ -245,13 +290,12 @@ func Fire(site string, allowed ...Kind) Kind {
 				delete(arms, site)
 			}
 		}
-	} else if rng != nil && prob > 0 && rng.Float64() < prob {
-		cands := allowedOf(probKinds, allowed)
-		if len(cands) == 1 {
-			k = cands[0]
-		} else if len(cands) > 1 {
-			k = cands[rng.Intn(len(cands))]
+	} else if sp := siteProbFor(site); sp != nil {
+		if sp.prob > 0 && sp.rng.Float64() < sp.prob {
+			k = drawKind(sp.rng, allowedOf(sp.kinds, allowed))
 		}
+	} else if rng != nil && prob > 0 && rng.Float64() < prob {
+		k = drawKind(rng, allowedOf(probKinds, allowed))
 	}
 	if k != None {
 		firedN++
@@ -263,6 +307,28 @@ func Fire(site string, allowed ...Kind) Kind {
 		time.Sleep(d)
 	}
 	return k
+}
+
+// siteProbFor returns the first (most recently installed) prefix
+// arming covering site. Callers hold mu.
+func siteProbFor(site string) *siteProb {
+	for _, sp := range siteProbs {
+		if strings.HasPrefix(site, sp.prefix) {
+			return sp
+		}
+	}
+	return nil
+}
+
+// drawKind picks uniformly from cands, None when empty.
+func drawKind(r *rand.Rand, cands []Kind) Kind {
+	switch len(cands) {
+	case 0:
+		return None
+	case 1:
+		return cands[0]
+	}
+	return cands[r.Intn(len(cands))]
 }
 
 func kindAllowed(k Kind, allowed []Kind) bool {

@@ -1,0 +1,58 @@
+package faultpoint
+
+// Network-shaped faults. The cluster's links (router → shard, shard →
+// peer) are modeled as sites named by NetSite; Transport wraps an
+// http.RoundTripper so every request crossing a link visits its site
+// and can be delayed (KindStall), refused (KindError), or black-holed
+// until the request's context expires (KindDrop). The chaos harness
+// arms them with EnableSites("net:", ...), which leaves the pipeline
+// and cache sites untouched.
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// NetSitePrefix is the namespace of network fault sites; arm all links
+// at once with EnableSites(NetSitePrefix, opts).
+const NetSitePrefix = "net:"
+
+// NetSite names the fault site of the link to one shard.
+func NetSite(shard string) string { return NetSitePrefix + shard }
+
+// Transport is an http.RoundTripper that injects network faults on the
+// links SiteFor recognizes. The zero value with a SiteFor is usable;
+// requests SiteFor maps to "" pass through untouched.
+type Transport struct {
+	// Base performs the real round trip (nil = http.DefaultTransport).
+	Base http.RoundTripper
+	// SiteFor maps a request to its fault site, typically by host via
+	// NetSite. Returning "" exempts the request.
+	SiteFor func(*http.Request) string
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	site := ""
+	if t.SiteFor != nil {
+		site = t.SiteFor(req)
+	}
+	if site != "" {
+		switch Fire(site, KindStall, KindError, KindDrop) {
+		case KindError:
+			// A fast refusal, like a connection reset by a dead peer.
+			return nil, fmt.Errorf("faultpoint: injected refusal at %s", site)
+		case KindDrop:
+			// A partition: the packets just vanish. Nothing moves until
+			// the caller's own deadline or hedge gives up on the link.
+			<-req.Context().Done()
+			return nil, fmt.Errorf("faultpoint: injected blackhole at %s: %w", site, req.Context().Err())
+		}
+		// KindStall already slept inside Fire; fall through to the real
+		// round trip — a slow link, not a dead one.
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

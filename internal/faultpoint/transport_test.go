@@ -1,0 +1,104 @@
+package faultpoint
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func netClient(srvHost, shard string) *http.Client {
+	return &http.Client{Transport: &Transport{
+		SiteFor: func(req *http.Request) string {
+			if req.URL.Host == srvHost {
+				return NetSite(shard)
+			}
+			return ""
+		},
+	}}
+}
+
+func TestTransportPassThroughWhenDisarmed(t *testing.T) {
+	t.Cleanup(Reset)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(srv.Close)
+	c := netClient(strings.TrimPrefix(srv.URL, "http://"), "shard-a")
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body %q", body)
+	}
+}
+
+func TestTransportRefusal(t *testing.T) {
+	t.Cleanup(Reset)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	t.Cleanup(srv.Close)
+	Arm(NetSite("shard-a"), KindError, 1)
+	c := netClient(strings.TrimPrefix(srv.URL, "http://"), "shard-a")
+	if _, err := c.Get(srv.URL); err == nil || !strings.Contains(err.Error(), "injected refusal") {
+		t.Fatalf("want injected refusal, got %v", err)
+	}
+	// The arm is consumed: the next request goes through.
+	if _, err := c.Get(srv.URL); err != nil {
+		t.Fatalf("second request: %v", err)
+	}
+}
+
+// TestTransportDropBlocksUntilContext pins the partition shape: a
+// dropped request must not fail fast — it hangs until the caller's
+// context gives up, exactly like a real blackhole.
+func TestTransportDropBlocksUntilContext(t *testing.T) {
+	t.Cleanup(Reset)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	t.Cleanup(srv.Close)
+	Arm(NetSite("shard-a"), KindDrop, 1)
+	c := netClient(strings.TrimPrefix(srv.URL, "http://"), "shard-a")
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err := c.Do(req)
+	if err == nil {
+		t.Fatal("dropped request succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want the caller's deadline error, got %v", err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("drop failed fast (%v); a partition must block until the context expires", d)
+	}
+}
+
+// TestEnableSitesScoping pins that a "net:" prefix arming never fires
+// at pipeline sites and that the global Enable never fires at sites a
+// prefix covers.
+func TestEnableSitesScoping(t *testing.T) {
+	t.Cleanup(Reset)
+	EnableSites(NetSitePrefix, Options{Seed: 1, Prob: 1, Kinds: []Kind{KindError}})
+	if k := Fire(EngineRun, KindError); k != None {
+		t.Fatalf("prefix arming fired at %s: %v", EngineRun, k)
+	}
+	if k := Fire(NetSite("shard-a"), KindStall, KindError, KindDrop); k != KindError {
+		t.Fatalf("prefix arming did not fire at its own site: %v", k)
+	}
+	Reset()
+	Enable(Options{Seed: 1, Prob: 1, Kinds: []Kind{KindError}})
+	EnableSites(NetSitePrefix, Options{Seed: 1, Prob: 0})
+	if k := Fire(NetSite("shard-a"), KindStall, KindError, KindDrop); k != None {
+		t.Fatalf("global prob leaked into a prefix-covered site: %v", k)
+	}
+	if k := Fire(EngineRun, KindError); k != KindError {
+		t.Fatalf("global prob stopped firing elsewhere: %v", k)
+	}
+}

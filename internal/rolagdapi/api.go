@@ -147,6 +147,15 @@ type CacheStats struct {
 	PeerMisses   int64  `json:"peerMisses"`
 	Compiles     int64  `json:"compiles"`
 	CacheEntries int    `json:"cacheEntries"`
+	// Warm-restart snapshot counters: whole-file saves/loads/rejections,
+	// entries restored at startup, and cache hits those restored entries
+	// went on to serve. Aggregated fleet-wide by the router like the
+	// rest of the struct.
+	SnapshotSaves    int64 `json:"snapshotSaves,omitempty"`
+	SnapshotLoads    int64 `json:"snapshotLoads,omitempty"`
+	SnapshotRejected int64 `json:"snapshotRejected,omitempty"`
+	SnapshotEntries  int64 `json:"snapshotEntries,omitempty"`
+	SnapshotWarmHits int64 `json:"snapshotWarmHits,omitempty"`
 	// Shards is the per-shard breakdown (router responses only).
 	Shards []CacheStats `json:"shards,omitempty"`
 }
@@ -171,6 +180,11 @@ func (s *CacheStats) Add(other *CacheStats) {
 	s.PeerMisses += other.PeerMisses
 	s.Compiles += other.Compiles
 	s.CacheEntries += other.CacheEntries
+	s.SnapshotSaves += other.SnapshotSaves
+	s.SnapshotLoads += other.SnapshotLoads
+	s.SnapshotRejected += other.SnapshotRejected
+	s.SnapshotEntries += other.SnapshotEntries
+	s.SnapshotWarmHits += other.SnapshotWarmHits
 }
 
 // ToService maps the wire request onto an engine request.

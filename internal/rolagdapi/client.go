@@ -147,7 +147,19 @@ func (c *Client) postRetry(ctx context.Context, path string, req, out any) error
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, c.backoff(attempt, lastErr)); err != nil {
+			wait := c.backoff(attempt, lastErr)
+			// A retry must never outlive the caller's budget: if the
+			// wait (a Retry-After hint can stretch it to seconds)
+			// cannot complete before ctx's deadline, give up now with
+			// the last real failure instead of sleeping up against the
+			// deadline only to fail with a bare context error.
+			if deadline, ok := ctx.Deadline(); ok {
+				if remaining := time.Until(deadline); remaining <= wait {
+					return fmt.Errorf("rolagd: not retrying after %d attempts: backoff %v exceeds the %v left before the context deadline: %w",
+						attempt, wait.Round(time.Millisecond), remaining.Round(time.Millisecond), lastErr)
+				}
+			}
+			if err := sleepCtx(ctx, wait); err != nil {
 				return err
 			}
 		}

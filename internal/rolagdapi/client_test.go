@@ -170,17 +170,23 @@ func TestClientExhaustsAttempts(t *testing.T) {
 	}
 }
 
+// TestClientContextCancelsBackoff uses a deadline-less context (so the
+// pre-sleep deadline cap cannot apply) and cancels it mid-backoff: the
+// sleep itself must be interrupted promptly.
 func TestClientContextCancelsBackoff(t *testing.T) {
 	srv, _ := replySeq(t, http.StatusServiceUnavailable, http.StatusServiceUnavailable)
 	c := fastClient(srv.URL)
 	c.BaseDelay = time.Hour // the wait must be cut short by the context
 	c.MaxDelay = time.Hour
-	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
-	defer cancel()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
 	start := time.Now()
 	_, err := c.Compile(ctx, &CompileRequest{Source: "int f() { return 1; }"})
-	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("want deadline error, got %v", err)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want cancellation error, got %v", err)
 	}
 	if time.Since(start) > 5*time.Second {
 		t.Fatal("context cancellation did not interrupt the backoff sleep")
@@ -201,5 +207,43 @@ func TestClientTransportErrorRetried(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "giving up after 2 attempts") {
 		t.Fatalf("transport error not retried to exhaustion: %v", err)
+	}
+}
+
+// TestClientBackoffCappedByDeadline pins the survivability fix: a
+// Retry-After hint that schedules a sleep past the caller's context
+// deadline must make the client give up immediately with the last real
+// failure, not burn the caller's whole budget sleeping. Previously a
+// 300ms-deadline call against a shedding server advertising
+// "Retry-After: 5" slept until the deadline and surfaced a bare
+// context error.
+func TestClientBackoffCappedByDeadline(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.Add(1)
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(ErrorResponse{Error: "shed"})
+	}))
+	t.Cleanup(srv.Close)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := fastClient(srv.URL).Compile(ctx, &CompileRequest{Source: "int f() { return 1; }"})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("call succeeded against an always-shedding server")
+	}
+	// Well before both the 5s hint and the 300ms deadline.
+	if elapsed > 200*time.Millisecond {
+		t.Fatalf("client slept %v toward a retry it could never make", elapsed)
+	}
+	var herr *HTTPError
+	if !errors.As(err, &herr) || herr.Status != http.StatusTooManyRequests {
+		t.Fatalf("error %v does not carry the last real failure (want HTTP 429)", err)
+	}
+	if got := n.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
 	}
 }

@@ -61,3 +61,18 @@ func (c *lruCache) len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// exportAll copies out every cached item oldest-first, so replaying
+// the slice through put() in order reconstructs the recency order
+// (each put moves its key to the front, leaving the last — most
+// recent — item as MRU). Entries are immutable, so sharing the
+// pointers with the caller is safe.
+func (c *lruCache) exportAll() []lruItem {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]lruItem, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		out = append(out, *el.Value.(*lruItem))
+	}
+	return out
+}

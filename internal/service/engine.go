@@ -190,6 +190,11 @@ type entry struct {
 	// never answer a request that wants it).
 	asm       string
 	textBytes int64
+	// fromSnapshot marks entries restored by LoadSnapshot so the first
+	// post-restart hit on each can be counted as snapshot warmth (the
+	// signal the chaos harness gates on). Peer-imported entries do not
+	// set it: they are cluster warmth, not restart warmth.
+	fromSnapshot bool
 }
 
 type job struct {
@@ -334,6 +339,9 @@ func (e *Engine) Compile(ctx context.Context, req Request) (*Response, error) {
 		// compile below still produces a correct answer.
 		if faultpoint.Fire(faultpoint.CacheGet, faultpoint.KindError) != faultpoint.KindError {
 			e.metrics.cacheHits.Add(1)
+			if en.fromSnapshot {
+				e.metrics.snapshotWarmHits.Add(1)
+			}
 			return respFromEntry(en, &req, true)
 		}
 	}

@@ -9,6 +9,12 @@ import (
 	"rolag/internal/costmodel"
 )
 
+// cacheKeyVersion tags the cache-key layout. It is the first component
+// of every key and is stamped into cache snapshots, so a snapshot
+// written under an older key layout can never warm a cache whose keys
+// are hashed under a newer one — the loader rejects it and starts cold.
+const cacheKeyVersion = "v3"
+
 // cacheKey derives the content address of a request: the SHA-256 of the
 // source text plus a canonical encoding of every Config field that can
 // change the compiled output.
@@ -37,8 +43,8 @@ import (
 func cacheKey(req *Request) string {
 	h := sha256.New()
 	cfg := &req.Config
-	fmt.Fprintf(h, "v3|ir=%t|unroll=%d|opt=%d|flatten=%t|skipcleanup=%t|remarks=%t|format=%s|",
-		req.IRInput, cfg.Unroll, cfg.Opt, cfg.Flatten, cfg.SkipCleanup, cfg.Remarks, req.Format)
+	fmt.Fprintf(h, "%s|ir=%t|unroll=%d|opt=%d|flatten=%t|skipcleanup=%t|remarks=%t|format=%s|",
+		cacheKeyVersion, req.IRInput, cfg.Unroll, cfg.Opt, cfg.Flatten, cfg.SkipCleanup, cfg.Remarks, req.Format)
 	if cfg.Opt == rolag.OptRoLAG {
 		o := cfg.Options
 		if o == nil {

@@ -37,6 +37,13 @@ type metrics struct {
 	emitIR      atomic.Int64
 	emitAsm     atomic.Int64
 
+	// Warm-restart snapshot instrumentation (see snapshot.go).
+	snapshotSaves    atomic.Int64
+	snapshotLoads    atomic.Int64
+	snapshotRejected atomic.Int64
+	snapshotEntries  atomic.Int64
+	snapshotWarmHits atomic.Int64
+
 	latencyBuckets [len(latencyBounds) + 1]atomic.Int64
 	latencyCount   atomic.Int64
 	latencyNanos   atomic.Int64
@@ -141,6 +148,16 @@ type MetricsSnapshot struct {
 	EmitIR  int64 `json:"emit_ir"`
 	EmitAsm int64 `json:"emit_asm"`
 
+	// Warm-restart snapshot instrumentation: save/load/reject are
+	// whole-file operations; SnapshotEntries counts entries restored at
+	// load time and SnapshotWarmHits counts cache hits served by those
+	// restored entries (the honest measure of restart warmth).
+	SnapshotSaves    int64 `json:"snapshot_saves"`
+	SnapshotLoads    int64 `json:"snapshot_loads"`
+	SnapshotRejected int64 `json:"snapshot_rejected"`
+	SnapshotEntries  int64 `json:"snapshot_entries"`
+	SnapshotWarmHits int64 `json:"snapshot_warm_hits"`
+
 	// Fail-soft and overload instrumentation.
 	Degraded     int64            `json:"degraded"`
 	Shed         int64            `json:"shed"`
@@ -241,6 +258,11 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		PeerMisses:        m.peerMisses.Load(),
 		EmitIR:            m.emitIR.Load(),
 		EmitAsm:           m.emitAsm.Load(),
+		SnapshotSaves:     m.snapshotSaves.Load(),
+		SnapshotLoads:     m.snapshotLoads.Load(),
+		SnapshotRejected:  m.snapshotRejected.Load(),
+		SnapshotEntries:   m.snapshotEntries.Load(),
+		SnapshotWarmHits:  m.snapshotWarmHits.Load(),
 		Degraded:          m.degraded.Load(),
 		Shed:              m.shed.Load(),
 		LatencyCount:      m.latencyCount.Load(),
@@ -301,6 +323,11 @@ func (s *MetricsSnapshot) WritePrometheus(w io.Writer) {
 	counter("rolagd_degraded_total", "Compilations that completed fail-soft with passes skipped.", s.Degraded)
 	counter("rolagd_breaker_open_total", "Circuit-breaker open transitions (incl. re-arms after failed probes).", s.BreakerOpens)
 	counter("rolagd_shed_total", "Requests shed by admission control.", s.Shed)
+	counter("rolagd_snapshot_save_total", "Cache snapshots written for warm restarts.", s.SnapshotSaves)
+	counter("rolagd_snapshot_load_total", "Cache snapshots loaded at startup.", s.SnapshotLoads)
+	counter("rolagd_snapshot_rejected_total", "Snapshots rejected (corrupt, truncated, or stale key version); the cache started cold instead.", s.SnapshotRejected)
+	counter("rolagd_snapshot_entries_loaded_total", "Cache entries restored from snapshots.", s.SnapshotEntries)
+	counter("rolagd_snapshot_warm_hits_total", "Cache hits served by snapshot-restored entries.", s.SnapshotWarmHits)
 
 	fmt.Fprintf(w, "# HELP rolagd_emit_total Requests by requested output format.\n")
 	fmt.Fprintf(w, "# TYPE rolagd_emit_total counter\n")

@@ -46,6 +46,13 @@ func (e *Engine) ExportCached(key string) (*CacheEntry, bool) {
 	if !ok {
 		return nil, false
 	}
+	return wireFromEntry(en), true
+}
+
+// wireFromEntry is the inverse of entryFromWire: the pointer-free wire
+// form of a cached result, shared by the peer-cache endpoint and the
+// snapshot writer.
+func wireFromEntry(en *entry) *CacheEntry {
 	return &CacheEntry{
 		IR:           en.irText,
 		SizeBefore:   en.sizeBefore,
@@ -57,7 +64,7 @@ func (e *Engine) ExportCached(key string) (*CacheEntry, bool) {
 		Remarks:      en.remarks,
 		Asm:          en.asm,
 		TextBytes:    en.textBytes,
-	}, true
+	}
 }
 
 // ImportCached stores a peer-fetched entry in the local cache under

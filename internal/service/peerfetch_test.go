@@ -1,0 +1,90 @@
+package service
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPeerFetchTimeoutSingleFlight pins the contract the cluster tier
+// leans on: when the peer fetch for a key times out, the single-flight
+// leader falls through to exactly one local compile, followers share
+// it, the flight slot is released afterwards (the next call is a plain
+// cache hit, no new flight, no second peer fetch), and no goroutines
+// are left behind. Run under -race in CI.
+func TestPeerFetchTimeoutSingleFlight(t *testing.T) {
+	var fetches atomic.Int64
+	e := New(Config{
+		Workers: 2,
+		PeerFetch: func(ctx context.Context, key string) (*CacheEntry, bool) {
+			fetches.Add(1)
+			// A peer that never answers: wait out a short timeout the
+			// way daemon.peerFetch's per-fetch deadline would.
+			tctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+			defer cancel()
+			<-tctx.Done()
+			return nil, true // attempted, failed
+		},
+	})
+	defer e.Close(context.Background())
+
+	before := runtime.NumGoroutine()
+	req := Request{Source: corpus(t, 1)[0].Src, EmitIR: true}
+
+	const callers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = e.Compile(context.Background(), req)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+
+	m := e.Metrics()
+	if m.Compiles != 1 {
+		t.Fatalf("compiles %d, want exactly 1 (no double compile after peer timeout)", m.Compiles)
+	}
+	if fetches.Load() != 1 {
+		t.Fatalf("peer fetches %d, want 1 (only the flight leader asks the peer)", fetches.Load())
+	}
+	if m.PeerMisses != 1 {
+		t.Fatalf("peer misses %d, want 1", m.PeerMisses)
+	}
+	if m.CacheMisses != 1 || m.DedupHits != callers-1 {
+		t.Fatalf("misses=%d dedup=%d, want 1/%d", m.CacheMisses, m.DedupHits, callers-1)
+	}
+
+	// The flight slot must be gone: a fresh call is a cache hit and
+	// never re-enters the peer path.
+	resp, err := e.Compile(context.Background(), req)
+	if err != nil || !resp.CacheHit {
+		t.Fatalf("follow-up: hit=%v err=%v, want cache hit", resp != nil && resp.CacheHit, err)
+	}
+	if fetches.Load() != 1 {
+		t.Fatalf("follow-up triggered another peer fetch (%d total)", fetches.Load())
+	}
+
+	// No goroutine leak: everything spawned for the flight has exited.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d, started with %d: leak after peer timeout", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
