@@ -97,6 +97,12 @@ type forwardResult struct {
 	reply     []byte
 	retryable bool
 	err       error
+	// raceFailed lists every shard that failed retryably inside a hedged
+	// race (primary and/or secondary), so the caller's failover walk can
+	// skip shards already known bad instead of retrying one as the next
+	// primary. Empty for unhedged calls — res.shard identifies the
+	// failure there.
+	raceFailed []string
 }
 
 // forwardHedged forwards to primary and, if no answer lands within the
@@ -109,7 +115,7 @@ type forwardResult struct {
 func (rt *Router) forwardHedged(ctx context.Context, primary, secondary, path string, body []byte) forwardResult {
 	if !rt.hedge || secondary == "" || secondary == primary {
 		status, reply, retryable, err := rt.forwardCtx(ctx, primary, path, body)
-		return forwardResult{primary, status, reply, retryable, err}
+		return forwardResult{shard: primary, status: status, reply: reply, retryable: retryable, err: err}
 	}
 
 	hctx, cancel := context.WithCancel(ctx)
@@ -120,7 +126,7 @@ func (rt *Router) forwardHedged(ctx context.Context, primary, secondary, path st
 	results := make(chan forwardResult, 2)
 	launch := func(shard string) {
 		status, reply, retryable, err := rt.forwardCtx(hctx, shard, path, body)
-		results <- forwardResult{shard, status, reply, retryable, err}
+		results <- forwardResult{shard: shard, status: status, reply: reply, retryable: retryable, err: err}
 	}
 	go launch(primary)
 
@@ -130,6 +136,7 @@ func (rt *Router) forwardHedged(ctx context.Context, primary, secondary, path st
 	hedged := false
 	pending := 1
 	var lastFail forwardResult
+	var raceFailed []string
 	for {
 		select {
 		case res := <-results:
@@ -148,8 +155,10 @@ func (rt *Router) forwardHedged(ctx context.Context, primary, secondary, path st
 				return res // pre-hedge failure: serial failover's turn
 			}
 			lastFail = res
+			raceFailed = append(raceFailed, res.shard)
 			if pending == 0 {
 				rt.hedgeFailed.Add(1)
+				lastFail.raceFailed = raceFailed
 				return lastFail
 			}
 			// One of the racers failed; the other is still in flight.

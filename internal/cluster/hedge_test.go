@@ -122,6 +122,51 @@ func TestRouterHedgeWinsOnStall(t *testing.T) {
 	}
 }
 
+// TestRouterFailoverSkipsRaceFailedShard: when a hedged race fails on
+// both the primary and the secondary, the failover walk must advance
+// past the secondary — it just failed; retrying it as the next primary
+// would spend a round trip on a known-bad shard mid-outage.
+func TestRouterFailoverSkipsRaceFailedShard(t *testing.T) {
+	tc := newTestClusterCfg(t, 3, func(cfg *Config) {
+		cfg.ProbeInterval = -1
+		cfg.Hedge = true
+	})
+	c := &rolagdapi.Client{BaseURL: tc.rsrv.URL}
+
+	cr := rolagdapi.CompileRequest{Source: src(0)}
+	want := serialReference(t, []rolagdapi.CompileRequest{cr})[0]
+	// The key's first two successors fail slowly: stall well past the
+	// cold hedge delay, then 503. The hedge fires at the secondary, both
+	// racers fail, and the walk must go straight to the third shard.
+	order := tc.router.ring.Successors(keyOf(t, cr), 3)
+	for _, name := range order[:2] {
+		i := tc.shardIndex(t, name)
+		tc.stall[i].Store(int64(6 * hedgeColdDelay))
+		tc.refuse[i].Store(true)
+	}
+
+	got, err := c.Compile(context.Background(), &cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IR != want.IR {
+		t.Error("failover answer differs from serial compile")
+	}
+	if !got.Degraded {
+		t.Error("third-shard answer not marked degraded")
+	}
+	if _, _, failed := tc.router.HedgeTotals(); failed != 1 {
+		t.Fatalf("hedge failed-races = %d, want 1 (the race must actually fire and lose)", failed)
+	}
+	// Each losing racer was contacted exactly once: the secondary in the
+	// race, never again as a primary.
+	for j, name := range order[:2] {
+		if hits := tc.hits[tc.shardIndex(t, name)].Load(); hits != 1 {
+			t.Errorf("race-failed shard %d (%s) saw %d compile attempts, want 1", j, name, hits)
+		}
+	}
+}
+
 // TestRouterHedgeQuietOnHealthyCluster pins the no-false-positive side:
 // with fast shards, hedged answers never displace the home shard's, so
 // nothing is marked degraded and the hedge never wins.

@@ -179,11 +179,12 @@ func (rt *Router) Owner(key string) string { return rt.ring.Owner(key) }
 // that justify trying the next shard: 5xx (shard broken or draining)
 // and 429 (shard saturated — its keyspace neighbor may have capacity).
 //
-// Every outcome also feeds the health state machine and the hedging
-// latency window: a served response is a success sample, a transport
-// error with a live context or a 5xx is a failure. A canceled context
-// records nothing — a hedge race's loser is not evidence about the
-// shard, only about the race.
+// Every outcome also feeds the health state machine: a served response
+// is proof of life, a transport error with a live context or a 5xx is a
+// failure. Only 2xx responses feed the hedging latency window, so the
+// hedge delay tracks successful-compile latency rather than shed
+// turnaround. A canceled context records nothing — a hedge race's loser
+// is not evidence about the shard, only about the race.
 func (rt *Router) forwardCtx(ctx context.Context, shard, path string, body []byte) (status int, reply []byte, retryable bool, err error) {
 	base, ok := rt.shards[shard]
 	if !ok {
@@ -220,11 +221,16 @@ func (rt *Router) forwardCtx(ctx context.Context, shard, path string, body []byt
 		}
 	} else {
 		// Any served response (including 429 — saturated, not dead) is
-		// proof of life and a latency sample for the hedge delay.
+		// proof of life, but only 2xx feeds the hedge-delay window: a
+		// shed 429 turns around in microseconds, and sampling it would
+		// drag the quantile down exactly when the fleet is saturated —
+		// firing hedges that double load on an already-overloaded fleet.
 		if state, changed := rt.health.ok(shard); changed {
 			rt.logger().Info("shard recovered", "shard", shard, "state", state.String())
 		}
-		rt.lat[shard].add(time.Since(start))
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			rt.lat[shard].add(time.Since(start))
+		}
 	}
 	if retryable {
 		err = fmt.Errorf("cluster: shard %s: HTTP %d", shard, resp.StatusCode)
@@ -262,15 +268,30 @@ func (rt *Router) handleCompile(w http.ResponseWriter, r *http.Request) {
 	home := succ[0]
 	order := rt.orderShards(succ)
 	var lastErr error
+	// Shards seen failing this request — as a primary or as the losing
+	// half of a hedged race — are skipped for the rest of the walk: a
+	// shard that just failed is not worth another round trip as the next
+	// primary (or as a hedge secondary) during an outage.
+	failed := make(map[string]bool, len(order))
 	for i, shard := range order {
+		if failed[shard] {
+			continue
+		}
 		next := ""
-		if i+1 < len(order) {
-			next = order[i+1]
+		for _, cand := range order[i+1:] {
+			if !failed[cand] {
+				next = cand
+				break
+			}
 		}
 		res := rt.forwardHedged(r.Context(), shard, next, "/v1/compile", body)
 		if res.err != nil && res.retryable {
 			rt.logger().Warn("shard failed, trying next", "shard", res.shard, "key", key[:16], "err", res.err)
 			lastErr = res.err
+			failed[res.shard] = true
+			for _, s := range res.raceFailed {
+				failed[s] = true
+			}
 			continue
 		}
 		if res.err != nil && res.status == 0 {

@@ -63,14 +63,17 @@ func newTestClusterCfg(t *testing.T, n int, mod func(*Config)) *testCluster {
 			if r.URL.Path == "/v1/compile" {
 				tc.hits[i].Add(1)
 			}
-			if tc.refuse[i].Load() {
-				http.Error(w, "injected refusal", http.StatusServiceUnavailable)
-				return
-			}
+			// Stall applies before refuse so stall+refuse together model a
+			// shard that fails slowly (hangs, then errors) — the shape a
+			// hedged race needs for both racers to fail.
 			if strings.HasPrefix(r.URL.Path, "/v1/") {
 				if ns := tc.stall[i].Load(); ns > 0 {
 					time.Sleep(time.Duration(ns))
 				}
+			}
+			if tc.refuse[i].Load() {
+				http.Error(w, "injected refusal", http.StatusServiceUnavailable)
+				return
 			}
 			if strings.HasPrefix(r.URL.Path, "/v1/compile") || strings.HasPrefix(r.URL.Path, "/v1/batch") {
 				tc.mu.Lock()
@@ -365,6 +368,37 @@ func TestRouterCompileShardFailure(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("degradedPasses = %v, want to contain %q", got.DegradedPasses, FailoverPass)
+	}
+}
+
+// TestForwardCtxLatencySamplesOnly2xx pins the hedge window's diet:
+// a shed 429 turns around fast and must not drag the hedge delay down;
+// only successful responses count as latency samples.
+func TestForwardCtxLatencySamplesOnly2xx(t *testing.T) {
+	var status atomic.Int64
+	status.Store(http.StatusTooManyRequests)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(int(status.Load()))
+	}))
+	defer srv.Close()
+	rt, err := New(Config{Shards: map[string]string{"s": srv.URL}, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	if _, _, retryable, err := rt.forwardCtx(context.Background(), "s", "/v1/compile", nil); err == nil || !retryable {
+		t.Fatalf("429 response: retryable=%v err=%v, want a retryable error", retryable, err)
+	}
+	if n := rt.lat["s"].n; n != 0 {
+		t.Fatalf("shed 429 recorded %d latency samples, want 0", n)
+	}
+	status.Store(http.StatusOK)
+	if _, _, _, err := rt.forwardCtx(context.Background(), "s", "/v1/compile", nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := rt.lat["s"].n; n != 1 {
+		t.Fatalf("200 response recorded %d latency samples, want 1", n)
 	}
 }
 

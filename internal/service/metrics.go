@@ -323,7 +323,7 @@ func (s *MetricsSnapshot) WritePrometheus(w io.Writer) {
 	counter("rolagd_degraded_total", "Compilations that completed fail-soft with passes skipped.", s.Degraded)
 	counter("rolagd_breaker_open_total", "Circuit-breaker open transitions (incl. re-arms after failed probes).", s.BreakerOpens)
 	counter("rolagd_shed_total", "Requests shed by admission control.", s.Shed)
-	counter("rolagd_snapshot_save_total", "Cache snapshots written for warm restarts.", s.SnapshotSaves)
+	counter("rolagd_snapshot_save_total", "Cache snapshots durably written (renamed into place) for warm restarts.", s.SnapshotSaves)
 	counter("rolagd_snapshot_load_total", "Cache snapshots loaded at startup.", s.SnapshotLoads)
 	counter("rolagd_snapshot_rejected_total", "Snapshots rejected (corrupt, truncated, or stale key version); the cache started cold instead.", s.SnapshotRejected)
 	counter("rolagd_snapshot_entries_loaded_total", "Cache entries restored from snapshots.", s.SnapshotEntries)

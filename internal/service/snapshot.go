@@ -34,6 +34,10 @@ const (
 	// maxSnapshotLine bounds a single snapshot line; an entry is one
 	// printed function module plus optional asm, far below this.
 	maxSnapshotLine = 64 << 20
+	// maxSnapshotPrealloc caps the staging slice's pre-allocation. The
+	// header is not checksummed, so its entry count is a hint, never an
+	// allocation budget: a lying header must not be able to drive memory.
+	maxSnapshotPrealloc = 4096
 )
 
 // ErrSnapshotRejected wraps every load failure so callers can log the
@@ -110,7 +114,6 @@ func (e *Engine) SaveSnapshot(w io.Writer, shard string) (int, error) {
 	if err := bw.Flush(); err != nil {
 		return 0, err
 	}
-	e.metrics.snapshotSaves.Add(1)
 	return len(items), nil
 }
 
@@ -155,11 +158,21 @@ func (e *Engine) loadSnapshot(r io.Reader) (int, error) {
 	if hdr.CacheKey != cacheKeyVersion {
 		return 0, fmt.Errorf("cache-key version %q, want %q (stale snapshot)", hdr.CacheKey, cacheKeyVersion)
 	}
+	if hdr.Entries < 0 {
+		return 0, fmt.Errorf("negative entry count %d", hdr.Entries)
+	}
 	type staged struct {
 		key string
 		en  *entry
 	}
-	entries := make([]staged, 0, hdr.Entries)
+	// Cap the pre-allocation and let append grow against what the file
+	// actually holds; an overclaimed count fails the truncation check
+	// below instead of allocating first and asking questions later.
+	prealloc := hdr.Entries
+	if prealloc > maxSnapshotPrealloc {
+		prealloc = maxSnapshotPrealloc
+	}
+	entries := make([]staged, 0, prealloc)
 	for i := 0; i < hdr.Entries; i++ {
 		if !sc.Scan() {
 			if err := sc.Err(); err != nil {
@@ -192,7 +205,10 @@ func (e *Engine) loadSnapshot(r io.Reader) (int, error) {
 
 // SaveSnapshotFile atomically writes the cache snapshot to path (via a
 // temp file in the same directory plus rename), so a crash mid-save
-// leaves the previous snapshot intact rather than a truncated one.
+// leaves the previous snapshot intact rather than a truncated one. The
+// snapshot-saves counter is bumped only after the rename lands: it is
+// the signal "a durable snapshot exists" (the chaos harness gates a
+// victim kill on it), so a failed close or rename must not count.
 func (e *Engine) SaveSnapshotFile(path, shard string) (int, error) {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".rolag-snapshot-*")
 	if err != nil {
@@ -211,6 +227,7 @@ func (e *Engine) SaveSnapshotFile(path, shard string) (int, error) {
 		os.Remove(tmp.Name())
 		return 0, err
 	}
+	e.metrics.snapshotSaves.Add(1)
 	return n, nil
 }
 

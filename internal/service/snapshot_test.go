@@ -140,6 +140,11 @@ func TestSnapshotRejection(t *testing.T) {
 		{"future-snapshot-version", rewriteHeader(func(h map[string]any) { h["version"] = 99 })},
 		{"alien-format", rewriteHeader(func(h map[string]any) { h["format"] = "someone-elses-file" })},
 		{"overclaimed-entry-count", rewriteHeader(func(h map[string]any) { h["entries"] = 1000 })},
+		// The header is unchecksummed, so a hostile count must reject
+		// without panicking or allocating: a negative count used to panic
+		// makeslice, a huge one used to attempt the allocation up front.
+		{"negative-entry-count", rewriteHeader(func(h map[string]any) { h["entries"] = -1 })},
+		{"absurd-entry-count", rewriteHeader(func(h map[string]any) { h["entries"] = int64(1) << 40 })},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -205,6 +210,40 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 	resp, err := dst.Compile(context.Background(), reqs[0])
 	if err != nil || !resp.CacheHit {
 		t.Fatalf("post-load compile: hit=%v err=%v", resp != nil && resp.CacheHit, err)
+	}
+	if m := src.Metrics(); m.SnapshotSaves != 1 {
+		t.Fatalf("snapshot saves = %d after one durable save, want 1", m.SnapshotSaves)
+	}
+}
+
+// TestSnapshotSavesCountDurableWritesOnly pins the saves counter to the
+// durable rename: the chaos harness gates a victim kill on it, so a
+// stream-only save or a failed rename must not bump it.
+func TestSnapshotSavesCountDurableWritesOnly(t *testing.T) {
+	src, _ := snapshotEngine(t, 2)
+
+	var buf bytes.Buffer
+	if _, err := src.SaveSnapshot(&buf, "shard-a"); err != nil {
+		t.Fatal(err)
+	}
+	if m := src.Metrics(); m.SnapshotSaves != 0 {
+		t.Fatalf("stream save bumped the durable-saves counter to %d", m.SnapshotSaves)
+	}
+
+	// Renaming the temp file onto an existing directory fails, so the
+	// save is not durable and must not count.
+	if _, err := src.SaveSnapshotFile(t.TempDir(), "shard-a"); err == nil {
+		t.Fatal("SaveSnapshotFile onto a directory succeeded, want rename failure")
+	}
+	if m := src.Metrics(); m.SnapshotSaves != 0 {
+		t.Fatalf("failed rename bumped the durable-saves counter to %d", m.SnapshotSaves)
+	}
+
+	if _, err := src.SaveSnapshotFile(t.TempDir()+"/cache.snapshot", "shard-a"); err != nil {
+		t.Fatal(err)
+	}
+	if m := src.Metrics(); m.SnapshotSaves != 1 {
+		t.Fatalf("snapshot saves = %d after one durable save, want 1", m.SnapshotSaves)
 	}
 }
 
