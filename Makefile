@@ -4,16 +4,20 @@
 # assembly-backend smoke, the cost-model calibration gate, the cluster
 # smoke (3 shards + router under a zipfian burst), and the cluster
 # chaos smoke (faulty links + a shard crash-restarted from its cache
-# snapshot mid-burst); `make bench` regenerates the machine-readable
-# service perf record (results/BENCH_service.json), `make bench-core`
-# the optimizer one (results/BENCH_core.json), `make bench-cluster` the
-# cluster one (results/BENCH_cluster.json), and `make bench-chaos` the
-# survivability one (results/BENCH_chaos.json).
+# snapshot mid-burst), and the fleet-telemetry smoke (traced burst
+# through the router; every sampled trace must stitch across processes
+# and the latency aggregation must be self-consistent); `make bench`
+# regenerates the machine-readable service perf record
+# (results/BENCH_service.json), `make bench-core` the optimizer one
+# (results/BENCH_core.json), `make bench-cluster` the cluster one
+# (results/BENCH_cluster.json), `make bench-chaos` the survivability
+# one (results/BENCH_chaos.json), and `make bench-fleet` the
+# fleet-telemetry one (results/BENCH_fleet.json).
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke chaos-smoke bench-smoke explain-smoke asm-smoke calib-check cluster-smoke chaos-cluster-smoke ci calib bench bench-core bench-cluster bench-chaos serve clean
+.PHONY: all build vet test race fuzz-smoke chaos-smoke bench-smoke explain-smoke asm-smoke calib-check cluster-smoke chaos-cluster-smoke fleet-smoke ci calib bench bench-core bench-cluster bench-chaos bench-fleet serve clean
 
 all: build
 
@@ -125,7 +129,17 @@ chaos-cluster-smoke:
 		-rate 200 -timeout 8s \
 		-out $(or $(TMPDIR),/tmp)/rolag-chaos-cluster-smoke.json
 
-ci: vet build race fuzz-smoke chaos-smoke bench-smoke explain-smoke asm-smoke calib-check cluster-smoke chaos-cluster-smoke
+# Fleet-telemetry smoke: boot the local 3-shard cluster + router with
+# tracing on and one span ring per process, push a traced burst through
+# the router, and gate the telemetry plane's SLOs — every sampled
+# request must yield a fully-stitched multi-process trace from
+# GET /debug/trace/{id} (completeness >= 99%), and the router-observed
+# /v1/compile p99 must agree with the fleet-merged shard-reported p99.
+fleet-smoke:
+	$(GO) run ./cmd/rolag-loadgen -fleet -shards 3 -requests 300 -n 120 -rate 400 \
+		-out $(or $(TMPDIR),/tmp)/rolag-fleet-smoke.json
+
+ci: vet build race fuzz-smoke chaos-smoke bench-smoke explain-smoke asm-smoke calib-check cluster-smoke chaos-cluster-smoke fleet-smoke
 
 bench:
 	$(GO) run ./cmd/experiments -run bench
@@ -141,6 +155,10 @@ bench-cluster:
 # Full chaos run; regenerates the committed survivability record.
 bench-chaos:
 	$(GO) run ./cmd/rolag-loadgen -chaos -timeout 8s -out results/BENCH_chaos.json
+
+# Full fleet-telemetry run; regenerates the committed record.
+bench-fleet:
+	$(GO) run ./cmd/rolag-loadgen -fleet -out results/BENCH_fleet.json
 
 serve:
 	$(GO) run ./cmd/rolagd

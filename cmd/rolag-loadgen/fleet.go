@@ -1,0 +1,301 @@
+package main
+
+// The fleet-telemetry benchmark (-fleet): boot the same local cluster
+// the main benchmark uses — but with tracing on and one span ring per
+// process, exactly like separate OS processes — drive a traced burst
+// through the router, and gate two fleet-plane SLOs:
+//
+//   - Trace completeness: for a sample of requests, the router's
+//     GET /debug/trace/{id} must return a fully-stitched Chrome trace
+//     with a router track AND at least one shard track. The gate is
+//     -min-trace-complete (default 0.99).
+//   - Histogram consistency: the router-observed /v1/compile p99 must
+//     agree with the fleet-merged shard-reported p99 within
+//     -fleet-p99-ratio plus a -fleet-p99-floor absolute allowance.
+//     The router measures hop time on top of shard service time, so
+//     the two can differ — but a wide gap means the aggregation or the
+//     scrape plumbing is lying, which is exactly what this catches.
+//
+// The result is written as rolag/fleet-bench/v1 JSON; the committed
+// copy lives at results/BENCH_fleet.json.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rolag/internal/cluster"
+	"rolag/internal/daemon"
+	"rolag/internal/obs"
+	"rolag/internal/obs/fleet"
+	"rolag/internal/rolagdapi"
+	"rolag/internal/service"
+	"rolag/internal/workloads/angha"
+)
+
+// FleetSchema identifies the BENCH_fleet.json layout.
+const FleetSchema = "rolag/fleet-bench/v1"
+
+type fleetConfig struct {
+	shards, workers, n int
+	seed               int64
+	requests           int
+	rate               float64
+	zipfS              float64
+	timeout            time.Duration
+	out                string
+
+	sample      int     // stitched-trace checks after the burst
+	minComplete float64 // trace-completeness gate
+	p99Ratio    float64 // histogram-consistency ratio allowance
+	p99FloorMs  float64 // histogram-consistency absolute allowance
+	traceBuf    int     // per-process span ring capacity
+}
+
+// FleetResult is the machine-readable fleet-telemetry record.
+type FleetResult struct {
+	Schema string `json:"schema"`
+	Config struct {
+		Shards   int     `json:"shards"`
+		Workers  int     `json:"workers"`
+		CorpusN  int     `json:"corpus_n"`
+		Seed     int64   `json:"seed"`
+		Requests int     `json:"requests"`
+		Rate     float64 `json:"rate_per_sec"`
+		ZipfS    float64 `json:"zipf_s"`
+		TraceBuf int     `json:"trace_buf"`
+	} `json:"config"`
+	Completed int64 `json:"completed"`
+	Errors    int64 `json:"errors"`
+	Trace     struct {
+		Sampled      int     `json:"sampled"`
+		Stitched     int     `json:"stitched"` // router + ≥1 shard track
+		Completeness float64 `json:"completeness"`
+		MinComplete  float64 `json:"min_complete"`
+		DroppedSpans uint64  `json:"dropped_spans"` // router + fleet total
+	} `json:"trace"`
+	Latency struct {
+		RouterP99Ms float64 `json:"router_p99_ms"`
+		FleetP99Ms  float64 `json:"fleet_p99_ms"`
+		RatioLimit  float64 `json:"ratio_limit"`
+		FloorMs     float64 `json:"floor_ms"`
+	} `json:"latency"`
+	Router fleet.RouterStats `json:"router"`
+	Gates  struct {
+		TraceComplete bool `json:"trace_complete"`
+		P99Consistent bool `json:"p99_consistent"`
+	} `json:"gates"`
+}
+
+func runFleet(cfg fleetConfig) {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+
+	// One ring per process. Everything here shares one address space,
+	// so without private rings every "process" would export every span
+	// and stitching would trivially (and falsely) pass.
+	obs.EnableTracing(true)
+	defer obs.EnableTracing(false)
+
+	res := &FleetResult{Schema: FleetSchema}
+	res.Config.Shards = cfg.shards
+	res.Config.Workers = cfg.workers
+	res.Config.CorpusN = cfg.n
+	res.Config.Seed = cfg.seed
+	res.Config.Requests = cfg.requests
+	res.Config.Rate = cfg.rate
+	res.Config.ZipfS = cfg.zipfS
+	res.Config.TraceBuf = cfg.traceBuf
+
+	corpus := angha.Generate(cfg.n, cfg.seed)
+
+	lns := make([]net.Listener, cfg.shards)
+	peers := make(map[string]string, cfg.shards)
+	names := make([]string, cfg.shards)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		lns[i] = ln
+		names[i] = fmt.Sprintf("shard-%c", 'a'+i)
+		peers[names[i]] = "http://" + ln.Addr().String()
+	}
+	for i := range lns {
+		d := daemon.New(daemon.Config{
+			Engine:     service.Config{Workers: cfg.workers},
+			RequestCap: cfg.timeout,
+			Log:        logger,
+			ShardID:    names[i],
+			Peers:      peers,
+			TraceRing:  obs.NewTraceRing(cfg.traceBuf),
+		})
+		go (&http.Server{Handler: d.Handler()}).Serve(lns[i])
+	}
+	rt, err := cluster.New(cluster.Config{
+		Shards:    peers,
+		Log:       logger,
+		Hedge:     true,
+		TraceRing: obs.NewTraceRing(cfg.traceBuf),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	go (&http.Server{Handler: rt.Handler()}).Serve(rln)
+	routerURL := "http://" + rln.Addr().String()
+	routerClient := &rolagdapi.Client{BaseURL: routerURL}
+
+	zrng := rand.New(rand.NewSource(cfg.seed + 1))
+	zipf := rand.NewZipf(zrng, cfg.zipfS, 1, uint64(cfg.n-1))
+	arng := rand.New(rand.NewSource(cfg.seed + 2))
+
+	var (
+		mu       sync.Mutex
+		traceIDs []string
+		wg       sync.WaitGroup
+
+		completed, errs atomic.Int64
+	)
+	for i := 0; i < cfg.requests; i++ {
+		time.Sleep(time.Duration(arng.ExpFloat64() / cfg.rate * float64(time.Second)))
+		idx := int(zipf.Uint64())
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
+			defer cancel()
+			resp, err := routerClient.Compile(ctx, &rolagdapi.CompileRequest{Source: corpus[idx].Src})
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			completed.Add(1)
+			if resp.TraceID != "" {
+				mu.Lock()
+				traceIDs = append(traceIDs, resp.TraceID)
+				mu.Unlock()
+			}
+		}(idx)
+	}
+	wg.Wait()
+	res.Completed = completed.Load()
+	res.Errors = errs.Load()
+
+	// Trace completeness over the most recent -trace-sample requests
+	// (recent, because old traces legitimately age out of a bounded
+	// ring; sampling the tail measures the plane, not ring capacity).
+	sample := traceIDs
+	if len(sample) > cfg.sample {
+		sample = sample[len(sample)-cfg.sample:]
+	}
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	stitched := 0
+	for _, id := range sample {
+		resp, err := httpc.Get(routerURL + "/debug/trace/" + id)
+		if err != nil {
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		procs, err := fleet.Processes(body)
+		if err != nil {
+			continue
+		}
+		shardTracks := 0
+		for name, spans := range procs {
+			if strings.HasPrefix(name, "shard-") && spans > 0 {
+				shardTracks++
+			}
+		}
+		if procs["router"] > 0 && shardTracks >= 1 {
+			stitched++
+		}
+	}
+	res.Trace.Sampled = len(sample)
+	res.Trace.Stitched = stitched
+	res.Trace.MinComplete = cfg.minComplete
+	if len(sample) > 0 {
+		res.Trace.Completeness = float64(stitched) / float64(len(sample))
+	}
+
+	// Histogram consistency: router-observed vs fleet-merged p99 for
+	// /v1/compile, after a synchronous scrape so the merge is current.
+	scrapeCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	rt.ScrapeNow(scrapeCtx)
+	cancel()
+	ov := rt.FleetOverview()
+	res.Router = ov.Router
+	res.Trace.DroppedSpans = ov.Router.TraceDropped
+	for _, sh := range ov.Shards {
+		res.Trace.DroppedSpans += sh.TraceDropped
+	}
+	routerP99 := rt.RouterRouteHist("/v1/compile").Quantile(0.99) * 1e3
+	fleetP99 := rt.FleetRouteHist("/v1/compile").Quantile(0.99) * 1e3
+	res.Latency.RouterP99Ms = routerP99
+	res.Latency.FleetP99Ms = fleetP99
+	res.Latency.RatioLimit = cfg.p99Ratio
+	res.Latency.FloorMs = cfg.p99FloorMs
+
+	within := func(a, b float64) bool { return a <= b*cfg.p99Ratio+cfg.p99FloorMs }
+	res.Gates.P99Consistent = routerP99 > 0 && fleetP99 > 0 &&
+		within(routerP99, fleetP99) && within(fleetP99, routerP99)
+	res.Gates.TraceComplete = res.Trace.Sampled > 0 && res.Trace.Completeness >= cfg.minComplete
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if cfg.out == "" {
+		os.Stdout.Write(data)
+	} else {
+		if dir := filepath.Dir(cfg.out); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		if err := os.WriteFile(cfg.out, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "rolag-loadgen: fleet: %d/%d ok, traces %d/%d stitched (%.1f%%), "+
+		"p99 router %.1fms vs fleet %.1fms, hedge won %d, dropped spans %d\n",
+		res.Completed, cfg.requests, stitched, len(sample), res.Trace.Completeness*100,
+		routerP99, fleetP99, res.Router.HedgeWins, res.Trace.DroppedSpans)
+
+	failed := false
+	if res.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "rolag-loadgen: fleet: %d requests failed\n", res.Errors)
+		failed = true
+	}
+	if !res.Gates.TraceComplete {
+		fmt.Fprintf(os.Stderr, "rolag-loadgen: fleet: trace completeness %.3f below gate %.3f\n",
+			res.Trace.Completeness, cfg.minComplete)
+		failed = true
+	}
+	if !res.Gates.P99Consistent {
+		fmt.Fprintf(os.Stderr, "rolag-loadgen: fleet: p99 inconsistent: router %.1fms vs fleet %.1fms "+
+			"(limit %.1fx + %.0fms)\n", routerP99, fleetP99, cfg.p99Ratio, cfg.p99FloorMs)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

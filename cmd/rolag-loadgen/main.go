@@ -112,6 +112,12 @@ func main() {
 	check := flag.String("check", "", "baseline JSON to gate against (exit 1 on regression)")
 	maxSlowdown := flag.Float64("max-slowdown", 3, "allowed p99 and functions/sec ratio vs the -check baseline")
 	hitRateSlack := flag.Float64("hit-rate-slack", 0.2, "allowed absolute hit-rate drop vs the -check baseline")
+	fleetMode := flag.Bool("fleet", false, "run the fleet-telemetry benchmark with its SLO gates instead of the main benchmark (see fleet.go)")
+	traceSample := flag.Int("trace-sample", 200, "requests whose stitched traces the -fleet completeness gate samples")
+	minTraceComplete := flag.Float64("min-trace-complete", 0.99, "-fleet gate: fraction of sampled traces that must stitch router + ≥1 shard")
+	fleetP99Ratio := flag.Float64("fleet-p99-ratio", 3, "-fleet gate: allowed ratio between router-observed and fleet-merged p99")
+	fleetP99Floor := flag.Float64("fleet-p99-floor", 50, "-fleet gate: absolute p99 disagreement allowance, ms")
+	fleetTraceBuf := flag.Int("fleet-trace-buf", 65536, "per-process span ring capacity in -fleet")
 	chaos := flag.Bool("chaos", false, "run the cluster chaos harness instead of the benchmark (see chaos.go)")
 	chaosNetProb := flag.Float64("chaos-net-prob", 0.02, "per-link fault probability (stall/refuse/blackhole) in -chaos")
 	chaosKillFrac := flag.Float64("chaos-kill-frac", 0.35, "fraction of the run after which the victim shard is crashed")
@@ -119,6 +125,26 @@ func main() {
 	chaosSnapInterval := flag.Duration("chaos-snapshot-interval", 250*time.Millisecond, "shard periodic snapshot cadence in -chaos")
 	minAvailability := flag.Float64("min-availability", 0.99, "chaos gate: completed/issued must reach this")
 	flag.Parse()
+
+	if *fleetMode {
+		runFleet(fleetConfig{
+			shards:      *shards,
+			workers:     *workers,
+			n:           *n,
+			seed:        *seed,
+			requests:    *requests,
+			rate:        *rate,
+			zipfS:       *zipfS,
+			timeout:     *timeout,
+			out:         *out,
+			sample:      *traceSample,
+			minComplete: *minTraceComplete,
+			p99Ratio:    *fleetP99Ratio,
+			p99FloorMs:  *fleetP99Floor,
+			traceBuf:    *fleetTraceBuf,
+		})
+		return
+	}
 
 	if *chaos {
 		runChaos(chaosConfig{

@@ -10,20 +10,32 @@
 //	             [-vnodes 128] [-timeout 60s] [-log text|json]
 //	             [-probe-interval 1s] [-probe-timeout 500ms] [-down-after 3]
 //	             [-hedge] [-hedge-quantile 0.95] [-hedge-min 2ms] [-hedge-max 250ms]
+//	             [-trace=false] [-trace-buf N] [-scrape-interval 2s]
 //
 // Endpoints:
 //
-//	POST /v1/compile    route one compile to the key's home shard
-//	POST /v1/batch      fan a batch across shards by key, results in input order
-//	GET  /v1/cachestats fleet-wide cache counters (aggregate + per shard)
-//	GET  /healthz       fleet readiness: ok / degraded / down per shard
-//	GET  /metrics       Prometheus text exposition (router_* series)
+//	POST /v1/compile     route one compile to the key's home shard
+//	POST /v1/batch       fan a batch across shards by key, results in input order
+//	GET  /v1/cachestats  fleet-wide cache counters (aggregate + per shard)
+//	GET  /healthz        fleet readiness: ok / degraded / down per shard
+//	GET  /metrics        Prometheus text exposition (router_* series)
+//	GET  /debug/fleet    aggregated fleet telemetry (per-shard RED + latency, JSON)
+//	GET  /debug/trace    the router's own span ring (Chrome trace JSON; ?trace=<id> filters)
+//	GET  /debug/trace/{id} one trace stitched across the router and every shard
+//	GET  /debug/pprof/*  runtime profiling
 //
 // When a home shard is unreachable or failing, the router retries the
 // request on the ring's next shard and marks the result degraded (the
 // "router:failover" marker in degradedPasses). Content addressing makes
 // any shard's answer for a key correct, so failover can change latency
 // and cache locality but never the bytes of a result.
+//
+// The router is also the fleet's telemetry plane: a background scrape
+// loop pulls every shard's /v1/cachestats into /debug/fleet (per-shard
+// RED rates, fleet-merged latency quantiles, hedge/failover counters),
+// and /debug/trace/{id} stitches one request's spans across the router
+// and every shard into a single Chrome trace with one track per
+// process — hedge races show both legs, the loser canceled.
 //
 // A background prober additionally tracks every shard up/suspect/down
 // (router_shard_state): a shard that fails -down-after consecutive
@@ -45,6 +57,7 @@ import (
 	"time"
 
 	"rolag/internal/cluster"
+	"rolag/internal/obs"
 )
 
 // parseShards decodes "a=http://h1:8723,b=http://h2:8723" into a
@@ -77,6 +90,9 @@ func main() {
 	hedgeQuantile := flag.Float64("hedge-quantile", 0, "per-shard latency quantile used as the hedge delay (0 = default 0.95)")
 	hedgeMin := flag.Duration("hedge-min", 0, "hedge delay floor (0 = default 2ms)")
 	hedgeMax := flag.Duration("hedge-max", 0, "hedge delay ceiling (0 = default 250ms)")
+	trace := flag.Bool("trace", true, "record per-request spans (exported at /debug/trace)")
+	traceBuf := flag.Int("trace-buf", obs.DefaultTraceCapacity, "span ring-buffer capacity (oldest spans are overwritten)")
+	scrapeInterval := flag.Duration("scrape-interval", 0, "fleet-metrics scrape cadence for /debug/fleet (0 = default 2s; negative disables the loop)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -98,25 +114,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	obs.SetTraceCapacity(*traceBuf)
+	obs.EnableTracing(*trace)
+
 	rt, err := cluster.New(cluster.Config{
-		Shards:        shards,
-		VNodes:        *vnodes,
-		HTTPClient:    &http.Client{Timeout: *timeout},
-		Log:           logger,
-		ProbeInterval: *probeInterval,
-		ProbeTimeout:  *probeTimeout,
-		DownAfter:     *downAfter,
-		Hedge:         *hedge,
-		HedgeQuantile: *hedgeQuantile,
-		HedgeMinDelay: *hedgeMin,
-		HedgeMaxDelay: *hedgeMax,
+		Shards:         shards,
+		VNodes:         *vnodes,
+		HTTPClient:     &http.Client{Timeout: *timeout},
+		Log:            logger,
+		ProbeInterval:  *probeInterval,
+		ProbeTimeout:   *probeTimeout,
+		DownAfter:      *downAfter,
+		Hedge:          *hedge,
+		HedgeQuantile:  *hedgeQuantile,
+		HedgeMinDelay:  *hedgeMin,
+		HedgeMaxDelay:  *hedgeMax,
+		ScrapeInterval: *scrapeInterval,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rolag-router: %v\n", err)
 		os.Exit(2)
 	}
 
-	logger.Info("routing", "addr", *addr, "shards", len(shards), "hedge", *hedge)
+	logger.Info("routing", "addr", *addr, "shards", len(shards), "hedge", *hedge, "trace", *trace)
 	if err := http.ListenAndServe(*addr, rt.Handler()); err != nil {
 		logger.Error("serve failed", "err", err)
 		os.Exit(1)

@@ -1,0 +1,148 @@
+// Command rolag-top is a live terminal dashboard for a rolag fleet:
+// it polls the router's /debug/fleet aggregation and redraws one
+// compact screen in place — per-shard health state, RED rates, cache
+// hit rates, latency quantiles, and the router's own hedge/failover
+// counters.
+//
+// Usage:
+//
+//	rolag-top [-router http://localhost:8722] [-interval 2s] [-once]
+//
+// -once prints a single snapshot (forcing a fresh scrape) and exits —
+// usable from scripts and CI where a redrawing screen is noise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"rolag/internal/obs/fleet"
+)
+
+func fetchOverview(client *http.Client, url string) (fleet.Overview, error) {
+	var ov fleet.Overview
+	resp, err := client.Get(url)
+	if err != nil {
+		return ov, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return ov, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return ov, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if err := json.Unmarshal(body, &ov); err != nil {
+		return ov, fmt.Errorf("decoding /debug/fleet: %w", err)
+	}
+	return ov, nil
+}
+
+// state decorates a shard state with an ANSI color when writing to a
+// terminal: up green, suspect yellow, down red.
+func state(s string, color bool) string {
+	if !color {
+		if s == "" {
+			return "?"
+		}
+		return s
+	}
+	switch s {
+	case "up":
+		return "\x1b[32m" + s + "\x1b[0m"
+	case "suspect":
+		return "\x1b[33m" + s + "\x1b[0m"
+	case "down":
+		return "\x1b[31m" + s + "\x1b[0m"
+	}
+	return "?"
+}
+
+func render(w io.Writer, ov fleet.Overview, routerURL string, color bool) {
+	fmt.Fprintf(w, "rolag fleet  %s  %s\n\n", routerURL, time.Now().Format("15:04:05"))
+
+	r := ov.Router
+	fmt.Fprintf(w, "router   req %d   batches %d (items %d)   failovers %d   hedge won/primary/failed %d/%d/%d   trace-drop %d\n",
+		r.Requests, r.Batches, r.Items, r.Failovers, r.HedgeWins, r.HedgePrimary, r.HedgeFailed, r.TraceDropped)
+
+	// Route latency from both vantages: what the router measured
+	// (includes hop time) next to the fleet merge of shard-reported
+	// histograms. A wide gap between the two is network or queueing,
+	// not compile time.
+	routerByRoute := map[string]fleet.RouteLatency{}
+	for _, rl := range r.Routes {
+		routerByRoute[rl.Route] = rl
+	}
+	routes := append([]fleet.RouteLatency(nil), ov.Routes...)
+	sort.Slice(routes, func(i, j int) bool { return routes[i].Route < routes[j].Route })
+	for _, rl := range routes {
+		line := fmt.Sprintf("route    %-12s n %-7d fleet p50/p95/p99 %.1f/%.1f/%.1f ms", rl.Route, rl.Count, rl.P50Ms, rl.P95Ms, rl.P99Ms)
+		if rr, ok := routerByRoute[rl.Route]; ok && rr.Count > 0 {
+			line += fmt.Sprintf("   router p99 %.1f ms", rr.P99Ms)
+		}
+		fmt.Fprintln(w, line)
+	}
+
+	fmt.Fprintf(w, "\n%-10s %-8s %8s %7s %9s %6s %6s %6s %7s %7s %7s %6s %6s\n",
+		"SHARD", "STATE", "REQ", "REQ/S", "ERR/S", "HIT%", "PEER", "INFL", "P50ms", "P95ms", "P99ms", "DROP", "AGE")
+	for _, sh := range ov.Shards {
+		if !sh.ScrapeOK {
+			fmt.Fprintf(w, "%-10s %-8s scrape failed: %s\n", sh.Shard, state(sh.State, color), sh.ScrapeError)
+			continue
+		}
+		fmt.Fprintf(w, "%-10s %-8s %8d %7.1f %9.2f %6.1f %6d %6d %7.2f %7.2f %7.2f %6d %5.1fs\n",
+			sh.Shard, state(sh.State, color),
+			sh.Requests, sh.RatePerSec, sh.ErrorRatePerSec,
+			sh.HitRate*100, sh.PeerHits, sh.InFlight,
+			sh.P50Ms, sh.P95Ms, sh.P99Ms,
+			sh.TraceDropped, sh.AgeSeconds)
+	}
+}
+
+func main() {
+	router := flag.String("router", "http://localhost:8722", "router base URL")
+	interval := flag.Duration("interval", 2*time.Second, "poll cadence")
+	once := flag.Bool("once", false, "print one snapshot (forcing a fresh scrape) and exit")
+	noColor := flag.Bool("no-color", false, "disable ANSI colors")
+	flag.Parse()
+
+	base := strings.TrimSuffix(*router, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	if *once {
+		ov, err := fetchOverview(client, base+"/debug/fleet?refresh=1")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rolag-top: %v\n", err)
+			os.Exit(1)
+		}
+		render(os.Stdout, ov, base, false)
+		return
+	}
+
+	color := !*noColor
+	var lastErr string
+	for {
+		ov, err := fetchOverview(client, base+"/debug/fleet")
+		// Redraw in place: home the cursor, paint, then clear whatever
+		// the previous (possibly taller) frame left below.
+		var buf strings.Builder
+		buf.WriteString("\x1b[H")
+		if err != nil {
+			lastErr = err.Error()
+			fmt.Fprintf(&buf, "rolag fleet  %s  %s\n\nunreachable: %s\n", base, time.Now().Format("15:04:05"), lastErr)
+		} else {
+			render(&buf, ov, base, color)
+		}
+		buf.WriteString("\x1b[J")
+		os.Stdout.WriteString(buf.String())
+		time.Sleep(*interval)
+	}
+}

@@ -1,0 +1,410 @@
+package cluster
+
+// Fleet telemetry plane tests: cross-process trace stitching through
+// the router's /debug/trace/{id} collector (including a hedged race
+// whose losing leg must survive as a canceled span), trace-header
+// propagation through batch fan-out and failover, router-side trace-ID
+// validation, the /debug/fleet aggregation, the router_* metric
+// additions, and the pprof surface.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"rolag/internal/obs"
+	"rolag/internal/obs/fleet"
+	"rolag/internal/rolagdapi"
+)
+
+// tracingOn flips the global trace gate for one test. Cluster tests
+// share the process-wide gate, but each testCluster records into its
+// own rings, so tests stay isolated as long as they don't overlap —
+// and package tests run serially.
+func tracingOn(t *testing.T) {
+	t.Helper()
+	obs.EnableTracing(true)
+	t.Cleanup(func() { obs.EnableTracing(false) })
+}
+
+// get fetches a router URL and returns status + body.
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// postCompileTraced posts one compile through the router with the
+// given X-Trace-Id header and returns the response headers.
+func postCompileTraced(t *testing.T, tc *testCluster, cr rolagdapi.CompileRequest, traceID string) http.Header {
+	t.Helper()
+	body, _ := json.Marshal(cr)
+	req, err := http.NewRequest("POST", tc.rsrv.URL+"/v1/compile", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set("X-Trace-Id", traceID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("compile: HTTP %d: %s", resp.StatusCode, b)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.Header
+}
+
+// TestStitchedHedgedTrace is the acceptance-criterion test: a hedged
+// compile whose home shard is stalled must produce, via the router's
+// GET /debug/trace/{id}, one Chrome trace with a router process track
+// AND at least one shard process track — and the losing hedge leg must
+// appear as a span with status "canceled". The loser's span lands
+// asynchronously (its round trip dies when the winner returns), so the
+// test polls the collector.
+func TestStitchedHedgedTrace(t *testing.T) {
+	tracingOn(t)
+	tc := newTestClusterCfg(t, 3, func(cfg *Config) {
+		cfg.Hedge = true
+		cfg.ProbeInterval = -1 // no background probes muddying health
+	})
+
+	cr := rolagdapi.CompileRequest{Source: src(0)}
+	owner := tc.router.Owner(keyOf(t, cr))
+	for i := range tc.daemons {
+		if tc.daemons[i].ShardID() == owner {
+			// Stall the home shard well past the 25ms cold hedge delay so
+			// the race fires and the successor wins.
+			tc.stall[i].Store(int64(400 * time.Millisecond))
+		}
+	}
+
+	const traceID = "feedbeeffeedbeef"
+	postCompileTraced(t, tc, cr, traceID)
+
+	if _, wins, _ := tc.router.HedgeTotals(); wins == 0 {
+		t.Fatal("hedge never won despite a 400ms stalled primary; trace can't show a race")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	var lastErr string
+	for time.Now().Before(deadline) {
+		status, body := get(t, tc.rsrv.URL+"/debug/trace/"+traceID)
+		if status != http.StatusOK {
+			t.Fatalf("GET /debug/trace/%s: HTTP %d: %s", traceID, status, body)
+		}
+		procs, err := fleet.Processes(body)
+		if err != nil {
+			t.Fatalf("stitched trace is not valid Chrome JSON: %v", err)
+		}
+		statuses, err := fleet.SpanStatuses(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardTracks := 0
+		for name, n := range procs {
+			if strings.HasPrefix(name, "shard-") && n > 0 {
+				shardTracks++
+			}
+		}
+		canceled := 0
+		for _, s := range statuses {
+			if s == "canceled" {
+				canceled++
+			}
+		}
+		if procs["router"] > 0 && shardTracks >= 1 && canceled >= 1 {
+			return // fully stitched, loser visible
+		}
+		lastErr = fmt.Sprintf("procs=%v statuses=%v", procs, statuses)
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("stitched trace never complete: %s", lastErr)
+}
+
+// TestBatchTraceFanout asserts the batch-propagation contract: every
+// shard-bound sub-batch request carries the batch's trace ID and a
+// distinct, valid parent span ID — including the retry rounds after a
+// shard dies mid-cluster.
+func TestBatchTraceFanout(t *testing.T) {
+	tracingOn(t)
+	tc := newTestCluster(t, 3)
+
+	var items []rolagdapi.CompileRequest
+	for i := 0; i < 12; i++ {
+		items = append(items, rolagdapi.CompileRequest{Source: src(i)})
+	}
+
+	const traceID = "beadfacebeadface"
+	body, _ := json.Marshal(rolagdapi.BatchRequest{Items: items})
+	req, err := http.NewRequest("POST", tc.rsrv.URL+"/v1/batch", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Trace-Id", traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: HTTP %d", resp.StatusCode)
+	}
+
+	checkFanout := func(since []int, wantTrace string, wantMin int) {
+		t.Helper()
+		parents := map[string]bool{}
+		total := 0
+		tc.mu.Lock()
+		defer tc.mu.Unlock()
+		for i := range tc.allHeaders {
+			for _, h := range tc.allHeaders[i][since[i]:] {
+				total++
+				if got := h.Get("X-Trace-Id"); got != wantTrace {
+					t.Errorf("shard %d sub-request carried trace ID %q, want %q", i, got, wantTrace)
+				}
+				parent := h.Get("X-Trace-Parent")
+				if !obs.ValidSpanID(parent) {
+					t.Errorf("shard %d sub-request parent %q is not a valid span ID", i, parent)
+				}
+				if parents[parent] {
+					t.Errorf("parent span %q reused across sub-requests; each hop must mint its own", parent)
+				}
+				parents[parent] = true
+			}
+		}
+		if total < wantMin {
+			t.Fatalf("saw %d shard-bound sub-requests, want at least %d", total, wantMin)
+		}
+	}
+
+	// Round one: items spread over 3 shards, so ≥2 sub-batches, each
+	// with the batch's trace ID and its own parent span.
+	checkFanout([]int{0, 0, 0}, traceID, 2)
+
+	// Round two: kill the shard owning item 0 and re-send under a new
+	// trace ID. The failover rounds must propagate headers identically.
+	deadName := tc.router.Owner(keyOf(t, items[0]))
+	for i := range tc.daemons {
+		if tc.daemons[i].ShardID() == deadName {
+			tc.kill(i)
+		}
+	}
+	since := make([]int, len(tc.allHeaders))
+	tc.mu.Lock()
+	for i := range tc.allHeaders {
+		since[i] = len(tc.allHeaders[i])
+	}
+	tc.mu.Unlock()
+
+	const traceID2 = "cafecafecafecafe"
+	req2, err := http.NewRequest("POST", tc.rsrv.URL+"/v1/batch", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set("X-Trace-Id", traceID2)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br rolagdapi.BatchResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	failedOver := 0
+	for i, item := range br.Items {
+		if item.Error != "" {
+			t.Fatalf("item %d failed despite live successors: %s", i, item.Error)
+		}
+		if item.FailedOver {
+			failedOver++
+		}
+	}
+	if failedOver == 0 {
+		t.Fatal("dead shard owned no items; failover propagation untested")
+	}
+	// The dead shard's server is closed, so every recorded header is
+	// from a live shard: the original sub-batches plus ≥1 failover
+	// round, all under the new trace ID with fresh distinct parents.
+	checkFanout(since, traceID2, 3)
+
+	// Sanity-check the per-item count metric still adds up.
+	if got := tc.router.items.Load(); got < int64(2*len(items)) {
+		t.Errorf("router items counter = %d, want ≥ %d", got, 2*len(items))
+	}
+}
+
+// TestRouterTraceIDValidation mirrors the daemon-side regression: junk
+// X-Trace-Id headers must be re-minted at the router boundary, never
+// echoed back or forwarded.
+func TestRouterTraceIDValidation(t *testing.T) {
+	tc := newTestCluster(t, 3)
+
+	junk := []string{
+		"short",                 // under 8 chars
+		strings.Repeat("a", 65), // over 64 chars
+		"ABCDEF0123456789",      // uppercase
+		"0123456789abcdeg",      // non-hex
+		"0123 6789abcdef",       // whitespace
+		"../../../../etc",       // traversal junk
+	}
+	for _, id := range junk {
+		hdr := postCompileTraced(t, tc, rolagdapi.CompileRequest{Source: src(1)}, id)
+		got := hdr.Get("X-Trace-Id")
+		if got == id {
+			t.Errorf("router echoed junk trace ID %q", id)
+		}
+		if !obs.ValidTraceID(got) {
+			t.Errorf("router minted invalid trace ID %q for junk %q", got, id)
+		}
+	}
+
+	// A valid caller-supplied ID is still honored verbatim.
+	hdr := postCompileTraced(t, tc, rolagdapi.CompileRequest{Source: src(2)}, "0123456789abcdef")
+	if got := hdr.Get("X-Trace-Id"); got != "0123456789abcdef" {
+		t.Errorf("router re-minted a valid trace ID: got %q", got)
+	}
+}
+
+// TestRouterFleetEndpoint drives traffic, forces a scrape, and checks
+// the /debug/fleet document: one row per shard with health state and
+// request counts, fleet-merged route latency, and router counters.
+func TestRouterFleetEndpoint(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	c := &rolagdapi.Client{BaseURL: tc.rsrv.URL}
+	for i := 0; i < 6; i++ {
+		if _, err := c.Compile(context.Background(), &rolagdapi.CompileRequest{Source: src(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	status, body := get(t, tc.rsrv.URL+"/debug/fleet?refresh=1")
+	if status != http.StatusOK {
+		t.Fatalf("GET /debug/fleet: HTTP %d: %s", status, body)
+	}
+	var ov fleet.Overview
+	if err := json.Unmarshal(body, &ov); err != nil {
+		t.Fatalf("fleet overview not valid JSON: %v", err)
+	}
+	if len(ov.Shards) != 3 {
+		t.Fatalf("fleet overview has %d shard rows, want 3", len(ov.Shards))
+	}
+	var requests int64
+	for _, sh := range ov.Shards {
+		if !sh.ScrapeOK {
+			t.Errorf("shard %s scrape failed: %s", sh.Shard, sh.ScrapeError)
+		}
+		if sh.State != "up" {
+			t.Errorf("shard %s state %q, want up", sh.Shard, sh.State)
+		}
+		requests += sh.Requests
+	}
+	if requests < 6 {
+		t.Errorf("fleet-aggregated shard requests = %d, want ≥ 6", requests)
+	}
+	foundCompile := false
+	for _, rl := range ov.Routes {
+		if rl.Route == "/v1/compile" {
+			foundCompile = true
+			if rl.Count < 6 {
+				t.Errorf("fleet /v1/compile count = %d, want ≥ 6", rl.Count)
+			}
+		}
+	}
+	if !foundCompile {
+		t.Error("fleet routes missing /v1/compile")
+	}
+	if ov.Router.Requests < 6 {
+		t.Errorf("router requests counter = %d, want ≥ 6", ov.Router.Requests)
+	}
+	routerCompile := false
+	for _, rl := range ov.Router.Routes {
+		if rl.Route == "/v1/compile" && rl.Count >= 6 {
+			routerCompile = true
+		}
+	}
+	if !routerCompile {
+		t.Error("router-vantage /v1/compile histogram missing or undercounted")
+	}
+}
+
+// TestRouterMetricsFleetAdditions checks the new Prometheus series:
+// the dropped-spans counter and the per-route p99 gauges at both
+// vantages (router-observed and fleet-merged).
+func TestRouterMetricsFleetAdditions(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	c := &rolagdapi.Client{BaseURL: tc.rsrv.URL}
+	if _, err := c.Compile(context.Background(), &rolagdapi.CompileRequest{Source: src(3)}); err != nil {
+		t.Fatal(err)
+	}
+	// Populate the fleet vantage.
+	if status, _ := get(t, tc.rsrv.URL+"/debug/fleet?refresh=1"); status != http.StatusOK {
+		t.Fatalf("refresh scrape failed: HTTP %d", status)
+	}
+
+	status, body := get(t, tc.rsrv.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("GET /metrics: HTTP %d", status)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"router_trace_dropped_total",
+		`router_route_p99_seconds{route="/v1/compile",vantage="router"}`,
+		`router_route_p99_seconds{route="/v1/compile",vantage="fleet"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestRouterDebugSurfaces covers the remaining debug mux wiring: pprof
+// is mounted, the router's own ring export rejects junk filters, and
+// the stitch collector rejects junk IDs.
+func TestRouterDebugSurfaces(t *testing.T) {
+	tc := newTestCluster(t, 3)
+
+	if status, body := get(t, tc.rsrv.URL+"/debug/pprof/"); status != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("GET /debug/pprof/: HTTP %d, want pprof index", status)
+	}
+	if status, _ := get(t, tc.rsrv.URL+"/debug/pprof/cmdline"); status != http.StatusOK {
+		t.Errorf("GET /debug/pprof/cmdline: HTTP %d", status)
+	}
+	if status, _ := get(t, tc.rsrv.URL+"/debug/trace?trace=NOT-HEX"); status != http.StatusBadRequest {
+		t.Errorf("junk ring filter: HTTP %d, want 400", status)
+	}
+	if status, _ := get(t, tc.rsrv.URL+"/debug/trace/NOT-HEX"); status != http.StatusBadRequest {
+		t.Errorf("junk stitch ID: HTTP %d, want 400", status)
+	}
+	// Empty-but-valid stitched trace: a well-formed ID nobody traced
+	// still yields valid (empty) Chrome JSON, not an error.
+	status, body := get(t, tc.rsrv.URL+"/debug/trace/feedfacefeedface")
+	if status != http.StatusOK {
+		t.Fatalf("unknown trace ID: HTTP %d", status)
+	}
+	if procs, err := fleet.Processes(body); err != nil || len(procs) != 0 {
+		t.Errorf("unknown trace: procs=%v err=%v, want empty valid trace", procs, err)
+	}
+}

@@ -16,10 +16,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -27,6 +29,7 @@ import (
 
 	"rolag/internal/cluster/ring"
 	"rolag/internal/obs"
+	"rolag/internal/obs/fleet"
 	"rolag/internal/rolagdapi"
 	"rolag/internal/service"
 )
@@ -63,6 +66,18 @@ type Config struct {
 	// suspect to down (0 = DefaultDownAfter).
 	DownAfter int
 
+	// ScrapeInterval is the fleet-metrics scrape cadence: how often the
+	// router pulls every shard's /v1/cachestats into the /debug/fleet
+	// aggregation (0 = DefaultScrapeInterval; negative disables the
+	// loop — /debug/fleet?refresh=1 still scrapes on demand).
+	ScrapeInterval time.Duration
+
+	// TraceRing, when set, is the router's own span ring instead of the
+	// process-default one. Multi-daemon processes (tests, the loadgen
+	// fleet harness) need it so router spans and shard spans live in
+	// separate rings and stitch into distinct per-process tracks.
+	TraceRing *obs.TraceRing
+
 	// Hedge enables tail-latency request hedging on /v1/compile: when
 	// the home shard has not answered within its adaptive delay, race a
 	// second copy against the key's next ring successor.
@@ -96,6 +111,15 @@ type Router struct {
 	hedgeMaxDelay time.Duration
 	lat           map[string]*latWindow // per-shard; fixed at startup
 
+	traceRing *obs.TraceRing
+	collector *fleet.Collector
+	// compileHist/batchHist are the router-observed per-route request
+	// latencies (time to first usable shard answer, hops included) —
+	// the "duration" leg of the fleet RED view and the SLO gate's
+	// comparison point against shard-reported histograms.
+	compileHist fleet.Hist
+	batchHist   fleet.Hist
+
 	requests     atomic.Int64
 	batches      atomic.Int64
 	items        atomic.Int64
@@ -124,6 +148,8 @@ func New(cfg Config) (*Router, error) {
 		hedgeMaxDelay: cfg.HedgeMaxDelay,
 		lat:           make(map[string]*latWindow, len(cfg.Shards)),
 		routed:        make(map[string]*atomic.Int64, len(cfg.Shards)),
+		traceRing:     cfg.TraceRing,
+		collector:     fleet.NewCollector(),
 	}
 	names := make([]string, 0, len(cfg.Shards))
 	for name := range cfg.Shards {
@@ -155,7 +181,22 @@ func New(cfg Config) (*Router, error) {
 		}
 		go rt.probeLoop(interval)
 	}
+	if cfg.ScrapeInterval >= 0 {
+		interval := cfg.ScrapeInterval
+		if interval == 0 {
+			interval = DefaultScrapeInterval
+		}
+		go rt.scrapeLoop(interval)
+	}
 	return rt, nil
+}
+
+// obsRing resolves the ring router spans land in.
+func (rt *Router) obsRing() *obs.TraceRing {
+	if rt.traceRing != nil {
+		return rt.traceRing
+	}
+	return obs.DefaultRing()
 }
 
 // Close stops the background health prober. Safe to call twice.
@@ -195,8 +236,23 @@ func (rt *Router) forwardCtx(ctx context.Context, shard, path string, body []byt
 		return 0, nil, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if tr := obs.TraceFrom(ctx); tr.Active() {
+	// Every router→shard hop gets its own span ID sent downstream as
+	// X-Trace-Parent, so the shard's spans attach under this hop in
+	// the stitched trace. The hop span records an outcome status — a
+	// hedge race's losing leg shows up as "canceled", which explains
+	// the tail latency the hedge hid without feeding health evidence.
+	tr := obs.TraceFrom(ctx)
+	span := obs.Now()
+	var hopID string
+	if tr.Active() {
 		req.Header.Set("X-Trace-Id", tr.ID)
+		if !span.IsZero() && obs.TracingEnabled() {
+			hopID = obs.NewSpanID()
+			req.Header.Set("X-Trace-Parent", hopID)
+		}
+	}
+	hopDone := func(status string) {
+		obs.EndHopSpan(tr, "hop:"+shard, span, hopID, path, status)
 	}
 	start := time.Now()
 	resp, err := rt.httpc.Do(req)
@@ -205,16 +261,28 @@ func (rt *Router) forwardCtx(ctx context.Context, shard, path string, body []byt
 			if state, changed := rt.health.fail(shard); changed {
 				rt.logger().Warn("shard unreachable", "shard", shard, "state", state.String())
 			}
+			hopDone("error")
 			return 0, nil, true, err
+		}
+		if errors.Is(ctx.Err(), context.Canceled) {
+			hopDone("canceled")
+		} else {
+			hopDone("error")
 		}
 		return 0, nil, false, err
 	}
 	defer resp.Body.Close()
 	reply, err = io.ReadAll(resp.Body)
 	if err != nil {
+		hopDone("error")
 		return 0, nil, true, err
 	}
 	retryable = resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+	if retryable {
+		hopDone("error")
+	} else {
+		hopDone("ok")
+	}
 	if resp.StatusCode >= 500 {
 		if state, changed := rt.health.fail(shard); changed {
 			rt.logger().Warn("shard erroring", "shard", shard, "status", resp.StatusCode, "state", state.String())
@@ -615,6 +683,17 @@ func (rt *Router) writeMetrics(w io.Writer) {
 	}
 	fmt.Fprintf(w, "# HELP router_shards Shards on the consistent-hash ring.\n")
 	fmt.Fprintf(w, "# TYPE router_shards gauge\nrouter_shards %d\n", rt.ring.Len())
+	counter("router_trace_dropped_total", "Router trace spans overwritten in the bounded ring before export.",
+		int64(rt.obsRing().Dropped()))
+	// Fleet latency quantiles per route, from both vantage points: what
+	// the router observed end to end and what the shards reported.
+	fmt.Fprintf(w, "# HELP router_route_p99_seconds Route p99 latency by vantage (router-observed vs shard-reported fleet merge).\n")
+	fmt.Fprintf(w, "# TYPE router_route_p99_seconds gauge\n")
+	fmt.Fprintf(w, "router_route_p99_seconds{route=\"/v1/compile\",vantage=\"router\"} %g\n", rt.compileHist.Snapshot().Quantile(0.99))
+	fmt.Fprintf(w, "router_route_p99_seconds{route=\"/v1/batch\",vantage=\"router\"} %g\n", rt.batchHist.Snapshot().Quantile(0.99))
+	for _, rl := range rt.collector.Routes() {
+		fmt.Fprintf(w, "router_route_p99_seconds{route=%q,vantage=\"fleet\"} %g\n", rl.Route, rl.P99Ms/1e3)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -640,13 +719,22 @@ func (w *statusWriter) WriteHeader(status int) {
 // under the caller's ID.
 func (rt *Router) traced(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		tr := obs.NewTrace(r.Header.Get("X-Trace-Id"))
+		// Junk X-Trace-Id / X-Trace-Parent headers are re-minted or
+		// dropped at this boundary, exactly like the daemon's.
+		tr := obs.NewTrace(obs.AdoptTraceID(r.Header.Get("X-Trace-Id")))
+		tr = tr.InRing(rt.traceRing).WithParent(obs.AdoptSpanID(r.Header.Get("X-Trace-Parent")))
 		w.Header().Set("X-Trace-Id", tr.ID)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		span := obs.Now()
 		start := time.Now()
 		next.ServeHTTP(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
 		obs.EndSpan(tr, "router:"+r.URL.Path, span, r.Method)
+		switch r.URL.Path {
+		case "/v1/compile":
+			rt.compileHist.Observe(time.Since(start).Seconds())
+		case "/v1/batch":
+			rt.batchHist.Observe(time.Since(start).Seconds())
+		}
 
 		level := slog.LevelDebug
 		if r.URL.Path == "/v1/compile" || r.URL.Path == "/v1/batch" {
@@ -673,5 +761,20 @@ func (rt *Router) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		rt.writeMetrics(w)
 	})
+
+	// Fleet telemetry: the aggregated shard view (JSON), the router's
+	// own span ring, and the cross-process trace collector.
+	mux.HandleFunc("GET /debug/fleet", rt.handleFleet)
+	mux.HandleFunc("GET /debug/trace", rt.handleTraceRing)
+	mux.HandleFunc("GET /debug/trace/{id}", rt.handleTraceStitch)
+
+	// Runtime profiling — the router is the fleet's hottest single
+	// process; it gets the same pprof surface the daemon has had.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
 	return rt.traced(mux)
 }

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"rolag/internal/daemon"
+	"rolag/internal/obs"
 	"rolag/internal/rolagdapi"
 	"rolag/internal/service"
 )
@@ -33,7 +34,17 @@ type testCluster struct {
 	daemons []*daemon.Daemon
 	shards  []*httptest.Server
 	headers []http.Header // last request headers seen per shard (compile/batch only)
-	mu      sync.Mutex
+	// allHeaders records EVERY compile/batch request's headers per
+	// shard, in arrival order — the batch fan-out propagation tests
+	// need the full history, not just the last request.
+	allHeaders [][]http.Header
+	mu         sync.Mutex
+
+	// Per-process span rings: each daemon records into its own ring and
+	// the router into routerRing, exactly like separate OS processes
+	// would, so trace stitching is end-to-end honest even in-process.
+	rings      []*obs.TraceRing
+	routerRing *obs.TraceRing
 
 	refuse []atomic.Bool  // shard answers 503 to everything (incl. /readyz)
 	stall  []atomic.Int64 // ns to sleep before serving /v1/* (probes unaffected)
@@ -49,12 +60,15 @@ func newTestCluster(t *testing.T, n int) *testCluster {
 func newTestClusterCfg(t *testing.T, n int, mod func(*Config)) *testCluster {
 	t.Helper()
 	tc := &testCluster{
-		daemons: make([]*daemon.Daemon, n),
-		shards:  make([]*httptest.Server, n),
-		headers: make([]http.Header, n),
-		refuse:  make([]atomic.Bool, n),
-		stall:   make([]atomic.Int64, n),
-		hits:    make([]atomic.Int64, n),
+		daemons:    make([]*daemon.Daemon, n),
+		shards:     make([]*httptest.Server, n),
+		headers:    make([]http.Header, n),
+		allHeaders: make([][]http.Header, n),
+		rings:      make([]*obs.TraceRing, n),
+		routerRing: obs.NewTraceRing(0),
+		refuse:     make([]atomic.Bool, n),
+		stall:      make([]atomic.Int64, n),
+		hits:       make([]atomic.Int64, n),
 	}
 	peers := make(map[string]string, n)
 	for i := 0; i < n; i++ {
@@ -78,6 +92,7 @@ func newTestClusterCfg(t *testing.T, n int, mod func(*Config)) *testCluster {
 			if strings.HasPrefix(r.URL.Path, "/v1/compile") || strings.HasPrefix(r.URL.Path, "/v1/batch") {
 				tc.mu.Lock()
 				tc.headers[i] = r.Header.Clone()
+				tc.allHeaders[i] = append(tc.allHeaders[i], r.Header.Clone())
 				tc.mu.Unlock()
 			}
 			tc.daemons[i].Handler().ServeHTTP(w, r)
@@ -86,16 +101,18 @@ func newTestClusterCfg(t *testing.T, n int, mod func(*Config)) *testCluster {
 		peers[shardName(i)] = tc.shards[i].URL
 	}
 	for i := 0; i < n; i++ {
+		tc.rings[i] = obs.NewTraceRing(0)
 		d := daemon.New(daemon.Config{
 			Engine:     service.Config{Workers: 2},
 			RequestCap: 10 * time.Second,
 			ShardID:    shardName(i),
 			Peers:      peers,
+			TraceRing:  tc.rings[i],
 		})
 		t.Cleanup(func() { d.Close(context.Background()) })
 		tc.daemons[i] = d
 	}
-	cfg := Config{Shards: peers}
+	cfg := Config{Shards: peers, TraceRing: tc.routerRing}
 	if mod != nil {
 		mod(&cfg)
 	}

@@ -24,6 +24,7 @@ import (
 
 	"rolag/internal/cluster/ring"
 	"rolag/internal/obs"
+	"rolag/internal/obs/fleet"
 	"rolag/internal/rolagdapi"
 	"rolag/internal/service"
 )
@@ -77,6 +78,13 @@ type Config struct {
 	// (0 = DefaultSnapshotInterval; negative disables the ticker,
 	// leaving only drain-time and on-demand saves).
 	SnapshotInterval time.Duration
+
+	// TraceRing, when set, is where this daemon's spans are recorded
+	// instead of the process-default ring. Multi-daemon processes (the
+	// loadgen fleet harness, cluster tests) give each shard its own
+	// ring so /debug/trace stays per-shard and the router's trace
+	// collector can stitch genuinely distinct segments.
+	TraceRing *obs.TraceRing
 }
 
 // Daemon wires the engine to the HTTP surface and carries the drain
@@ -97,6 +105,15 @@ type Daemon struct {
 	snapStop     chan struct{}
 	snapOnce     sync.Once
 
+	traceRing *obs.TraceRing
+	// routeHists are the per-route request-latency histograms shipped
+	// in /v1/cachestats for the router's fleet aggregation. Unlike the
+	// engine's compile-latency histogram (fresh compiles only), these
+	// observe every request — cache hits included — so they are
+	// comparable with what the router observes from outside.
+	compileHist fleet.Hist
+	batchHist   fleet.Hist
+
 	draining atomic.Bool
 }
 
@@ -110,6 +127,7 @@ func New(cfg Config) *Daemon {
 		shardID:     cfg.ShardID,
 		peers:       cfg.Peers,
 		peerTimeout: cfg.PeerTimeout,
+		traceRing:   cfg.TraceRing,
 	}
 	if d.peerTimeout <= 0 {
 		d.peerTimeout = DefaultPeerTimeout
@@ -239,21 +257,39 @@ func (d *Daemon) peerFetch(ctx context.Context, key string) (*service.CacheEntry
 	if err != nil {
 		return nil, false
 	}
-	if tr := obs.TraceFrom(ctx); tr.Active() {
+	// The peer lookup is a cross-process hop: it carries the trace ID
+	// plus its own span ID as X-Trace-Parent, so the peer's spans
+	// attach under this hop in the stitched trace. hopSpan allocates
+	// only when tracing is on (span is the zero time otherwise).
+	tr := obs.TraceFrom(ctx)
+	span := obs.Now()
+	var hopID string
+	if tr.Active() {
 		req.Header.Set("X-Trace-Id", tr.ID)
+		if !span.IsZero() && obs.TracingEnabled() {
+			hopID = obs.NewSpanID()
+			req.Header.Set("X-Trace-Parent", hopID)
+		}
+	}
+	hopDone := func(status string) {
+		obs.EndHopSpan(tr, "peer:"+home, span, hopID, "/v1/cache", status)
 	}
 	resp, err := d.peerClient.Do(req)
 	if err != nil {
+		hopDone("error")
 		return nil, true
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		hopDone("error")
 		return nil, true
 	}
 	var ce service.CacheEntry
 	if err := json.NewDecoder(resp.Body).Decode(&ce); err != nil {
+		hopDone("error")
 		return nil, true
 	}
+	hopDone("ok")
 	return &ce, true
 }
 
@@ -412,7 +448,18 @@ func (d *Daemon) handleCacheExport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ce)
 }
 
-// CacheStats snapshots the daemon's cache counters in wire form.
+// obsRing resolves the ring this daemon's spans land in.
+func (d *Daemon) obsRing() *obs.TraceRing {
+	if d.traceRing != nil {
+		return d.traceRing
+	}
+	return obs.DefaultRing()
+}
+
+// CacheStats snapshots the daemon's cache counters in wire form,
+// including the fleet-telemetry fields the router's scrape loop
+// aggregates (request outcomes, per-route latency histograms, dropped
+// trace spans).
 func (d *Daemon) CacheStats() rolagdapi.CacheStats {
 	s := d.engine.Metrics()
 	return rolagdapi.CacheStats{
@@ -431,6 +478,16 @@ func (d *Daemon) CacheStats() rolagdapi.CacheStats {
 		SnapshotRejected: s.SnapshotRejected,
 		SnapshotEntries:  s.SnapshotEntries,
 		SnapshotWarmHits: s.SnapshotWarmHits,
+
+		Errors:       s.Errors,
+		Shed:         s.Shed,
+		Degraded:     s.Degraded,
+		InFlight:     s.InFlight,
+		TraceDropped: d.obsRing().Dropped(),
+		Routes: map[string]fleet.HistSnapshot{
+			"/v1/compile": d.compileHist.Snapshot(),
+			"/v1/batch":   d.batchHist.Snapshot(),
+		},
 	}
 }
 
@@ -453,13 +510,23 @@ func (w *statusWriter) WriteHeader(status int) {
 // (health/metrics/debug) at Debug.
 func (d *Daemon) traced(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		tr := obs.NewTrace(r.Header.Get("X-Trace-Id"))
+		// Adopt the caller's trace ID and parent span only after
+		// validation: junk headers (non-hex, oversized, empty) re-mint
+		// instead of polluting the span ring and log fields.
+		tr := obs.NewTrace(obs.AdoptTraceID(r.Header.Get("X-Trace-Id")))
+		tr = tr.InRing(d.traceRing).WithParent(obs.AdoptSpanID(r.Header.Get("X-Trace-Parent")))
 		w.Header().Set("X-Trace-Id", tr.ID)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		span := obs.Now()
 		start := time.Now()
 		next.ServeHTTP(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
 		obs.EndSpan(tr, "http:"+r.URL.Path, span, r.Method)
+		switch r.URL.Path {
+		case "/v1/compile":
+			d.compileHist.Observe(time.Since(start).Seconds())
+		case "/v1/batch":
+			d.batchHist.Observe(time.Since(start).Seconds())
+		}
 
 		level := slog.LevelDebug
 		if r.URL.Path == "/v1/compile" || r.URL.Path == "/v1/batch" {
@@ -533,6 +600,8 @@ func (d *Daemon) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s := d.engine.Metrics()
 		s.WritePrometheus(w)
+		fmt.Fprintf(w, "# HELP rolagd_trace_dropped_total Trace spans overwritten in the bounded ring before export.\n")
+		fmt.Fprintf(w, "# TYPE rolagd_trace_dropped_total counter\nrolagd_trace_dropped_total %d\n", d.obsRing().Dropped())
 	})
 
 	// expvar.Publish panics on duplicate names; tests and the loadgen
@@ -544,10 +613,17 @@ func (d *Daemon) Handler() http.Handler {
 	mux.Handle("GET /debug/vars", expvar.Handler())
 
 	// The span ring buffer as Chrome trace-event JSON; load it in
-	// chrome://tracing or https://ui.perfetto.dev.
+	// chrome://tracing or https://ui.perfetto.dev. ?trace=<id> filters
+	// to one trace — the router's stitching collector fetches exactly
+	// that from every shard.
 	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		filter := r.URL.Query().Get("trace")
+		if filter != "" && !obs.ValidTraceID(filter) {
+			writeJSON(w, http.StatusBadRequest, rolagdapi.ErrorResponse{Error: "invalid trace id"})
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		obs.WriteChromeTrace(w)
+		d.obsRing().WriteChrome(w, filter)
 	})
 
 	// Runtime profiling. The default mux registers these as a side

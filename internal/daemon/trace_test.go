@@ -5,13 +5,16 @@ package daemon
 // Chrome export, remarks over the wire, and the remark metrics series.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"rolag/internal/obs"
 	"rolag/internal/service"
@@ -169,5 +172,206 @@ func TestRemarkMetricsSeries(t *testing.T) {
 	}
 	if !strings.Contains(string(data), `rolagd_remarks_total{pass="rolag",reason="rolled"}`) {
 		t.Errorf("/metrics lacks the rolagd_remarks_total series for the roll we compiled:\n%s", data)
+	}
+}
+
+// TestTraceIDValidation: junk X-Trace-Id headers (non-hex, oversized,
+// uppercase, empty) are re-minted instead of adopted, so a hostile
+// client cannot pollute span rings or log fields.
+func TestTraceIDValidation(t *testing.T) {
+	srv := newTestServer(t)
+	minted := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	cases := []struct {
+		name, header string
+	}{
+		{"empty", ""},
+		{"non-hex", "hello-not-hex-at-all"},
+		{"too-short", "abc"},
+		{"oversized", strings.Repeat("a", 200)},
+		{"uppercase", "CAFE0000DEADBEEF"},
+		{"traversal", "../../etc/passwd"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest("GET", srv.URL+"/healthz", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.header != "" {
+				req.Header.Set("X-Trace-Id", tc.header)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			got := resp.Header.Get("X-Trace-Id")
+			if got == tc.header && tc.header != "" {
+				t.Errorf("junk trace ID %q adopted verbatim", tc.header)
+			}
+			if !minted.MatchString(got) {
+				t.Errorf("re-minted trace ID = %q, want 16 hex chars", got)
+			}
+		})
+	}
+}
+
+// TestDebugTraceFilterAndParent: /debug/trace?trace=<id> returns only
+// that trace's spans; an adopted X-Trace-Parent shows up as the spans'
+// parent arg; an invalid filter is a 400.
+func TestDebugTraceFilterAndParent(t *testing.T) {
+	tracingOn(t)
+	srv := newTestServer(t)
+	parent := "feedfeedfeedfeed"
+	for i, id := range []string{"aaaa000000000001", "bbbb000000000002"} {
+		body := fmt.Sprintf(`{"source": %q, "config": {"opt": "rolag", "unroll": %d}}`, testSrc, i+1)
+		req, err := http.NewRequest("POST", srv.URL+"/v1/compile", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Trace-Id", id)
+		req.Header.Set("X-Trace-Parent", parent)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("compile %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	tresp, err := http.Get(srv.URL + "/debug/trace?trace=aaaa000000000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	var chrome struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("filtered export is empty")
+	}
+	for _, ev := range chrome.TraceEvents {
+		if ev.Args["trace"] != "aaaa000000000001" {
+			t.Errorf("filtered export leaked trace %q (span %s)", ev.Args["trace"], ev.Name)
+		}
+		if ev.Args["parent"] != parent {
+			t.Errorf("span %s parent = %q, want adopted %q", ev.Name, ev.Args["parent"], parent)
+		}
+	}
+
+	bad, err := http.Get(srv.URL + "/debug/trace?trace=NOT-HEX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid filter: status %d, want 400", bad.StatusCode)
+	}
+}
+
+// TestPerDaemonTraceRing: a daemon given its own ring records there,
+// not in the process default — the property that makes multi-daemon
+// processes (loadgen fleet, cluster tests) stitchable.
+func TestPerDaemonTraceRing(t *testing.T) {
+	tracingOn(t)
+	ringA := obs.NewTraceRing(64)
+	d := New(Config{Engine: service.Config{Workers: 2}, TraceRing: ringA})
+	t.Cleanup(func() { d.Close(context.Background()) })
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+
+	req, err := http.NewRequest("GET", srv.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Trace-Id", "ce11000000000001")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if evs := ringA.EventsFor("ce11000000000001"); len(evs) == 0 {
+		t.Error("daemon-scoped ring recorded nothing")
+	}
+	for _, ev := range obs.TraceEvents() {
+		if ev.Trace == "ce11000000000001" {
+			t.Error("daemon with private ring leaked spans into the default ring")
+		}
+	}
+}
+
+// TestTraceDroppedCounter: overflowing a tiny ring surfaces in both
+// /metrics (rolagd_trace_dropped_total) and /v1/cachestats.
+func TestTraceDroppedCounter(t *testing.T) {
+	tracingOn(t)
+	ring := obs.NewTraceRing(2)
+	d := New(Config{Engine: service.Config{Workers: 2}, TraceRing: ring})
+	t.Cleanup(func() { d.Close(context.Background()) })
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+
+	for i := 0; i < 6; i++ {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if ring.Dropped() == 0 {
+		t.Fatal("ring of capacity 2 dropped nothing after 6 requests")
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	data, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "rolagd_trace_dropped_total") {
+		t.Error("/metrics lacks rolagd_trace_dropped_total")
+	}
+	m := regexp.MustCompile(`rolagd_trace_dropped_total (\d+)`).FindStringSubmatch(string(data))
+	if m == nil || m[1] == "0" {
+		t.Errorf("rolagd_trace_dropped_total not positive: %v", m)
+	}
+
+	stats := d.CacheStats()
+	if stats.TraceDropped == 0 {
+		t.Error("CacheStats.TraceDropped = 0 after overflow")
+	}
+}
+
+// TestCacheStatsFleetFields: the scrape surface carries route
+// histograms and outcome counters the router aggregates.
+func TestCacheStatsFleetFields(t *testing.T) {
+	d, srv := newTestDaemon(t, service.Config{}, 10*time.Second)
+	body := fmt.Sprintf(`{"source": %q, "config": {"opt": "rolag"}}`, testSrc)
+	if resp, _ := postCompile(t, srv, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile: status %d", resp.StatusCode)
+	}
+	stats := d.CacheStats()
+	h, ok := stats.Routes["/v1/compile"]
+	if !ok {
+		t.Fatalf("no /v1/compile route histogram: %+v", stats.Routes)
+	}
+	if h.Count != 1 || h.SumSeconds <= 0 {
+		t.Errorf("route histogram = %+v, want one observation", h)
+	}
+	if b, ok := stats.Routes["/v1/batch"]; !ok || b.Count != 0 {
+		t.Errorf("batch histogram = %+v, want present and empty", b)
 	}
 }

@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Trace stitching. Every process in the fleet records spans for a
+// given trace ID into its own ring and exports them as a Chrome trace
+// with pid 1 and Unix-epoch-microsecond timestamps. The router's
+// collector fetches those per-process segments and Stitch merges them
+// into one document: each segment gets a distinct pid plus a
+// process_name metadata event, so the viewer renders one track per
+// process and the shared epoch puts router and shard spans on one
+// aligned timeline.
+
+// chromeEvent mirrors the Chrome trace-event wire format closely
+// enough to re-pid events without losing fields the fleet emits.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// Segment is one process's contribution to a stitched trace.
+type Segment struct {
+	// Process is the track name ("router", "shard-a", ...).
+	Process string
+	// Data is that process's Chrome trace-event JSON (the /debug/trace
+	// export, already filtered to one trace ID).
+	Data []byte
+}
+
+// Stitch merges per-process Chrome trace segments into one document.
+// Each segment becomes its own pid with a process_name metadata event;
+// span events keep their tids (lanes) within the process. Segments
+// with no span events are dropped — a process that recorded nothing
+// for the trace gets no empty track. Returns an error if any segment
+// is not valid Chrome trace JSON.
+func Stitch(segments []Segment) ([]byte, error) {
+	var out chromeDoc
+	pid := 0
+	for _, seg := range segments {
+		var doc chromeDoc
+		if err := json.Unmarshal(seg.Data, &doc); err != nil {
+			return nil, fmt.Errorf("segment %q: %w", seg.Process, err)
+		}
+		spans := doc.TraceEvents[:0]
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph == "X" {
+				spans = append(spans, ev)
+			}
+		}
+		if len(spans) == 0 {
+			continue
+		}
+		pid++
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			PID:  pid,
+			Args: map[string]string{"name": seg.Process},
+		})
+		for _, ev := range spans {
+			ev.PID = pid
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+	return json.Marshal(out)
+}
+
+// Processes inspects a (stitched) Chrome trace and returns the span
+// count per process track name — the completeness check's input: a
+// fully-stitched trace has the router process plus at least one shard
+// process, each with ≥1 span.
+func Processes(data []byte) (map[string]int, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	names := map[int]string{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" && ev.Args != nil {
+			names[ev.PID] = ev.Args["name"]
+		}
+	}
+	counts := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		name := names[ev.PID]
+		if name == "" {
+			name = fmt.Sprintf("pid-%d", ev.PID)
+		}
+		counts[name]++
+	}
+	return counts, nil
+}
+
+// SpanStatuses returns the status arg of every span in a Chrome trace,
+// sorted — test and gate helper for asserting hedge losers ("canceled")
+// survived stitching.
+func SpanStatuses(data []byte) ([]string, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Args != nil && ev.Args["status"] != "" {
+			out = append(out, ev.Args["status"])
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

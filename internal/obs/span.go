@@ -145,7 +145,7 @@ func (c SpanClass) End(tr TraceContext, start time.Time) {
 		}
 	}
 	if g&gateTrace != 0 && tr.Active() {
-		addEvent(TraceEvent{Name: c.Name(), Trace: tr.ID, TID: tr.tid, Start: start, Dur: d})
+		tr.resolveRing().add(TraceEvent{Name: c.Name(), Trace: tr.ID, TID: tr.tid, Start: start, Dur: d, Parent: tr.parent})
 	}
 }
 
@@ -158,5 +158,22 @@ func EndSpan(tr TraceContext, name string, start time.Time, detail string) {
 	if start.IsZero() || gates.Load()&gateTrace == 0 || !tr.Active() {
 		return
 	}
-	addEvent(TraceEvent{Name: name, Trace: tr.ID, TID: tr.tid, Start: start, Dur: time.Since(start), Detail: detail})
+	tr.resolveRing().add(TraceEvent{Name: name, Trace: tr.ID, TID: tr.tid, Start: start, Dur: time.Since(start), Detail: detail, Parent: tr.parent})
+}
+
+// EndHopSpan closes a cross-process hop span: a span that was given its
+// own span ID, which traveled downstream as the X-Trace-Parent header
+// so the receiving process's spans attach under it in the stitched
+// trace. status distinguishes outcomes ("ok", "error", or "canceled" —
+// a hedge race's losing leg). Like EndSpan it ignores a zero start, so
+// a disabled site pays one atomic load inside Now and nothing here.
+func EndHopSpan(tr TraceContext, name string, start time.Time, spanID, detail, status string) {
+	if start.IsZero() || gates.Load()&gateTrace == 0 || !tr.Active() {
+		return
+	}
+	tr.resolveRing().add(TraceEvent{
+		Name: name, Trace: tr.ID, TID: tr.tid,
+		Start: start, Dur: time.Since(start),
+		Detail: detail, Span: spanID, Parent: tr.parent, Status: status,
+	})
 }

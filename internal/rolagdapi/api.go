@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"rolag"
+	"rolag/internal/obs/fleet"
 	rl "rolag/internal/rolag"
 	"rolag/internal/service"
 )
@@ -83,6 +84,11 @@ type CompileResponse struct {
 	// model's estimate.
 	Asm       string `json:"asm,omitempty"`
 	TextBytes int64  `json:"textBytes,omitempty"`
+	// TraceID is the server's X-Trace-Id response header, captured by
+	// the client so callers can fetch the request's stitched trace from
+	// the router's /debug/trace/{id} collector. Transport metadata, not
+	// part of the response body.
+	TraceID string `json:"-"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.
@@ -130,7 +136,14 @@ type BatchResponse struct {
 	// BatchItemResult.Shard).
 	Shard     string  `json:"shard,omitempty"`
 	ElapsedMs float64 `json:"elapsedMs"`
+	// TraceID mirrors CompileResponse.TraceID for batches.
+	TraceID string `json:"-"`
 }
+
+// captureTraceID lets the client thread the X-Trace-Id response header
+// into response types without widening every decode path.
+func (r *CompileResponse) captureTraceID(id string) { r.TraceID = id }
+func (r *BatchResponse) captureTraceID(id string)   { r.TraceID = id }
 
 // CacheStats is the GET /v1/cachestats body: the daemon's own cache
 // counters, so cluster-wide hit rates can be computed from the source
@@ -156,6 +169,19 @@ type CacheStats struct {
 	SnapshotRejected int64 `json:"snapshotRejected,omitempty"`
 	SnapshotEntries  int64 `json:"snapshotEntries,omitempty"`
 	SnapshotWarmHits int64 `json:"snapshotWarmHits,omitempty"`
+	// Fleet-telemetry fields: request outcomes and per-route request
+	// latency as the shard itself observed them. The router's scrape
+	// loop differentiates the counters into RED rates and merges the
+	// route histograms fleet-wide, so /debug/fleet reports quantiles
+	// computed from shard-side truth, not router-side inference.
+	Errors       int64  `json:"errors,omitempty"`
+	Shed         int64  `json:"shed,omitempty"`
+	Degraded     int64  `json:"degraded,omitempty"`
+	InFlight     int64  `json:"inFlight,omitempty"`
+	TraceDropped uint64 `json:"traceDropped,omitempty"`
+	// Routes maps request path ("/v1/compile", "/v1/batch") to the
+	// shard's request-latency histogram over fleet.LatencyBounds.
+	Routes map[string]fleet.HistSnapshot `json:"routes,omitempty"`
 	// Shards is the per-shard breakdown (router responses only).
 	Shards []CacheStats `json:"shards,omitempty"`
 }
@@ -185,6 +211,19 @@ func (s *CacheStats) Add(other *CacheStats) {
 	s.SnapshotRejected += other.SnapshotRejected
 	s.SnapshotEntries += other.SnapshotEntries
 	s.SnapshotWarmHits += other.SnapshotWarmHits
+	s.Errors += other.Errors
+	s.Shed += other.Shed
+	s.Degraded += other.Degraded
+	s.InFlight += other.InFlight
+	s.TraceDropped += other.TraceDropped
+	for route, h := range other.Routes {
+		if s.Routes == nil {
+			s.Routes = make(map[string]fleet.HistSnapshot, len(other.Routes))
+		}
+		merged := s.Routes[route]
+		merged.Merge(h)
+		s.Routes[route] = merged
+	}
 }
 
 // ToService maps the wire request onto an engine request.

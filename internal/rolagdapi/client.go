@@ -195,6 +195,9 @@ func (c *Client) post(ctx context.Context, path string, body []byte, out any) (r
 		if err := json.NewDecoder(hresp.Body).Decode(out); err != nil {
 			return false, fmt.Errorf("rolagd: decoding response: %w", err)
 		}
+		if tc, ok := out.(interface{ captureTraceID(string) }); ok {
+			tc.captureTraceID(hresp.Header.Get("X-Trace-Id"))
+		}
 		return false, nil
 	}
 	herr := readHTTPError(hresp)
